@@ -1,0 +1,116 @@
+// CL-PNR — §2.1/§4.1 claim: "The overall run time for CAD tools to complete
+// the mapping, placement and routing will be shorter as we are dealing with
+// a smaller area of logic. ... the physical-design time involved in creating
+// partial bitstreams ... is significantly less than that for the complete
+// bitstream."
+//
+// Measures the full-design flow against the constrained module-only flow
+// (plain and guided) across devices, and prints per-stage timings.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "scenarios.h"
+
+namespace jpg {
+namespace {
+
+struct Prepared {
+  scenarios::ScenarioBase base;
+  std::unique_ptr<BaseFlowResult> flow;
+};
+
+Prepared& prepared(const Device& dev) {
+  static std::map<std::string, Prepared> cache;
+  auto it = cache.find(dev.spec().name);
+  if (it == cache.end()) {
+    Prepared p;
+    p.base = scenarios::build_base(dev, scenarios::fig4_slots(dev));
+    p.flow = std::make_unique<BaseFlowResult>(
+        run_base_flow(dev, p.base.top, p.base.specs, {}));
+    it = cache.emplace(dev.spec().name, std::move(p)).first;
+  }
+  return it->second;
+}
+
+void BM_FullDesignFlow(benchmark::State& state) {
+  const Device& dev = Device::get(state.range(0) == 0 ? "XCV50" : "XCV100");
+  auto base = scenarios::build_base(dev, scenarios::fig4_slots(dev));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    FlowOptions opt;
+    opt.seed = seed++;
+    benchmark::DoNotOptimize(
+        run_base_flow(dev, base.top, base.specs, opt).design->total_pips());
+  }
+}
+BENCHMARK(BM_FullDesignFlow)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ModuleOnlyFlow(benchmark::State& state) {
+  const Device& dev = Device::get(state.range(0) == 0 ? "XCV50" : "XCV100");
+  Prepared& p = prepared(dev);
+  const auto slots = scenarios::fig4_slots(dev);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    FlowOptions opt;
+    opt.seed = seed++;
+    benchmark::DoNotOptimize(
+        run_module_flow(dev, scenarios::variant(slots[2], "match1").netlist,
+                        p.flow->interface_of("u_match"), opt)
+            .design->total_pips());
+  }
+}
+BENCHMARK(BM_ModuleOnlyFlow)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ModuleOnlyFlowGuided(benchmark::State& state) {
+  const Device& dev = Device::get("XCV50");
+  Prepared& p = prepared(dev);
+  const auto slots = scenarios::fig4_slots(dev);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    FlowOptions opt;
+    opt.seed = seed++;
+    opt.placer.guided = true;  // "guided floorplanning" (paper §3.2, phase 2)
+    benchmark::DoNotOptimize(
+        run_module_flow(dev, scenarios::variant(slots[2], "match2").netlist,
+                        p.flow->interface_of("u_match"), opt)
+            .design->total_pips());
+  }
+}
+BENCHMARK(BM_ModuleOnlyFlowGuided)->Unit(benchmark::kMillisecond);
+
+void print_pnr_series() {
+  using benchutil::fmt;
+  benchutil::Table t({"device", "flow", "pack ms", "place ms", "route ms",
+                      "total ms", "speedup"});
+  for (const char* part : {"XCV50", "XCV100", "XCV200"}) {
+    const Device& dev = Device::get(part);
+    (void)RoutingGraph::get(dev);  // pay the one-off graph build outside timing
+    auto base = scenarios::build_base(dev, scenarios::fig4_slots(dev));
+    const BaseFlowResult full = run_base_flow(dev, base.top, base.specs, {});
+    const auto slots = scenarios::fig4_slots(dev);
+    const ModuleFlowResult mod =
+        run_module_flow(dev, scenarios::variant(slots[2], "match1").netlist,
+                        full.interface_of("u_match"));
+    const double full_ms = full.timings.total_s() * 1e3;
+    const double mod_ms = mod.timings.total_s() * 1e3;
+    t.row({part, "full design", fmt(full.timings.pack_s * 1e3),
+           fmt(full.timings.place_s * 1e3), fmt(full.timings.route_s * 1e3),
+           fmt(full_ms), "1.0x"});
+    t.row({part, "module only", fmt(mod.timings.pack_s * 1e3),
+           fmt(mod.timings.place_s * 1e3), fmt(mod.timings.route_s * 1e3),
+           fmt(mod_ms), fmt(full_ms / mod_ms) + "x"});
+  }
+  t.print("CL-PNR: full-design vs module-only implementation time");
+  std::printf("paper shape: module-only P&R is significantly faster, and the "
+              "gap widens with device size.\n");
+}
+
+}  // namespace
+}  // namespace jpg
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  jpg::print_pnr_series();
+  return 0;
+}

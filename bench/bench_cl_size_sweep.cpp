@@ -1,0 +1,93 @@
+// CL-SIZE — §2.1 claim: "the time involved in downloading the partial
+// bitstream file and reconfiguring the device will be shorter as the size of
+// the partial bitstream files will be smaller compared to complete
+// bitstream files."
+//
+// Sweeps the region width across device sizes and reports partial size,
+// full size, their ratio, and the configuration-port word count (the
+// download-time proxy: the port consumes one word per clock).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "bitstream/bitgen.h"
+#include "bitstream/config_port.h"
+#include "bench_util.h"
+#include "core/partial_gen.h"
+
+namespace jpg {
+namespace {
+
+/// Partial bitstream for a region of `width` columns (module content is
+/// irrelevant to the size: every region-column frame ships).
+PartialGenResult make_partial(const Device& dev, int width) {
+  ConfigMemory base(dev);
+  ConfigMemory module_cfg(dev);
+  const Region region{0, 2, dev.rows() - 1, 2 + width - 1};
+  const PartialBitstreamGenerator gen(base);
+  PartialGenOptions opts;
+  opts.diff_only = false;
+  return gen.generate(module_cfg, region, opts);
+}
+
+void BM_PartialGeneration(benchmark::State& state) {
+  const Device& dev = Device::get("XCV50");
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_partial(dev, width).bitstream.size_bytes());
+  }
+}
+BENCHMARK(BM_PartialGeneration)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PartialDownload(benchmark::State& state) {
+  const Device& dev = Device::get("XCV50");
+  const int width = static_cast<int>(state.range(0));
+  const PartialGenResult pr = make_partial(dev, width);
+  for (auto _ : state) {
+    ConfigMemory mem(dev);
+    ConfigPort port(mem);
+    port.load(pr.bitstream);
+    benchmark::DoNotOptimize(port.words_consumed());
+  }
+  state.counters["config_words"] =
+      static_cast<double>(pr.bitstream.words.size());
+}
+BENCHMARK(BM_PartialDownload)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void print_size_series() {
+  using benchutil::fmt;
+  for (const char* part : {"XCV50", "XCV100", "XCV300"}) {
+    const Device& dev = Device::get(part);
+    ConfigMemory empty(dev);
+    const Bitstream full = generate_full_bitstream(empty);
+    benchutil::Table t({"region cols", "frames", "partial bytes", "full bytes",
+                        "ratio", "download words"});
+    for (const int width : {1, 2, 4, 8, dev.cols() / 3}) {
+      if (width + 2 > dev.cols()) continue;
+      const PartialGenResult pr = make_partial(dev, width);
+      t.row({std::to_string(width), std::to_string(pr.frames.size()),
+             std::to_string(pr.bitstream.size_bytes()),
+             std::to_string(full.size_bytes()),
+             fmt(static_cast<double>(pr.bitstream.size_bytes()) /
+                     static_cast<double>(full.size_bytes()),
+                 3),
+             std::to_string(pr.bitstream.words.size())});
+    }
+    t.print(std::string("CL-SIZE: partial vs complete bitstream on ") + part);
+  }
+  std::printf("paper shape: size and download cost scale ~linearly with the "
+              "region width;\n"
+              "a third-of-the-device region costs about a third of a full "
+              "bitstream.\n");
+}
+
+}  // namespace
+}  // namespace jpg
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  jpg::print_size_series();
+  return 0;
+}

@@ -1,0 +1,161 @@
+// CL-GEN — §2.3: JPG vs the related tools, on the same region update.
+//
+//   JPG       : consumes the flow's .xdl + .ucf, emits a partial bitstream
+//   PARBIT    : consumes a COMPLETE bitstream of the new design plus a
+//               hand-written options file, emits a partial bitstream
+//   JBitsDiff : consumes two complete bitstreams, emits a replayable core
+//               (CBits call script), not a partial bitstream
+//
+// Measures generation time and artifact size for each, and prints the
+// comparison rows, including the hidden input cost PARBIT/JBitsDiff carry
+// (the extra full bitgen of the new design).
+#include <benchmark/benchmark.h>
+
+#include "baselines/jbitsdiff.h"
+#include "baselines/parbit.h"
+#include "bench_util.h"
+#include "bitstream/bitgen.h"
+#include "core/jpg.h"
+#include "scenarios.h"
+#include "ucf/ucf_parser.h"
+#include "xdl/xdl_writer.h"
+
+namespace jpg {
+namespace {
+
+struct Setup {
+  const Device* dev;
+  Region region;
+  Bitstream base_bit;
+  ConfigMemory base_mem;
+  ConfigMemory module_mem;   ///< module-only plane (the update)
+  Bitstream new_full;        ///< complete bitstream of the update (PARBIT input)
+  std::string xdl_text;      ///< JPG inputs
+  std::string ucf_text;
+
+  explicit Setup(const char* part)
+      : dev(&Device::get(part)),
+        base_mem(*dev),
+        module_mem(*dev) {
+    const auto slots = scenarios::fig1_slots(*dev);
+    region = slots[0].region;
+    auto base = scenarios::build_base(*dev, slots);
+    const BaseFlowResult flow = run_base_flow(*dev, base.top, base.specs, {});
+    CBits cb(base_mem);
+    flow.design->apply(cb);
+    base_bit = generate_full_bitstream(base_mem);
+
+    const ModuleFlowResult mod = run_module_flow(
+        *dev, scenarios::variant(slots[0], "match1").netlist,
+        flow.interface_of("u_match"));
+    CBits mcb(module_mem);
+    mod.design->apply(mcb);
+    new_full = generate_full_bitstream(module_mem);
+    xdl_text = write_xdl(*mod.design);
+    UcfData ucf;
+    ucf.area_group_ranges["AG"] = region;
+    ucf_text = write_ucf(ucf, *dev);
+  }
+};
+
+Setup& setup() {
+  static Setup s("XCV50");
+  return s;
+}
+
+void BM_JpgGenerate(benchmark::State& state) {
+  Setup& s = setup();
+  Jpg tool(s.base_bit);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto res = tool.generate_partial_from_text(s.xdl_text, s.ucf_text);
+    bytes = res.partial.size_bytes();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["artifact_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_JpgGenerate)->Unit(benchmark::kMillisecond);
+
+void BM_ParbitGenerate(benchmark::State& state) {
+  Setup& s = setup();
+  ParbitOptions opts;
+  opts.mode = ParbitOptions::Mode::Block;
+  opts.source = s.region;
+  opts.target_r0 = s.region.r0;
+  opts.target_c0 = s.region.c0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const ParbitResult pr = parbit_transform(s.new_full, s.base_bit, opts);
+    bytes = pr.bitstream.size_bytes();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["artifact_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_ParbitGenerate)->Unit(benchmark::kMillisecond);
+
+void BM_JBitsDiffGenerate(benchmark::State& state) {
+  Setup& s = setup();
+  const PartialBitstreamGenerator gen(s.base_mem);
+  const ConfigMemory updated = gen.compose(s.module_mem, s.region);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const JBitsCore core = extract_core(s.base_mem, updated, "m", s.region);
+    bytes = core.to_text().size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["artifact_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_JBitsDiffGenerate)->Unit(benchmark::kMillisecond);
+
+void print_tool_rows() {
+  using benchutil::fmt;
+  Setup& s = setup();
+
+  benchutil::Stopwatch sw1;
+  Jpg tool(s.base_bit);
+  const auto jres = tool.generate_partial_from_text(s.xdl_text, s.ucf_text);
+  const double jpg_ms = sw1.ms();
+
+  benchutil::Stopwatch sw2;
+  ParbitOptions popts;
+  popts.mode = ParbitOptions::Mode::Block;
+  popts.source = s.region;
+  popts.target_r0 = s.region.r0;
+  popts.target_c0 = s.region.c0;
+  const ParbitResult pres = parbit_transform(s.new_full, s.base_bit, popts);
+  const double parbit_ms = sw2.ms();
+
+  benchutil::Stopwatch sw3;
+  const PartialBitstreamGenerator gen(s.base_mem);
+  const ConfigMemory updated = gen.compose(s.module_mem, s.region);
+  const JBitsCore core = extract_core(s.base_mem, updated, "m", s.region);
+  const std::string core_text = core.to_text();
+  const double jbd_ms = sw3.ms();
+
+  benchutil::Table t({"tool", "inputs", "gen ms", "artifact",
+                      "artifact bytes", "loadable?"});
+  t.row({"JPG", ".xdl + .ucf (from the standard flow)", fmt(jpg_ms, 2),
+         "partial .bit", std::to_string(jres.partial.size_bytes()), "yes"});
+  t.row({"PARBIT", "complete .bit of new design + options file",
+         fmt(parbit_ms, 2), "partial .bit",
+         std::to_string(pres.bitstream.size_bytes()), "yes"});
+  t.row({"JBitsDiff", "two complete .bit files", fmt(jbd_ms, 2),
+         "CBits core script (" + std::to_string(core.ops.size()) + " calls)",
+         std::to_string(core_text.size()), "via replay"});
+  t.print("CL-GEN: JPG vs PARBIT vs JBitsDiff (same region update, XCV50)");
+  std::printf("note: PARBIT additionally requires a full bitgen of the new "
+              "design (%zu bytes) before it can run;\n"
+              "JBitsDiff produces a core, not a partial bitstream (paper "
+              "§2.3).\n",
+              s.new_full.size_bytes());
+}
+
+}  // namespace
+}  // namespace jpg
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  jpg::print_tool_rows();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// CL-XDL — §3.2.2: "The JPG parser scans through the complete .xdl file and
+// makes appropriate JBits calls to program the device."
+//
+// Measures the tool's hot loop — XDL parse, design reconstruction, and the
+// CBits binding — against growing module sizes, and prints the throughput
+// series (instances/s, CBits calls per instance).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/xdl_to_cbits.h"
+#include "netlib/generators.h"
+#include "scenarios.h"
+#include "ucf/ucf_parser.h"
+#include "xdl/xdl_writer.h"
+
+namespace jpg {
+namespace {
+
+struct ModXdl {
+  std::string xdl;
+  UcfData ucf;
+  std::size_t instances = 0;
+};
+
+/// Implements an n-bit LFSR in a region and returns its XDL.
+ModXdl make_module_xdl(int bits) {
+  const Device& dev = Device::get("XCV100");
+  const Region region{0, 6, dev.rows() - 1, 13};
+
+  Netlist top("host");
+  const auto merged = top.merge_module(netlib::make_lfsr(bits), "u1");
+  PartitionSpec spec;
+  spec.name = "u1";
+  spec.region = region;
+  for (const auto& [port, net] : merged.outputs) {
+    top.add_obuf("ob_" + port, port, net);
+    spec.output_ports.emplace_back(port, net);
+  }
+  const BaseFlowResult base = run_base_flow(dev, top, {spec});
+  const ModuleFlowResult mod = run_module_flow(
+      dev, netlib::make_lfsr(bits), base.interface_of("u1"));
+
+  ModXdl m;
+  m.xdl = write_xdl(*mod.design);
+  m.ucf.area_group_ranges["AG"] = region;
+  m.instances = mod.design->slices.size() + mod.design->ports.size();
+  return m;
+}
+
+std::map<int, ModXdl>& cache() {
+  static std::map<int, ModXdl> c;
+  return c;
+}
+
+const ModXdl& module_of(int bits) {
+  auto it = cache().find(bits);
+  if (it == cache().end()) {
+    it = cache().emplace(bits, make_module_xdl(bits)).first;
+  }
+  return it->second;
+}
+
+void BM_XdlParseOnly(benchmark::State& state) {
+  const ModXdl& m = module_of(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_xdl(m.xdl).instances.size());
+  }
+  state.counters["bytes"] = static_cast<double>(m.xdl.size());
+  state.counters["instances"] = static_cast<double>(m.instances);
+}
+BENCHMARK(BM_XdlParseOnly)->Arg(8)->Arg(16)->Arg(32)->Arg(48)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_XdlParseAndBind(benchmark::State& state) {
+  const ModXdl& m = module_of(static_cast<int>(state.range(0)));
+  const Device& dev = Device::get("XCV100");
+  std::size_t calls = 0;
+  for (auto _ : state) {
+    ConfigMemory scratch(dev);
+    const XdlDesign xdl = parse_xdl(m.xdl);
+    const XdlBindResult bound = bind_xdl_module(xdl, m.ucf, scratch);
+    calls = bound.cbits_calls;
+    benchmark::DoNotOptimize(calls);
+  }
+  state.counters["cbits_calls"] = static_cast<double>(calls);
+}
+BENCHMARK(BM_XdlParseAndBind)->Arg(8)->Arg(16)->Arg(32)->Arg(48)
+    ->Unit(benchmark::kMicrosecond);
+
+void print_parse_series() {
+  using benchutil::fmt;
+  benchutil::Table t({"LFSR bits", "XDL bytes", "instances", "parse ms",
+                      "parse+bind ms", "CBits calls"});
+  for (const int bits : {8, 16, 32, 48}) {
+    const ModXdl& m = module_of(bits);
+    const Device& dev = Device::get("XCV100");
+    benchutil::Stopwatch sw1;
+    for (int i = 0; i < 10; ++i) {
+      benchmark::DoNotOptimize(parse_xdl(m.xdl).nets.size());
+    }
+    const double parse_ms = sw1.ms() / 10;
+    benchutil::Stopwatch sw2;
+    std::size_t calls = 0;
+    for (int i = 0; i < 10; ++i) {
+      ConfigMemory scratch(dev);
+      calls = bind_xdl_module(parse_xdl(m.xdl), m.ucf, scratch).cbits_calls;
+    }
+    const double bind_ms = sw2.ms() / 10;
+    t.row({std::to_string(bits), std::to_string(m.xdl.size()),
+           std::to_string(m.instances), fmt(parse_ms, 3), fmt(bind_ms, 3),
+           std::to_string(calls)});
+  }
+  t.print("CL-XDL: parser -> CBits binding throughput (XCV100)");
+  std::printf("paper shape: the binder scales linearly with the module's XDL "
+              "size; parsing is\nnot the bottleneck of partial bitstream "
+              "generation.\n");
+}
+
+}  // namespace
+}  // namespace jpg
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  jpg::print_parse_series();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// EXT-BRAM — extension experiment: live memory-content updates through
+// block-type-1 partial bitstreams.
+//
+// Updating BRAM contents (coefficient tables, microcode, match patterns)
+// without recompiling or touching any logic frame was one of the era's
+// flagship partial-reconfiguration use cases (JBits exposed exactly this).
+// This bench compares the cost of swapping one block's contents against a
+// full-device reload, across device sizes.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "bitstream/bitgen.h"
+#include "bitstream/config_port.h"
+#include "cbits/cbits.h"
+#include "core/partial_gen.h"
+#include "support/rng.h"
+
+namespace jpg {
+namespace {
+
+/// Base plane with random BRAM contents; returns (base, updated-one-block).
+std::pair<ConfigMemory, ConfigMemory> planes(const Device& dev) {
+  ConfigMemory base(dev);
+  CBits cb(base);
+  Rng rng(17);
+  for (const Side side : {Side::Left, Side::Right}) {
+    for (int b = 0; b < dev.config_map().bram_blocks_per_column(); ++b) {
+      for (int addr = 0; addr < 256; ++addr) {
+        cb.bram_write(side, b, addr, static_cast<std::uint16_t>(rng.next()));
+      }
+    }
+  }
+  ConfigMemory updated = base;
+  CBits ub(updated);
+  for (int addr = 0; addr < 256; ++addr) {
+    ub.bram_write(Side::Left, 0, addr, static_cast<std::uint16_t>(rng.next()));
+  }
+  return {std::move(base), std::move(updated)};
+}
+
+void BM_BramBlockUpdate(benchmark::State& state) {
+  const Device& dev = Device::get("XCV50");
+  auto [base, updated] = planes(dev);
+  const PartialBitstreamGenerator gen(base);
+  PartialGenOptions opts;
+  opts.diff_only = true;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    bytes = gen.generate_bram_update(updated, Side::Left, opts)
+                .bitstream.size_bytes();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_BramBlockUpdate)->Unit(benchmark::kMicrosecond);
+
+void print_bram_rows() {
+  using benchutil::fmt;
+  benchutil::Table t({"device", "full reload words", "BRAM column words",
+                      "one-block diff words", "block vs full"});
+  for (const char* part : {"XCV50", "XCV100", "XCV300"}) {
+    const Device& dev = Device::get(part);
+    auto [base, updated] = planes(dev);
+    const Bitstream full = generate_full_bitstream(base);
+    const PartialBitstreamGenerator gen(base);
+    PartialGenOptions all;
+    all.diff_only = false;
+    const auto column = gen.generate_bram_update(updated, Side::Left, all);
+    PartialGenOptions diff;
+    diff.diff_only = true;
+    const auto block = gen.generate_bram_update(updated, Side::Left, diff);
+    // Sanity: the diff stream actually installs the update.
+    ConfigMemory check = base;
+    ConfigPort port(check);
+    port.load(block.bitstream);
+    if (check != updated) {
+      std::printf("ERROR: BRAM update did not converge on %s\n", part);
+    }
+    t.row({part, std::to_string(full.words.size()),
+           std::to_string(column.bitstream.words.size()),
+           std::to_string(block.bitstream.words.size()),
+           fmt(static_cast<double>(block.bitstream.words.size()) /
+                   static_cast<double>(full.words.size()),
+               4) + "x"});
+  }
+  t.print("EXT-BRAM: one block's contents vs full reload");
+  std::printf("shape: updating a lookup table costs a few percent of a full "
+              "configuration and\nnever touches a logic frame (no circuit "
+              "disruption at all).\n");
+}
+
+}  // namespace
+}  // namespace jpg
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  jpg::print_bram_rows();
+  return 0;
+}

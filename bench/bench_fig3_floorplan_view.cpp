@@ -1,0 +1,91 @@
+// FIG3 — the paper's Figure 3: "JPG tool user interface, showing the
+// floorplan of the device ... the JPG tool displays graphically the target
+// floorplanned area on the FPGA. This can be used to verify whether the
+// update is happening on the region desired by the designer."
+//
+// Our GUI stand-in is the ASCII floorplan view. The bench measures render
+// cost across device sizes and verifies the highlight covers exactly the
+// target region; the printed output is the figure itself.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/floorplan_view.h"
+#include "scenarios.h"
+
+namespace jpg {
+namespace {
+
+std::vector<FloorplanEntry> entries_for(const Device& dev) {
+  std::vector<FloorplanEntry> entries;
+  if (dev.cols() >= 22) {
+    for (const auto& slot : scenarios::fig4_slots(dev)) {
+      entries.push_back({slot.partition.substr(2), slot.region});
+    }
+  } else {
+    for (const auto& slot : scenarios::fig1_slots(dev)) {
+      entries.push_back({slot.partition.substr(2), slot.region});
+    }
+  }
+  return entries;
+}
+
+void BM_RenderFloorplan(benchmark::State& state) {
+  static const char* parts[] = {"XCV50", "XCV300", "XCV1000"};
+  const Device& dev = Device::get(parts[state.range(0)]);
+  const auto entries = entries_for(dev);
+  const Region highlight = entries.back().region;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        render_floorplan(dev, entries, highlight).size());
+  }
+  state.counters["tiles"] = static_cast<double>(dev.rows() * dev.cols());
+}
+BENCHMARK(BM_RenderFloorplan)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+void print_fig3() {
+  using benchutil::fmt;
+  const Device& dev = Device::get("XCV50");
+  const auto entries = entries_for(dev);
+  const Region highlight = entries[1].region;
+  std::printf("%s\n",
+              render_floorplan(dev, entries, highlight).c_str());
+
+  // Verification rows: highlight coverage is exactly the target region.
+  const std::string view = render_floorplan(dev, entries, highlight);
+  std::size_t hashes = 0;
+  for (const char c : view) {
+    if (c == '#') ++hashes;
+  }
+  benchutil::Table t({"device", "tiles", "highlighted", "expected",
+                      "render us"});
+  for (const char* part : {"XCV50", "XCV300", "XCV1000"}) {
+    const Device& d = Device::get(part);
+    const auto e = entries_for(d);
+    const Region h = e.back().region;
+    benchutil::Stopwatch sw;
+    const std::string v = render_floorplan(d, e, h);
+    const double us = sw.seconds() * 1e6;
+    // Count '#' in the grid rows only (the banner text also contains one).
+    std::size_t n = 0;
+    bool in_grid_row = false;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i == 0 || v[i - 1] == '\n') in_grid_row = v[i] == 'R';
+      if (in_grid_row && v[i] == '#') ++n;
+    }
+    t.row({part, std::to_string(d.rows() * d.cols()), std::to_string(n),
+           std::to_string(h.num_tiles()), fmt(us, 1)});
+  }
+  t.print("FIG3: floorplan view coverage and render cost");
+  (void)hashes;
+}
+
+}  // namespace
+}  // namespace jpg
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  jpg::print_fig3();
+  return 0;
+}

@@ -1,0 +1,162 @@
+// FIG4 — the paper's Figure 4 / §4.1 arithmetic, measured.
+//
+// Three regions with 3, 3 and 4 module implementations. A conventional flow
+// needs one complete CAD run (and one complete bitstream) per combination:
+// 3*3*4 = 36. With JPG: one base run plus 3+3+4 = 10 module runs, each about
+// a third the work, and 10 partial bitstreams each a fraction of the full
+// size. This bench measures both paths end to end and prints the
+// bookkeeping rows of §4.1.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "bitstream/bitgen.h"
+#include "core/jpg.h"
+#include "scenarios.h"
+#include "ucf/ucf_parser.h"
+#include "xdl/xdl_writer.h"
+
+namespace jpg {
+namespace {
+
+const Device& dev() { return Device::get("XCV50"); }
+
+/// One conventional CAD run: full base flow with the given variant choice.
+double conventional_run(int va, int vb, int vc, std::size_t* bytes) {
+  const benchutil::Stopwatch sw;
+  auto slots = scenarios::fig4_slots(dev());
+  // Swap the chosen variants into slot position 0.
+  std::swap(slots[0].variants[0], slots[0].variants[static_cast<std::size_t>(va)]);
+  std::swap(slots[1].variants[0], slots[1].variants[static_cast<std::size_t>(vb)]);
+  std::swap(slots[2].variants[0], slots[2].variants[static_cast<std::size_t>(vc)]);
+  auto base = scenarios::build_base(dev(), slots);
+  FlowOptions opt;
+  opt.seed = static_cast<std::uint64_t>(va * 16 + vb * 4 + vc + 1);
+  const BaseFlowResult res = run_base_flow(dev(), base.top, base.specs, opt);
+  ConfigMemory mem(dev());
+  CBits cb(mem);
+  res.design->apply(cb);
+  const Bitstream bit = generate_full_bitstream(mem);
+  if (bytes != nullptr) *bytes = bit.size_bytes();
+  return sw.seconds();
+}
+
+void BM_ConventionalCombination(benchmark::State& state) {
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conventional_run(1, 1, 2, &bytes));
+  }
+  state.counters["bitstream_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_ConventionalCombination)->Unit(benchmark::kMillisecond);
+
+void BM_JpgModuleFlowAndPartial(benchmark::State& state) {
+  // Fixed base, repeatedly implement + extract one module variant.
+  const auto slots = scenarios::fig4_slots(dev());
+  auto base = scenarios::build_base(dev(), slots);
+  const BaseFlowResult bres = run_base_flow(dev(), base.top, base.specs, {});
+  ConfigMemory mem(dev());
+  CBits cb(mem);
+  bres.design->apply(cb);
+  const Bitstream base_bit = generate_full_bitstream(mem);
+  Jpg tool(base_bit);
+  UcfData ucf;
+  ucf.area_group_ranges["AG"] = slots[1].region;
+  const std::string ucf_text = write_ucf(ucf, dev());
+
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const ModuleFlowResult mod = run_module_flow(
+        dev(), scenarios::variant(slots[1], "nrz").netlist,
+        bres.interface_of("u_enc"));
+    const auto res =
+        tool.generate_partial_from_text(write_xdl(*mod.design), ucf_text);
+    bytes = res.partial.size_bytes();
+    benchmark::DoNotOptimize(res.frames.size());
+  }
+  state.counters["partial_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_JpgModuleFlowAndPartial)->Unit(benchmark::kMillisecond);
+
+/// The full Figure-4 bookkeeping, measured once and printed as the paper's
+/// rows.
+void print_fig4_summary() {
+  using benchutil::fmt;
+  // --- JPG path: 1 base + 10 module flows + 10 partials ----------------------
+  const benchutil::Stopwatch sw_base;
+  const auto slots = scenarios::fig4_slots(dev());
+  auto base = scenarios::build_base(dev(), slots);
+  const BaseFlowResult bres = run_base_flow(dev(), base.top, base.specs, {});
+  ConfigMemory mem(dev());
+  CBits cb(mem);
+  bres.design->apply(cb);
+  const Bitstream base_bit = generate_full_bitstream(mem);
+  const double base_s = sw_base.seconds();
+
+  Jpg tool(base_bit);
+  double modules_s = 0;
+  std::size_t partial_bytes_total = 0, partial_count = 0;
+  std::size_t min_partial = SIZE_MAX, max_partial = 0;
+  for (const auto& slot : slots) {
+    UcfData ucf;
+    ucf.area_group_ranges["AG_" + slot.partition] = slot.region;
+    const std::string ucf_text = write_ucf(ucf, dev());
+    for (const auto& v : slot.variants) {
+      const benchutil::Stopwatch sw;
+      const ModuleFlowResult mod =
+          run_module_flow(dev(), v.netlist, bres.interface_of(slot.partition));
+      const auto res =
+          tool.generate_partial_from_text(write_xdl(*mod.design), ucf_text);
+      modules_s += sw.seconds();
+      partial_bytes_total += res.partial.size_bytes();
+      min_partial = std::min(min_partial, res.partial.size_bytes());
+      max_partial = std::max(max_partial, res.partial.size_bytes());
+      ++partial_count;
+    }
+  }
+
+  // --- Conventional path: sample 6 of the 36 runs, extrapolate ----------------
+  double conv_sample_s = 0;
+  std::size_t conv_bytes = 0;
+  int sampled = 0;
+  const std::vector<std::tuple<int, int, int>> sample_combos = {
+      {0, 0, 0}, {1, 1, 1}, {2, 2, 3}, {0, 2, 1}, {2, 0, 2}, {1, 2, 0}};
+  for (const auto& [a, b, c] : sample_combos) {
+    conv_sample_s += conventional_run(a, b, c, &conv_bytes);
+    ++sampled;
+  }
+  const double conv_per_run = conv_sample_s / sampled;
+  const int combos = 3 * 3 * 4;
+
+  benchutil::Table t({"approach", "CAD runs", "tool time (s)",
+                      "stored bytes", "bytes per switch"});
+  t.row({"conventional (36 full bitstreams)", std::to_string(combos),
+         fmt(conv_per_run * combos, 2),
+         std::to_string(static_cast<std::size_t>(combos) * conv_bytes),
+         std::to_string(conv_bytes)});
+  t.row({"JPG (1 base + 10 partials)", "1 + " + std::to_string(partial_count),
+         fmt(base_s + modules_s, 2),
+         std::to_string(base_bit.size_bytes() + partial_bytes_total),
+         std::to_string(partial_bytes_total / partial_count) + " (avg)"});
+  t.print("FIG4: 3 regions x {3,3,4} variants on " + dev().spec().name);
+  std::printf("paper claim: 36 runs vs 10+1; partials 'about a third' of a "
+              "full bitstream\n");
+  std::printf("measured: partial range %zu..%zu bytes vs full %zu bytes "
+              "(ratio %.2f..%.2f)\n",
+              min_partial, max_partial, base_bit.size_bytes(),
+              static_cast<double>(min_partial) /
+                  static_cast<double>(base_bit.size_bytes()),
+              static_cast<double>(max_partial) /
+                  static_cast<double>(base_bit.size_bytes()));
+  std::printf("measured: per-module CAD run %.1fx faster than a full run\n",
+              conv_per_run / (modules_s / static_cast<double>(partial_count)));
+}
+
+}  // namespace
+}  // namespace jpg
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  jpg::print_fig4_summary();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared reconfigurable-computing scenarios used by the examples and the
+// benchmark harness: the paper's Figure 1 environment (one region, several
+// pre-synthesised module implementations) and Figure 4 (three regions with
+// 3, 3 and 4 variants -> 36 combinations vs 10 partial bitstreams).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnr/flow.h"
+
+namespace jpg::scenarios {
+
+struct VariantDef {
+  std::string name;
+  Netlist netlist;
+};
+
+/// One reconfigurable slot of the floorplan.
+struct SlotDef {
+  std::string partition;
+  Region region;
+  std::vector<VariantDef> variants;  ///< variants[0] ships in the base design
+};
+
+/// Module generators with fixed interfaces.
+/// Slot A interface: outputs q0..q3.
+[[nodiscard]] Netlist slot_a_counter();
+[[nodiscard]] Netlist slot_a_lfsr();
+[[nodiscard]] Netlist slot_a_johnson();
+/// Slot B interface: input d, output y.
+[[nodiscard]] Netlist slot_b_pass();
+[[nodiscard]] Netlist slot_b_nrz();
+[[nodiscard]] Netlist slot_b_invreg();
+/// Slot C interface: input si, output match.
+[[nodiscard]] Netlist slot_c_matcher(int which);  ///< 4 distinct patterns
+
+/// Figure 1: one slot (slot C, the string-matching application of the
+/// paper's reference [5]) with 3 matcher variants.
+[[nodiscard]] std::vector<SlotDef> fig1_slots(const Device& device);
+
+/// Figure 4: three slots with 3 + 3 + 4 variants.
+[[nodiscard]] std::vector<SlotDef> fig4_slots(const Device& device);
+
+/// The assembled base design: a static heartbeat counter plus one instance
+/// of each slot's variant 0, all slot interfaces wired to pads.
+struct ScenarioBase {
+  Netlist top{"scenario_base"};
+  std::vector<PartitionSpec> specs;
+};
+[[nodiscard]] ScenarioBase build_base(const Device& device,
+                                      const std::vector<SlotDef>& slots);
+
+/// Variant with the given name inside a slot definition.
+[[nodiscard]] const VariantDef& variant(const SlotDef& slot,
+                                        const std::string& name);
+
+}  // namespace jpg::scenarios

@@ -1,0 +1,249 @@
+#include "baselines/jbitsdiff.h"
+
+#include <sstream>
+
+#include "support/string_util.h"
+
+namespace jpg {
+
+namespace {
+
+std::string lut_sel_name(int sel) { return sel == 0 ? "F" : "G"; }
+
+}  // namespace
+
+std::size_t JBitsCore::replay(CBits& cb) const {
+  JPG_REQUIRE(iequals(cb.device().spec().name, part),
+              "core '" + name + "' targets " + part + ", not " +
+                  cb.device().spec().name);
+  std::size_t calls = 0;
+  for (const CoreOp& op : ops) {
+    switch (op.kind) {
+      case CoreOp::Kind::Lut:
+        cb.set_lut(op.site, op.selector == 0 ? LutSel::F : LutSel::G,
+                   static_cast<std::uint16_t>(op.value));
+        break;
+      case CoreOp::Kind::Field:
+        cb.set_field(op.site, static_cast<SliceField>(op.selector),
+                     op.value != 0);
+        break;
+      case CoreOp::Kind::Mux:
+        cb.set_mux(op.tile, op.selector, op.value);
+        break;
+      case CoreOp::Kind::IobFlag:
+        cb.set_iob_flag(op.iob, static_cast<IobField>(op.selector),
+                        op.value != 0);
+        break;
+      case CoreOp::Kind::IobOmux:
+        cb.set_iob_omux(op.iob, op.value);
+        break;
+    }
+    ++calls;
+  }
+  return calls;
+}
+
+std::string JBitsCore::to_text() const {
+  std::ostringstream os;
+  os << "# jbits core\n";
+  os << "core " << name << " " << part << "\n";
+  const Device& dev = Device::get(part);
+  for (const CoreOp& op : ops) {
+    switch (op.kind) {
+      case CoreOp::Kind::Lut:
+        os << "set_lut " << dev.slice_site_name(op.site) << " "
+           << lut_sel_name(op.selector) << " 0x" << std::hex << op.value
+           << std::dec << "\n";
+        break;
+      case CoreOp::Kind::Field:
+        os << "set_field " << dev.slice_site_name(op.site) << " "
+           << slice_field_name(static_cast<SliceField>(op.selector)) << " "
+           << op.value << "\n";
+        break;
+      case CoreOp::Kind::Mux:
+        os << "set_mux " << dev.tile_name(op.tile) << " "
+           << local_wire_name(op.selector) << " " << op.value << "\n";
+        break;
+      case CoreOp::Kind::IobFlag:
+        os << "set_iob_flag " << dev.iob_site_name(op.iob) << " "
+           << (static_cast<IobField>(op.selector) == IobField::IsInput
+                   ? "IS_INPUT"
+                   : "IS_OUTPUT")
+           << " " << op.value << "\n";
+        break;
+      case CoreOp::Kind::IobOmux:
+        os << "set_iob_omux " << dev.iob_site_name(op.iob) << " " << op.value
+           << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+JBitsCore JBitsCore::parse(std::string_view text, const std::string& filename) {
+  JBitsCore core;
+  const Device* dev = nullptr;
+  int line_no = 0;
+  for (const std::string& raw : split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const auto t = split_ws(line);
+    auto fail = [&](const std::string& why) -> ParseError {
+      return ParseError(filename, line_no, why);
+    };
+    if (t[0] == "core") {
+      if (t.size() != 3) throw fail("core wants <name> <part>");
+      core.name = t[1];
+      core.part = t[2];
+      dev = &Device::get(core.part);
+      continue;
+    }
+    if (dev == nullptr) throw fail("missing 'core' header line");
+    CoreOp op;
+    if (t[0] == "set_lut" && t.size() == 4) {
+      const auto site = dev->parse_slice_site(t[1]);
+      const auto value = parse_uint(t[3]);
+      if (!site || !value || *value > 0xFFFF || (t[2] != "F" && t[2] != "G")) {
+        throw fail("bad set_lut");
+      }
+      op.kind = CoreOp::Kind::Lut;
+      op.site = *site;
+      op.selector = t[2] == "F" ? 0 : 1;
+      op.value = static_cast<std::uint32_t>(*value);
+    } else if (t[0] == "set_field" && t.size() == 4) {
+      const auto site = dev->parse_slice_site(t[1]);
+      const auto field = slice_field_by_name(t[2]);
+      const auto value = parse_uint(t[3]);
+      if (!site || !field || !value || *value > 1) throw fail("bad set_field");
+      op.kind = CoreOp::Kind::Field;
+      op.site = *site;
+      op.selector = static_cast<int>(*field);
+      op.value = static_cast<std::uint32_t>(*value);
+    } else if (t[0] == "set_mux" && t.size() == 4) {
+      const auto tile = dev->parse_tile_name(t[1]);
+      const auto wire = local_wire_by_name(t[2]);
+      const auto value = parse_uint(t[3]);
+      if (!tile || !wire || !value) throw fail("bad set_mux");
+      op.kind = CoreOp::Kind::Mux;
+      op.tile = *tile;
+      op.selector = *wire;
+      op.value = static_cast<std::uint32_t>(*value);
+    } else if (t[0] == "set_iob_flag" && t.size() == 4) {
+      const auto site = dev->parse_iob_site(t[1]);
+      const auto value = parse_uint(t[3]);
+      if (!site || !value || *value > 1 ||
+          (t[2] != "IS_INPUT" && t[2] != "IS_OUTPUT")) {
+        throw fail("bad set_iob_flag");
+      }
+      op.kind = CoreOp::Kind::IobFlag;
+      op.iob = *site;
+      op.selector = static_cast<int>(t[2] == "IS_INPUT" ? IobField::IsInput
+                                                        : IobField::IsOutput);
+      op.value = static_cast<std::uint32_t>(*value);
+    } else if (t[0] == "set_iob_omux" && t.size() == 3) {
+      const auto site = dev->parse_iob_site(t[1]);
+      const auto value = parse_uint(t[2]);
+      if (!site || !value) throw fail("bad set_iob_omux");
+      op.kind = CoreOp::Kind::IobOmux;
+      op.iob = *site;
+      op.value = static_cast<std::uint32_t>(*value);
+    } else {
+      throw fail("unknown core op '" + t[0] + "'");
+    }
+    core.ops.push_back(op);
+  }
+  if (dev == nullptr) throw JpgError("core script has no header");
+  return core;
+}
+
+JBitsCore extract_core(const ConfigMemory& base, const ConfigMemory& with_core,
+                       const std::string& name,
+                       const std::optional<Region>& window) {
+  const Device& dev = base.device();
+  JPG_REQUIRE(&dev == &with_core.device() ||
+                  dev.spec().name == with_core.device().spec().name,
+              "diffing planes of different devices");
+  JBitsCore core;
+  core.name = name;
+  core.part = dev.spec().name;
+
+  CBits a(base);
+  CBits b(with_core);
+
+  auto in_window = [&](TileCoord t) {
+    return !window.has_value() || window->contains(t);
+  };
+
+  for (int r = 0; r < dev.rows(); ++r) {
+    for (int c = 0; c < dev.cols(); ++c) {
+      const TileCoord t{r, c};
+      if (!in_window(t)) continue;
+      for (int s = 0; s < 2; ++s) {
+        const SliceSite site{r, c, s};
+        for (const LutSel lut : {LutSel::F, LutSel::G}) {
+          const std::uint16_t vb = b.get_lut(site, lut);
+          if (a.get_lut(site, lut) != vb) {
+            CoreOp op;
+            op.kind = CoreOp::Kind::Lut;
+            op.site = site;
+            op.selector = lut == LutSel::F ? 0 : 1;
+            op.value = vb;
+            core.ops.push_back(op);
+          }
+        }
+        for (int f = 0; f < kNumSliceFields; ++f) {
+          const auto field = static_cast<SliceField>(f);
+          const bool vb = b.get_field(site, field);
+          if (a.get_field(site, field) != vb) {
+            CoreOp op;
+            op.kind = CoreOp::Kind::Field;
+            op.site = site;
+            op.selector = f;
+            op.value = vb ? 1u : 0u;
+            core.ops.push_back(op);
+          }
+        }
+      }
+      for (const MuxDef& m : dev.fabric().tile_muxes()) {
+        const std::uint32_t vb = b.get_mux(t, m.dest_local);
+        if (a.get_mux(t, m.dest_local) != vb) {
+          CoreOp op;
+          op.kind = CoreOp::Kind::Mux;
+          op.tile = t;
+          op.selector = m.dest_local;
+          op.value = vb;
+          core.ops.push_back(op);
+        }
+      }
+    }
+  }
+  // IOBs only participate when no window restricts the diff (cores are CLB
+  // blocks; pad settings belong to the static design).
+  if (!window.has_value()) {
+    for (const IobSite s : dev.all_iob_sites()) {
+      for (const IobField f : {IobField::IsInput, IobField::IsOutput}) {
+        const bool vb = b.get_iob_flag(s, f);
+        if (a.get_iob_flag(s, f) != vb) {
+          CoreOp op;
+          op.kind = CoreOp::Kind::IobFlag;
+          op.iob = s;
+          op.selector = static_cast<int>(f);
+          op.value = vb ? 1u : 0u;
+          core.ops.push_back(op);
+        }
+      }
+      const std::uint32_t vb = b.get_iob_omux(s);
+      if (a.get_iob_omux(s) != vb) {
+        CoreOp op;
+        op.kind = CoreOp::Kind::IobOmux;
+        op.iob = s;
+        op.value = vb;
+        core.ops.push_back(op);
+      }
+    }
+  }
+  return core;
+}
+
+}  // namespace jpg

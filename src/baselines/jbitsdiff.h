@@ -1,0 +1,57 @@
+// JBitsDiff baseline (paper §2.3): "JBitsDiff, like JPG, is built on the
+// Xilinx JBits API. Rather than producing partial bitstreams, however,
+// JBitsDiff extracts information from the bitstream to generate pre-routed
+// and pre-placed JBits cores. A JBits core is a sequence of Java method
+// invocations (using the JBits API) that will manipulate a device bitstream
+// in order to insert the core at some location in the device."
+//
+// Our core is the exact analogue: a replayable sequence of CBits calls
+// obtained by diffing two configuration planes at the *resource* level
+// (LUTs, slice fields, routing muxes, IOB settings), serialisable to a
+// textual script.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cbits/cbits.h"
+#include "device/region.h"
+
+namespace jpg {
+
+struct CoreOp {
+  enum class Kind { Lut, Field, Mux, IobFlag, IobOmux };
+  Kind kind = Kind::Lut;
+  // Lut / Field: site + selector; Mux: tile + dest; Iob*: IOB site.
+  SliceSite site;
+  TileCoord tile;
+  IobSite iob;
+  int selector = 0;  ///< LutSel / SliceField / dest_local / IobField
+  std::uint32_t value = 0;
+};
+
+struct JBitsCore {
+  std::string name;
+  std::string part;
+  std::vector<CoreOp> ops;
+
+  /// Applies the core to a configuration plane ("inserting the core").
+  /// Returns the number of CBits calls made.
+  std::size_t replay(CBits& cb) const;
+
+  /// Textual script form ("set_lut CLB_R3C23.S0 F 0xBEEF" ...).
+  [[nodiscard]] std::string to_text() const;
+  static JBitsCore parse(std::string_view text,
+                         const std::string& filename = "<core>");
+};
+
+/// Diffs `with_core` against `base` at resource level, restricted to
+/// `window` when given (the core's bounding box). Both planes must target
+/// the same device.
+[[nodiscard]] JBitsCore extract_core(const ConfigMemory& base,
+                                     const ConfigMemory& with_core,
+                                     const std::string& name,
+                                     const std::optional<Region>& window = {});
+
+}  // namespace jpg

@@ -1,0 +1,57 @@
+// PARBIT baseline (paper §2.3): "PARBIT is a C program which supports
+// partial bitstream generation for Xilinx Virtex-E devices. The main
+// difference between PARBIT and JPG is that PARBIT uses a separate options
+// file for specifying information about the partial bitstream to be
+// generated, whereas JPG relies on information extracted from design and
+// constraint files within the Xilinx CAD tool process."
+//
+// This reimplementation follows the WUCS-01-13 tool's two modes:
+//   * column mode: extract whole configuration columns of the *new design's
+//     complete bitstream* and retarget them (optionally relocated);
+//   * block mode: additionally merge the out-of-block rows from the
+//     *target* (currently loaded) bitstream so the write is non-disruptive.
+//
+// Note what PARBIT needs that JPG does not: a full CAD run + bitgen of the
+// new design (a complete bitstream), plus a hand-written options file.
+#pragma once
+
+#include <string>
+
+#include "bitstream/config_memory.h"
+#include "bitstream/packet.h"
+#include "device/region.h"
+
+namespace jpg {
+
+struct ParbitOptions {
+  enum class Mode { Column, Block };
+  Mode mode = Mode::Column;
+  /// Block (rows matter only in Block mode) to extract from the new design.
+  Region source;
+  /// Target top-left corner; width/height equal the source block.
+  int target_r0 = 0;
+  int target_c0 = 0;
+
+  [[nodiscard]] bool relocated() const {
+    return target_r0 != source.r0 || target_c0 != source.c0;
+  }
+
+  /// Options-file round trip ("# parbit options" dialect, see parbit.cpp).
+  static ParbitOptions parse(std::string_view text,
+                             const std::string& filename = "<options>");
+  [[nodiscard]] std::string to_text() const;
+};
+
+struct ParbitResult {
+  Bitstream bitstream;
+  std::size_t frames = 0;
+};
+
+/// Transforms `new_design` (complete bitstream) into a partial bitstream per
+/// `opts`. `target` is the currently loaded design's complete bitstream,
+/// required in Block mode for the row merge; unused in Column mode.
+[[nodiscard]] ParbitResult parbit_transform(const Bitstream& new_design,
+                                            const Bitstream& target,
+                                            const ParbitOptions& opts);
+
+}  // namespace jpg

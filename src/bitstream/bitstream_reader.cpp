@@ -1,0 +1,125 @@
+#include "bitstream/bitstream_reader.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace jpg {
+
+BitstreamReader::BitstreamReader(const Bitstream& bs) {
+  std::size_t i = 0;
+  const auto& w = bs.words;
+  // Skip pre-sync padding.
+  while (i < w.size() && w[i] != kSyncWord) ++i;
+  if (i == w.size()) {
+    throw BitstreamError("no sync word found in bitstream");
+  }
+  ++i;
+
+  ConfigReg prev_reg = ConfigReg::CRC;
+  bool synced = true;
+  while (i < w.size()) {
+    if (!synced) {
+      // After DESYNC only padding (or a re-sync) is expected.
+      if (w[i] == kSyncWord) synced = true;
+      ++i;
+      continue;
+    }
+    if (w[i] == kDummyWord) {
+      ++i;
+      continue;
+    }
+    const auto h = decode_header(w[i], prev_reg);
+    if (!h) {
+      std::ostringstream os;
+      os << "invalid packet header 0x" << std::hex << w[i] << " at word " << i;
+      throw BitstreamError(os.str());
+    }
+    ++i;
+    if (h->op == PacketOp::Nop) continue;
+    if (h->op == PacketOp::Read) {
+      // Read requests carry no payload on the write path.
+      prev_reg = h->reg;
+      continue;
+    }
+    std::uint32_t count = h->word_count;
+    ConfigReg reg = h->reg;
+    prev_reg = reg;
+    if (h->type == 1 && reg == ConfigReg::FDRI && count == 0) {
+      if (i >= w.size()) throw BitstreamError("truncated type 2 header");
+      const auto h2 = decode_header(w[i], reg);
+      if (!h2 || h2->type != 2) {
+        throw BitstreamError("expected type 2 header after zero-count FDRI");
+      }
+      ++i;
+      count = h2->word_count;
+    }
+    if (i + count > w.size()) {
+      throw BitstreamError("truncated packet payload");
+    }
+    RegWrite rw;
+    rw.reg = reg;
+    rw.values.assign(w.begin() + static_cast<std::ptrdiff_t>(i),
+                     w.begin() + static_cast<std::ptrdiff_t>(i + count));
+    writes_.push_back(std::move(rw));
+    i += count;
+    if (reg == ConfigReg::CMD && count == 1 &&
+        static_cast<Command>(writes_.back().values[0]) == Command::DESYNC) {
+      synced = false;
+    }
+  }
+}
+
+std::optional<std::uint32_t> BitstreamReader::idcode() const {
+  for (const RegWrite& rw : writes_) {
+    if (rw.reg == ConfigReg::IDCODE && !rw.values.empty()) {
+      return rw.values[0];
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t BitstreamReader::fdri_words() const {
+  std::size_t n = 0;
+  for (const RegWrite& rw : writes_) {
+    if (rw.reg == ConfigReg::FDRI) n += rw.values.size();
+  }
+  return n;
+}
+
+std::vector<std::pair<std::uint32_t, std::size_t>> BitstreamReader::far_blocks(
+    std::size_t frame_words) const {
+  std::vector<std::pair<std::uint32_t, std::size_t>> blocks;
+  std::uint32_t far = 0;
+  bool have_far = false;
+  for (const RegWrite& rw : writes_) {
+    if (rw.reg == ConfigReg::FAR && !rw.values.empty()) {
+      far = rw.values[0];
+      have_far = true;
+    } else if (rw.reg == ConfigReg::FDRI && have_far && frame_words > 0) {
+      const std::size_t frames = rw.values.size() / frame_words;
+      if (frames > 0) {
+        blocks.emplace_back(far, frames - 1);  // exclude the pad frame
+      }
+    }
+  }
+  return blocks;
+}
+
+std::string BitstreamReader::summarize() const {
+  std::ostringstream os;
+  for (const RegWrite& rw : writes_) {
+    os << config_reg_name(rw.reg);
+    if (rw.reg == ConfigReg::CMD && rw.values.size() == 1) {
+      os << " " << command_name(static_cast<Command>(rw.values[0]));
+    } else if (rw.values.size() == 1) {
+      os << " = 0x" << std::hex << rw.values[0] << std::dec;
+    } else {
+      os << " [" << rw.values.size() << " words]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace jpg

@@ -1,0 +1,50 @@
+// BitstreamReader: offline packet-level inspection of a bitstream.
+//
+// Unlike ConfigPort (which mutates a ConfigMemory), the reader only parses
+// framing: it yields the ordered register writes so tools can answer
+// questions such as "which device is this for" (IDCODE), "which frames does
+// this partial bitstream touch" (FAR/FDRI pairs) and "how big is the
+// configuration payload" without loading anything.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitstream/packet.h"
+
+namespace jpg {
+
+class BitstreamReader {
+ public:
+  struct RegWrite {
+    ConfigReg reg = ConfigReg::CRC;
+    std::vector<std::uint32_t> values;
+  };
+
+  /// Parses the stream eagerly; throws BitstreamError on bad framing.
+  explicit BitstreamReader(const Bitstream& bs);
+
+  [[nodiscard]] const std::vector<RegWrite>& writes() const { return writes_; }
+
+  /// The IDCODE the stream declares, if any.
+  [[nodiscard]] std::optional<std::uint32_t> idcode() const;
+
+  /// Total FDRI payload words (configuration data volume incl. pad frames).
+  [[nodiscard]] std::size_t fdri_words() const;
+
+  /// (FAR value, frame count excl. pad) pairs in stream order, derived from
+  /// each FAR write followed by FDRI data. `frame_words` converts payload
+  /// words to frames.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::size_t>> far_blocks(
+      std::size_t frame_words) const;
+
+  /// Human-readable packet dump (one line per register write).
+  [[nodiscard]] std::string summarize() const;
+
+ private:
+  std::vector<RegWrite> writes_;
+};
+
+}  // namespace jpg

@@ -1,0 +1,72 @@
+#include "bitstream/bitstream_writer.h"
+
+#include "support/error.h"
+
+namespace jpg {
+
+void BitstreamWriter::begin() {
+  emit(kDummyWord);
+  emit(kSyncWord);
+  crc_.reset();
+}
+
+void BitstreamWriter::write_reg(ConfigReg reg, std::uint32_t value) {
+  emit(encode_type1(PacketOp::Write, reg, 1));
+  emit(value);
+  if (reg == ConfigReg::CRC) {
+    // A CRC check resets the accumulator (match is verified by the port).
+    crc_.reset();
+    return;
+  }
+  crc_.update(static_cast<std::uint32_t>(reg), value);
+  if (reg == ConfigReg::CMD &&
+      static_cast<Command>(value) == Command::RCRC) {
+    crc_.reset();
+  }
+}
+
+void BitstreamWriter::write_fdri(std::span<const std::uint32_t> words) {
+  if (words.size() < (1u << 11)) {
+    emit(encode_type1(PacketOp::Write, ConfigReg::FDRI,
+                      static_cast<std::uint32_t>(words.size())));
+  } else {
+    emit(encode_type1(PacketOp::Write, ConfigReg::FDRI, 0));
+    emit(encode_type2(PacketOp::Write, static_cast<std::uint32_t>(words.size())));
+  }
+  for (const std::uint32_t w : words) {
+    emit(w);
+    crc_.update(static_cast<std::uint32_t>(ConfigReg::FDRI), w);
+  }
+}
+
+void BitstreamWriter::write_frames(const ConfigMemory& mem, std::size_t first,
+                                   std::size_t count) {
+  JPG_REQUIRE(first + count <= mem.num_frames(), "frame range out of bounds");
+  JPG_REQUIRE(count > 0, "empty frame range");
+  const std::size_t fw = device_->frames().frame_words();
+  std::vector<std::uint32_t> payload;
+  payload.reserve((count + 1) * fw);
+  std::vector<std::uint32_t> buf(fw);
+  for (std::size_t i = 0; i < count; ++i) {
+    mem.read_frame_words(first + i, buf.data());
+    payload.insert(payload.end(), buf.begin(), buf.end());
+  }
+  // Pipeline-flush pad frame (discarded by the port).
+  payload.insert(payload.end(), fw, 0u);
+  write_fdri(payload);
+}
+
+void BitstreamWriter::write_crc() {
+  const std::uint32_t value = crc_.value();
+  emit(encode_type1(PacketOp::Write, ConfigReg::CRC, 1));
+  emit(value);
+  crc_.reset();
+}
+
+Bitstream BitstreamWriter::finish() {
+  write_cmd(Command::DESYNC);
+  emit(kDummyWord);
+  return std::move(out_);
+}
+
+}  // namespace jpg

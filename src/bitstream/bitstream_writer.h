@@ -1,0 +1,56 @@
+// BitstreamWriter: emits configuration word streams with correct packet
+// framing and CRC bookkeeping. Both the full-bitstream generator (bitgen)
+// and JPG's partial generator are built on it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bitstream/config_memory.h"
+#include "bitstream/crc16.h"
+#include "bitstream/packet.h"
+#include "device/device.h"
+
+namespace jpg {
+
+class BitstreamWriter {
+ public:
+  explicit BitstreamWriter(const Device& device) : device_(&device) {}
+
+  /// Emits the leading dummy word and the sync word.
+  void begin();
+
+  /// Type 1 write of a single register value.
+  void write_reg(ConfigReg reg, std::uint32_t value);
+
+  void write_cmd(Command cmd) {
+    write_reg(ConfigReg::CMD, static_cast<std::uint32_t>(cmd));
+  }
+
+  /// FDRI write. Small payloads use a Type 1 packet; large ones a Type 1
+  /// zero-count header followed by a Type 2 packet, as on the real part.
+  void write_fdri(std::span<const std::uint32_t> words);
+
+  /// Writes the running CRC to the CRC register (the port verifies it).
+  void write_crc();
+
+  /// Emits the trailing DESYNC command and returns the stream.
+  [[nodiscard]] Bitstream finish();
+
+  /// Serialises one frame of `mem` plus trailing zero pad frame... see
+  /// write_frames: emits FDRI data for frames [first, first+count) of `mem`
+  /// followed by one pad frame (the config pipeline flush frame).
+  void write_frames(const ConfigMemory& mem, std::size_t first,
+                    std::size_t count);
+
+  [[nodiscard]] const Bitstream& stream() const { return out_; }
+
+ private:
+  void emit(std::uint32_t word) { out_.words.push_back(word); }
+
+  const Device* device_;
+  Bitstream out_;
+  Crc16 crc_;
+};
+
+}  // namespace jpg

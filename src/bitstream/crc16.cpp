@@ -1,0 +1,2 @@
+// Crc16 is header-only; this TU anchors the target.
+#include "bitstream/crc16.h"

@@ -1,0 +1,40 @@
+// CRC-16 integrity check of the configuration stream.
+//
+// Mirrors the Virtex discipline: the device maintains a running CRC over
+// every configuration register write (the 32 data bits LSB-first, then the
+// 5-bit register address), the RCRC command resets it, and a write to the
+// CRC register compares the written value against the accumulator (and
+// resets it on success). Polynomial: CRC-16/IBM, x^16 + x^15 + x^2 + 1
+// (0x8005), zero initial value.
+#pragma once
+
+#include <cstdint>
+
+namespace jpg {
+
+class Crc16 {
+ public:
+  void reset() noexcept { crc_ = 0; }
+
+  /// Accumulates one register write.
+  void update(std::uint32_t reg_addr, std::uint32_t data) noexcept {
+    for (int i = 0; i < 32; ++i) {
+      feed_bit((data >> i) & 1u);
+    }
+    for (int i = 0; i < 5; ++i) {
+      feed_bit((reg_addr >> i) & 1u);
+    }
+  }
+
+  [[nodiscard]] std::uint16_t value() const noexcept { return crc_; }
+
+ private:
+  void feed_bit(std::uint32_t bit) noexcept {
+    const std::uint32_t x = bit ^ (crc_ >> 15);
+    crc_ = static_cast<std::uint16_t>((crc_ << 1) ^ (x ? 0x8005u : 0u));
+  }
+
+  std::uint16_t crc_ = 0;
+};
+
+}  // namespace jpg

@@ -1,0 +1,130 @@
+#include "bitstream/packet.h"
+
+#include <fstream>
+
+#include "support/error.h"
+
+namespace jpg {
+
+std::string_view config_reg_name(ConfigReg r) {
+  switch (r) {
+    case ConfigReg::CRC: return "CRC";
+    case ConfigReg::FAR: return "FAR";
+    case ConfigReg::FDRI: return "FDRI";
+    case ConfigReg::FDRO: return "FDRO";
+    case ConfigReg::CMD: return "CMD";
+    case ConfigReg::CTL: return "CTL";
+    case ConfigReg::MASK: return "MASK";
+    case ConfigReg::STAT: return "STAT";
+    case ConfigReg::LOUT: return "LOUT";
+    case ConfigReg::COR: return "COR";
+    case ConfigReg::FLR: return "FLR";
+    case ConfigReg::IDCODE: return "IDCODE";
+  }
+  return "?";
+}
+
+std::string_view command_name(Command c) {
+  switch (c) {
+    case Command::NONE: return "NONE";
+    case Command::WCFG: return "WCFG";
+    case Command::LFRM: return "LFRM";
+    case Command::RCFG: return "RCFG";
+    case Command::START: return "START";
+    case Command::RCRC: return "RCRC";
+    case Command::AGHIGH: return "AGHIGH";
+    case Command::SWITCH: return "SWITCH";
+    case Command::DESYNC: return "DESYNC";
+  }
+  return "?";
+}
+
+std::uint32_t encode_type1(PacketOp op, ConfigReg reg,
+                           std::uint32_t word_count) {
+  JPG_REQUIRE(word_count < (1u << 11), "type 1 word count overflow");
+  return (1u << 29) | (static_cast<std::uint32_t>(op) << 27) |
+         (static_cast<std::uint32_t>(reg) << 13) | word_count;
+}
+
+std::uint32_t encode_type2(PacketOp op, std::uint32_t word_count) {
+  JPG_REQUIRE(word_count < (1u << 27), "type 2 word count overflow");
+  return (2u << 29) | (static_cast<std::uint32_t>(op) << 27) | word_count;
+}
+
+std::optional<PacketHeader> decode_header(std::uint32_t word,
+                                          ConfigReg prev_reg) {
+  PacketHeader h;
+  const std::uint32_t type = word >> 29;
+  const std::uint32_t op = (word >> 27) & 3u;
+  if (op > 2) return std::nullopt;
+  h.op = static_cast<PacketOp>(op);
+  if (type == 1) {
+    h.type = 1;
+    const std::uint32_t reg = (word >> 13) & 0x1Fu;
+    switch (static_cast<ConfigReg>(reg)) {
+      case ConfigReg::CRC: case ConfigReg::FAR: case ConfigReg::FDRI:
+      case ConfigReg::FDRO: case ConfigReg::CMD: case ConfigReg::CTL:
+      case ConfigReg::MASK: case ConfigReg::STAT: case ConfigReg::LOUT:
+      case ConfigReg::COR: case ConfigReg::FLR: case ConfigReg::IDCODE:
+        break;
+      default:
+        return std::nullopt;
+    }
+    h.reg = static_cast<ConfigReg>(reg);
+    h.word_count = word & 0x7FFu;
+    return h;
+  }
+  if (type == 2) {
+    h.type = 2;
+    h.reg = prev_reg;
+    h.word_count = word & 0x07FFFFFFu;
+    return h;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> Bitstream::to_bytes() const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(words.size() * 4);
+  for (const std::uint32_t w : words) {
+    bytes.push_back(static_cast<std::uint8_t>(w >> 24));
+    bytes.push_back(static_cast<std::uint8_t>(w >> 16));
+    bytes.push_back(static_cast<std::uint8_t>(w >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(w));
+  }
+  return bytes;
+}
+
+Bitstream Bitstream::from_bytes(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() % 4 != 0) {
+    throw BitstreamError("bitstream byte length is not word aligned");
+  }
+  Bitstream bs;
+  bs.words.reserve(bytes.size() / 4);
+  for (std::size_t i = 0; i < bytes.size(); i += 4) {
+    bs.words.push_back((static_cast<std::uint32_t>(bytes[i]) << 24) |
+                       (static_cast<std::uint32_t>(bytes[i + 1]) << 16) |
+                       (static_cast<std::uint32_t>(bytes[i + 2]) << 8) |
+                       static_cast<std::uint32_t>(bytes[i + 3]));
+  }
+  return bs;
+}
+
+void Bitstream::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw JpgError("cannot open '" + path + "' for writing");
+  const auto bytes = to_bytes();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw JpgError("short write to '" + path + "'");
+}
+
+Bitstream Bitstream::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JpgError("cannot open '" + path + "' for reading");
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return from_bytes(bytes);
+}
+
+}  // namespace jpg

@@ -1,0 +1,92 @@
+// Configuration stream packet format (Virtex-style).
+//
+// A bitstream is a sequence of 32-bit words: any number of 0xFFFFFFFF dummy
+// words, the sync word 0xAA995566, then packets.
+//
+//   Type 1 header: [31:29]=001 [28:27]=op [17:13]=register [10:0]=word count
+//   Type 2 header: [31:29]=010 [28:27]=op [26:0]=word count
+//                  (extends the register of the preceding Type 1 header)
+//   op: 00 = NOP, 01 = read, 10 = write
+//
+// Register file and command codes follow the Virtex configuration logic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jpg {
+
+constexpr std::uint32_t kSyncWord = 0xAA995566u;
+constexpr std::uint32_t kDummyWord = 0xFFFFFFFFu;
+
+enum class ConfigReg : std::uint32_t {
+  CRC = 0,
+  FAR = 1,
+  FDRI = 2,
+  FDRO = 3,
+  CMD = 4,
+  CTL = 5,
+  MASK = 6,
+  STAT = 7,
+  LOUT = 8,
+  COR = 9,
+  FLR = 11,
+  IDCODE = 12,
+};
+
+enum class Command : std::uint32_t {
+  NONE = 0,
+  WCFG = 1,    ///< enable configuration-memory writes via FDRI
+  LFRM = 3,    ///< last frame: flush, end of write sequence
+  RCFG = 4,    ///< enable readback via FDRO
+  START = 5,   ///< begin the startup sequence
+  RCRC = 7,    ///< reset the running CRC
+  AGHIGH = 8,  ///< deassert global tristate
+  SWITCH = 9,  ///< switch clock source
+  DESYNC = 13, ///< drop synchronisation (end of stream)
+};
+
+[[nodiscard]] std::string_view config_reg_name(ConfigReg r);
+[[nodiscard]] std::string_view command_name(Command c);
+
+enum class PacketOp : std::uint32_t { Nop = 0, Read = 1, Write = 2 };
+
+struct PacketHeader {
+  int type = 1;  ///< 1 or 2
+  PacketOp op = PacketOp::Nop;
+  ConfigReg reg = ConfigReg::CRC;  ///< Type 2 inherits the previous Type 1 reg
+  std::uint32_t word_count = 0;
+
+  bool operator==(const PacketHeader&) const = default;
+};
+
+[[nodiscard]] std::uint32_t encode_type1(PacketOp op, ConfigReg reg,
+                                         std::uint32_t word_count);
+[[nodiscard]] std::uint32_t encode_type2(PacketOp op, std::uint32_t word_count);
+
+/// Decodes a packet header word; nullopt if the word is not a valid header.
+/// `prev_reg` supplies the register for Type 2 continuation headers.
+[[nodiscard]] std::optional<PacketHeader> decode_header(std::uint32_t word,
+                                                        ConfigReg prev_reg);
+
+// --- Bitstream container -----------------------------------------------------
+
+/// A configuration bitstream as shipped: 32-bit words, big-endian on disk.
+struct Bitstream {
+  std::vector<std::uint32_t> words;
+
+  [[nodiscard]] std::size_t size_bytes() const { return words.size() * 4; }
+
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+  static Bitstream from_bytes(const std::vector<std::uint8_t>& bytes);
+
+  void save(const std::string& path) const;
+  static Bitstream load(const std::string& path);
+
+  bool operator==(const Bitstream&) const = default;
+};
+
+}  // namespace jpg

@@ -1,0 +1,222 @@
+#include "cbits/cbits.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace jpg {
+
+std::uint16_t CBits::get_lut(SliceSite s, LutSel lut) const {
+  const SliceConfigMap& cm = device_->config_map();
+  std::uint16_t v = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (mem_->get_bit(cm.lut_bit(s.r, s.c, s.slice, lut, i))) {
+      v |= static_cast<std::uint16_t>(1u << i);
+    }
+  }
+  return v;
+}
+
+void CBits::set_lut(SliceSite s, LutSel lut, std::uint16_t init) {
+  check_writable();
+  const SliceConfigMap& cm = device_->config_map();
+  for (int i = 0; i < 16; ++i) {
+    mem_->set_bit(cm.lut_bit(s.r, s.c, s.slice, lut, i), (init >> i) & 1u);
+  }
+}
+
+bool CBits::get_field(SliceSite s, SliceField f) const {
+  return mem_->get_bit(device_->config_map().field_bit(s.r, s.c, s.slice, f));
+}
+
+void CBits::set_field(SliceSite s, SliceField f, bool v) {
+  check_writable();
+  mem_->set_bit(device_->config_map().field_bit(s.r, s.c, s.slice, f), v);
+}
+
+bool CBits::get_captured_ff(SliceSite s, int le) const {
+  return mem_->get_bit(
+      device_->config_map().capture_bit(s.r, s.c, s.slice, le));
+}
+
+void CBits::set_captured_ff(SliceSite s, int le, bool v) {
+  check_writable();
+  mem_->set_bit(device_->config_map().capture_bit(s.r, s.c, s.slice, le), v);
+}
+
+const MuxDef& CBits::mux_def(int dest_local) const {
+  const MuxDef* m = device_->fabric().mux_for_dest(dest_local);
+  if (m == nullptr) {
+    std::ostringstream os;
+    os << "wire " << local_wire_name(dest_local) << " has no programmable mux";
+    throw DeviceError(os.str());
+  }
+  return *m;
+}
+
+std::uint32_t CBits::read_routing_field(TileCoord t, int offset,
+                                        unsigned bits) const {
+  const SliceConfigMap& cm = device_->config_map();
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    if (mem_->get_bit(cm.routing_bit(t.r, t.c, offset + static_cast<int>(i)))) {
+      v |= 1u << i;
+    }
+  }
+  return v;
+}
+
+void CBits::write_routing_field(TileCoord t, int offset, unsigned bits,
+                                std::uint32_t value) {
+  const SliceConfigMap& cm = device_->config_map();
+  for (unsigned i = 0; i < bits; ++i) {
+    mem_->set_bit(cm.routing_bit(t.r, t.c, offset + static_cast<int>(i)),
+                  (value >> i) & 1u);
+  }
+}
+
+std::uint32_t CBits::get_mux(TileCoord t, int dest_local) const {
+  JPG_REQUIRE(device_->tile_in_bounds(t), "tile out of bounds");
+  const MuxDef& m = mux_def(dest_local);
+  return read_routing_field(t, m.cfg_offset, m.cfg_bits);
+}
+
+void CBits::set_mux(TileCoord t, int dest_local, std::uint32_t sel) {
+  check_writable();
+  JPG_REQUIRE(device_->tile_in_bounds(t), "tile out of bounds");
+  const MuxDef& m = mux_def(dest_local);
+  JPG_REQUIRE(sel <= m.sources.size(), "mux selection out of range");
+  write_routing_field(t, m.cfg_offset, m.cfg_bits, sel);
+}
+
+void CBits::set_pip(TileCoord t, const SourceRef& src, int dest_local) {
+  const MuxDef& m = mux_def(dest_local);
+  for (std::size_t i = 0; i < m.sources.size(); ++i) {
+    if (m.sources[i] == src) {
+      set_mux(t, dest_local, static_cast<std::uint32_t>(i + 1));
+      return;
+    }
+  }
+  std::ostringstream os;
+  os << "no PIP " << source_ref_name(src) << " -> "
+     << local_wire_name(dest_local) << " at tile " << device_->tile_name(t);
+  throw DeviceError(os.str());
+}
+
+void CBits::set_pip(TileCoord t, std::string_view src_name,
+                    std::string_view dest_name) {
+  const auto src = source_ref_by_name(src_name);
+  if (!src) {
+    throw DeviceError("unknown PIP source wire '" + std::string(src_name) + "'");
+  }
+  const auto dest = local_wire_by_name(dest_name);
+  if (!dest) {
+    throw DeviceError("unknown PIP dest wire '" + std::string(dest_name) + "'");
+  }
+  set_pip(t, *src, *dest);
+}
+
+std::optional<std::size_t> CBits::selected_source_node(TileCoord t,
+                                                       int dest_local) const {
+  const MuxDef& m = mux_def(dest_local);
+  const std::uint32_t sel = get_mux(t, dest_local);
+  if (sel == 0) return std::nullopt;
+  if (sel > m.sources.size()) return std::nullopt;  // corrupt encoding
+  return device_->fabric().resolve_source(t.r, t.c, m.sources[sel - 1]);
+}
+
+bool CBits::get_iob_flag(IobSite s, IobField f) const {
+  JPG_REQUIRE(f != IobField::OmuxSel, "OmuxSel is multi-bit; use get_iob_omux");
+  return mem_->get_bit(device_->config_map().iob_field_bit(s.side, s.row, s.k, f));
+}
+
+void CBits::set_iob_flag(IobSite s, IobField f, bool v) {
+  check_writable();
+  JPG_REQUIRE(f != IobField::OmuxSel, "OmuxSel is multi-bit; use set_iob_omux");
+  mem_->set_bit(device_->config_map().iob_field_bit(s.side, s.row, s.k, f), v);
+}
+
+std::uint32_t CBits::get_iob_omux(IobSite s) const {
+  const SliceConfigMap& cm = device_->config_map();
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < kIobOmuxBits; ++i) {
+    if (mem_->get_bit(cm.iob_field_bit(s.side, s.row, s.k, IobField::OmuxSel, i))) {
+      v |= 1u << i;
+    }
+  }
+  return v;
+}
+
+void CBits::set_iob_omux(IobSite s, std::uint32_t sel) {
+  check_writable();
+  const auto n_sources =
+      device_->fabric().pad_in_sources(s.side, s.row, s.k).size();
+  JPG_REQUIRE(sel <= n_sources, "IOB OMUX selection out of range");
+  const SliceConfigMap& cm = device_->config_map();
+  for (unsigned i = 0; i < kIobOmuxBits; ++i) {
+    mem_->set_bit(cm.iob_field_bit(s.side, s.row, s.k, IobField::OmuxSel, i),
+                  (sel >> i) & 1u);
+  }
+}
+
+std::uint16_t CBits::bram_read(Side side, int block, int addr) const {
+  JPG_REQUIRE(addr >= 0 &&
+                  addr < SliceConfigMap::kBramBitsPerBlock / 16,
+              "BRAM address out of range");
+  const SliceConfigMap& cm = device_->config_map();
+  std::uint16_t v = 0;
+  for (int b = 0; b < 16; ++b) {
+    if (mem_->get_bit(cm.bram_bit(side, block, addr * 16 + b))) {
+      v |= static_cast<std::uint16_t>(1u << b);
+    }
+  }
+  return v;
+}
+
+void CBits::bram_write(Side side, int block, int addr, std::uint16_t value) {
+  check_writable();
+  JPG_REQUIRE(addr >= 0 &&
+                  addr < SliceConfigMap::kBramBitsPerBlock / 16,
+              "BRAM address out of range");
+  const SliceConfigMap& cm = device_->config_map();
+  for (int b = 0; b < 16; ++b) {
+    mem_->set_bit(cm.bram_bit(side, block, addr * 16 + b),
+                  (value >> b) & 1u);
+  }
+}
+
+void CBits::bram_fill(Side side, int block,
+                      const std::vector<std::uint16_t>& words) {
+  JPG_REQUIRE(words.size() ==
+                  static_cast<std::size_t>(
+                      SliceConfigMap::kBramBitsPerBlock / 16),
+              "BRAM fill wants exactly 256 words");
+  for (int addr = 0; addr < SliceConfigMap::kBramBitsPerBlock / 16; ++addr) {
+    bram_write(side, block, addr, words[static_cast<std::size_t>(addr)]);
+  }
+}
+
+void CBits::clear_tile(TileCoord t) {
+  JPG_REQUIRE(device_->tile_in_bounds(t), "tile out of bounds");
+  const SliceConfigMap& cm = device_->config_map();
+  for (int slice = 0; slice < 2; ++slice) {
+    set_lut({t.r, t.c, slice}, LutSel::F, 0);
+    set_lut({t.r, t.c, slice}, LutSel::G, 0);
+    for (int f = 0; f < kNumSliceFields; ++f) {
+      mem_->set_bit(
+          cm.field_bit(t.r, t.c, slice, static_cast<SliceField>(f)), false);
+    }
+  }
+  const int used = device_->fabric().cfg_bits_used();
+  for (int i = 0; i < used; ++i) {
+    mem_->set_bit(cm.routing_bit(t.r, t.c, i), false);
+  }
+}
+
+void CBits::clear_iob(IobSite s) {
+  set_iob_flag(s, IobField::IsInput, false);
+  set_iob_flag(s, IobField::IsOutput, false);
+  set_iob_omux(s, 0);
+}
+
+}  // namespace jpg

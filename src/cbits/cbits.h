@@ -1,0 +1,109 @@
+// CBits: the resource-level configuration API — this repository's analogue
+// of the Xilinx JBits Java API the paper builds JPG on.
+//
+// CBits reads and writes *resources* (LUT truth tables, slice control
+// fields, routing muxes, IOB settings) on a ConfigMemory, translating each
+// access through the device's deterministic resource->bit map. The paper's
+// XDL parser "makes appropriate JBits calls to program the device"
+// (§3.2.2); in this codebase that is XdlToCBits driving this class.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "bitstream/config_memory.h"
+#include "device/device.h"
+
+namespace jpg {
+
+class CBits {
+ public:
+  explicit CBits(ConfigMemory& mem)
+      : mem_(&mem), device_(&mem.device()) {}
+
+  /// Read-only view (e.g. the bitstream-level circuit extractor); any write
+  /// through it throws.
+  explicit CBits(const ConfigMemory& mem)
+      : mem_(const_cast<ConfigMemory*>(&mem)),
+        device_(&mem.device()),
+        read_only_(true) {}
+
+  [[nodiscard]] const Device& device() const { return *device_; }
+  [[nodiscard]] ConfigMemory& memory() { return *mem_; }
+  [[nodiscard]] const ConfigMemory& memory() const { return *mem_; }
+
+  // --- LUT truth tables --------------------------------------------------------
+  [[nodiscard]] std::uint16_t get_lut(SliceSite s, LutSel lut) const;
+  void set_lut(SliceSite s, LutSel lut, std::uint16_t init);
+
+  // --- Slice control fields ----------------------------------------------------
+  [[nodiscard]] bool get_field(SliceSite s, SliceField f) const;
+  void set_field(SliceSite s, SliceField f, bool v);
+
+  // --- State capture (readback of live FF values) -------------------------------
+  /// The captured FF value of logic element `le` (0 = X, 1 = Y); written by
+  /// the board's CAPTURE operation, read through readback.
+  [[nodiscard]] bool get_captured_ff(SliceSite s, int le) const;
+  void set_captured_ff(SliceSite s, int le, bool v);
+
+  // --- Routing muxes -----------------------------------------------------------
+  /// Raw mux encoding: 0 = off, i+1 = sources[i]. `dest_local` may be a
+  /// long-driver alias (kLongDriverBase + k).
+  [[nodiscard]] std::uint32_t get_mux(TileCoord t, int dest_local) const;
+  void set_mux(TileCoord t, int dest_local, std::uint32_t sel);
+
+  /// Programs the PIP (src -> dest) at tile `t`: sets dest's mux to the
+  /// position of `src` in its candidate list. Throws DeviceError if the
+  /// fabric has no such PIP.
+  void set_pip(TileCoord t, const SourceRef& src, int dest_local);
+
+  /// Name-based PIP programming, as XDL writes it: e.g. ("OUT3", "E2") or
+  /// ("WIN5", "S0_F1"). Throws ParseError-free DeviceError on unknown names.
+  void set_pip(TileCoord t, std::string_view src_name,
+               std::string_view dest_name);
+
+  /// The node currently selected by `dest_local`'s mux at tile `t`, or
+  /// nullopt when the mux is off or selects an unconnectable edge source.
+  [[nodiscard]] std::optional<std::size_t> selected_source_node(
+      TileCoord t, int dest_local) const;
+
+  // --- IOBs ---------------------------------------------------------------------
+  [[nodiscard]] bool get_iob_flag(IobSite s, IobField f) const;
+  void set_iob_flag(IobSite s, IobField f, bool v);
+
+  /// Pad-input source mux: 0 = off, i+1 = pad_in_sources()[i].
+  [[nodiscard]] std::uint32_t get_iob_omux(IobSite s) const;
+  void set_iob_omux(IobSite s, std::uint32_t sel);
+
+  // --- Block RAM content ---------------------------------------------------------
+  /// 16-bit word `addr` (0..255) of BRAM `block` on `side`.
+  [[nodiscard]] std::uint16_t bram_read(Side side, int block, int addr) const;
+  void bram_write(Side side, int block, int addr, std::uint16_t value);
+  /// Replaces a block's whole contents (256 words).
+  void bram_fill(Side side, int block,
+                 const std::vector<std::uint16_t>& words);
+
+  // --- Bulk clears ---------------------------------------------------------------
+  /// Zeroes every logic and routing configuration bit of a CLB tile.
+  void clear_tile(TileCoord t);
+  /// Zeroes an IOB site's configuration.
+  void clear_iob(IobSite s);
+
+ private:
+  [[nodiscard]] const MuxDef& mux_def(int dest_local) const;
+  [[nodiscard]] std::uint32_t read_routing_field(TileCoord t, int offset,
+                                                 unsigned bits) const;
+  void write_routing_field(TileCoord t, int offset, unsigned bits,
+                           std::uint32_t value);
+
+  void check_writable() const {
+    JPG_REQUIRE(!read_only_, "write through a read-only CBits view");
+  }
+
+  ConfigMemory* mem_;
+  const Device* device_;
+  bool read_only_ = false;
+};
+
+}  // namespace jpg

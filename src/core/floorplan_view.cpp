@@ -1,0 +1,56 @@
+#include "core/floorplan_view.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace jpg {
+
+std::string render_floorplan(const Device& device,
+                             const std::vector<FloorplanEntry>& regions,
+                             const std::optional<Region>& highlight) {
+  const int rows = device.rows();
+  const int cols = device.cols();
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(cols), '.'));
+  for (const FloorplanEntry& e : regions) {
+    JPG_REQUIRE(e.region.in_bounds(device), "floorplan region out of bounds");
+    const char c = e.label.empty() ? '?' : e.label[0];
+    for (int r = e.region.r0; r <= e.region.r1; ++r) {
+      for (int col = e.region.c0; col <= e.region.c1; ++col) {
+        grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] = c;
+      }
+    }
+  }
+  if (highlight.has_value()) {
+    JPG_REQUIRE(highlight->in_bounds(device), "highlight region out of bounds");
+    for (int r = highlight->r0; r <= highlight->r1; ++r) {
+      for (int col = highlight->c0; col <= highlight->c1; ++col) {
+        grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] = '#';
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << device.spec().name << " floorplan (" << rows << "x" << cols
+     << " CLBs; '#' = update target)\n";
+  // Column ruler every 5 columns.
+  os << "     ";
+  for (int c = 0; c < cols; ++c) {
+    os << (c % 5 == 0 ? static_cast<char>('0' + (c / 5) % 10) : ' ');
+  }
+  os << "\n";
+  for (int r = 0; r < rows; ++r) {
+    os << "R";
+    const std::string rn = std::to_string(r + 1);
+    os << rn << std::string(3 - rn.size(), ' ') << " "
+       << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  for (const FloorplanEntry& e : regions) {
+    os << "  " << (e.label.empty() ? "?" : e.label.substr(0, 1)) << " = "
+       << e.label << " @ " << e.region.to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace jpg

@@ -1,0 +1,27 @@
+// FloorplanView: ASCII rendering of the device floorplan — the stand-in for
+// JPG's GUI (paper Figure 3: "the JPG tool displays graphically the target
+// floorplanned area on the FPGA. This can be used to verify whether the
+// update is happening on the region desired by the designer").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/region.h"
+
+namespace jpg {
+
+struct FloorplanEntry {
+  std::string label;  ///< region name (first character is drawn)
+  Region region;
+};
+
+/// Renders the CLB array with '.' for static fabric, each region's first
+/// letter for its tiles, and '#' for the highlighted (update target) region.
+/// One character per tile, one row per CLB row, with column/row rulers.
+[[nodiscard]] std::string render_floorplan(
+    const Device& device, const std::vector<FloorplanEntry>& regions,
+    const std::optional<Region>& highlight = std::nullopt);
+
+}  // namespace jpg

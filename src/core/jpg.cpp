@@ -1,0 +1,114 @@
+#include "core/jpg.h"
+
+#include "bitstream/bitgen.h"
+#include "bitstream/config_port.h"
+#include "support/log.h"
+
+namespace jpg {
+
+Jpg::Jpg(const Bitstream& base_bitstream)
+    : device_(&device_for_bitstream(base_bitstream)) {
+  base_ = std::make_unique<ConfigMemory>(*device_);
+  ConfigPort port(*base_);
+  port.load(base_bitstream);
+  if (!port.started()) {
+    throw BitstreamError(
+        "base bitstream did not complete startup; is it a partial "
+        "bitstream?");
+  }
+  JPG_INFO("JPG initialised from base bitstream for " << device_->spec().name);
+}
+
+Jpg::PartialResult Jpg::generate_partial(const XdlDesign& module_xdl,
+                                         const UcfData& ucf,
+                                         const PartialGenOptions& opts) {
+  // The paper's pipeline: parse XDL -> make CBits calls on a scratch plane.
+  ConfigMemory scratch(*device_);
+  const XdlBindResult bound = bind_xdl_module(module_xdl, ucf, scratch);
+
+  // Then extract the partial bitstream against the base design.
+  const PartialBitstreamGenerator gen(*base_);
+  PartialGenResult pg = gen.generate(scratch, bound.region, opts);
+
+  PartialResult result;
+  result.partial = std::move(pg.bitstream);
+  result.frames = std::move(pg.frames);
+  result.far_blocks = pg.far_blocks;
+  result.cbits_calls = bound.cbits_calls;
+  result.region = bound.region;
+  result.floorplan = render_floorplan(
+      *device_, {{module_xdl.name, bound.region}}, bound.region);
+  return result;
+}
+
+Jpg::PartialResult Jpg::generate_partial_from_text(
+    std::string_view xdl_text, std::string_view ucf_text,
+    const PartialGenOptions& opts) {
+  const XdlDesign xdl = parse_xdl(xdl_text, "module.xdl");
+  const UcfData ucf = parse_ucf(ucf_text, *device_, "module.ucf");
+  return generate_partial(xdl, ucf, opts);
+}
+
+void Jpg::write_onto_base(const PartialResult& update) {
+  // Loading the partial stream through the configuration port both
+  // validates it (framing, CRC, FLR, IDCODE) and mutates the base plane —
+  // the "overwrite the original bitstream" behaviour of option 2.
+  ConfigPort port(*base_);
+  port.load(update.partial);
+  if (connected()) {
+    download(update.partial);
+  }
+}
+
+Bitstream Jpg::full_bitstream() const {
+  return generate_full_bitstream(*base_);
+}
+
+void Jpg::download(const Bitstream& bs) {
+  JPG_REQUIRE(connected(), "no XHWIF board connected");
+  board_->send_config(bs.words);
+}
+
+std::size_t Jpg::verify_via_readback(const PartialResult& update) {
+  JPG_REQUIRE(connected(), "no XHWIF board connected");
+  // Reconstruct the expected frame contents by replaying the partial
+  // stream onto a copy of the tool's base configuration.
+  ConfigMemory expected = *base_;
+  {
+    ConfigPort port(expected);
+    port.load(update.partial);
+  }
+  const FrameMap& fm = device_->frames();
+  const std::size_t fw = fm.frame_words();
+  // Mask file: the capture bits (minors 16/17, window bits 0..1 of every
+  // row) hold live FF state after a CAPTURE and must not participate in
+  // configuration comparison — exactly what readback mask files were for.
+  auto masked = [&](std::vector<std::uint32_t> words,
+                    std::size_t frame) {
+    const FrameAddress a = fm.address_of_index(frame);
+    if (a.block_type == 0 && (a.minor == 16 || a.minor == 17) &&
+        fm.column_kind(static_cast<int>(a.major)) == ColumnKind::Clb) {
+      BitVector bv(fm.frame_bits());
+      for (std::size_t w = 0; w < fw; ++w) bv.set_word(w, words[w]);
+      for (int r = 0; r < device_->rows(); ++r) {
+        bv.set(fm.row_bit_base(r) + 0, false);
+        bv.set(fm.row_bit_base(r) + 1, false);
+      }
+      for (std::size_t w = 0; w < fw; ++w) words[w] = bv.word(w);
+    }
+    return words;
+  };
+  std::vector<std::uint32_t> buf(fw);
+  std::size_t mismatches = 0;
+  for (const std::size_t frame : update.frames) {
+    const auto words = masked(board_->readback(frame, 1), frame);
+    JPG_ASSERT(words.size() == fw);
+    expected.read_frame_words(frame, buf.data());
+    if (words != masked(buf, frame)) ++mismatches;
+  }
+  JPG_INFO("readback verification: " << update.frames.size() << " frames, "
+                                     << mismatches << " mismatches");
+  return mismatches;
+}
+
+}  // namespace jpg

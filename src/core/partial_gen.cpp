@@ -1,0 +1,130 @@
+#include "core/partial_gen.h"
+
+#include "support/error.h"
+#include "support/log.h"
+
+namespace jpg {
+
+PartialBitstreamGenerator::PartialBitstreamGenerator(const ConfigMemory& base)
+    : base_(&base), device_(&base.device()) {}
+
+ConfigMemory PartialBitstreamGenerator::compose(
+    const ConfigMemory& module_config, const Region& region) const {
+  JPG_REQUIRE(&module_config.device() == device_ ||
+                  module_config.device().spec().name == device_->spec().name,
+              "module config targets a different device");
+  JPG_REQUIRE(region.in_bounds(*device_), "region out of bounds");
+
+  ConfigMemory out = *base_;
+  const FrameMap& fm = device_->frames();
+  for (const int major : region.clb_majors(*device_)) {
+    for (int minor = 0; minor < fm.frames_in_major(major); ++minor) {
+      const std::size_t idx = fm.frame_index(major, minor);
+      BitVector& frame = out.frame(idx);
+      const BitVector& mod = module_config.frame(idx);
+      // Replace only the region rows' windows; out-of-region rows keep the
+      // base content, so rewriting the frame is non-disruptive.
+      for (int r = region.r0; r <= region.r1; ++r) {
+        const std::size_t base_bit = fm.row_bit_base(r);
+        for (int b = 0; b < FrameMap::kBitsPerRow; ++b) {
+          frame.set(base_bit + static_cast<std::size_t>(b),
+                    mod.get(base_bit + static_cast<std::size_t>(b)));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+PartialGenResult PartialBitstreamGenerator::generate_frames(
+    const ConfigMemory& content, const std::vector<std::size_t>& frames,
+    const PartialGenOptions& opts) const {
+  const FrameMap& fm = device_->frames();
+  PartialGenResult result;
+  result.frames = frames;
+
+  BitstreamWriter w(*device_);
+  w.begin();
+  w.write_cmd(Command::RCRC);
+  w.write_reg(ConfigReg::FLR, static_cast<std::uint32_t>(fm.frame_words() - 1));
+  w.write_reg(ConfigReg::IDCODE, device_->spec().idcode);
+  w.write_cmd(Command::WCFG);
+
+  // Contiguous runs share one FAR + FDRI block.
+  std::size_t i = 0;
+  while (i < result.frames.size()) {
+    std::size_t j = i + 1;
+    while (j < result.frames.size() &&
+           result.frames[j] == result.frames[j - 1] + 1) {
+      ++j;
+    }
+    const FrameAddress a = fm.address_of_index(result.frames[i]);
+    w.write_reg(ConfigReg::FAR, fm.encode_far(a));
+    w.write_frames(content, result.frames[i], j - i);
+    ++result.far_blocks;
+    i = j;
+  }
+
+  if (opts.include_crc) w.write_crc();
+  w.write_cmd(Command::LFRM);
+  // No START: the device stays live through a dynamic partial load.
+  result.bitstream = w.finish();
+  return result;
+}
+
+PartialGenResult PartialBitstreamGenerator::generate(
+    const ConfigMemory& module_config, const Region& region,
+    const PartialGenOptions& opts) const {
+  const FrameMap& fm = device_->frames();
+  const ConfigMemory composed = compose(module_config, region);
+
+  // Frames to ship: the region columns' frames, optionally reduced to those
+  // that differ from the base.
+  std::vector<std::size_t> frames;
+  for (const int major : region.clb_majors(*device_)) {
+    for (int minor = 0; minor < fm.frames_in_major(major); ++minor) {
+      const std::size_t idx = fm.frame_index(major, minor);
+      if (!opts.diff_only ||
+          composed.frame(idx).differs_from(base_->frame(idx))) {
+        frames.push_back(idx);
+      }
+    }
+  }
+  PartialGenResult result = generate_frames(composed, frames, opts);
+  JPG_INFO("partial bitstream for " << region.to_string() << ": "
+                                    << result.frames.size() << " frames in "
+                                    << result.far_blocks << " blocks, "
+                                    << result.bitstream.size_bytes()
+                                    << " bytes");
+  return result;
+}
+
+PartialGenResult PartialBitstreamGenerator::generate_bram_update(
+    const ConfigMemory& content, Side side,
+    const PartialGenOptions& opts) const {
+  const FrameMap& fm = device_->frames();
+  const int bram_major = side == Side::Left ? 0 : 1;
+  std::vector<std::size_t> frames;
+  for (int minor = 0; minor < FrameMap::kBramFrames; ++minor) {
+    const std::size_t idx = fm.bram_frame_index(bram_major, minor);
+    if (!opts.diff_only ||
+        content.frame(idx).differs_from(base_->frame(idx))) {
+      frames.push_back(idx);
+    }
+  }
+  PartialGenResult result = generate_frames(content, frames, opts);
+  JPG_INFO("BRAM partial update (" << (side == Side::Left ? "left" : "right")
+                                   << "): " << result.frames.size()
+                                   << " frames, "
+                                   << result.bitstream.size_bytes()
+                                   << " bytes");
+  return result;
+}
+
+void PartialBitstreamGenerator::apply_to_base(
+    ConfigMemory& base, const ConfigMemory& module_config,
+    const Region& region) const {
+  base = compose(module_config, region);
+}
+
+}  // namespace jpg

@@ -1,0 +1,85 @@
+// PartialBitstreamGenerator: the heart of JPG.
+//
+// Given the base design's configuration memory and the configuration of an
+// updated sub-module, it composes the frames of the module's region —
+// module bits inside the region's rows, base bits everywhere else in those
+// columns — and emits a loadable partial bitstream containing only the
+// frames that actually change. Because Virtex frames span full columns,
+// writing a region always rewrites entire columns; composition from the
+// base guarantees the out-of-region rows are rewritten with their *current*
+// values, which is what makes the load non-disruptive (paper §2.1, §3).
+#pragma once
+
+#include "bitstream/bitstream_writer.h"
+#include "bitstream/config_memory.h"
+#include "device/region.h"
+
+namespace jpg {
+
+struct PartialGenOptions {
+  /// false (default): ship every frame of the region's columns. The partial
+  /// bitstream is then *state-independent* — it installs the module no
+  /// matter which variant currently occupies the region, which is what a
+  /// pre-generated module pool (Figure 1) requires, and matches the
+  /// "partial bitstreams are subsets of a complete bitstream" model of the
+  /// paper (and PARBIT).
+  /// true: ship only frames that differ from the tool's base configuration.
+  /// Smaller, but only correct when the device is known to hold exactly the
+  /// base state (use together with write_onto_base, which keeps the tool's
+  /// base in sync). The ablation bench quantifies the trade-off.
+  bool diff_only = false;
+  bool include_crc = true;
+};
+
+struct PartialGenResult {
+  Bitstream bitstream;
+  std::vector<std::size_t> frames;  ///< linear frame indices written
+  std::size_t far_blocks = 0;       ///< contiguous FAR/FDRI runs emitted
+};
+
+class PartialBitstreamGenerator {
+ public:
+  /// `base` must outlive the generator.
+  explicit PartialBitstreamGenerator(const ConfigMemory& base);
+
+  /// Frame-level composition: base memory with the region's rows of the
+  /// region's columns replaced by `module_config`'s bits.
+  [[nodiscard]] ConfigMemory compose(const ConfigMemory& module_config,
+                                     const Region& region) const;
+
+  /// Generates the partial bitstream updating `region` of the base design
+  /// to `module_config`'s content. The stream carries IDCODE/FLR checks, a
+  /// WCFG sequence of FAR+FDRI runs, CRC, LFRM and DESYNC — and no startup
+  /// sequence, since the device keeps running during a dynamic load.
+  [[nodiscard]] PartialGenResult generate(const ConfigMemory& module_config,
+                                          const Region& region,
+                                          const PartialGenOptions& opts = {}) const;
+
+  /// Option 2 of the tool (paper §3.2.1): writes the partial update into the
+  /// base configuration itself, overwriting it.
+  void apply_to_base(ConfigMemory& base, const ConfigMemory& module_config,
+                     const Region& region) const;
+
+  /// Generic form: emits a partial bitstream shipping exactly `frames`
+  /// (linear indices, any block type) with contents taken from `content`.
+  [[nodiscard]] PartialGenResult generate_frames(
+      const ConfigMemory& content, const std::vector<std::size_t>& frames,
+      const PartialGenOptions& opts = {}) const;
+
+  /// BRAM content update (block type 1): ships the frames of `side`'s BRAM
+  /// column whose content in `content` differs from the base (or all of
+  /// them with diff_only = false). Rewriting memory contents without
+  /// touching a single logic frame was a flagship partial-reconfiguration
+  /// use case of the era.
+  [[nodiscard]] PartialGenResult generate_bram_update(
+      const ConfigMemory& content, Side side,
+      const PartialGenOptions& opts = {}) const;
+
+  [[nodiscard]] const ConfigMemory& base() const { return *base_; }
+
+ private:
+  const ConfigMemory* base_;
+  const Device* device_;
+};
+
+}  // namespace jpg

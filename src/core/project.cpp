@@ -1,0 +1,111 @@
+#include "core/project.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/string_util.h"
+
+namespace jpg {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_text_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) throw JpgError("cannot open '" + path.string() + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_text_file(const fs::path& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw JpgError("cannot write '" + path.string() + "'");
+  out << text;
+}
+
+}  // namespace
+
+const JpgModuleEntry& JpgProject::module(const std::string& mod_name) const {
+  for (const JpgModuleEntry& m : modules) {
+    if (m.name == mod_name) return m;
+  }
+  throw JpgError("project has no module '" + mod_name + "'");
+}
+
+std::string JpgProject::manifest() const {
+  std::ostringstream os;
+  os << "jpg-project 1\n";
+  os << "name " << name << "\n";
+  os << "device " << device_part << "\n";
+  os << "base base.bit\n";
+  for (const JpgModuleEntry& m : modules) {
+    os << "module " << m.name << "\n";
+  }
+  return os.str();
+}
+
+void JpgProject::save(const std::string& dir) const {
+  const fs::path root(dir);
+  fs::create_directories(root);
+  write_text_file(root / "project.jpg", manifest());
+  base.save((root / "base.bit").string());
+  for (const JpgModuleEntry& m : modules) {
+    JPG_REQUIRE(!m.name.empty() && m.name.find('/') == std::string::npos &&
+                    m.name.find("..") == std::string::npos,
+                "module name must be a plain file stem");
+    write_text_file(root / (m.name + ".xdl"), m.xdl_text);
+    write_text_file(root / (m.name + ".ucf"), m.ucf_text);
+  }
+}
+
+JpgProject JpgProject::load(const std::string& dir) {
+  const fs::path root(dir);
+  const std::string manifest = read_text_file(root / "project.jpg");
+  JpgProject p;
+  bool header_seen = false;
+  int line_no = 0;
+  for (const std::string& raw : split(manifest, '\n')) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const auto tokens = split_ws(line);
+    if (!header_seen) {
+      if (tokens.size() != 2 || tokens[0] != "jpg-project" ||
+          tokens[1] != "1") {
+        throw ParseError((root / "project.jpg").string(), line_no,
+                         "not a jpg project manifest");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (tokens[0] == "name" && tokens.size() >= 2) {
+      p.name = tokens[1];
+    } else if (tokens[0] == "device" && tokens.size() == 2) {
+      p.device_part = tokens[1];
+    } else if (tokens[0] == "base" && tokens.size() == 2) {
+      p.base = Bitstream::load((root / tokens[1]).string());
+    } else if (tokens[0] == "module" && tokens.size() == 2) {
+      JpgModuleEntry m;
+      m.name = tokens[1];
+      m.xdl_text = read_text_file(root / (m.name + ".xdl"));
+      m.ucf_text = read_text_file(root / (m.name + ".ucf"));
+      p.modules.push_back(std::move(m));
+    } else {
+      throw ParseError((root / "project.jpg").string(), line_no,
+                       "unknown manifest entry '" + tokens[0] + "'");
+    }
+  }
+  if (!header_seen) {
+    throw JpgError("empty project manifest in '" + dir + "'");
+  }
+  if (p.base.words.empty()) {
+    throw JpgError("project '" + dir + "' has no base bitstream");
+  }
+  return p;
+}
+
+}  // namespace jpg

@@ -1,0 +1,43 @@
+// JpgProject: persistent tool projects ("A new project can be created in JPG
+// or an existing project can be opened", paper §3.2.1).
+//
+// A project directory holds:
+//   project.jpg    manifest (part, base bitstream file, module entries)
+//   base.bit       the base design's complete bitstream
+//   <module>.xdl   one XDL per registered module variant
+//   <module>.ucf   its constraints
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bitstream/packet.h"
+
+namespace jpg {
+
+struct JpgModuleEntry {
+  std::string name;      ///< variant name (also the file stem)
+  std::string xdl_text;
+  std::string ucf_text;
+};
+
+struct JpgProject {
+  std::string name;
+  std::string device_part;
+  Bitstream base;
+  std::vector<JpgModuleEntry> modules;
+
+  [[nodiscard]] const JpgModuleEntry& module(const std::string& name) const;
+
+  /// Serialises the manifest (without file contents) for inspection.
+  [[nodiscard]] std::string manifest() const;
+
+  /// Writes the project directory (created if missing).
+  void save(const std::string& dir) const;
+
+  /// Opens an existing project directory. Throws JpgError on missing or
+  /// malformed pieces.
+  static JpgProject load(const std::string& dir);
+};
+
+}  // namespace jpg

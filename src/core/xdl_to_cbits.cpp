@@ -1,0 +1,89 @@
+#include "core/xdl_to_cbits.h"
+
+#include <sstream>
+
+#include "support/log.h"
+
+namespace jpg {
+
+Region region_from_ucf(const UcfData& ucf, const Device& device) {
+  if (ucf.area_group_ranges.empty()) {
+    throw JpgError("module UCF declares no AREA_GROUP RANGE: JPG cannot "
+                   "locate the reconfigurable region");
+  }
+  if (ucf.area_group_ranges.size() > 1) {
+    throw JpgError("module UCF declares multiple AREA_GROUP ranges; a "
+                   "partial design has exactly one region");
+  }
+  const Region reg = ucf.area_group_ranges.begin()->second;
+  JPG_REQUIRE(reg.in_bounds(device), "UCF region out of device bounds");
+  return reg;
+}
+
+XdlBindResult bind_xdl_module(const XdlDesign& xdl, const UcfData& ucf,
+                              ConfigMemory& target) {
+  XdlBindResult result;
+  result.design = placed_design_from_xdl(xdl);
+  PlacedDesign& d = *result.design;
+  const Device& dev = d.device();
+  JPG_REQUIRE(&dev == &target.device() ||
+                  dev.spec().name == target.device().spec().name,
+              "XDL targets a different device than the base bitstream");
+
+  result.region = region_from_ucf(ucf, dev);
+  d.region = result.region;
+
+  // --- Validate placement against the floorplan --------------------------------
+  for (std::size_t i = 0; i < d.slices.size(); ++i) {
+    const SliceSite s = d.slice_sites[i];
+    if (!result.region.contains({s.r, s.c})) {
+      std::ostringstream os;
+      os << "instance '" << d.slices[i].name << "' is placed at "
+         << dev.slice_site_name(s) << ", outside the floorplanned region "
+         << result.region.to_string();
+      throw DeviceError(os.str());
+    }
+  }
+  if (!d.iob_cells.empty()) {
+    throw DeviceError("a partial design cannot contain placed IOBs; ports "
+                      "must be boundary PORT instances");
+  }
+  // LOC constraints from the UCF must be honoured by the XDL placement.
+  const Netlist& nl = d.netlist();
+  for (const auto& [cell_name, site] : ucf.inst_locs) {
+    const auto cell = nl.find_cell(cell_name);
+    if (!cell) continue;  // LOCs may reference cells of other variants
+    if (d.cell_place.count(*cell) == 0 || d.site_of(*cell) != site) {
+      throw DeviceError("cell '" + cell_name + "' violates its UCF LOC " +
+                        dev.slice_site_name(site));
+    }
+  }
+  // Every pip must program a tile inside the region: partial designs own
+  // only their region's columns.
+  for (const RoutedNet& rn : d.routes) {
+    for (const RoutedPip& p : rn.pips) {
+      if (!result.region.contains(p.tile)) {
+        std::ostringstream os;
+        os << "net pip at tile " << dev.tile_name(p.tile)
+           << " lies outside the region " << result.region.to_string();
+        throw DeviceError(os.str());
+      }
+    }
+    if (!rn.iob_pips.empty()) {
+      throw DeviceError("a partial design cannot program IOB muxes");
+    }
+  }
+  for (const RoutedPip& p : d.clock_pips) {
+    JPG_REQUIRE(result.region.contains(p.tile),
+                "clock pip outside the region");
+  }
+
+  // --- Program the plane ---------------------------------------------------------
+  CBits cb(target);
+  result.cbits_calls = d.apply(cb);
+  JPG_DEBUG("bound XDL module '" << nl.name() << "' with "
+                                 << result.cbits_calls << " CBits calls");
+  return result;
+}
+
+}  // namespace jpg

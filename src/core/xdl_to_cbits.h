@@ -1,0 +1,35 @@
+// XdlToCBits: "The parser in the tool reads information from these files and
+// makes appropriate JBits calls to initialize the design on the target
+// device" (paper §3.2.1-3.2.2).
+//
+// Binds a parsed XDL module design (plus its UCF constraints) onto a fresh
+// configuration plane through the CBits API, validating that every placed
+// element and every programmed PIP falls inside the floorplanned region.
+#pragma once
+
+#include <memory>
+
+#include "core/partial_gen.h"
+#include "ucf/ucf_parser.h"
+#include "xdl/xdl_parser.h"
+
+namespace jpg {
+
+struct XdlBindResult {
+  std::unique_ptr<PlacedDesign> design;
+  Region region;
+  std::size_t cbits_calls = 0;
+};
+
+/// Extracts the module's region from the UCF (the single AREA_GROUP range).
+[[nodiscard]] Region region_from_ucf(const UcfData& ucf, const Device& device);
+
+/// Rebuilds the module design from XDL, validates it against the UCF region
+/// (every slice inside, every LOC honoured, every pip's tile inside), and
+/// programs it into `target` via CBits. `target` should be a zeroed
+/// ConfigMemory; the result's design/region feed the partial generator.
+[[nodiscard]] XdlBindResult bind_xdl_module(const XdlDesign& xdl,
+                                            const UcfData& ucf,
+                                            ConfigMemory& target);
+
+}  // namespace jpg

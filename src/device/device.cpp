@@ -1,0 +1,135 @@
+#include "device/device.h"
+
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/string_util.h"
+
+namespace jpg {
+
+Device::Device(const DeviceSpec& spec)
+    : spec_(spec), frames_(spec_), config_map_(frames_), fabric_(spec_) {}
+
+const Device& Device::get(std::string_view part_name) {
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<Device>> cache;
+  const DeviceSpec& spec = DeviceSpec::by_name(part_name);
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(spec.name);
+  if (it == cache.end()) {
+    it = cache.emplace(spec.name, std::make_unique<Device>(spec)).first;
+  }
+  return *it->second;
+}
+
+std::string Device::tile_name(TileCoord t) const {
+  JPG_REQUIRE(tile_in_bounds(t), "tile out of bounds");
+  std::ostringstream os;
+  os << "R" << (t.r + 1) << "C" << (t.c + 1);
+  return os.str();
+}
+
+std::string Device::slice_site_name(SliceSite s) const {
+  std::ostringstream os;
+  os << "CLB_" << tile_name({s.r, s.c}) << ".S" << s.slice;
+  return os.str();
+}
+
+std::string Device::iob_site_name(IobSite s) const {
+  JPG_REQUIRE(s.row >= 0 && s.row < rows(), "IOB row out of bounds");
+  JPG_REQUIRE(s.k >= 0 && s.k < DeviceSpec::kIobsPerRow, "IOB index out of bounds");
+  std::ostringstream os;
+  os << "IOB_" << (s.side == Side::Left ? 'L' : 'R') << (s.row + 1) << "K" << s.k;
+  return os.str();
+}
+
+std::optional<TileCoord> Device::parse_tile_name(std::string_view n) const {
+  if (n.empty() || n[0] != 'R') return std::nullopt;
+  const std::size_t cpos = n.find('C', 1);
+  if (cpos == std::string_view::npos) return std::nullopt;
+  const auto r = parse_uint(n.substr(1, cpos - 1));
+  const auto c = parse_uint(n.substr(cpos + 1));
+  if (!r || !c || *r < 1 || *c < 1) return std::nullopt;
+  const TileCoord t{static_cast<int>(*r) - 1, static_cast<int>(*c) - 1};
+  if (!tile_in_bounds(t)) return std::nullopt;
+  return t;
+}
+
+std::optional<SliceSite> Device::parse_slice_site(std::string_view n) const {
+  if (!starts_with(n, "CLB_")) return std::nullopt;
+  const std::size_t dot = n.rfind('.');
+  if (dot == std::string_view::npos) return std::nullopt;
+  const auto tile = parse_tile_name(n.substr(4, dot - 4));
+  if (!tile) return std::nullopt;
+  const std::string_view s = n.substr(dot + 1);
+  if (s != "S0" && s != "S1") return std::nullopt;
+  return SliceSite{tile->r, tile->c, s[1] - '0'};
+}
+
+std::optional<IobSite> Device::parse_iob_site(std::string_view n) const {
+  if (!starts_with(n, "IOB_") || n.size() < 7) return std::nullopt;
+  const char side_c = n[4];
+  if (side_c != 'L' && side_c != 'R') return std::nullopt;
+  const std::size_t kpos = n.find('K', 5);
+  if (kpos == std::string_view::npos) return std::nullopt;
+  const auto row = parse_uint(n.substr(5, kpos - 5));
+  const auto k = parse_uint(n.substr(kpos + 1));
+  if (!row || !k || *row < 1) return std::nullopt;
+  const IobSite s{side_c == 'L' ? Side::Left : Side::Right,
+                  static_cast<int>(*row) - 1, static_cast<int>(*k)};
+  if (s.row >= rows() || s.k >= DeviceSpec::kIobsPerRow) return std::nullopt;
+  return s;
+}
+
+int Device::pad_number(IobSite s) const {
+  const int side_base =
+      s.side == Side::Right ? rows() * DeviceSpec::kIobsPerRow : 0;
+  return side_base + s.row * DeviceSpec::kIobsPerRow + s.k + 1;
+}
+
+std::optional<IobSite> Device::iob_by_pad_number(int pad) const {
+  const int total = spec_.num_iobs();
+  if (pad < 1 || pad > total) return std::nullopt;
+  int i = pad - 1;
+  IobSite s;
+  const int per_side = rows() * DeviceSpec::kIobsPerRow;
+  if (i >= per_side) {
+    s.side = Side::Right;
+    i -= per_side;
+  } else {
+    s.side = Side::Left;
+  }
+  s.row = i / DeviceSpec::kIobsPerRow;
+  s.k = i % DeviceSpec::kIobsPerRow;
+  return s;
+}
+
+std::vector<SliceSite> Device::all_slice_sites() const {
+  std::vector<SliceSite> sites;
+  sites.reserve(static_cast<std::size_t>(spec_.num_slices()));
+  for (int r = 0; r < rows(); ++r) {
+    for (int c = 0; c < cols(); ++c) {
+      for (int s = 0; s < 2; ++s) {
+        sites.push_back({r, c, s});
+      }
+    }
+  }
+  return sites;
+}
+
+std::vector<IobSite> Device::all_iob_sites() const {
+  std::vector<IobSite> sites;
+  sites.reserve(static_cast<std::size_t>(spec_.num_iobs()));
+  for (const Side side : {Side::Left, Side::Right}) {
+    for (int r = 0; r < rows(); ++r) {
+      for (int k = 0; k < DeviceSpec::kIobsPerRow; ++k) {
+        sites.push_back({side, r, k});
+      }
+    }
+  }
+  return sites;
+}
+
+}  // namespace jpg

@@ -1,0 +1,93 @@
+// Device: the immutable description of one FPGA part, composing the part
+// spec, frame geometry, logic config map and routing fabric, plus the naming
+// scheme shared by XDL, UCF and diagnostics:
+//
+//   tile        R3C23            (1-based row/column, row 1 at the top)
+//   slice site  CLB_R3C23.S0
+//   IOB site    IOB_L3K1         (left/right side, 1-based row, pad index)
+//   pad name    P7               (sequential: left side rows first, then right)
+//
+// Devices are heavyweight to construct (the fabric template) and fully
+// immutable, so Device::get() keeps a process-wide cache keyed by part name.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "device/device_spec.h"
+#include "device/frame_map.h"
+#include "device/routing_fabric.h"
+#include "device/slice_config.h"
+
+namespace jpg {
+
+struct TileCoord {
+  int r = 0;  ///< 0-based CLB row
+  int c = 0;  ///< 0-based CLB column
+  bool operator==(const TileCoord&) const = default;
+};
+
+struct SliceSite {
+  int r = 0;
+  int c = 0;
+  int slice = 0;  ///< 0 or 1
+  bool operator==(const SliceSite&) const = default;
+};
+
+struct IobSite {
+  Side side = Side::Left;
+  int row = 0;  ///< 0-based CLB row the pad sits beside
+  int k = 0;    ///< pad index within the row (0..kIobsPerRow-1)
+  bool operator==(const IobSite&) const = default;
+};
+
+class Device {
+ public:
+  explicit Device(const DeviceSpec& spec);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Cached lookup by part name (throws DeviceError for unknown parts).
+  static const Device& get(std::string_view part_name);
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] const FrameMap& frames() const { return frames_; }
+  [[nodiscard]] const SliceConfigMap& config_map() const { return config_map_; }
+  [[nodiscard]] const RoutingFabric& fabric() const { return fabric_; }
+
+  [[nodiscard]] int rows() const { return spec_.clb_rows; }
+  [[nodiscard]] int cols() const { return spec_.clb_cols; }
+
+  // --- Naming ---------------------------------------------------------------
+  [[nodiscard]] std::string tile_name(TileCoord t) const;
+  [[nodiscard]] std::string slice_site_name(SliceSite s) const;
+  [[nodiscard]] std::string iob_site_name(IobSite s) const;
+
+  [[nodiscard]] std::optional<TileCoord> parse_tile_name(std::string_view n) const;
+  [[nodiscard]] std::optional<SliceSite> parse_slice_site(std::string_view n) const;
+  [[nodiscard]] std::optional<IobSite> parse_iob_site(std::string_view n) const;
+
+  /// 1-based sequential pad number ("P7"), left-side pads first.
+  [[nodiscard]] int pad_number(IobSite s) const;
+  [[nodiscard]] std::optional<IobSite> iob_by_pad_number(int pad) const;
+
+  // --- Site enumeration -------------------------------------------------------
+  [[nodiscard]] std::vector<SliceSite> all_slice_sites() const;
+  [[nodiscard]] std::vector<IobSite> all_iob_sites() const;
+
+  [[nodiscard]] bool tile_in_bounds(TileCoord t) const {
+    return t.r >= 0 && t.r < rows() && t.c >= 0 && t.c < cols();
+  }
+
+ private:
+  DeviceSpec spec_;
+  FrameMap frames_;
+  SliceConfigMap config_map_;
+  RoutingFabric fabric_;
+};
+
+}  // namespace jpg

@@ -1,0 +1,45 @@
+#include "device/device_spec.h"
+
+#include <sstream>
+
+#include "support/error.h"
+#include "support/string_util.h"
+
+namespace jpg {
+
+const std::vector<DeviceSpec>& DeviceSpec::all() {
+  // Dimensions per the Virtex 2.5V data sheet CLB arrays. IDCODEs are
+  // synthetic but unique and stable (0x0062xxxx family code).
+  static const std::vector<DeviceSpec> parts = {
+      {"XCV50", 16, 24, 0x00620050u},
+      {"XCV100", 20, 30, 0x00620100u},
+      {"XCV150", 24, 36, 0x00620150u},
+      {"XCV200", 28, 42, 0x00620200u},
+      {"XCV300", 32, 48, 0x00620300u},
+      {"XCV400", 40, 60, 0x00620400u},
+      {"XCV600", 48, 72, 0x00620600u},
+      {"XCV800", 56, 84, 0x00620800u},
+      {"XCV1000", 64, 96, 0x00621000u},
+  };
+  return parts;
+}
+
+const DeviceSpec& DeviceSpec::by_name(std::string_view name) {
+  for (const DeviceSpec& p : all()) {
+    if (iequals(p.name, name)) return p;
+  }
+  std::ostringstream os;
+  os << "unknown device part '" << name << "'";
+  throw DeviceError(os.str());
+}
+
+const DeviceSpec& DeviceSpec::by_idcode(std::uint32_t idcode) {
+  for (const DeviceSpec& p : all()) {
+    if (p.idcode == idcode) return p;
+  }
+  std::ostringstream os;
+  os << "unknown device idcode 0x" << std::hex << idcode;
+  throw DeviceError(os.str());
+}
+
+}  // namespace jpg

@@ -1,0 +1,40 @@
+// Part table for the synthetic Virtex-class device family.
+//
+// Array dimensions follow the real Virtex 2.5V family (XCV50..XCV1000); see
+// DESIGN.md §6 for the modelling boundary. A device is a CLB array of
+// `clb_rows` x `clb_cols` tiles with I/O blocks on the left and right edges
+// (kIobsPerRow pads per row per side) and a single global clock net.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jpg {
+
+struct DeviceSpec {
+  std::string name;     ///< Part name, e.g. "XCV300".
+  int clb_rows = 0;     ///< CLB array height.
+  int clb_cols = 0;     ///< CLB array width (always even; clock column splits it).
+  std::uint32_t idcode = 0;  ///< Device ID checked by the configuration port.
+
+  /// Pads per row on each of the left/right edges.
+  static constexpr int kIobsPerRow = 2;
+
+  [[nodiscard]] int num_slices() const { return clb_rows * clb_cols * 2; }
+  [[nodiscard]] int num_luts() const { return num_slices() * 2; }
+  [[nodiscard]] int num_iobs() const { return clb_rows * kIobsPerRow * 2; }
+
+  /// Looks up a part by (case-insensitive) name. Throws DeviceError for
+  /// unknown parts.
+  static const DeviceSpec& by_name(std::string_view name);
+
+  /// Looks up a part by IDCODE; throws DeviceError if unknown.
+  static const DeviceSpec& by_idcode(std::uint32_t idcode);
+
+  /// All known parts, smallest first.
+  static const std::vector<DeviceSpec>& all();
+};
+
+}  // namespace jpg

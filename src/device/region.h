@@ -1,0 +1,69 @@
+// Region: a rectangle of CLB tiles, the unit of floorplanning and partial
+// reconfiguration.
+//
+// Because configuration frames span full columns (FrameMap), the natural
+// partially-reconfigurable region is a full-height column range — the same
+// discipline the early Virtex modular flows (and PARBIT's column mode) used.
+// Rectangular regions are still first-class: the partial generator merges
+// out-of-region rows from the base design so the written frames are
+// non-disruptive (see core/partial_gen.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/device.h"
+
+namespace jpg {
+
+struct Region {
+  int r0 = 0, c0 = 0;  ///< top-left tile, inclusive, 0-based
+  int r1 = 0, c1 = 0;  ///< bottom-right tile, inclusive
+
+  bool operator==(const Region&) const = default;
+
+  [[nodiscard]] int width() const { return c1 - c0 + 1; }
+  [[nodiscard]] int height() const { return r1 - r0 + 1; }
+  [[nodiscard]] int num_tiles() const { return width() * height(); }
+
+  [[nodiscard]] bool contains(TileCoord t) const {
+    return t.r >= r0 && t.r <= r1 && t.c >= c0 && t.c <= c1;
+  }
+  [[nodiscard]] bool contains_col(int c) const { return c >= c0 && c <= c1; }
+  [[nodiscard]] bool contains_row(int r) const { return r >= r0 && r <= r1; }
+
+  [[nodiscard]] bool overlaps(const Region& o) const {
+    return !(o.c0 > c1 || o.c1 < c0 || o.r0 > r1 || o.r1 < r0);
+  }
+
+  [[nodiscard]] bool in_bounds(const Device& dev) const {
+    return r0 >= 0 && c0 >= 0 && r0 <= r1 && c0 <= c1 && r1 < dev.rows() &&
+           c1 < dev.cols();
+  }
+
+  [[nodiscard]] bool full_height(const Device& dev) const {
+    return r0 == 0 && r1 == dev.rows() - 1;
+  }
+
+  [[nodiscard]] static Region full(const Device& dev) {
+    return Region{0, 0, dev.rows() - 1, dev.cols() - 1};
+  }
+
+  /// CLB majors covered by the region's columns, ascending.
+  [[nodiscard]] std::vector<int> clb_majors(const Device& dev) const {
+    std::vector<int> majors;
+    majors.reserve(static_cast<std::size_t>(width()));
+    for (int c = c0; c <= c1; ++c) {
+      majors.push_back(dev.frames().major_of_clb_col(c));
+    }
+    return majors;
+  }
+
+  /// "R1C3:R16C8" — the UCF AREA_RANGE syntax (1-based).
+  [[nodiscard]] std::string to_string() const {
+    return "R" + std::to_string(r0 + 1) + "C" + std::to_string(c0 + 1) + ":R" +
+           std::to_string(r1 + 1) + "C" + std::to_string(c1 + 1);
+  }
+};
+
+}  // namespace jpg

@@ -1,0 +1,565 @@
+#include "device/routing_fabric.h"
+
+#include <array>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/string_util.h"
+
+namespace jpg {
+
+namespace {
+
+constexpr std::array<char, 4> kDirLetter = {'E', 'N', 'W', 'S'};
+
+constexpr std::array<std::string_view, kImuxPinsPerSlice> kImuxNames = {
+    "F1", "F2", "F3", "F4", "G1", "G2", "G3", "G4",
+    "BX", "BY", "CE", "SR", "CLK",
+};
+
+constexpr std::array<std::string_view, 4> kPinNames = {"X", "Y", "XQ", "YQ"};
+
+/// (dr, dc) step of a wire *headed* in direction d.
+constexpr void dir_step(Dir d, int& dr, int& dc) {
+  switch (d) {
+    case Dir::E: dr = 0; dc = 1; break;
+    case Dir::N: dr = -1; dc = 0; break;
+    case Dir::W: dr = 0; dc = -1; break;
+    case Dir::S: dr = 1; dc = 0; break;
+  }
+}
+
+constexpr Dir opposite(Dir d) {
+  return static_cast<Dir>((static_cast<int>(d) + 2) % 4);
+}
+
+unsigned bits_for_sources(std::size_t n) {
+  // Encodings 0 (off) .. n must fit.
+  unsigned bits = 1;
+  while ((1u << bits) < n + 1) ++bits;
+  return bits;
+}
+
+/// Source ref for "the single of index k arriving from direction `from`",
+/// i.e. the neighbouring tile's outgoing single headed towards us.
+SourceRef incoming_single(Dir from, int k) {
+  int dr = 0, dc = 0;
+  dir_step(from, dr, dc);  // step *towards* the neighbour
+  return SourceRef{SourceRef::Kind::TileWire, dr, dc,
+                   single_local(opposite(from), k)};
+}
+
+/// The hex of index k arriving from direction `from` at full span.
+SourceRef incoming_hex(Dir from, int k, int distance) {
+  int dr = 0, dc = 0;
+  dir_step(from, dr, dc);
+  return SourceRef{SourceRef::Kind::TileWire, dr * distance, dc * distance,
+                   hex_local(opposite(from), k)};
+}
+
+}  // namespace
+
+std::string local_wire_name(int local) {
+  JPG_REQUIRE(local >= 0 && local < kTileWires + kNumLongDrivers,
+              "local wire out of range");
+  std::ostringstream os;
+  if (local >= kLongDriverBase) {
+    const int k = local - kLongDriverBase;
+    os << 'L' << (k < 2 ? 'H' : 'V') << (k % 2);
+    return os.str();
+  }
+  if (local < kOutBase) {
+    os << "S" << (local / 4) << "_" << kPinNames[local % 4];
+  } else if (local < kSingleBase) {
+    os << "OUT" << (local - kOutBase);
+  } else if (local < kHexBase) {
+    const int i = local - kSingleBase;
+    os << kDirLetter[i / kSinglesPerDir] << (i % kSinglesPerDir);
+  } else if (local < kImuxBase) {
+    const int i = local - kHexBase;
+    os << 'H' << kDirLetter[i / kHexesPerDir] << (i % kHexesPerDir);
+  } else {
+    const int i = local - kImuxBase;
+    os << "S" << (i / kImuxPinsPerSlice) << "_"
+       << kImuxNames[i % kImuxPinsPerSlice];
+  }
+  return os.str();
+}
+
+std::optional<int> local_wire_by_name(std::string_view name) {
+  // Long-driver aliases.
+  if (name.size() == 3 && name[0] == 'L' && (name[1] == 'H' || name[1] == 'V') &&
+      (name[2] == '0' || name[2] == '1')) {
+    return kLongDriverBase + (name[1] == 'V' ? 2 : 0) + (name[2] - '0');
+  }
+  // Slice pins and IMUX pins: "S0_*" / "S1_*".
+  if (name.size() >= 4 && name[0] == 'S' && (name[1] == '0' || name[1] == '1') &&
+      name[2] == '_') {
+    const int slice = name[1] - '0';
+    const std::string_view rest = name.substr(3);
+    for (int p = 0; p < 4; ++p) {
+      if (rest == kPinNames[p]) {
+        return pin_local(slice, static_cast<SlicePin>(p));
+      }
+    }
+    for (int p = 0; p < kImuxPinsPerSlice; ++p) {
+      if (rest == kImuxNames[p]) {
+        return imux_local(slice, static_cast<ImuxPin>(p));
+      }
+    }
+    return std::nullopt;
+  }
+  if (starts_with(name, "OUT")) {
+    const auto j = parse_uint(name.substr(3));
+    if (j && *j < 8) return out_local(static_cast<int>(*j));
+    return std::nullopt;
+  }
+  if (name.size() >= 2 && name[0] == 'H') {
+    for (int d = 0; d < 4; ++d) {
+      if (name[1] == kDirLetter[d]) {
+        const auto k = parse_uint(name.substr(2));
+        if (k && *k < kHexesPerDir) {
+          return hex_local(static_cast<Dir>(d), static_cast<int>(*k));
+        }
+      }
+    }
+    return std::nullopt;
+  }
+  for (int d = 0; d < 4; ++d) {
+    if (!name.empty() && name[0] == kDirLetter[d]) {
+      const auto k = parse_uint(name.substr(1));
+      if (k && *k < kSinglesPerDir) {
+        return single_local(static_cast<Dir>(d), static_cast<int>(*k));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string source_ref_name(const SourceRef& ref) {
+  std::ostringstream os;
+  switch (ref.kind) {
+    case SourceRef::Kind::LongH:
+      os << "LH" << ref.index;
+      return os.str();
+    case SourceRef::Kind::LongV:
+      os << "LV" << ref.index;
+      return os.str();
+    case SourceRef::Kind::Gclk:
+      return "GCLK";
+    case SourceRef::Kind::TileWire:
+      break;
+  }
+  if (ref.dr == 0 && ref.dc == 0) {
+    return local_wire_name(ref.index);
+  }
+  // Incoming wires: recover the arrival direction from the offset. A single
+  // arriving from the west is the west neighbour's eastbound wire, etc.
+  auto dir_from_offset = [&](int span) -> std::optional<Dir> {
+    if (ref.dr == 0 && ref.dc == -span) return Dir::W;
+    if (ref.dr == 0 && ref.dc == span) return Dir::E;
+    if (ref.dr == -span && ref.dc == 0) return Dir::N;
+    if (ref.dr == span && ref.dc == 0) return Dir::S;
+    return std::nullopt;
+  };
+  if (ref.index >= kSingleBase && ref.index < kHexBase) {
+    const auto from = dir_from_offset(1);
+    JPG_ASSERT(from.has_value());
+    os << kDirLetter[static_cast<int>(*from)] << "IN"
+       << ((ref.index - kSingleBase) % kSinglesPerDir);
+    return os.str();
+  }
+  if (ref.index >= kHexBase && ref.index < kImuxBase) {
+    const int k = (ref.index - kHexBase) % kHexesPerDir;
+    if (const auto from = dir_from_offset(kHexSpan)) {
+      os << 'H' << kDirLetter[static_cast<int>(*from)] << "IN" << k;
+      return os.str();
+    }
+    const auto from = dir_from_offset(kHexTap);
+    JPG_ASSERT(from.has_value());
+    os << 'H' << kDirLetter[static_cast<int>(*from)] << "MID" << k;
+    return os.str();
+  }
+  JPG_ASSERT_MSG(false, "unnameable source ref");
+  return {};
+}
+
+std::optional<SourceRef> source_ref_by_name(std::string_view name) {
+  if (name == "GCLK") return SourceRef{SourceRef::Kind::Gclk, 0, 0, 0};
+  if (name.size() == 3 && name[0] == 'L' && (name[1] == 'H' || name[1] == 'V') &&
+      (name[2] == '0' || name[2] == '1')) {
+    return SourceRef{name[1] == 'H' ? SourceRef::Kind::LongH
+                                    : SourceRef::Kind::LongV,
+                     0, 0, name[2] - '0'};
+  }
+  // Incoming wires: [H]<D>IN<k> / H<D>MID<k>.
+  const bool is_hex = !name.empty() && name[0] == 'H' && name.size() >= 2 &&
+                      (name[1] == 'E' || name[1] == 'N' || name[1] == 'W' ||
+                       name[1] == 'S');
+  const std::string_view rest = is_hex ? name.substr(1) : name;
+  for (int d = 0; d < 4; ++d) {
+    if (rest.empty() || rest[0] != kDirLetter[d]) continue;
+    const Dir from = static_cast<Dir>(d);
+    if (is_hex && starts_with(rest.substr(1), "IN")) {
+      const auto k = parse_uint(rest.substr(3));
+      if (k && *k < kHexesPerDir) {
+        return incoming_hex(from, static_cast<int>(*k), kHexSpan);
+      }
+    }
+    if (is_hex && starts_with(rest.substr(1), "MID")) {
+      const auto k = parse_uint(rest.substr(4));
+      if (k && *k < kHexesPerDir) {
+        return incoming_hex(from, static_cast<int>(*k), kHexTap);
+      }
+    }
+    if (!is_hex && starts_with(rest.substr(1), "IN")) {
+      const auto k = parse_uint(rest.substr(3));
+      if (k && *k < kSinglesPerDir) {
+        return incoming_single(from, static_cast<int>(*k));
+      }
+    }
+  }
+  // Fall back to plain local wire names.
+  if (const auto local = local_wire_by_name(name);
+      local && *local < kTileWires) {
+    return SourceRef{SourceRef::Kind::TileWire, 0, 0, *local};
+  }
+  return std::nullopt;
+}
+
+RoutingFabric::RoutingFabric(const DeviceSpec& spec) : spec_(&spec) {
+  build_template();
+
+  const std::size_t tiles =
+      static_cast<std::size_t>(spec.clb_rows) * spec.clb_cols;
+  long_base_ = tiles * kTileWires;
+  const std::size_t longs = static_cast<std::size_t>(kLongsPerRow) * spec.clb_rows +
+                            static_cast<std::size_t>(kLongsPerCol) * spec.clb_cols;
+  pad_base_ = long_base_ + longs;
+  const std::size_t pads =
+      2u * static_cast<std::size_t>(spec.clb_rows) * DeviceSpec::kIobsPerRow;
+  num_nodes_ = pad_base_ + pads * 2 + 1;  // +1 for GCLK
+}
+
+void RoutingFabric::build_template() {
+  muxes_.clear();
+  mux_index_of_dest_.assign(kTileWires + kNumLongDrivers, -1);
+  int cfg = 0;
+
+  auto add_mux = [&](int dest_local, std::vector<SourceRef> sources) {
+    MuxDef m;
+    m.dest_local = dest_local;
+    m.sources = std::move(sources);
+    m.cfg_bits = bits_for_sources(m.sources.size());
+    m.cfg_offset = cfg;
+    cfg += static_cast<int>(m.cfg_bits);
+    mux_index_of_dest_[dest_local] = static_cast<int>(muxes_.size());
+    muxes_.push_back(std::move(m));
+  };
+
+  auto local_src = [](int local) {
+    return SourceRef{SourceRef::Kind::TileWire, 0, 0, local};
+  };
+
+  // OUT muxes: any slice output pin onto any OUT wire.
+  for (int j = 0; j < 8; ++j) {
+    std::vector<SourceRef> srcs;
+    for (int p = 0; p < 8; ++p) srcs.push_back(local_src(kPinBase + p));
+    add_mux(out_local(j), std::move(srcs));
+  }
+
+  // Outgoing singles: 8 OUTs, straight-through continuation, two turns, and
+  // hex->single transfer taps (same direction of travel, full-span and mid
+  // tap) so nets can hop between wire classes anywhere.
+  for (int d = 0; d < 4; ++d) {
+    const Dir dir = static_cast<Dir>(d);
+    const Dir perp1 = static_cast<Dir>((d + 1) % 4);
+    const Dir perp2 = static_cast<Dir>((d + 3) % 4);
+    for (int k = 0; k < kSinglesPerDir; ++k) {
+      std::vector<SourceRef> srcs;
+      for (int j = 0; j < 8; ++j) srcs.push_back(local_src(out_local(j)));
+      srcs.push_back(incoming_single(opposite(dir), k));  // straight through
+      srcs.push_back(incoming_single(perp1, k));          // turn
+      srcs.push_back(incoming_single(perp2, k));          // turn
+      srcs.push_back(incoming_hex(opposite(dir), k % kHexesPerDir, kHexSpan));
+      srcs.push_back(incoming_hex(opposite(dir), k % kHexesPerDir, kHexTap));
+      // Long -> single dismount: horizontal singles tap the row's long
+      // lines, vertical singles the column's (so a net riding a long can
+      // alight anywhere along it).
+      srcs.push_back(dir == Dir::E || dir == Dir::W
+                         ? SourceRef{SourceRef::Kind::LongH, 0, 0,
+                                     k % kLongsPerRow}
+                         : SourceRef{SourceRef::Kind::LongV, 0, 0,
+                                     k % kLongsPerCol});
+      add_mux(single_local(dir, k), std::move(srcs));
+    }
+  }
+
+  // Outgoing hexes: 8 OUTs, same-direction chaining, and single->hex
+  // transfer (the arriving same-direction singles of two lane indices).
+  for (int d = 0; d < 4; ++d) {
+    const Dir dir = static_cast<Dir>(d);
+    for (int k = 0; k < kHexesPerDir; ++k) {
+      std::vector<SourceRef> srcs;
+      for (int j = 0; j < 8; ++j) srcs.push_back(local_src(out_local(j)));
+      srcs.push_back(incoming_hex(opposite(dir), k, kHexSpan));
+      srcs.push_back(incoming_single(opposite(dir), k));
+      srcs.push_back(incoming_single(opposite(dir), k + kHexesPerDir));
+      add_mux(hex_local(dir, k), std::move(srcs));
+    }
+  }
+
+  // Long-line driver muxes: each long line can be driven from a fixed OUT
+  // wire or mounted from an arriving single (so nets that are already on
+  // the general fabric can ride a long across the device).
+  for (int k = 0; k < kNumLongDrivers; ++k) {
+    MuxDef m;
+    m.dest_local = kLongDriverBase + k;
+    const bool horizontal = k < 2;
+    m.sources.push_back(local_src(out_local(k)));
+    if (horizontal) {
+      m.sources.push_back(incoming_single(Dir::W, k * 2));
+      m.sources.push_back(incoming_single(Dir::E, k * 2 + 1));
+    } else {
+      m.sources.push_back(incoming_single(Dir::N, k * 2));
+      m.sources.push_back(incoming_single(Dir::S, k * 2 + 1));
+    }
+    m.cfg_bits = bits_for_sources(m.sources.size());
+    m.cfg_offset = cfg;
+    cfg += static_cast<int>(m.cfg_bits);
+    mux_index_of_dest_[m.dest_local] = static_cast<int>(muxes_.size());
+    muxes_.push_back(std::move(m));
+  }
+
+  // IMUX candidate pool, fixed order (see header).
+  std::vector<SourceRef> pool;
+  for (int d = 0; d < 4; ++d) {
+    for (int k = 0; k < kSinglesPerDir; ++k) {
+      pool.push_back(incoming_single(static_cast<Dir>(d), k));
+    }
+  }
+  for (int d = 0; d < 4; ++d) {
+    for (int k = 0; k < kHexesPerDir; ++k) {
+      pool.push_back(incoming_hex(static_cast<Dir>(d), k, kHexSpan));
+    }
+  }
+  for (int d = 0; d < 4; ++d) {
+    for (int k = 0; k < kHexesPerDir; ++k) {
+      pool.push_back(incoming_hex(static_cast<Dir>(d), k, kHexTap));
+    }
+  }
+  for (int j = 0; j < 8; ++j) {
+    pool.push_back(local_src(out_local(j)));
+  }
+  pool.push_back(SourceRef{SourceRef::Kind::LongH, 0, 0, 0});
+  pool.push_back(SourceRef{SourceRef::Kind::LongH, 0, 0, 1});
+  pool.push_back(SourceRef{SourceRef::Kind::LongV, 0, 0, 0});
+  pool.push_back(SourceRef{SourceRef::Kind::LongV, 0, 0, 1});
+  const int pool_size = static_cast<int>(pool.size());
+  JPG_ASSERT(pool_size == 76);
+
+  // IMUX pins: every pin gets a guaranteed local feedback OUT, a long line,
+  // and one arriving single from each of the four directions (so at least
+  // two remain valid at any corner), then 13 pool entries on a coprime
+  // stride so adjacent pins see different neighbourhoods.
+  int pin_counter = 0;
+  for (int slice = 0; slice < 2; ++slice) {
+    for (int p = 0; p < kImuxPinsPerSlice; ++p) {
+      const auto pin = static_cast<ImuxPin>(p);
+      if (pin == ImuxPin::CLK) {
+        add_mux(imux_local(slice, pin),
+                {SourceRef{SourceRef::Kind::Gclk, 0, 0, 0}});
+        continue;
+      }
+      std::vector<SourceRef> srcs;
+      srcs.push_back(local_src(out_local(pin_counter % 8)));
+      srcs.push_back(pin_counter % 2 == 0
+                         ? SourceRef{SourceRef::Kind::LongH, 0, 0,
+                                     (pin_counter / 2) % kLongsPerRow}
+                         : SourceRef{SourceRef::Kind::LongV, 0, 0,
+                                     (pin_counter / 2) % kLongsPerCol});
+      for (int d = 0; d < 4; ++d) {
+        srcs.push_back(incoming_single(static_cast<Dir>(d),
+                                       (pin_counter + d * 2) % kSinglesPerDir));
+      }
+      for (int t = 0; t < 13; ++t) {
+        const int idx = (pin_counter * 7 + t * 3) % pool_size;
+        const SourceRef& cand = pool[static_cast<std::size_t>(idx)];
+        bool dup = false;
+        for (const SourceRef& s : srcs) {
+          if (s == cand) { dup = true; break; }
+        }
+        if (!dup) srcs.push_back(cand);
+      }
+      add_mux(imux_local(slice, pin), std::move(srcs));
+      ++pin_counter;
+    }
+  }
+
+  cfg_bits_used_ = cfg;
+  JPG_ASSERT_MSG(cfg_bits_used_ <= SliceConfigMap::kRoutingBitsPerTile,
+                 "routing template exceeds per-tile config budget");
+}
+
+const MuxDef* RoutingFabric::mux_for_dest(int dest_local) const {
+  JPG_REQUIRE(dest_local >= 0 && dest_local < kTileWires + kNumLongDrivers,
+              "dest wire out of range");
+  const int i = mux_index_of_dest_[dest_local];
+  return i < 0 ? nullptr : &muxes_[static_cast<std::size_t>(i)];
+}
+
+std::size_t RoutingFabric::tile_wire_node(int r, int c, int local) const {
+  JPG_ASSERT(r >= 0 && r < spec_->clb_rows && c >= 0 && c < spec_->clb_cols);
+  JPG_ASSERT(local >= 0 && local < kTileWires);
+  return (static_cast<std::size_t>(r) * spec_->clb_cols + c) * kTileWires +
+         static_cast<std::size_t>(local);
+}
+
+std::size_t RoutingFabric::longh_node(int row, int k) const {
+  JPG_ASSERT(row >= 0 && row < spec_->clb_rows && k >= 0 && k < kLongsPerRow);
+  return long_base_ + static_cast<std::size_t>(kLongsPerRow) * row + k;
+}
+
+std::size_t RoutingFabric::longv_node(int col, int k) const {
+  JPG_ASSERT(col >= 0 && col < spec_->clb_cols && k >= 0 && k < kLongsPerCol);
+  return long_base_ + static_cast<std::size_t>(kLongsPerRow) * spec_->clb_rows +
+         static_cast<std::size_t>(kLongsPerCol) * col + k;
+}
+
+std::size_t RoutingFabric::pad_out_node(Side side, int row, int k) const {
+  JPG_ASSERT(row >= 0 && row < spec_->clb_rows && k >= 0 &&
+             k < DeviceSpec::kIobsPerRow);
+  const std::size_t site =
+      (static_cast<std::size_t>(side == Side::Right ? spec_->clb_rows : 0) +
+       row) * DeviceSpec::kIobsPerRow + static_cast<std::size_t>(k);
+  return pad_base_ + site * 2;
+}
+
+std::size_t RoutingFabric::pad_in_node(Side side, int row, int k) const {
+  return pad_out_node(side, row, k) + 1;
+}
+
+RoutingFabric::NodeInfo RoutingFabric::node_info(std::size_t node) const {
+  JPG_REQUIRE(node < num_nodes_, "node out of range");
+  NodeInfo info;
+  if (node < long_base_) {
+    info.type = NodeInfo::Type::TileWire;
+    info.local = static_cast<int>(node % kTileWires);
+    const std::size_t tile = node / kTileWires;
+    info.r = static_cast<int>(tile / spec_->clb_cols);
+    info.c = static_cast<int>(tile % spec_->clb_cols);
+    return info;
+  }
+  if (node == gclk_node()) {
+    info.type = NodeInfo::Type::Gclk;
+    return info;
+  }
+  if (node < pad_base_) {
+    std::size_t i = node - long_base_;
+    const std::size_t h = static_cast<std::size_t>(kLongsPerRow) * spec_->clb_rows;
+    if (i < h) {
+      info.type = NodeInfo::Type::LongH;
+      info.r = static_cast<int>(i / kLongsPerRow);
+      info.k = static_cast<int>(i % kLongsPerRow);
+    } else {
+      i -= h;
+      info.type = NodeInfo::Type::LongV;
+      info.c = static_cast<int>(i / kLongsPerCol);
+      info.k = static_cast<int>(i % kLongsPerCol);
+    }
+    return info;
+  }
+  const std::size_t i = node - pad_base_;
+  const std::size_t site = i / 2;
+  info.type = (i % 2 == 0) ? NodeInfo::Type::PadOut : NodeInfo::Type::PadIn;
+  const std::size_t row_site = site / DeviceSpec::kIobsPerRow;
+  info.k = static_cast<int>(site % DeviceSpec::kIobsPerRow);
+  if (row_site >= static_cast<std::size_t>(spec_->clb_rows)) {
+    info.side = Side::Right;
+    info.r = static_cast<int>(row_site) - spec_->clb_rows;
+  } else {
+    info.side = Side::Left;
+    info.r = static_cast<int>(row_site);
+  }
+  return info;
+}
+
+std::string RoutingFabric::node_name(std::size_t node) const {
+  const NodeInfo info = node_info(node);
+  std::ostringstream os;
+  switch (info.type) {
+    case NodeInfo::Type::TileWire:
+      os << "R" << (info.r + 1) << "C" << (info.c + 1) << "."
+         << local_wire_name(info.local);
+      break;
+    case NodeInfo::Type::LongH:
+      os << "LH" << info.k << "_ROW" << (info.r + 1);
+      break;
+    case NodeInfo::Type::LongV:
+      os << "LV" << info.k << "_COL" << (info.c + 1);
+      break;
+    case NodeInfo::Type::PadOut:
+    case NodeInfo::Type::PadIn:
+      os << "IOB_" << (info.side == Side::Left ? 'L' : 'R') << (info.r + 1)
+         << "K" << info.k
+         << (info.type == NodeInfo::Type::PadOut ? ".PADOUT" : ".PADIN");
+      break;
+    case NodeInfo::Type::Gclk:
+      os << "GCLK";
+      break;
+  }
+  return os.str();
+}
+
+std::optional<std::size_t> RoutingFabric::resolve_source(
+    int r, int c, const SourceRef& ref) const {
+  switch (ref.kind) {
+    case SourceRef::Kind::LongH:
+      return longh_node(r, ref.index);
+    case SourceRef::Kind::LongV:
+      return longv_node(c, ref.index);
+    case SourceRef::Kind::Gclk:
+      return gclk_node();
+    case SourceRef::Kind::TileWire: {
+      const int rr = r + ref.dr;
+      const int cc = c + ref.dc;
+      if (rr >= 0 && rr < spec_->clb_rows && cc >= 0 && cc < spec_->clb_cols) {
+        return tile_wire_node(rr, cc, ref.index);
+      }
+      // Left/right edge substitution: the single that would arrive from
+      // beyond the edge is the IOB pad-output wire instead. Slot k maps to
+      // pad k / (slots-per-pad).
+      if (ref.dr == 0 && rr == r) {
+        const int slots_per_pad = kSinglesPerDir / DeviceSpec::kIobsPerRow;
+        if (cc == -1 && ref.index >= single_local(Dir::E, 0) &&
+            ref.index < single_local(Dir::E, 0) + kSinglesPerDir && ref.dc == -1) {
+          const int k = (ref.index - single_local(Dir::E, 0)) / slots_per_pad;
+          return pad_out_node(Side::Left, r, k);
+        }
+        if (cc == spec_->clb_cols && ref.dc == 1 &&
+            ref.index >= single_local(Dir::W, 0) &&
+            ref.index < single_local(Dir::W, 0) + kSinglesPerDir) {
+          const int k = (ref.index - single_local(Dir::W, 0)) / slots_per_pad;
+          return pad_out_node(Side::Right, r, k);
+        }
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> RoutingFabric::pad_in_sources(Side side, int row,
+                                                       int k) const {
+  (void)k;  // every pad of a row sees the same candidate wires
+  std::vector<std::size_t> srcs;
+  srcs.reserve(kSinglesPerDir);
+  const int col = side == Side::Left ? 0 : spec_->clb_cols - 1;
+  const Dir toward_pad = side == Side::Left ? Dir::W : Dir::E;
+  for (int j = 0; j < kSinglesPerDir; ++j) {
+    srcs.push_back(tile_wire_node(row, col, single_local(toward_pad, j)));
+  }
+  return srcs;
+}
+
+}  // namespace jpg

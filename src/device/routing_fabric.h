@@ -1,0 +1,189 @@
+// The programmable routing fabric: wires, switch-matrix muxes and PIPs.
+//
+// Every CLB tile carries an identical switch matrix (the "template"), so the
+// fabric is described once and instantiated positionally. Local wires of a
+// tile, in index order:
+//
+//   0..7    slice output pins  S0_X S0_Y S0_XQ S0_YQ S1_X S1_Y S1_XQ S1_YQ
+//   8..15   OUT0..OUT7         output muxes onto the general fabric
+//   16..47  outgoing singles   E0..E7 N0..N7 W0..W7 S0..S7 (span 1 tile)
+//   48..63  outgoing hexes     HE0..3 HN0..3 HW0..3 HS0..3 (span 6 tiles,
+//                              mid tap at 3)
+//   64..89  input muxes        S0_F1..F4 G1..G4 BX BY CE SR CLK, then S1_*
+//
+// Shared wires (not tile-local): two horizontal long lines per row (LH0/1),
+// two vertical long lines per column (LV0/1), one pad-output and one
+// pad-input wire per IOB site, and the global clock GCLK.
+//
+// A *PIP* in the XDL sense is (tile, source wire -> dest wire); physically it
+// is the dest wire's mux programmed to the source's position in its candidate
+// list (binary-encoded, value 0 = mux off). Mux config bits are allocated
+// sequentially inside the tile's 672-bit routing budget (SliceConfigMap).
+//
+// Direction conventions: row 0 is the top of the array; N decreases row.
+// A single "E3" owned by tile (r,c) is *driven* at (r,c) and *readable* at
+// (r,c+1); hence "the single arriving from the west" at (r,c) is (r,c-1).E3.
+// At the left/right device edges those off-array references resolve to IOB
+// pad-output wires instead (pads feed the fabric through the same slots).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "device/device_spec.h"
+#include "device/slice_config.h"
+
+namespace jpg {
+
+// --- Local wire index space -------------------------------------------------
+
+constexpr int kTileWires = 90;
+
+/// Long-driver alias indices: a mux with dest_local kLongDriverBase+k drives
+/// the shared long line (k 0/1 = LH0/LH1 of the tile's row, 2/3 = LV0/LV1 of
+/// the tile's column) rather than a tile-local wire.
+constexpr int kLongDriverBase = kTileWires;
+constexpr int kNumLongDrivers = 4;
+
+constexpr int kPinBase = 0;      // 8 slice output pins
+constexpr int kOutBase = 8;      // 8 OUT wires
+constexpr int kSingleBase = 16;  // 32 singles (8 per direction, order E N W S)
+constexpr int kHexBase = 48;     // 16 hexes (4 per direction, order E N W S)
+constexpr int kImuxBase = 64;    // 26 input-mux pins (13 per slice)
+
+constexpr int kSinglesPerDir = 8;
+constexpr int kHexesPerDir = 4;
+constexpr int kHexSpan = 6;
+constexpr int kHexTap = 3;
+constexpr int kLongsPerRow = 2;
+constexpr int kLongsPerCol = 2;
+
+enum class Dir { E = 0, N = 1, W = 2, S = 3 };
+
+/// IMUX pin within a slice.
+enum class ImuxPin {
+  F1 = 0, F2, F3, F4, G1, G2, G3, G4, BX, BY, CE, SR, CLK,
+};
+constexpr int kImuxPinsPerSlice = 13;
+
+/// Slice output pin within a slice.
+enum class SlicePin { X = 0, Y = 1, XQ = 2, YQ = 3 };
+
+[[nodiscard]] constexpr int pin_local(int slice, SlicePin p) {
+  return kPinBase + slice * 4 + static_cast<int>(p);
+}
+[[nodiscard]] constexpr int out_local(int j) { return kOutBase + j; }
+[[nodiscard]] constexpr int single_local(Dir d, int k) {
+  return kSingleBase + static_cast<int>(d) * kSinglesPerDir + k;
+}
+[[nodiscard]] constexpr int hex_local(Dir d, int k) {
+  return kHexBase + static_cast<int>(d) * kHexesPerDir + k;
+}
+[[nodiscard]] constexpr int imux_local(int slice, ImuxPin p) {
+  return kImuxBase + slice * kImuxPinsPerSlice + static_cast<int>(p);
+}
+
+/// Canonical wire name ("S0_X", "OUT3", "E2", "HN1", "S1_CLK"); the long
+/// driver aliases are named "LH0" "LH1" "LV0" "LV1". Inverse below.
+[[nodiscard]] std::string local_wire_name(int local);
+[[nodiscard]] std::optional<int> local_wire_by_name(std::string_view name);
+
+// --- Mux source references ----------------------------------------------------
+
+/// A candidate source of a mux, expressed relative to the mux's tile.
+struct SourceRef {
+  enum class Kind {
+    TileWire,  ///< wire `index` of tile (r+dr, c+dc)
+    LongH,     ///< horizontal long line `index` of the tile's row
+    LongV,     ///< vertical long line `index` of the tile's column
+    Gclk,      ///< the global clock
+  };
+  Kind kind = Kind::TileWire;
+  int dr = 0;
+  int dc = 0;
+  int index = 0;
+
+  bool operator==(const SourceRef&) const = default;
+};
+
+/// Template-relative source name as written in XDL pips, seen from the mux's
+/// tile: local wires by their own name ("OUT3", "S0_X"); the single arriving
+/// from direction D as "<D>IN<k>" ("WIN3"); full-span and mid-tap incoming
+/// hexes as "H<D>IN<k>" / "H<D>MID<k>"; long lines "LH0".."LV1"; "GCLK".
+[[nodiscard]] std::string source_ref_name(const SourceRef& ref);
+[[nodiscard]] std::optional<SourceRef> source_ref_by_name(std::string_view name);
+
+/// One programmable mux of the tile template.
+struct MuxDef {
+  int dest_local = 0;   ///< local wire this mux drives
+  int cfg_offset = 0;   ///< first bit inside the tile's routing budget
+  unsigned cfg_bits = 0;  ///< field width; value 0 = off, i+1 = sources[i]
+  std::vector<SourceRef> sources;
+};
+
+// --- Fabric -------------------------------------------------------------------
+
+class RoutingFabric {
+ public:
+  explicit RoutingFabric(const DeviceSpec& spec);
+
+  [[nodiscard]] const DeviceSpec& spec() const { return *spec_; }
+
+  /// The per-tile mux template (identical for every CLB tile).
+  [[nodiscard]] const std::vector<MuxDef>& tile_muxes() const { return muxes_; }
+
+  /// Mux whose output is `dest_local`, or nullptr (slice pins have no mux).
+  [[nodiscard]] const MuxDef* mux_for_dest(int dest_local) const;
+
+  /// Total routing config bits consumed per tile (<= kRoutingBitsPerTile).
+  [[nodiscard]] int cfg_bits_used() const { return cfg_bits_used_; }
+
+  // --- Global node id space ---------------------------------------------------
+  [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+
+  [[nodiscard]] std::size_t tile_wire_node(int r, int c, int local) const;
+  [[nodiscard]] std::size_t longh_node(int row, int k) const;
+  [[nodiscard]] std::size_t longv_node(int col, int k) const;
+  [[nodiscard]] std::size_t pad_out_node(Side side, int row, int k) const;
+  [[nodiscard]] std::size_t pad_in_node(Side side, int row, int k) const;
+  [[nodiscard]] std::size_t gclk_node() const { return num_nodes_ - 1; }
+
+  struct NodeInfo {
+    enum class Type { TileWire, LongH, LongV, PadOut, PadIn, Gclk };
+    Type type = Type::TileWire;
+    int r = 0;      ///< tile row / long-line row / IOB row
+    int c = 0;      ///< tile col / long-line col
+    int local = 0;  ///< tile-local wire index (TileWire only)
+    int k = 0;      ///< long-line or IOB index
+    Side side = Side::Left;  ///< IOB side (PadOut/PadIn only)
+  };
+  [[nodiscard]] NodeInfo node_info(std::size_t node) const;
+  [[nodiscard]] std::string node_name(std::size_t node) const;
+
+  /// Resolves a template source at tile (r, c) to a node id. Off-array
+  /// single references on the left/right edges resolve to pad-output wires;
+  /// all other off-array references return nullopt (unconnectable input).
+  [[nodiscard]] std::optional<std::size_t> resolve_source(
+      int r, int c, const SourceRef& ref) const;
+
+  /// The pad-input mux of an IOB site: candidate source nodes in encoding
+  /// order (value i+1 selects sources[i]; stored in IobField::OmuxSel).
+  [[nodiscard]] std::vector<std::size_t> pad_in_sources(Side side, int row,
+                                                        int k) const;
+
+ private:
+  void build_template();
+
+  const DeviceSpec* spec_;
+  std::vector<MuxDef> muxes_;
+  std::vector<int> mux_index_of_dest_;  // local wire -> mux index or -1
+  int cfg_bits_used_ = 0;
+  std::size_t long_base_ = 0;
+  std::size_t pad_base_ = 0;
+  std::size_t num_nodes_ = 0;
+};
+
+}  // namespace jpg

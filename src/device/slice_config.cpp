@@ -1,0 +1,147 @@
+#include "device/slice_config.h"
+
+#include <array>
+
+#include "support/error.h"
+#include "support/string_util.h"
+
+namespace jpg {
+
+namespace {
+constexpr std::array<std::string_view, kNumSliceFields> kFieldNames = {
+    "FFX_USED", "FFY_USED", "X_USED",  "Y_USED", "DXMUX",  "DYMUX", "CKINV",
+    "SYNC_ATTR", "SR_USED", "CE_USED", "INITX",  "INITY",  "SRFFMUX",
+};
+}  // namespace
+
+std::string_view slice_field_name(SliceField f) {
+  const auto i = static_cast<std::size_t>(f);
+  JPG_ASSERT(i < kFieldNames.size());
+  return kFieldNames[i];
+}
+
+std::optional<SliceField> slice_field_by_name(std::string_view n) {
+  for (std::size_t i = 0; i < kFieldNames.size(); ++i) {
+    if (iequals(kFieldNames[i], n)) return static_cast<SliceField>(i);
+  }
+  return std::nullopt;
+}
+
+void SliceConfigMap::check_clb(int row, int col, int slice) const {
+  const DeviceSpec& spec = fm_->spec();
+  JPG_REQUIRE(row >= 0 && row < spec.clb_rows, "CLB row out of range");
+  JPG_REQUIRE(col >= 0 && col < spec.clb_cols, "CLB col out of range");
+  JPG_REQUIRE(slice == 0 || slice == 1, "slice index must be 0 or 1");
+}
+
+FrameBit SliceConfigMap::lut_bit(int row, int col, int slice, LutSel lut,
+                                 int i) const {
+  check_clb(row, col, slice);
+  JPG_REQUIRE(i >= 0 && i < 16, "LUT bit index out of range");
+  FrameBit fb;
+  fb.major = fm_->major_of_clb_col(col);
+  fb.minor = i;
+  const unsigned lane =
+      static_cast<unsigned>(slice) * 2 + (lut == LutSel::G ? 1u : 0u);
+  fb.bit = static_cast<unsigned>(fm_->row_bit_base(row)) + lane;
+  return fb;
+}
+
+FrameBit SliceConfigMap::field_bit(int row, int col, int slice,
+                                   SliceField f) const {
+  check_clb(row, col, slice);
+  FrameBit fb;
+  fb.major = fm_->major_of_clb_col(col);
+  fb.minor = 16 + static_cast<int>(f);
+  fb.bit = static_cast<unsigned>(fm_->row_bit_base(row)) + 4u +
+           static_cast<unsigned>(slice);
+  return fb;
+}
+
+FrameBit SliceConfigMap::capture_bit(int row, int col, int slice,
+                                     int le) const {
+  check_clb(row, col, slice);
+  JPG_REQUIRE(le == 0 || le == 1, "logic element index must be 0 or 1");
+  FrameBit fb;
+  fb.major = fm_->major_of_clb_col(col);
+  fb.minor = 16 + le;
+  fb.bit = static_cast<unsigned>(fm_->row_bit_base(row)) +
+           static_cast<unsigned>(slice);
+  return fb;
+}
+
+FrameBit SliceConfigMap::routing_bit(int row, int col, int i) const {
+  check_clb(row, col, 0);
+  JPG_REQUIRE(i >= 0 && i < kRoutingBitsPerTile, "routing bit out of range");
+  FrameBit fb;
+  fb.major = fm_->major_of_clb_col(col);
+  int minor;
+  unsigned window_bit;
+  if (i < 192) {
+    // minors 0..15, window bits 6..17
+    minor = i / 12;
+    window_bit = 6u + static_cast<unsigned>(i % 12);
+  } else if (i < 384) {
+    // minors 16..31, window bits 6..17
+    const int j = i - 192;
+    minor = 16 + j / 12;
+    window_bit = 6u + static_cast<unsigned>(j % 12);
+  } else {
+    // minors 32..47, window bits 0..17
+    const int j = i - 384;
+    minor = 32 + j / 18;
+    window_bit = static_cast<unsigned>(j % 18);
+  }
+  fb.minor = minor;
+  fb.bit = static_cast<unsigned>(fm_->row_bit_base(row)) + window_bit;
+  return fb;
+}
+
+FrameBit SliceConfigMap::bram_bit(Side side, int block, int i) const {
+  JPG_REQUIRE(block >= 0 && block < bram_blocks_per_column(),
+              "BRAM block out of range");
+  JPG_REQUIRE(i >= 0 && i < kBramBitsPerBlock, "BRAM bit out of range");
+  // 72 bits per frame per block: the block's four row windows.
+  constexpr int kBitsPerFrame = kBramRowsPerBlock * FrameMap::kBitsPerRow;
+  FrameBit fb;
+  fb.block_type = 1;
+  fb.major = side == Side::Left ? 0 : 1;
+  fb.minor = i / kBitsPerFrame;
+  const int rem = i % kBitsPerFrame;
+  const int row = block * kBramRowsPerBlock + rem / FrameMap::kBitsPerRow;
+  fb.bit = static_cast<unsigned>(fm_->row_bit_base(row)) +
+           static_cast<unsigned>(rem % FrameMap::kBitsPerRow);
+  JPG_ASSERT(fb.minor < FrameMap::kBramFrames);
+  return fb;
+}
+
+FrameBit SliceConfigMap::iob_field_bit(Side side, int row, int k, IobField f,
+                                       unsigned biti) const {
+  const DeviceSpec& spec = fm_->spec();
+  JPG_REQUIRE(row >= 0 && row < spec.clb_rows, "IOB row out of range");
+  JPG_REQUIRE(k >= 0 && k < DeviceSpec::kIobsPerRow, "IOB index out of range");
+  FrameBit fb;
+  fb.major = side == Side::Left ? fm_->left_iob_major() : fm_->right_iob_major();
+  const unsigned base =
+      static_cast<unsigned>(fm_->row_bit_base(row)) + 9u * static_cast<unsigned>(k);
+  switch (f) {
+    case IobField::IsInput:
+      JPG_REQUIRE(biti == 0, "IS_INPUT is one bit");
+      fb.minor = 0;
+      fb.bit = base + 0;
+      break;
+    case IobField::IsOutput:
+      JPG_REQUIRE(biti == 0, "IS_OUTPUT is one bit");
+      fb.minor = 0;
+      fb.bit = base + 1;
+      break;
+    case IobField::OmuxSel:
+      JPG_REQUIRE(biti < kIobOmuxBits, "OMUX bit index out of range");
+      fb.minor = 1 + static_cast<int>(biti);
+      fb.bit = base;
+      break;
+  }
+  return fb;
+}
+
+}  // namespace jpg

@@ -1,0 +1,130 @@
+// Deterministic resource -> configuration-bit mapping for logic resources.
+//
+// Every configurable bit of a CLB tile lives in the 48 frames of the tile's
+// own column, inside the tile row's 18-bit window (see FrameMap). The layout
+// is our own (the real Virtex assignments were never published) but it is
+// fixed, injective, and column-local — the three properties partial
+// bitstream generation relies on. Per CLB tile:
+//
+//   minors 0..15,  window bits 0..3  : LUT truth tables, one bit per frame
+//                                      (bit i of S0.F -> minor i bit 0,
+//                                       S0.G -> bit 1, S1.F -> 2, S1.G -> 3)
+//   minors 16..31, window bits 4..5  : slice control fields
+//                                      (field j of slice s -> minor 16+j,
+//                                       bit 4+s)
+//   minors 0..15   bits 6..17,
+//   minors 16..31  bits 6..17,
+//   minors 32..47  bits 0..17        : routing mux bits (672 per tile),
+//                                      allocated by RoutingFabric
+//
+// IOB sites (left/right columns, kIobsPerRow per row) get 9 window bits each
+// (site k owns bits 9k..9k+8):
+//   minor 0, bit 9k+0 : IS_INPUT      minor 0, bit 9k+1 : IS_OUTPUT
+//   minors 1..4, bit 9k : 4-bit pad-output source select (OMUX)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "device/frame_map.h"
+
+namespace jpg {
+
+/// Absolute location of a single configuration bit.
+struct FrameBit {
+  int block_type = 0;  ///< 0 = CLB/IOB/clock plane, 1 = BRAM content
+  int major = 0;
+  int minor = 0;
+  unsigned bit = 0;  ///< absolute bit index within the frame
+
+  bool operator==(const FrameBit&) const = default;
+};
+
+enum class LutSel { F, G };
+
+/// One-bit slice control fields, in config order. Semantics (used by the
+/// bitstream-level simulator):
+///   FfxUsed/FfyUsed : FF on the X/Y logic element is instantiated
+///   XUsed/YUsed     : combinational X/Y output drives the fabric
+///   DxMux/DyMux     : FF D input source: 0 = LUT output, 1 = BX/BY bypass
+///   CkInv           : 1 = clock on the falling edge
+///   SyncAttr        : 1 = synchronous set/reset, 0 = asynchronous
+///   SrUsed/CeUsed   : SR/CE slice inputs are connected
+///   InitX/InitY     : FF initial (and SR target, per SrFfMux) value
+///   SrFfMux         : 1 = SR sets the FF to InitX/InitY, 0 = resets to 0
+enum class SliceField {
+  FfxUsed = 0,
+  FfyUsed,
+  XUsed,
+  YUsed,
+  DxMux,
+  DyMux,
+  CkInv,
+  SyncAttr,
+  SrUsed,
+  CeUsed,
+  InitX,
+  InitY,
+  SrFfMux,
+};
+constexpr int kNumSliceFields = 13;
+
+[[nodiscard]] std::string_view slice_field_name(SliceField f);
+[[nodiscard]] std::optional<SliceField> slice_field_by_name(std::string_view n);
+
+enum class Side { Left, Right };
+
+enum class IobField { IsInput, IsOutput, OmuxSel };
+constexpr unsigned kIobOmuxBits = 4;
+
+class SliceConfigMap {
+ public:
+  /// Routing mux bits available per CLB tile (allocated by RoutingFabric).
+  static constexpr int kRoutingBitsPerTile = 672;
+
+  explicit SliceConfigMap(const FrameMap& fm) : fm_(&fm) {}
+
+  /// Bit `i` (0..15) of the F/G LUT truth table of slice `slice` in CLB
+  /// (row, col).
+  [[nodiscard]] FrameBit lut_bit(int row, int col, int slice, LutSel lut,
+                                 int i) const;
+
+  /// Location of a one-bit slice control field.
+  [[nodiscard]] FrameBit field_bit(int row, int col, int slice,
+                                   SliceField f) const;
+
+  /// Location of the state-capture bit of logic element `le` (0 = X, 1 = Y)
+  /// of a slice: the CAPTURE/readback mechanism latches the FF's current
+  /// value here so readback can observe live state (XAPP138-style). Uses
+  /// the otherwise-free window bits 0..3 of minors 16/17.
+  [[nodiscard]] FrameBit capture_bit(int row, int col, int slice, int le) const;
+
+  /// Location of routing bit `i` (0..kRoutingBitsPerTile) of CLB (row, col).
+  [[nodiscard]] FrameBit routing_bit(int row, int col, int i) const;
+
+  /// Location of bit `biti` of an IOB field at (side, row, k).
+  [[nodiscard]] FrameBit iob_field_bit(Side side, int row, int k, IobField f,
+                                       unsigned biti = 0) const;
+
+  // --- Block RAM content --------------------------------------------------------
+  /// BRAM geometry: one BRAM column per edge, one 4096-bit block per four
+  /// CLB rows. Each block's content bit i lives in the column's block-type-1
+  /// frames: 72 bits per frame per block (four 18-bit row windows).
+  static constexpr int kBramBitsPerBlock = 4096;
+  static constexpr int kBramRowsPerBlock = 4;
+  [[nodiscard]] int bram_blocks_per_column() const {
+    return fm_->spec().clb_rows / kBramRowsPerBlock;
+  }
+  /// Location of content bit `i` (0..4095) of BRAM `block` on `side`.
+  [[nodiscard]] FrameBit bram_bit(Side side, int block, int i) const;
+
+  [[nodiscard]] const FrameMap& frame_map() const { return *fm_; }
+
+ private:
+  void check_clb(int row, int col, int slice) const;
+
+  const FrameMap* fm_;
+};
+
+}  // namespace jpg

@@ -1,0 +1,7 @@
+#include "hwif/xhwif.h"
+
+namespace jpg {
+
+Xhwif::~Xhwif() = default;
+
+}  // namespace jpg

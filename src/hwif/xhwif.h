@@ -1,0 +1,45 @@
+// Xhwif: the board-interface abstraction (the paper's XHWIF: "If there is a
+// FPGA board connected to the PC and the XHWIF interface is used to connect
+// the tool to the board, the newly generated partial bitstream is written
+// onto the FPGA, thus partially reconfiguring the device").
+//
+// JPG talks to boards only through this interface; SimBoard is the simulated
+// implementation used throughout this reproduction (no physical Virtex
+// hardware exists to drive).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace jpg {
+
+class Xhwif {
+ public:
+  virtual ~Xhwif();
+
+  [[nodiscard]] virtual std::string board_name() const = 0;
+
+  /// Clocks configuration words into the device's configuration port.
+  /// May be interleaved with step_clock (dynamic reconfiguration).
+  virtual void send_config(std::span<const std::uint32_t> words) = 0;
+
+  /// Reads back `nframes` frames starting at linear frame index `first`.
+  [[nodiscard]] virtual std::vector<std::uint32_t> readback(
+      std::size_t first, std::size_t nframes) = 0;
+
+  /// Triggers the CAPTURE operation: latches every live flip-flop's value
+  /// into its capture bit so a subsequent readback observes device state
+  /// (the XAPP138 readback-capture flow).
+  virtual void capture_state() = 0;
+
+  /// Advances the user clock.
+  virtual void step_clock(int cycles) = 0;
+
+  /// Drives / samples user I/O pins by pad number.
+  virtual void set_pin(int pad, bool value) = 0;
+  [[nodiscard]] virtual bool get_pin(int pad) = 0;
+};
+
+}  // namespace jpg

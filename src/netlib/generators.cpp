@@ -1,0 +1,442 @@
+#include "netlib/generators.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace jpg::netlib {
+
+namespace {
+
+std::string idx_name(const std::string& base, int i) {
+  std::ostringstream os;
+  os << base << i;
+  return os.str();
+}
+
+/// Builds an XOR (parity) tree over `inputs`, returning the output net.
+/// Uses 4-ary reduction so depth is log4(n).
+NetId xor_tree(Netlist& nl, std::vector<NetId> inputs,
+               const std::string& prefix) {
+  JPG_REQUIRE(!inputs.empty(), "xor tree needs at least one input");
+  const std::uint16_t xor4 = lut_init_from(
+      [](bool a, bool b, bool c, bool d) { return a ^ b ^ c ^ d; });
+  int stage = 0;
+  while (inputs.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i < inputs.size(); i += 4) {
+      const std::size_t take = std::min<std::size_t>(4, inputs.size() - i);
+      if (take == 1) {
+        next.push_back(inputs[i]);
+        continue;
+      }
+      std::array<NetId, 4> in = {kNullNet, kNullNet, kNullNet, kNullNet};
+      for (std::size_t j = 0; j < take; ++j) in[j] = inputs[i + j];
+      // Unconnected inputs read 0, which is the XOR identity.
+      const NetId out = nl.add_net(prefix + "_x" + std::to_string(stage) + "_" +
+                                   std::to_string(i / 4));
+      nl.add_lut(prefix + "_xl" + std::to_string(stage) + "_" +
+                     std::to_string(i / 4),
+                 xor4, in, out);
+      next.push_back(out);
+    }
+    inputs = std::move(next);
+    ++stage;
+  }
+  return inputs[0];
+}
+
+/// Builds an AND tree over `inputs`, returning the output net.
+NetId and_tree(Netlist& nl, std::vector<NetId> inputs,
+               const std::string& prefix) {
+  JPG_REQUIRE(!inputs.empty(), "and tree needs at least one input");
+  int stage = 0;
+  while (inputs.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i < inputs.size(); i += 4) {
+      const std::size_t take = std::min<std::size_t>(4, inputs.size() - i);
+      if (take == 1) {
+        next.push_back(inputs[i]);
+        continue;
+      }
+      std::array<NetId, 4> in = {kNullNet, kNullNet, kNullNet, kNullNet};
+      for (std::size_t j = 0; j < take; ++j) in[j] = inputs[i + j];
+      // AND of the *connected* inputs: unconnected ones read 0, so the mask
+      // must treat them as don't-cares fixed at 0.
+      const std::uint16_t init = lut_init_from(
+          [take](bool a, bool b, bool c, bool d) {
+            const bool v[4] = {a, b, c, d};
+            for (std::size_t j = 0; j < take; ++j) {
+              if (!v[j]) return false;
+            }
+            return true;
+          });
+      const NetId out = nl.add_net(prefix + "_a" + std::to_string(stage) + "_" +
+                                   std::to_string(i / 4));
+      nl.add_lut(prefix + "_al" + std::to_string(stage) + "_" +
+                     std::to_string(i / 4),
+                 init, in, out);
+      next.push_back(out);
+    }
+    inputs = std::move(next);
+    ++stage;
+  }
+  return inputs[0];
+}
+
+}  // namespace
+
+std::uint16_t lut_init_from(
+    const std::function<bool(bool, bool, bool, bool)>& f) {
+  std::uint16_t init = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (f((i & 1) != 0, (i & 2) != 0, (i & 4) != 0, (i & 8) != 0)) {
+      init |= static_cast<std::uint16_t>(1u << i);
+    }
+  }
+  return init;
+}
+
+std::uint16_t lut_and2() {
+  return lut_init_from([](bool a, bool b, bool, bool) { return a && b; });
+}
+std::uint16_t lut_or2() {
+  return lut_init_from([](bool a, bool b, bool, bool) { return a || b; });
+}
+std::uint16_t lut_xor2() {
+  return lut_init_from([](bool a, bool b, bool, bool) { return a != b; });
+}
+std::uint16_t lut_xnor2() {
+  return lut_init_from([](bool a, bool b, bool, bool) { return a == b; });
+}
+std::uint16_t lut_not1() {
+  return lut_init_from([](bool a, bool, bool, bool) { return !a; });
+}
+std::uint16_t lut_buf1() {
+  return lut_init_from([](bool a, bool, bool, bool) { return a; });
+}
+
+Netlist make_counter(int width, const std::string& name) {
+  JPG_REQUIRE(width >= 1 && width <= 64, "counter width out of range");
+  Netlist nl(name);
+  std::vector<NetId> q(static_cast<std::size_t>(width));
+  std::vector<NetId> d(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    q[static_cast<std::size_t>(i)] = nl.add_net(idx_name("q", i));
+    d[static_cast<std::size_t>(i)] = nl.add_net(idx_name("d", i));
+  }
+  // carry[i] = q0 & q1 & ... & qi ; d[i] = q[i] ^ carry[i-1]
+  NetId carry = kNullNet;
+  for (int i = 0; i < width; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    if (i == 0) {
+      nl.add_lut(idx_name("inv", i), lut_not1(),
+                 {q[ui], kNullNet, kNullNet, kNullNet}, d[ui]);
+      carry = q[0];
+    } else {
+      nl.add_lut(idx_name("sum", i), lut_xor2(),
+                 {q[ui], carry, kNullNet, kNullNet}, d[ui]);
+      if (i + 1 < width) {
+        const NetId nc = nl.add_net(idx_name("c", i));
+        nl.add_lut(idx_name("cl", i), lut_and2(),
+                   {q[ui], carry, kNullNet, kNullNet}, nc);
+        carry = nc;
+      }
+    }
+    nl.add_dff(idx_name("ff", i), d[ui], q[ui]);
+    nl.add_obuf(idx_name("ob", i), idx_name("q", i), q[ui]);
+  }
+  return nl;
+}
+
+Netlist make_gray_counter(int width, const std::string& name) {
+  JPG_REQUIRE(width >= 2 && width <= 64, "gray counter width out of range");
+  Netlist nl = make_counter(width, name);
+  // Gray output g[i] = q[i] ^ q[i+1]; g[msb] = q[msb]. Tap the q nets.
+  for (int i = 0; i < width; ++i) {
+    const NetId qi = *nl.find_net(idx_name("q", i));
+    const NetId g = nl.add_net(idx_name("g", i));
+    if (i + 1 < width) {
+      const NetId qn = *nl.find_net(idx_name("q", i + 1));
+      nl.add_lut(idx_name("gl", i), lut_xor2(),
+                 {qi, qn, kNullNet, kNullNet}, g);
+    } else {
+      nl.add_lut(idx_name("gl", i), lut_buf1(),
+                 {qi, kNullNet, kNullNet, kNullNet}, g);
+    }
+    nl.add_obuf(idx_name("gob", i), idx_name("g", i), g);
+  }
+  return nl;
+}
+
+Netlist make_lfsr(int width, std::vector<int> taps, const std::string& name) {
+  JPG_REQUIRE(width >= 2 && width <= 64, "LFSR width out of range");
+  if (taps.empty()) {
+    // Default: feedback from the last two stages (maximal for many widths;
+    // period is irrelevant to the flow, determinism is what matters).
+    taps = {width - 1, width - 2};
+  }
+  Netlist nl(name);
+  std::vector<NetId> q(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    q[static_cast<std::size_t>(i)] = nl.add_net(idx_name("q", i));
+  }
+  std::vector<NetId> tap_nets;
+  for (const int t : taps) {
+    JPG_REQUIRE(t >= 0 && t < width, "LFSR tap out of range");
+    tap_nets.push_back(q[static_cast<std::size_t>(t)]);
+  }
+  const NetId fb = xor_tree(nl, tap_nets, "fb");
+  for (int i = 0; i < width; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const NetId d = i == 0 ? fb : q[ui - 1];
+    // Stage 0 seeded to 1 so the register never sticks at all-zero.
+    nl.add_dff(idx_name("ff", i), d, q[ui], /*init=*/i == 0);
+    nl.add_obuf(idx_name("ob", i), idx_name("q", i), q[ui]);
+  }
+  return nl;
+}
+
+Netlist make_shift_register(int width, const std::string& name) {
+  JPG_REQUIRE(width >= 1 && width <= 128, "shift register width out of range");
+  Netlist nl(name);
+  const NetId si = nl.add_net("si");
+  nl.add_ibuf("ib_si", "si", si);
+  NetId prev = si;
+  for (int i = 0; i < width; ++i) {
+    const NetId qi = nl.add_net(idx_name("q", i));
+    nl.add_dff(idx_name("ff", i), prev, qi);
+    nl.add_obuf(idx_name("ob", i), idx_name("q", i), qi);
+    prev = qi;
+  }
+  return nl;
+}
+
+Netlist make_nrz_encoder(const std::string& name) {
+  Netlist nl(name);
+  const NetId d = nl.add_net("d");
+  const NetId nrz = nl.add_net("nrz");
+  const NetId nxt = nl.add_net("nxt");
+  nl.add_ibuf("ib_d", "d", d);
+  // NRZI: output toggles whenever the data bit is 1.
+  nl.add_lut("enc", lut_xor2(), {d, nrz, kNullNet, kNullNet}, nxt);
+  nl.add_dff("nrz_reg", nxt, nrz);
+  nl.add_obuf("ob_nrz", "nrz", nrz);
+  return nl;
+}
+
+Netlist make_matcher(const std::vector<bool>& pattern, const std::string& name) {
+  JPG_REQUIRE(!pattern.empty() && pattern.size() <= 64,
+              "pattern length out of range");
+  Netlist nl(name);
+  const NetId si = nl.add_net("si");
+  nl.add_ibuf("ib_si", "si", si);
+  // Shift register tapped against the pattern.
+  std::vector<NetId> match_bits;
+  NetId prev = si;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const NetId qi = nl.add_net(idx_name("q", static_cast<int>(i)));
+    nl.add_dff(idx_name("ff", static_cast<int>(i)), prev, qi);
+    prev = qi;
+    if (pattern[i]) {
+      match_bits.push_back(qi);
+    } else {
+      const NetId inv = nl.add_net(idx_name("nq", static_cast<int>(i)));
+      nl.add_lut(idx_name("invl", static_cast<int>(i)), lut_not1(),
+                 {qi, kNullNet, kNullNet, kNullNet}, inv);
+      match_bits.push_back(inv);
+    }
+  }
+  const NetId hit = and_tree(nl, match_bits, "m");
+  const NetId match_q = nl.add_net("match_q");
+  nl.add_dff("match_ff", hit, match_q);
+  nl.add_obuf("ob_match", "match", match_q);
+  return nl;
+}
+
+Netlist make_toggler(const std::string& name) {
+  Netlist nl(name);
+  const NetId t = nl.add_net("t");
+  const NetId nt = nl.add_net("nt");
+  nl.add_lut("inv", lut_not1(), {t, kNullNet, kNullNet, kNullNet}, nt);
+  nl.add_dff("ff", nt, t);
+  nl.add_obuf("ob_t", "t", t);
+  return nl;
+}
+
+Netlist make_johnson(int width, const std::string& name) {
+  JPG_REQUIRE(width >= 2 && width <= 64, "johnson width out of range");
+  Netlist nl(name);
+  std::vector<NetId> q(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    q[static_cast<std::size_t>(i)] = nl.add_net(idx_name("q", i));
+  }
+  // q0 <- ~q[last]; q[i] <- q[i-1].
+  const NetId fb = nl.add_net("fb");
+  nl.add_lut("fbl", lut_not1(),
+             {q[static_cast<std::size_t>(width - 1)], kNullNet, kNullNet,
+              kNullNet},
+             fb);
+  for (int i = 0; i < width; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    nl.add_dff(idx_name("ff", i), i == 0 ? fb : q[ui - 1], q[ui]);
+    nl.add_obuf(idx_name("ob", i), idx_name("q", i), q[ui]);
+  }
+  return nl;
+}
+
+Netlist make_adder(int width, const std::string& name) {
+  JPG_REQUIRE(width >= 1 && width <= 64, "adder width out of range");
+  Netlist nl(name);
+  const std::uint16_t sum3 = lut_init_from(
+      [](bool a, bool b, bool c, bool) { return a ^ b ^ c; });
+  const std::uint16_t carry3 = lut_init_from(
+      [](bool a, bool b, bool c, bool) { return (a && b) || (a && c) || (b && c); });
+  NetId carry = kNullNet;
+  for (int i = 0; i < width; ++i) {
+    const NetId a = nl.add_net(idx_name("a", i));
+    const NetId b = nl.add_net(idx_name("b", i));
+    const NetId s = nl.add_net(idx_name("s", i));
+    nl.add_ibuf(idx_name("iba", i), idx_name("a", i), a);
+    nl.add_ibuf(idx_name("ibb", i), idx_name("b", i), b);
+    nl.add_lut(idx_name("sl", i), sum3, {a, b, carry, kNullNet}, s);
+    const NetId nc = nl.add_net(idx_name("c", i));
+    nl.add_lut(idx_name("cl", i), carry3, {a, b, carry, kNullNet}, nc);
+    carry = nc;
+    nl.add_obuf(idx_name("ob", i), idx_name("s", i), s);
+  }
+  nl.add_obuf("ob_cout", "cout", carry);
+  return nl;
+}
+
+Netlist make_comparator(int width, const std::string& name) {
+  JPG_REQUIRE(width >= 1 && width <= 64, "comparator width out of range");
+  Netlist nl(name);
+  std::vector<NetId> eq_bits;
+  for (int i = 0; i < width; ++i) {
+    const NetId a = nl.add_net(idx_name("a", i));
+    const NetId b = nl.add_net(idx_name("b", i));
+    const NetId e = nl.add_net(idx_name("e", i));
+    nl.add_ibuf(idx_name("iba", i), idx_name("a", i), a);
+    nl.add_ibuf(idx_name("ibb", i), idx_name("b", i), b);
+    nl.add_lut(idx_name("el", i), lut_xnor2(), {a, b, kNullNet, kNullNet}, e);
+    eq_bits.push_back(e);
+  }
+  const NetId eq = and_tree(nl, eq_bits, "eq");
+  nl.add_obuf("ob_eq", "eq", eq);
+  return nl;
+}
+
+Netlist make_parity(int width, const std::string& name) {
+  JPG_REQUIRE(width >= 1 && width <= 64, "parity width out of range");
+  Netlist nl(name);
+  std::vector<NetId> xs;
+  for (int i = 0; i < width; ++i) {
+    const NetId x = nl.add_net(idx_name("x", i));
+    nl.add_ibuf(idx_name("ib", i), idx_name("x", i), x);
+    xs.push_back(x);
+  }
+  const NetId p = xor_tree(nl, xs, "p");
+  nl.add_obuf("ob_p", "p", p);
+  return nl;
+}
+
+Netlist make_mux_tree(int sel_bits, const std::string& name) {
+  JPG_REQUIRE(sel_bits >= 1 && sel_bits <= 4, "mux select width out of range");
+  Netlist nl(name);
+  const int n = 1 << sel_bits;
+  std::vector<NetId> data;
+  for (int i = 0; i < n; ++i) {
+    const NetId d = nl.add_net(idx_name("d", i));
+    nl.add_ibuf(idx_name("ibd", i), idx_name("d", i), d);
+    data.push_back(d);
+  }
+  std::vector<NetId> sel;
+  for (int i = 0; i < sel_bits; ++i) {
+    const NetId s = nl.add_net(idx_name("s", i));
+    nl.add_ibuf(idx_name("ibs", i), idx_name("s", i), s);
+    sel.push_back(s);
+  }
+  // Reduce pairwise per select bit: 2:1 muxes (a, b, s).
+  const std::uint16_t mux2 = lut_init_from(
+      [](bool a, bool b, bool s, bool) { return s ? b : a; });
+  std::vector<NetId> cur = data;
+  for (int level = 0; level < sel_bits; ++level) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < cur.size(); i += 2) {
+      const NetId y = nl.add_net("m" + std::to_string(level) + "_" +
+                                 std::to_string(i / 2));
+      nl.add_lut("ml" + std::to_string(level) + "_" + std::to_string(i / 2),
+                 mux2,
+                 {cur[i], cur[i + 1], sel[static_cast<std::size_t>(level)],
+                  kNullNet},
+                 y);
+      next.push_back(y);
+    }
+    cur = std::move(next);
+  }
+  JPG_ASSERT(cur.size() == 1);
+  nl.add_obuf("ob_y", "y", cur[0]);
+  return nl;
+}
+
+Netlist make_alu_lite(int width, const std::string& name) {
+  JPG_REQUIRE(width >= 1 && width <= 32, "ALU width out of range");
+  Netlist nl(name);
+  const NetId op0 = nl.add_net("op0");
+  const NetId op1 = nl.add_net("op1");
+  nl.add_ibuf("ibop0", "op0", op0);
+  nl.add_ibuf("ibop1", "op1", op1);
+  const std::uint16_t sum3 = lut_init_from(
+      [](bool a, bool b, bool c, bool) { return a ^ b ^ c; });
+  const std::uint16_t carry3 = lut_init_from(
+      [](bool a, bool b, bool c, bool) { return (a && b) || (a && c) || (b && c); });
+  // logic unit: y = op1 ? (op0 ? a^b : a|b) : (a&b)  [op=01 and, 10 or, 11 xor]
+  const std::uint16_t logic4 = lut_init_from(
+      [](bool a, bool b, bool o0, bool o1) {
+        if (!o1) return a && b;       // op=01 (o0 is 1 when selected below)
+        return o0 ? (a != b) : (a || b);
+      });
+  // final select: op==00 -> sum, else logic.
+  const std::uint16_t pick = lut_init_from(
+      [](bool sum, bool logic, bool o0, bool o1) {
+        return (!o0 && !o1) ? sum : logic;
+      });
+  NetId carry = kNullNet;
+  for (int i = 0; i < width; ++i) {
+    const NetId a = nl.add_net(idx_name("a", i));
+    const NetId b = nl.add_net(idx_name("b", i));
+    nl.add_ibuf(idx_name("iba", i), idx_name("a", i), a);
+    nl.add_ibuf(idx_name("ibb", i), idx_name("b", i), b);
+    const NetId s = nl.add_net(idx_name("sum", i));
+    nl.add_lut(idx_name("sl", i), sum3, {a, b, carry, kNullNet}, s);
+    if (i + 1 < width) {  // the MSB carry-out is unused: don't build it
+      const NetId nc = nl.add_net(idx_name("c", i));
+      nl.add_lut(idx_name("cl", i), carry3, {a, b, carry, kNullNet}, nc);
+      carry = nc;
+    }
+    const NetId lg = nl.add_net(idx_name("lg", i));
+    nl.add_lut(idx_name("ll", i), logic4, {a, b, op0, op1}, lg);
+    const NetId y = nl.add_net(idx_name("y", i));
+    nl.add_lut(idx_name("yl", i), pick, {s, lg, op0, op1}, y);
+    nl.add_obuf(idx_name("ob", i), idx_name("y", i), y);
+  }
+  return nl;
+}
+
+const std::vector<GeneratorInfo>& registry() {
+  static const std::vector<GeneratorInfo> gens = {
+      {"counter", [](int p) { return make_counter(p); }},
+      {"gray", [](int p) { return make_gray_counter(p); }},
+      {"johnson", [](int p) { return make_johnson(p); }},
+      {"lfsr", [](int p) { return make_lfsr(p); }},
+      {"shreg", [](int p) { return make_shift_register(p); }},
+      {"adder", [](int p) { return make_adder(p); }},
+      {"cmp", [](int p) { return make_comparator(p); }},
+      {"parity", [](int p) { return make_parity(p); }},
+      {"alu", [](int p) { return make_alu_lite(p); }},
+  };
+  return gens;
+}
+
+}  // namespace jpg::netlib

@@ -1,0 +1,97 @@
+// netlib: generator library of pre-synthesised design modules.
+//
+// The paper's reconfigurable-computing environment (Figure 1) assumes a pool
+// of pre-synthesised module implementations that the host downloads into
+// floorplanned regions. These generators produce such modules as
+// technology-mapped netlists (LUT4/DFF + port buffers) — the stand-in for
+// the HDL synthesis front-end of the Foundation flow. All state elements
+// clock on the single global clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace jpg::netlib {
+
+/// Truth-table helper: builds a LUT4 init from a predicate over (a1..a4).
+[[nodiscard]] std::uint16_t lut_init_from(
+    const std::function<bool(bool, bool, bool, bool)>& f);
+
+// Common init masks (inputs A1, A2 unless stated).
+[[nodiscard]] std::uint16_t lut_and2();
+[[nodiscard]] std::uint16_t lut_or2();
+[[nodiscard]] std::uint16_t lut_xor2();
+[[nodiscard]] std::uint16_t lut_xnor2();
+[[nodiscard]] std::uint16_t lut_not1();
+[[nodiscard]] std::uint16_t lut_buf1();
+
+// --- Sequential modules ---------------------------------------------------------
+
+/// Free-running binary up-counter; outputs q0..q<width-1>.
+[[nodiscard]] Netlist make_counter(int width, const std::string& name = "counter");
+
+/// Binary counter with Gray-coded outputs g0..g<width-1>.
+[[nodiscard]] Netlist make_gray_counter(int width,
+                                        const std::string& name = "gray");
+
+/// Fibonacci LFSR over `taps` (bit positions XORed into the feedback);
+/// outputs q0..q<width-1>. Seeded to 0...01 via FF init.
+[[nodiscard]] Netlist make_lfsr(int width, std::vector<int> taps = {},
+                                const std::string& name = "lfsr");
+
+/// Serial-in parallel-out shift register; input "si", outputs q0...
+[[nodiscard]] Netlist make_shift_register(int width,
+                                          const std::string& name = "shreg");
+
+/// NRZI encoder — the paper's §3.2.2 example module ("u1/nrz"): the output
+/// toggles on every 1 in the data stream. Input "d", output "nrz".
+[[nodiscard]] Netlist make_nrz_encoder(const std::string& name = "nrz");
+
+/// Bit-serial pattern correlator (string matching, the paper's reference
+/// application [5]): shift register plus match detector. Input "si",
+/// output "match" (registered).
+[[nodiscard]] Netlist make_matcher(const std::vector<bool>& pattern,
+                                   const std::string& name = "matcher");
+
+/// Toggle flip-flop; output "t". The smallest useful module.
+[[nodiscard]] Netlist make_toggler(const std::string& name = "toggler");
+
+/// Johnson (twisted-ring) counter; outputs q0..q<width-1>.
+[[nodiscard]] Netlist make_johnson(int width,
+                                   const std::string& name = "johnson");
+
+// --- Combinational modules -----------------------------------------------------
+
+/// Ripple-carry adder: inputs a0.., b0..; outputs s0.., "cout".
+[[nodiscard]] Netlist make_adder(int width, const std::string& name = "adder");
+
+/// Equality comparator: inputs a0.., b0..; output "eq".
+[[nodiscard]] Netlist make_comparator(int width,
+                                      const std::string& name = "cmp");
+
+/// Parity (XOR) tree: inputs x0..; output "p".
+[[nodiscard]] Netlist make_parity(int width, const std::string& name = "parity");
+
+/// 2^sel_bits : 1 multiplexer: inputs d0.., s0..; output "y".
+[[nodiscard]] Netlist make_mux_tree(int sel_bits,
+                                    const std::string& name = "mux");
+
+/// Tiny ALU: inputs a0.., b0.., op0, op1; outputs y0...
+/// op = 00 add, 01 and, 10 or, 11 xor.
+[[nodiscard]] Netlist make_alu_lite(int width, const std::string& name = "alu");
+
+// --- Registry (for sweeps and examples) -----------------------------------------
+
+struct GeneratorInfo {
+  std::string name;
+  std::function<Netlist(int param)> make;
+};
+
+/// All generators with a single size parameter, stable order.
+[[nodiscard]] const std::vector<GeneratorInfo>& registry();
+
+}  // namespace jpg::netlib

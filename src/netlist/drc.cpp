@@ -1,0 +1,140 @@
+#include "netlist/drc.h"
+
+#include <set>
+#include <sstream>
+
+namespace jpg {
+
+namespace {
+
+/// Detects a cycle in the LUT-to-LUT combinational graph by DFS coloring.
+bool find_comb_cycle(const Netlist& nl, std::string& cycle_cell) {
+  const std::size_t n = nl.num_cells();
+  // 0 = white, 1 = on stack, 2 = done
+  std::vector<std::uint8_t> color(n, 0);
+  std::vector<std::pair<CellId, std::size_t>> stack;
+
+  auto comb_fanout = [&](CellId id, std::size_t edge,
+                         CellId& next) -> bool {
+    const Cell& c = nl.cell(id);
+    if (c.out == kNullNet) return false;
+    const Net& net = nl.net(c.out);
+    std::size_t seen = 0;
+    for (const NetSink& s : net.sinks) {
+      if (nl.cell(s.cell).kind != CellKind::Lut4) continue;
+      if (seen == edge) {
+        next = s.cell;
+        return true;
+      }
+      ++seen;
+    }
+    return false;
+  };
+
+  for (CellId start = 0; start < n; ++start) {
+    if (nl.cell(start).kind != CellKind::Lut4 || color[start] != 0) continue;
+    stack.clear();
+    stack.emplace_back(start, 0);
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [id, edge] = stack.back();
+      CellId next = kNullCell;
+      if (comb_fanout(id, edge, next)) {
+        ++edge;
+        if (color[next] == 1) {
+          cycle_cell = nl.cell(next).name;
+          return true;
+        }
+        if (color[next] == 0) {
+          color[next] = 1;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        color[id] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DrcReport run_drc(const Netlist& nl) {
+  DrcReport rep;
+  auto err = [&](const std::string& m) { rep.errors.push_back(m); };
+  auto warn = [&](const std::string& m) { rep.warnings.push_back(m); };
+
+  // Unique names.
+  std::set<std::string> cell_names, in_ports, out_ports;
+  for (const Cell& c : nl.cells()) {
+    if (!cell_names.insert(c.name).second) {
+      err("duplicate cell name '" + c.name + "'");
+    }
+    if (c.kind == CellKind::Ibuf && !in_ports.insert(c.port).second) {
+      err("duplicate input port '" + c.port + "'");
+    }
+    if (c.kind == CellKind::Obuf && !out_ports.insert(c.port).second) {
+      err("duplicate output port '" + c.port + "'");
+    }
+  }
+  for (const std::string& p : in_ports) {
+    if (out_ports.count(p) != 0) {
+      err("port '" + p + "' is both input and output");
+    }
+  }
+
+  // Net connectivity.
+  for (std::size_t i = 0; i < nl.num_nets(); ++i) {
+    const Net& net = nl.net(static_cast<NetId>(i));
+    if (!net.sinks.empty() && net.driver == kNullCell) {
+      err("net '" + net.name + "' has sinks but no driver");
+    }
+    if (net.sinks.empty() && net.driver != kNullCell) {
+      warn("net '" + net.name + "' has no sinks");
+    }
+  }
+
+  // Obuf drive rules.
+  for (const Cell& c : nl.cells()) {
+    if (c.kind != CellKind::Obuf) continue;
+    if (c.in[0] == kNullNet) {
+      err("OBUF '" + c.name + "' input is unconnected");
+      continue;
+    }
+    const Net& net = nl.net(c.in[0]);
+    if (net.driver == kNullCell) continue;  // reported above
+    const CellKind dk = nl.cell(net.driver).kind;
+    if (dk == CellKind::Gnd || dk == CellKind::Vcc) {
+      err("OBUF '" + c.name +
+          "' is driven by a constant; fold constants into a LUT first");
+    }
+  }
+
+  // Combinational cycles.
+  std::string cyc;
+  if (find_comb_cycle(nl, cyc)) {
+    err("combinational cycle through LUT '" + cyc + "'");
+  }
+
+  // Fanout-free logic cells.
+  for (const Cell& c : nl.cells()) {
+    if (!c.has_output() || c.out == kNullNet) continue;
+    if (nl.net(c.out).sinks.empty() && c.kind != CellKind::Ibuf) {
+      warn("cell '" + c.name + "' drives nothing");
+    }
+  }
+
+  return rep;
+}
+
+void require_drc_clean(const Netlist& nl) {
+  const DrcReport rep = run_drc(nl);
+  if (rep.ok()) return;
+  std::ostringstream os;
+  os << "DRC failed for design '" << nl.name() << "':";
+  for (const std::string& e : rep.errors) os << "\n  " << e;
+  throw JpgError(os.str());
+}
+
+}  // namespace jpg

@@ -1,0 +1,30 @@
+// Design-rule checks run before the implementation flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace jpg {
+
+struct DrcReport {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Checks structural rules the flow depends on:
+///  * every net with sinks has a driver
+///  * cell and port names are unique
+///  * Obuf inputs are driven by Lut4/Dff/Ibuf (constants must be folded
+///    into LUT masks before implementation)
+///  * no combinational (LUT-only) cycles
+/// Warnings: driverless/sinkless nets, cells with no fanout.
+[[nodiscard]] DrcReport run_drc(const Netlist& nl);
+
+/// Convenience: runs DRC and throws JpgError listing the errors if any.
+void require_drc_clean(const Netlist& nl);
+
+}  // namespace jpg

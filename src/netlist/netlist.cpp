@@ -1,0 +1,232 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace jpg {
+
+std::string_view cell_kind_name(CellKind k) {
+  switch (k) {
+    case CellKind::Lut4: return "LUT4";
+    case CellKind::Dff: return "DFF";
+    case CellKind::Ibuf: return "IBUF";
+    case CellKind::Obuf: return "OBUF";
+    case CellKind::Gnd: return "GND";
+    case CellKind::Vcc: return "VCC";
+  }
+  return "?";
+}
+
+NetId Netlist::add_net(std::string name) {
+  Net n;
+  n.name = std::move(name);
+  nets_.push_back(std::move(n));
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+CellId Netlist::add_cell(Cell cell) {
+  const CellId id = static_cast<CellId>(cells_.size());
+  const int nin = cell.num_inputs();
+  for (int p = 0; p < nin; ++p) {
+    const NetId in = cell.in[static_cast<std::size_t>(p)];
+    if (in == kNullNet) continue;
+    JPG_REQUIRE(in < nets_.size(), "cell input references unknown net");
+    nets_[in].sinks.push_back({id, p});
+  }
+  if (cell.has_output() && cell.out != kNullNet) {
+    JPG_REQUIRE(cell.out < nets_.size(), "cell output references unknown net");
+    JPG_REQUIRE(nets_[cell.out].driver == kNullCell,
+                "net '" + nets_[cell.out].name + "' already has a driver");
+    nets_[cell.out].driver = id;
+  }
+  cells_.push_back(std::move(cell));
+  return id;
+}
+
+CellId Netlist::add_lut(std::string name, std::uint16_t init,
+                        std::array<NetId, 4> inputs, NetId out,
+                        std::string partition) {
+  Cell c;
+  c.name = std::move(name);
+  c.kind = CellKind::Lut4;
+  c.partition = std::move(partition);
+  c.lut_init = init;
+  c.in = inputs;
+  c.out = out;
+  return add_cell(std::move(c));
+}
+
+CellId Netlist::add_dff(std::string name, NetId d, NetId q, bool init,
+                        std::string partition) {
+  Cell c;
+  c.name = std::move(name);
+  c.kind = CellKind::Dff;
+  c.partition = std::move(partition);
+  c.ff_init = init;
+  c.in[0] = d;
+  c.out = q;
+  return add_cell(std::move(c));
+}
+
+CellId Netlist::add_ibuf(std::string name, std::string port, NetId out,
+                         std::string partition) {
+  Cell c;
+  c.name = std::move(name);
+  c.kind = CellKind::Ibuf;
+  c.partition = std::move(partition);
+  c.port = std::move(port);
+  c.out = out;
+  return add_cell(std::move(c));
+}
+
+CellId Netlist::add_obuf(std::string name, std::string port, NetId in,
+                         std::string partition) {
+  Cell c;
+  c.name = std::move(name);
+  c.kind = CellKind::Obuf;
+  c.partition = std::move(partition);
+  c.port = std::move(port);
+  c.in[0] = in;
+  return add_cell(std::move(c));
+}
+
+CellId Netlist::add_const(std::string name, bool value, NetId out,
+                          std::string partition) {
+  Cell c;
+  c.name = std::move(name);
+  c.kind = value ? CellKind::Vcc : CellKind::Gnd;
+  c.partition = std::move(partition);
+  c.out = out;
+  return add_cell(std::move(c));
+}
+
+const Cell& Netlist::cell(CellId id) const {
+  JPG_REQUIRE(id < cells_.size(), "cell id out of range");
+  return cells_[id];
+}
+
+const Net& Netlist::net(NetId id) const {
+  JPG_REQUIRE(id < nets_.size(), "net id out of range");
+  return nets_[id];
+}
+
+std::optional<CellId> Netlist::find_cell(std::string_view name) const {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].name == name) return static_cast<CellId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<NetId> Netlist::find_net(std::string_view name) const {
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (nets_[i].name == name) return static_cast<NetId>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Netlist::input_ports() const {
+  std::vector<std::string> ports;
+  for (const Cell& c : cells_) {
+    if (c.kind == CellKind::Ibuf) ports.push_back(c.port);
+  }
+  std::sort(ports.begin(), ports.end());
+  return ports;
+}
+
+std::vector<std::string> Netlist::output_ports() const {
+  std::vector<std::string> ports;
+  for (const Cell& c : cells_) {
+    if (c.kind == CellKind::Obuf) ports.push_back(c.port);
+  }
+  std::sort(ports.begin(), ports.end());
+  return ports;
+}
+
+std::vector<std::string> Netlist::partitions() const {
+  std::set<std::string> parts;
+  for (const Cell& c : cells_) {
+    if (!c.partition.empty()) parts.insert(c.partition);
+  }
+  return {parts.begin(), parts.end()};
+}
+
+std::vector<NetId> Netlist::interface_nets() const {
+  std::vector<NetId> out;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const Net& n = nets_[i];
+    if (n.driver == kNullCell) continue;
+    const std::string& dp = cells_[n.driver].partition;
+    for (const NetSink& s : n.sinks) {
+      if (cells_[s.cell].partition != dp) {
+        out.push_back(static_cast<NetId>(i));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void Netlist::set_lut_init(CellId cell, std::uint16_t init) {
+  JPG_REQUIRE(cell < cells_.size() && cells_[cell].kind == CellKind::Lut4,
+              "cell is not a LUT");
+  cells_[cell].lut_init = init;
+}
+
+void Netlist::detach_input(CellId cell, int pin) {
+  JPG_REQUIRE(cell < cells_.size(), "cell id out of range");
+  Cell& c = cells_[cell];
+  JPG_REQUIRE(pin >= 0 && pin < c.num_inputs(), "pin out of range");
+  const NetId net = c.in[static_cast<std::size_t>(pin)];
+  if (net == kNullNet) return;
+  c.in[static_cast<std::size_t>(pin)] = kNullNet;
+  auto& sinks = nets_[net].sinks;
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    if (sinks[i].cell == cell && sinks[i].pin == pin) {
+      sinks.erase(sinks.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  JPG_ASSERT_MSG(false, "sink entry missing during detach");
+}
+
+Netlist::MergeResult Netlist::merge_module(const Netlist& module,
+                                           const std::string& prefix) {
+  MergeResult result;
+  std::unordered_map<NetId, NetId> net_map;
+  for (std::size_t i = 0; i < module.nets_.size(); ++i) {
+    net_map[static_cast<NetId>(i)] =
+        add_net(prefix + "/" + module.nets_[i].name);
+  }
+  auto map_net = [&](NetId id) {
+    return id == kNullNet ? kNullNet : net_map.at(id);
+  };
+  for (const Cell& c : module.cells_) {
+    switch (c.kind) {
+      case CellKind::Ibuf:
+        result.inputs.emplace_back(c.port, map_net(c.out));
+        break;
+      case CellKind::Obuf:
+        result.outputs.emplace_back(c.port, map_net(c.in[0]));
+        break;
+      case CellKind::Lut4:
+        add_lut(prefix + "/" + c.name, c.lut_init,
+                {map_net(c.in[0]), map_net(c.in[1]), map_net(c.in[2]),
+                 map_net(c.in[3])},
+                map_net(c.out), prefix);
+        break;
+      case CellKind::Dff:
+        add_dff(prefix + "/" + c.name, map_net(c.in[0]), map_net(c.out),
+                c.ff_init, prefix);
+        break;
+      case CellKind::Gnd:
+      case CellKind::Vcc:
+        add_const(prefix + "/" + c.name, c.kind == CellKind::Vcc,
+                  map_net(c.out), prefix);
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace jpg

@@ -1,0 +1,146 @@
+// Logical netlist: the technology-mapped circuit the P&R flow implements.
+//
+// Cell library (deliberately the Virtex primitive set our slices support):
+//   Lut4  - 4-input lookup table, inputs A1..A4, init bit index
+//           A1 + 2*A2 + 4*A3 + 8*A4; unconnected inputs read as 0
+//   Dff   - D flip-flop on the single global clock, optional init value
+//   Ibuf  - input pad buffer (drives a net from an external port)
+//   Obuf  - output pad buffer (samples a net to an external port)
+//   Gnd   - constant 0        Vcc - constant 1
+//
+// Cells carry a *partition* string (the module-instance prefix, e.g. "u1"),
+// which is what UCF AREA_GROUP constraints and the partial-reconfiguration
+// flow key on; empty partition means the static (top-level) design.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+
+namespace jpg {
+
+using CellId = std::uint32_t;
+using NetId = std::uint32_t;
+constexpr CellId kNullCell = std::numeric_limits<CellId>::max();
+constexpr NetId kNullNet = std::numeric_limits<NetId>::max();
+
+enum class CellKind { Lut4, Dff, Ibuf, Obuf, Gnd, Vcc };
+
+[[nodiscard]] std::string_view cell_kind_name(CellKind k);
+
+struct Cell {
+  std::string name;
+  CellKind kind = CellKind::Lut4;
+  std::string partition;  ///< module instance prefix; empty = static logic
+
+  std::uint16_t lut_init = 0;  ///< Lut4 only
+  bool ff_init = false;        ///< Dff only
+  std::string port;            ///< Ibuf/Obuf: external port name
+
+  /// Input nets. Lut4: A1..A4 (kNullNet = unconnected); Dff: [0] = D;
+  /// Obuf: [0] = driven net.
+  std::array<NetId, 4> in = {kNullNet, kNullNet, kNullNet, kNullNet};
+  /// Output net (Lut4/Dff/Ibuf/Gnd/Vcc). Obuf has none.
+  NetId out = kNullNet;
+
+  [[nodiscard]] int num_inputs() const {
+    switch (kind) {
+      case CellKind::Lut4: return 4;
+      case CellKind::Dff: return 1;
+      case CellKind::Obuf: return 1;
+      default: return 0;
+    }
+  }
+  [[nodiscard]] bool has_output() const { return kind != CellKind::Obuf; }
+};
+
+struct NetSink {
+  CellId cell = kNullCell;
+  int pin = 0;  ///< input pin index on the cell
+  bool operator==(const NetSink&) const = default;
+};
+
+struct Net {
+  std::string name;
+  CellId driver = kNullCell;
+  std::vector<NetSink> sinks;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // --- Construction -----------------------------------------------------------
+  NetId add_net(std::string name);
+
+  CellId add_lut(std::string name, std::uint16_t init,
+                 std::array<NetId, 4> inputs, NetId out,
+                 std::string partition = {});
+  CellId add_dff(std::string name, NetId d, NetId q, bool init = false,
+                 std::string partition = {});
+  CellId add_ibuf(std::string name, std::string port, NetId out,
+                  std::string partition = {});
+  CellId add_obuf(std::string name, std::string port, NetId in,
+                  std::string partition = {});
+  CellId add_const(std::string name, bool value, NetId out,
+                   std::string partition = {});
+
+  // --- Access ------------------------------------------------------------------
+  [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
+  [[nodiscard]] std::size_t num_nets() const { return nets_.size(); }
+  [[nodiscard]] const Cell& cell(CellId id) const;
+  [[nodiscard]] const Net& net(NetId id) const;
+  [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+  [[nodiscard]] const std::vector<Net>& nets() const { return nets_; }
+
+  [[nodiscard]] std::optional<CellId> find_cell(std::string_view name) const;
+  [[nodiscard]] std::optional<NetId> find_net(std::string_view name) const;
+
+  /// External input/output port names (from Ibuf/Obuf cells), sorted.
+  [[nodiscard]] std::vector<std::string> input_ports() const;
+  [[nodiscard]] std::vector<std::string> output_ports() const;
+
+  /// All distinct non-empty partitions, sorted.
+  [[nodiscard]] std::vector<std::string> partitions() const;
+
+  /// Nets whose driver and at least one sink live in different partitions
+  /// (interface nets for partial reconfiguration).
+  [[nodiscard]] std::vector<NetId> interface_nets() const;
+
+  /// Merges another netlist into this one, prefixing its cell/net names and
+  /// setting their partition. Used to assemble partitioned base designs from
+  /// library modules. Ibuf/Obuf cells of `module` become internal "port
+  /// stubs": their ports are renamed to prefix/port and exposed through the
+  /// returned mapping so the caller can stitch nets.
+  /// Rewrites a LUT cell's truth table (constant folding).
+  void set_lut_init(CellId cell, std::uint16_t init);
+
+  /// Disconnects input pin `pin` of `cell`: the pin becomes unconnected and
+  /// the sink entry is removed from the net. Used by the packer when folding
+  /// constant inputs into LUT masks.
+  void detach_input(CellId cell, int pin);
+
+  struct MergeResult {
+    std::vector<std::pair<std::string, NetId>> inputs;   ///< port -> net to drive
+    std::vector<std::pair<std::string, NetId>> outputs;  ///< port -> driven net
+  };
+  MergeResult merge_module(const Netlist& module, const std::string& prefix);
+
+ private:
+  CellId add_cell(Cell cell);
+
+  std::string name_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace jpg

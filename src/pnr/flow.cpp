@@ -1,0 +1,373 @@
+#include "pnr/flow.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <sstream>
+
+#include "support/log.h"
+
+namespace jpg {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Programs the global clock into every slice that holds a FF.
+void add_clock_pips(PlacedDesign& d) {
+  d.clock_pips.clear();
+  for (std::size_t i = 0; i < d.slices.size(); ++i) {
+    const PackedSlice& ps = d.slices[i];
+    if (ps.le[0].ff == kNullCell && ps.le[1].ff == kNullCell) continue;
+    const SliceSite s = d.slice_sites[i];
+    d.clock_pips.push_back(RoutedPip{
+        TileCoord{s.r, s.c}, imux_local(s.slice, ImuxPin::CLK), 1});
+  }
+}
+
+/// Crossing wire node for a binding, given the region.
+std::size_t crossing_node(const Device& dev, const Region& reg,
+                          const PortBinding& b) {
+  const int col = b.is_input ? reg.c0 - 1 : reg.c1;
+  return dev.fabric().tile_wire_node(b.row, col, single_local(Dir::E, b.k));
+}
+
+/// Allocates boundary crossings for a partition: ports sorted by name,
+/// distributed down the rows first, then across single indices.
+std::vector<PortBinding> allocate_bindings(
+    const Region& reg, std::vector<std::pair<std::string, NetId>> inputs,
+    std::vector<std::pair<std::string, NetId>> outputs,
+    const std::string& partition) {
+  std::vector<PortBinding> bindings;
+  const int height = reg.height();
+  auto alloc = [&](std::vector<std::pair<std::string, NetId>>& ports,
+                   bool is_input) {
+    std::sort(ports.begin(), ports.end());
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      PortBinding b;
+      b.port = ports[i].first;
+      b.is_input = is_input;
+      b.row = reg.r0 + static_cast<int>(i) % height;
+      b.k = static_cast<int>(i) / height;
+      if (b.k >= kSinglesPerDir) {
+        std::ostringstream os;
+        os << "partition " << partition << " needs more than "
+           << height * kSinglesPerDir << (is_input ? " input" : " output")
+           << " crossings";
+        throw DeviceError(os.str());
+      }
+      bindings.push_back(std::move(b));
+    }
+  };
+  alloc(inputs, true);
+  alloc(outputs, false);
+  return bindings;
+}
+
+}  // namespace
+
+const PartitionInterface& BaseFlowResult::interface_of(
+    const std::string& partition) const {
+  for (const PartitionInterface& i : interfaces) {
+    if (i.partition == partition) return i;
+  }
+  throw JpgError("no interface recorded for partition '" + partition + "'");
+}
+
+BaseFlowResult run_base_flow(const Device& device, const Netlist& base,
+                             const std::vector<PartitionSpec>& partitions,
+                             const FlowOptions& opt,
+                             const PlacementConstraints& extra_constraints) {
+  // --- Validate the floorplan --------------------------------------------------
+  auto in_any_region = [&](int col) {
+    for (const PartitionSpec& p : partitions) {
+      if (p.region.contains_col(col)) return true;
+    }
+    return false;
+  };
+  std::set<std::string> part_names;
+  for (const PartitionSpec& p : partitions) {
+    JPG_REQUIRE(part_names.insert(p.name).second,
+                "duplicate partition " + p.name);
+    JPG_REQUIRE(p.region.in_bounds(device),
+                "region of " + p.name + " out of bounds");
+    JPG_REQUIRE(p.region.full_height(device),
+                "region of " + p.name +
+                    " must span the full device height (frames are "
+                    "column-oriented)");
+    JPG_REQUIRE(p.region.c0 >= 1 && p.region.c1 <= device.cols() - 2,
+                "region of " + p.name +
+                    " needs a static column on both sides for crossings");
+    JPG_REQUIRE(!in_any_region(p.region.c0 - 1) &&
+                    !in_any_region(p.region.c1 + 1),
+                "region of " + p.name +
+                    " is adjacent to another region; crossings need static "
+                    "columns");
+    for (const PartitionSpec& q : partitions) {
+      if (&p != &q) {
+        JPG_REQUIRE(!p.region.overlaps(q.region),
+                    "regions of " + p.name + " and " + q.name + " overlap");
+      }
+    }
+  }
+
+  BaseFlowResult result;
+  result.design = std::make_unique<PlacedDesign>(device, base);
+  PlacedDesign& d = *result.design;
+  const Netlist& nl = d.netlist();
+
+  // --- Validate interface declarations ----------------------------------------
+  auto find_spec = [&](const std::string& name) -> const PartitionSpec* {
+    for (const PartitionSpec& p : partitions) {
+      if (p.name == name) return &p;
+    }
+    return nullptr;
+  };
+  auto declared = [&](const PartitionSpec& p, NetId net,
+                      bool input) -> const std::string* {
+    const auto& list = input ? p.input_ports : p.output_ports;
+    for (const auto& [port, n] : list) {
+      if (n == net) return &port;
+    }
+    return nullptr;
+  };
+  for (const NetId net : nl.interface_nets()) {
+    const Net& n = nl.net(net);
+    const std::string& dp = nl.cell(n.driver).partition;
+    std::set<std::string> sink_parts;
+    for (const NetSink& s : n.sinks) sink_parts.insert(nl.cell(s.cell).partition);
+    if (!dp.empty()) {
+      const PartitionSpec* spec = find_spec(dp);
+      JPG_REQUIRE(spec != nullptr, "cells reference unknown partition " + dp);
+      JPG_REQUIRE(declared(*spec, net, false) != nullptr,
+                  "net '" + n.name + "' leaves partition " + dp +
+                      " but is not a declared output port");
+    }
+    for (const std::string& sp : sink_parts) {
+      if (sp.empty() || sp == dp) continue;
+      const PartitionSpec* spec = find_spec(sp);
+      JPG_REQUIRE(spec != nullptr, "cells reference unknown partition " + sp);
+      JPG_REQUIRE(declared(*spec, net, true) != nullptr,
+                  "net '" + n.name + "' enters partition " + sp +
+                      " but is not a declared input port");
+    }
+  }
+
+  // --- Pack ---------------------------------------------------------------------
+  double t = now_s();
+  result.pack_stats = pack_design(d);
+  result.timings.pack_s = now_s() - t;
+
+  // --- Place --------------------------------------------------------------------
+  PlacementConstraints cons = extra_constraints;
+  for (const PartitionSpec& p : partitions) {
+    cons.area_groups[p.name] = p.region;
+  }
+  PlacerOptions popt = opt.placer;
+  popt.seed = opt.seed * 7919 + 1;
+  t = now_s();
+  place_design(d, cons, popt);
+  result.timings.place_s = now_s() - t;
+
+  // --- Allocate crossings --------------------------------------------------------
+  // port name -> (net) maps per partition, and net -> crossing node.
+  struct PartCross {
+    const PartitionSpec* spec = nullptr;
+    std::map<NetId, std::size_t> in_cross;   ///< net -> crossing node
+    std::map<NetId, std::size_t> out_cross;
+  };
+  std::map<std::string, PartCross> cross;
+  std::vector<std::size_t> all_crossings;
+  for (const PartitionSpec& p : partitions) {
+    PartitionInterface iface;
+    iface.partition = p.name;
+    iface.region = p.region;
+    iface.bindings =
+        allocate_bindings(p.region, p.input_ports, p.output_ports, p.name);
+    PartCross pc;
+    pc.spec = &p;
+    for (const PortBinding& b : iface.bindings) {
+      const std::size_t node = crossing_node(device, p.region, b);
+      all_crossings.push_back(node);
+      // Map the binding's port back to its net.
+      const auto& list = b.is_input ? p.input_ports : p.output_ports;
+      for (const auto& [port, net] : list) {
+        if (port == b.port) {
+          (b.is_input ? pc.in_cross : pc.out_cross)[net] = node;
+          break;
+        }
+      }
+    }
+    cross[p.name] = std::move(pc);
+    result.interfaces.push_back(std::move(iface));
+  }
+
+  // --- Route ---------------------------------------------------------------------
+  t = now_s();
+  const RoutingGraph& graph = RoutingGraph::get(device);
+
+  auto sinks_in_partition = [&](NetId net, const std::string& part) {
+    std::vector<std::size_t> out;
+    for (const NetSink& s : nl.net(net).sinks) {
+      if (nl.cell(s.cell).partition != part) continue;
+      if (const auto node = d.sink_node_for(net, s)) out.push_back(*node);
+    }
+    return out;
+  };
+
+  // Per-partition (module) passes.
+  for (const PartitionSpec& p : partitions) {
+    PartCross& pc = cross[p.name];
+    std::vector<NetToRoute> nets;
+    for (NetId net = 0; net < nl.num_nets(); ++net) {
+      const Net& n = nl.net(net);
+      if (n.driver == kNullCell) continue;
+      const bool driver_in_p = nl.cell(n.driver).partition == p.name;
+      if (driver_in_p) {
+        NetToRoute ntr;
+        ntr.id = net;
+        ntr.source = d.driver_node(net);
+        ntr.sinks = sinks_in_partition(net, p.name);
+        const auto oc = pc.out_cross.find(net);
+        if (oc != pc.out_cross.end()) ntr.sinks.push_back(oc->second);
+        if (!ntr.sinks.empty()) nets.push_back(std::move(ntr));
+      } else if (const auto ic = pc.in_cross.find(net);
+                 ic != pc.in_cross.end()) {
+        NetToRoute ntr;
+        ntr.id = net;
+        ntr.source = ic->second;
+        ntr.sinks = sinks_in_partition(net, p.name);
+        if (!ntr.sinks.empty()) nets.push_back(std::move(ntr));
+      }
+    }
+    RouteConstraints rc;
+    rc.restrict_region = p.region;
+    rc.blocked = all_crossings;
+    auto routed = route_nets(graph, nets, rc, opt.router);
+    for (auto& rn : routed) d.routes.push_back(std::move(rn));
+  }
+
+  // Static pass.
+  {
+    std::vector<NetToRoute> nets;
+    for (NetId net = 0; net < nl.num_nets(); ++net) {
+      const Net& n = nl.net(net);
+      if (n.driver == kNullCell) continue;
+      const std::string& dp = nl.cell(n.driver).partition;
+      NetToRoute ntr;
+      ntr.id = net;
+      if (dp.empty()) {
+        ntr.source = d.driver_node(net);
+      } else {
+        const auto oc = cross[dp].out_cross.find(net);
+        if (oc == cross[dp].out_cross.end()) continue;  // module-internal
+        ntr.source = oc->second;
+      }
+      ntr.sinks = sinks_in_partition(net, "");
+      // Fan into other partitions via their input crossings.
+      for (auto& [pname, pc] : cross) {
+        if (pname == dp) continue;
+        const auto ic = pc.in_cross.find(net);
+        if (ic != pc.in_cross.end()) ntr.sinks.push_back(ic->second);
+      }
+      if (!ntr.sinks.empty()) nets.push_back(std::move(ntr));
+    }
+    RouteConstraints rc;
+    for (const PartitionSpec& p : partitions) {
+      rc.exclude_regions.push_back(p.region);
+    }
+    rc.blocked = all_crossings;
+    auto routed = route_nets(graph, nets, rc, opt.router);
+    for (auto& rn : routed) d.routes.push_back(std::move(rn));
+  }
+
+  add_clock_pips(d);
+  result.timings.route_s = now_s() - t;
+
+  JPG_INFO("base flow '" << nl.name() << "' on " << device.spec().name << ": "
+                         << result.pack_stats.slices << " slices, "
+                         << d.total_pips() << " pips");
+  return result;
+}
+
+ModuleFlowResult run_module_flow(const Device& device, const Netlist& module,
+                                 const PartitionInterface& iface,
+                                 const FlowOptions& opt) {
+  ModuleFlowResult result;
+  result.design = std::make_unique<PlacedDesign>(device, module);
+  PlacedDesign& d = *result.design;
+  d.region = iface.region;
+  const Netlist& nl = d.netlist();
+
+  // --- Bind ports ------------------------------------------------------------
+  auto binding_of = [&](const std::string& port) -> const PortBinding* {
+    for (const PortBinding& b : iface.bindings) {
+      if (b.port == port) return &b;
+    }
+    return nullptr;
+  };
+  std::set<std::string> bound;
+  PlacementConstraints cons;
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.kind != CellKind::Ibuf && c.kind != CellKind::Obuf) continue;
+    const PortBinding* b = binding_of(c.port);
+    JPG_REQUIRE(b != nullptr, "module port '" + c.port +
+                                  "' is not part of the interface of " +
+                                  iface.partition);
+    JPG_REQUIRE(b->is_input == (c.kind == CellKind::Ibuf),
+                "module port '" + c.port + "' direction mismatch");
+    d.ports.push_back(PlacedPort{id, b->is_input, b->row, b->k});
+    bound.insert(c.port);
+    cons.interface_ports.insert(c.port);
+  }
+  for (const PortBinding& b : iface.bindings) {
+    JPG_REQUIRE(bound.count(b.port) != 0,
+                "module does not implement interface port '" + b.port + "'");
+  }
+
+  // --- Pack / place / route ----------------------------------------------------
+  double t = now_s();
+  result.pack_stats = pack_design(d);
+  result.timings.pack_s = now_s() - t;
+
+  PlacerOptions popt = opt.placer;
+  popt.seed = opt.seed * 104729 + 3;
+  t = now_s();
+  place_design(d, cons, popt);
+  result.timings.place_s = now_s() - t;
+
+  t = now_s();
+  std::vector<NetToRoute> nets;
+  for (NetId net = 0; net < nl.num_nets(); ++net) {
+    const Net& n = nl.net(net);
+    if (n.driver == kNullCell || n.sinks.empty()) continue;
+    NetToRoute ntr;
+    ntr.id = net;
+    ntr.source = d.driver_node(net);
+    ntr.sinks = d.sink_nodes(net);
+    if (!ntr.sinks.empty()) nets.push_back(std::move(ntr));
+  }
+  RouteConstraints rc;
+  rc.restrict_region = iface.region;
+  // Crossings of other nets are out of bounds; each net's own crossing
+  // endpoints are admitted automatically.
+  for (const PortBinding& b : iface.bindings) {
+    rc.blocked.push_back(crossing_node(device, iface.region, b));
+  }
+  auto routed = route_nets(RoutingGraph::get(device), nets, rc, opt.router);
+  for (auto& rn : routed) d.routes.push_back(std::move(rn));
+  add_clock_pips(d);
+  result.timings.route_s = now_s() - t;
+
+  JPG_INFO("module flow '" << nl.name() << "' in " << iface.region.to_string()
+                           << ": " << result.pack_stats.slices << " slices, "
+                           << d.total_pips() << " pips");
+  return result;
+}
+
+}  // namespace jpg

@@ -1,0 +1,110 @@
+// Flow: the implementation pipeline standing in for the Xilinx Foundation
+// tools in the paper's Figure 2.
+//
+// Phase 1 (base design): a partitioned netlist is packed, placed under area
+// constraints and routed under the partial-reconfiguration discipline. Each
+// partition gets a full-height region and a set of *boundary crossings* —
+// locked east-bound single wires at the region edges that carry every
+// interface net:
+//
+//      static logic        |        region (partition P)       | static
+//   ...--> (r, c0-1).E_k --+--> P's input-mux sinks            |
+//                          |   P's driver --> (r, c1).E_k -----+--> ...
+//
+// Input crossings live in the last static column (their mux bits are static
+// config); output crossings live in the region's last column (module
+// config). Static routing never touches region tiles or region-column
+// vertical longs, so a region's frames contain *only* module state in the
+// region rows — the precondition for JPG's frame rewriting to be
+// non-disruptive. Full-height regions with a one-column static margin on
+// both sides are enforced.
+//
+// Phase 2 (module variants): a standalone module netlist whose ports match a
+// partition's interface is implemented *inside the region alone*, reusing
+// the recorded crossings ("guided floorplanning ... using the constraints
+// from the base design"). The result is the ".ncd" JPG converts to XDL and
+// turns into a partial bitstream.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pnr/packer.h"
+#include "pnr/placer.h"
+#include "pnr/router.h"
+
+namespace jpg {
+
+/// A module interface port bound to a boundary crossing.
+struct PortBinding {
+  std::string port;
+  bool is_input = false;  ///< true: static -> module
+  int row = 0;            ///< crossing tile row
+  int k = 0;              ///< crossing E-single index
+
+  bool operator==(const PortBinding&) const = default;
+};
+
+/// Everything a phase-2 module flow needs to know about its slot.
+struct PartitionInterface {
+  std::string partition;
+  Region region;
+  std::vector<PortBinding> bindings;
+};
+
+/// Phase-1 description of one reconfigurable partition.
+struct PartitionSpec {
+  std::string name;
+  Region region;
+  /// Module port name -> base-design net carrying it (see
+  /// Netlist::merge_module, which returns exactly these pairs).
+  std::vector<std::pair<std::string, NetId>> input_ports;
+  std::vector<std::pair<std::string, NetId>> output_ports;
+};
+
+struct FlowOptions {
+  std::uint64_t seed = 1;
+  PlacerOptions placer;
+  RouterOptions router;
+};
+
+struct FlowTimings {
+  double pack_s = 0;
+  double place_s = 0;
+  double route_s = 0;
+  [[nodiscard]] double total_s() const { return pack_s + place_s + route_s; }
+};
+
+struct BaseFlowResult {
+  std::unique_ptr<PlacedDesign> design;
+  std::vector<PartitionInterface> interfaces;
+  PackStats pack_stats;
+  FlowTimings timings;
+
+  [[nodiscard]] const PartitionInterface& interface_of(
+      const std::string& partition) const;
+};
+
+/// Implements a partitioned base design. `partitions` may be empty, in which
+/// case this is a plain full-device flow.
+[[nodiscard]] BaseFlowResult run_base_flow(
+    const Device& device, const Netlist& base,
+    const std::vector<PartitionSpec>& partitions, const FlowOptions& opt = {},
+    const PlacementConstraints& extra_constraints = {});
+
+struct ModuleFlowResult {
+  std::unique_ptr<PlacedDesign> design;
+  PackStats pack_stats;
+  FlowTimings timings;
+};
+
+/// Implements a standalone module netlist inside `iface.region`. The module's
+/// Ibuf/Obuf port names must exactly match `iface.bindings`.
+[[nodiscard]] ModuleFlowResult run_module_flow(const Device& device,
+                                               const Netlist& module,
+                                               const PartitionInterface& iface,
+                                               const FlowOptions& opt = {});
+
+}  // namespace jpg

@@ -1,0 +1,132 @@
+#include "pnr/packer.h"
+
+#include <map>
+#include <sstream>
+
+#include "netlist/drc.h"
+
+namespace jpg {
+
+namespace {
+
+/// Folds a constant value on input `pin` into the LUT mask: the new mask
+/// reads, for every input combination, the old mask at the combination with
+/// `pin` forced to `value`.
+std::uint16_t fold_lut_input(std::uint16_t init, int pin, bool value) {
+  std::uint16_t out = 0;
+  for (unsigned idx = 0; idx < 16; ++idx) {
+    unsigned src = idx;
+    if (value) {
+      src |= 1u << pin;
+    } else {
+      src &= ~(1u << pin);
+    }
+    if ((init >> src) & 1u) out |= static_cast<std::uint16_t>(1u << idx);
+  }
+  return out;
+}
+
+}  // namespace
+
+PackStats pack_design(PlacedDesign& design) {
+  Netlist& nl = design.netlist_mut();
+  require_drc_clean(nl);
+  PackStats stats;
+
+  // --- Constant folding ------------------------------------------------------
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    if (nl.cell(id).kind != CellKind::Lut4) continue;
+    for (int p = 0; p < 4; ++p) {
+      const NetId in = nl.cell(id).in[static_cast<std::size_t>(p)];
+      if (in == kNullNet) continue;
+      const Net& net = nl.net(in);
+      if (net.driver == kNullCell) continue;
+      const CellKind dk = nl.cell(net.driver).kind;
+      if (dk != CellKind::Gnd && dk != CellKind::Vcc) continue;
+      const bool value = dk == CellKind::Vcc;
+      // Rewrite the mask, then cut the connection.
+      nl.set_lut_init(id, fold_lut_input(nl.cell(id).lut_init, p, value));
+      nl.detach_input(id, p);
+      ++stats.folded_const_inputs;
+    }
+  }
+
+  // --- LUT/FF pairing ----------------------------------------------------------
+  // ff_of_lut[lut] = ff paired onto the same logic element.
+  std::map<CellId, CellId> ff_of_lut;
+  std::map<CellId, CellId> lut_of_ff;
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.kind != CellKind::Dff) continue;
+    ++stats.ffs;
+    const NetId d = c.in[0];
+    if (d == kNullNet) continue;
+    const Net& dnet = nl.net(d);
+    if (dnet.driver == kNullCell) continue;
+    const Cell& drv = nl.cell(dnet.driver);
+    if (drv.kind != CellKind::Lut4) continue;
+    if (drv.partition != c.partition) continue;  // keep partitions separable
+    if (ff_of_lut.count(dnet.driver) != 0) continue;  // LUT already paired
+    ff_of_lut[dnet.driver] = id;
+    lut_of_ff[id] = dnet.driver;
+    ++stats.paired;
+  }
+
+  // --- Logic element list, grouped by partition --------------------------------
+  std::map<std::string, std::vector<LogicElement>> les_by_part;
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::Lut4) {
+      ++stats.luts;
+      LogicElement le;
+      le.lut = id;
+      const auto it = ff_of_lut.find(id);
+      if (it != ff_of_lut.end()) le.ff = it->second;
+      les_by_part[c.partition].push_back(le);
+    } else if (c.kind == CellKind::Dff && lut_of_ff.count(id) == 0) {
+      LogicElement le;
+      le.ff = id;
+      les_by_part[c.partition].push_back(le);
+    }
+  }
+
+  // --- Fill slices: two LEs per slice, same partition ---------------------------
+  design.slices.clear();
+  design.cell_place.clear();
+  for (auto& [partition, les] : les_by_part) {
+    for (std::size_t i = 0; i < les.size(); i += 2) {
+      PackedSlice ps;
+      ps.partition = partition;
+      ps.le[0] = les[i];
+      if (i + 1 < les.size()) ps.le[1] = les[i + 1];
+      // Name the slice after its first cell.
+      const CellId head =
+          ps.le[0].lut != kNullCell ? ps.le[0].lut : ps.le[0].ff;
+      ps.name = nl.cell(head).name;
+      const auto slice_index = design.slices.size();
+      for (int le = 0; le < 2; ++le) {
+        if (ps.le[le].lut != kNullCell) {
+          design.cell_place[ps.le[le].lut] = {slice_index, le};
+        }
+        if (ps.le[le].ff != kNullCell) {
+          design.cell_place[ps.le[le].ff] = {slice_index, le};
+        }
+      }
+      design.slices.push_back(std::move(ps));
+    }
+  }
+  stats.slices = design.slices.size();
+
+  const auto capacity =
+      static_cast<std::size_t>(design.device().spec().num_slices());
+  if (stats.slices > capacity) {
+    std::ostringstream os;
+    os << "design '" << nl.name() << "' needs " << stats.slices
+       << " slices but " << design.device().spec().name << " has only "
+       << capacity;
+    throw DeviceError(os.str());
+  }
+  return stats;
+}
+
+}  // namespace jpg

@@ -1,0 +1,29 @@
+// Packer: technology packing of a LUT4/DFF netlist into Virtex slices — the
+// MAP step of the Foundation flow.
+//
+// Rules:
+//  * Constants are folded into LUT masks first (Gnd/Vcc never route).
+//  * A DFF pairs with the LUT driving its D input when that LUT has no other
+//    obligation conflict (they form one logic element with the internal
+//    LUT->FF path; the LUT's comb output may still fan out to the fabric).
+//  * Two logic elements share a slice only within the same partition, so
+//    partition area constraints stay meaningful.
+#pragma once
+
+#include "pnr/placed_design.h"
+
+namespace jpg {
+
+struct PackStats {
+  std::size_t luts = 0;
+  std::size_t ffs = 0;
+  std::size_t paired = 0;  ///< LUT+FF fused logic elements
+  std::size_t slices = 0;
+  std::size_t folded_const_inputs = 0;
+};
+
+/// Packs `design.netlist()` into `design.slices` / `design.cell_place`.
+/// Throws DeviceError when the design exceeds the device's slice capacity.
+PackStats pack_design(PlacedDesign& design);
+
+}  // namespace jpg

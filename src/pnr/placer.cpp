@@ -1,0 +1,555 @@
+#include "pnr/placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/log.h"
+
+namespace jpg {
+
+namespace {
+
+/// A placeable element: a packed slice or a pad cell.
+struct Element {
+  enum class Kind { Slice, Iob };
+  Kind kind = Kind::Slice;
+  std::size_t index = 0;  ///< slice index or iob order index
+  bool locked = false;
+  int allowed = -1;  ///< allowed-set id (elements may swap if ids match)
+};
+
+struct Pos {
+  double x = 0, y = 0;
+};
+
+class Annealer {
+ public:
+  Annealer(PlacedDesign& d, const PlacementConstraints& cons,
+           const PlacerOptions& opt)
+      : d_(d), cons_(cons), opt_(opt), dev_(d.device()), rng_(opt.seed) {}
+
+  PlaceStats run();
+
+ private:
+  void build_allowed_sets();
+  void initial_place();
+  void build_net_adjacency();
+  [[nodiscard]] Pos element_pos(const Element& e) const;
+  [[nodiscard]] Pos endpoint_pos(std::size_t ep) const;
+  [[nodiscard]] double net_cost(std::size_t net_idx) const;
+  [[nodiscard]] double total_cost() const;
+  bool try_move(double temperature, PlaceStats& stats);
+
+  [[nodiscard]] std::size_t slice_site_index(SliceSite s) const {
+    return (static_cast<std::size_t>(s.r) * dev_.cols() + s.c) * 2 +
+           static_cast<std::size_t>(s.slice);
+  }
+  [[nodiscard]] SliceSite slice_site_of_index(std::size_t idx) const {
+    const int slice = static_cast<int>(idx % 2);
+    const std::size_t tile = idx / 2;
+    return {static_cast<int>(tile / dev_.cols()),
+            static_cast<int>(tile % dev_.cols()), slice};
+  }
+
+  PlacedDesign& d_;
+  const PlacementConstraints& cons_;
+  const PlacerOptions& opt_;
+  const Device& dev_;
+  Rng rng_;
+
+  std::vector<Element> elements_;
+  std::vector<std::size_t> movable_;  ///< indices into elements_
+
+  // Allowed sets: candidate slice-site indices per set id; set id per slice.
+  std::vector<std::vector<std::size_t>> allowed_sites_;
+  std::vector<int> slice_allowed_;  ///< per packed slice
+
+  // Occupancy.
+  std::vector<int> site_occupant_;  ///< slice-site index -> element idx or -1
+  std::vector<int> iob_occupant_;   ///< iob order index -> element idx or -1
+  std::vector<IobSite> iob_site_list_;
+  std::vector<std::size_t> iob_site_of_cell_;  ///< per d_.iob_cells order
+
+  // Net adjacency for incremental cost.
+  // Endpoint encoding: kind<<60 | payload. Simpler: struct.
+  struct Endpoint {
+    enum class Kind { Slice, Iob, Fixed };
+    Kind kind = Kind::Slice;
+    std::size_t index = 0;
+    Pos fixed;
+  };
+  std::vector<std::vector<Endpoint>> net_endpoints_;
+  std::vector<std::vector<std::size_t>> nets_of_slice_;
+  std::vector<std::vector<std::size_t>> nets_of_iob_;
+};
+
+void Annealer::build_allowed_sets() {
+  const Netlist& nl = d_.netlist();
+  allowed_sites_.clear();
+  // Set 0: the default set. Module designs restrict everything to the
+  // region; base designs restrict static logic to the complement of all
+  // area-group regions (if requested).
+  auto tiles_matching = [&](auto&& pred) {
+    std::vector<std::size_t> sites;
+    for (int r = 0; r < dev_.rows(); ++r) {
+      for (int c = 0; c < dev_.cols(); ++c) {
+        if (!pred(TileCoord{r, c})) continue;
+        sites.push_back(slice_site_index({r, c, 0}));
+        sites.push_back(slice_site_index({r, c, 1}));
+      }
+    }
+    return sites;
+  };
+
+  std::map<std::string, int> set_of_partition;
+  if (d_.region.has_value()) {
+    const Region reg = *d_.region;
+    allowed_sites_.push_back(
+        tiles_matching([&](TileCoord t) { return reg.contains(t); }));
+  } else {
+    allowed_sites_.push_back(tiles_matching([&](TileCoord t) {
+      if (!cons_.static_outside_groups) return true;
+      for (const auto& [part, reg] : cons_.area_groups) {
+        if (reg.contains(t)) return false;
+      }
+      return true;
+    }));
+    for (const auto& [part, reg] : cons_.area_groups) {
+      JPG_REQUIRE(reg.in_bounds(dev_),
+                  "area group region out of bounds for " + part);
+      set_of_partition[part] = static_cast<int>(allowed_sites_.size());
+      allowed_sites_.push_back(
+          tiles_matching([&](TileCoord t) { return reg.contains(t); }));
+    }
+  }
+
+  slice_allowed_.assign(d_.slices.size(), 0);
+  for (std::size_t i = 0; i < d_.slices.size(); ++i) {
+    const auto it = set_of_partition.find(d_.slices[i].partition);
+    if (it != set_of_partition.end()) slice_allowed_[i] = it->second;
+  }
+
+  // Capacity checks per set (approximate: ignores overlap between sets).
+  std::map<int, std::size_t> demand;
+  for (const int a : slice_allowed_) ++demand[a];
+  for (const auto& [set, need] : demand) {
+    if (need > allowed_sites_[static_cast<std::size_t>(set)].size()) {
+      std::ostringstream os;
+      os << "placement set " << set << " needs " << need << " slices but has "
+         << allowed_sites_[static_cast<std::size_t>(set)].size() << " sites";
+      throw DeviceError(os.str());
+    }
+  }
+  (void)nl;
+}
+
+void Annealer::initial_place() {
+  const Netlist& nl = d_.netlist();
+  site_occupant_.assign(
+      static_cast<std::size_t>(dev_.rows()) * dev_.cols() * 2, -1);
+
+  const bool keep_existing =
+      opt_.guided && d_.slice_sites.size() == d_.slices.size();
+  if (!keep_existing) {
+    d_.slice_sites.assign(d_.slices.size(), SliceSite{});
+  }
+
+  elements_.clear();
+  movable_.clear();
+
+  // 1. Slices: LOC-locked first, then guided/fresh fills.
+  std::vector<std::size_t> unlocked;
+  for (std::size_t i = 0; i < d_.slices.size(); ++i) {
+    Element e;
+    e.kind = Element::Kind::Slice;
+    e.index = i;
+    e.allowed = slice_allowed_[i];
+    // A slice is LOC-locked when any of its cells has a LOC constraint.
+    const PackedSlice& ps = d_.slices[i];
+    for (int le = 0; le < 2 && !e.locked; ++le) {
+      for (const CellId cid : {ps.le[le].lut, ps.le[le].ff}) {
+        if (cid == kNullCell) continue;
+        const auto it = cons_.loc_slices.find(nl.cell(cid).name);
+        if (it != cons_.loc_slices.end()) {
+          const std::size_t site = slice_site_index(it->second);
+          JPG_REQUIRE(site_occupant_[site] == -1,
+                      "two slices LOCed to the same site");
+          d_.slice_sites[i] = it->second;
+          site_occupant_[site] = static_cast<int>(elements_.size());
+          e.locked = true;
+          break;
+        }
+      }
+    }
+    if (!e.locked) unlocked.push_back(elements_.size());
+    elements_.push_back(e);
+  }
+  // Fill unlocked slices.
+  std::vector<std::size_t> cursor(allowed_sites_.size(), 0);
+  for (const std::size_t ei : unlocked) {
+    Element& e = elements_[ei];
+    const std::size_t slice = e.index;
+    if (keep_existing) {
+      const std::size_t site = slice_site_index(d_.slice_sites[slice]);
+      JPG_REQUIRE(site_occupant_[site] == -1, "guided placement overlaps");
+      site_occupant_[site] = static_cast<int>(ei);
+      movable_.push_back(ei);
+      continue;
+    }
+    auto& candidates = allowed_sites_[static_cast<std::size_t>(e.allowed)];
+    std::size_t& cur = cursor[static_cast<std::size_t>(e.allowed)];
+    bool placed = false;
+    while (cur < candidates.size()) {
+      const std::size_t site = candidates[cur++];
+      if (site_occupant_[site] == -1) {
+        site_occupant_[site] = static_cast<int>(ei);
+        d_.slice_sites[slice] = slice_site_of_index(site);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) throw DeviceError("ran out of sites during initial placement");
+    movable_.push_back(ei);
+  }
+
+  // 2. Pads. Module designs have no pads to place.
+  iob_site_list_ = dev_.all_iob_sites();
+  iob_occupant_.assign(iob_site_list_.size(), -1);
+  const bool keep_iobs = keep_existing && !d_.iob_cells.empty();
+  if (!keep_iobs) {
+    d_.iob_cells.clear();
+    d_.iob_sites.clear();
+    for (CellId id = 0; id < nl.num_cells(); ++id) {
+      const Cell& c = nl.cell(id);
+      if (c.kind != CellKind::Ibuf && c.kind != CellKind::Obuf) continue;
+      if (cons_.interface_ports.count(c.port) != 0) continue;
+      d_.iob_cells.push_back(id);
+      d_.iob_sites.push_back(IobSite{});
+    }
+  }
+  iob_site_of_cell_.assign(d_.iob_cells.size(), 0);
+  std::size_t next_free = 0;
+  for (std::size_t i = 0; i < d_.iob_cells.size(); ++i) {
+    Element e;
+    e.kind = Element::Kind::Iob;
+    e.index = i;
+    e.allowed = -1;
+    const Cell& c = nl.cell(d_.iob_cells[i]);
+    const auto it = cons_.loc_pads.find(c.port);
+    std::size_t site_idx;
+    if (it != cons_.loc_pads.end()) {
+      const auto site = dev_.iob_by_pad_number(it->second);
+      JPG_REQUIRE(site.has_value(), "LOC pad number out of range");
+      site_idx = static_cast<std::size_t>(
+          std::find(iob_site_list_.begin(), iob_site_list_.end(), *site) -
+          iob_site_list_.begin());
+      JPG_REQUIRE(iob_occupant_[site_idx] == -1, "two ports LOCed to one pad");
+      e.locked = true;
+    } else if (keep_iobs) {
+      site_idx = static_cast<std::size_t>(
+          std::find(iob_site_list_.begin(), iob_site_list_.end(),
+                    d_.iob_sites[i]) -
+          iob_site_list_.begin());
+    } else {
+      while (next_free < iob_site_list_.size() &&
+             iob_occupant_[next_free] != -1) {
+        ++next_free;
+      }
+      JPG_REQUIRE(next_free < iob_site_list_.size(), "out of pads");
+      site_idx = next_free;
+    }
+    iob_occupant_[site_idx] = static_cast<int>(elements_.size());
+    iob_site_of_cell_[i] = site_idx;
+    d_.iob_sites[i] = iob_site_list_[site_idx];
+    if (!e.locked) movable_.push_back(elements_.size());
+    elements_.push_back(e);
+  }
+}
+
+Pos Annealer::element_pos(const Element& e) const {
+  if (e.kind == Element::Kind::Slice) {
+    const SliceSite s = d_.slice_sites[e.index];
+    return {static_cast<double>(s.c), static_cast<double>(s.r)};
+  }
+  const IobSite s = d_.iob_sites[e.index];
+  return {s.side == Side::Left ? -1.0 : static_cast<double>(dev_.cols()),
+          static_cast<double>(s.row)};
+}
+
+void Annealer::build_net_adjacency() {
+  const Netlist& nl = d_.netlist();
+  net_endpoints_.clear();
+  nets_of_slice_.assign(d_.slices.size(), {});
+  nets_of_iob_.assign(d_.iob_cells.size(), {});
+
+  // cell -> element lookup tables.
+  std::unordered_map<CellId, std::size_t> iob_of_cell;
+  for (std::size_t i = 0; i < d_.iob_cells.size(); ++i) {
+    iob_of_cell[d_.iob_cells[i]] = i;
+  }
+  std::unordered_map<CellId, Pos> port_pos;
+  for (const PlacedPort& p : d_.ports) {
+    const int col = p.is_input ? d_.region->c0 - 1 : d_.region->c1;
+    port_pos[p.cell] = {static_cast<double>(col), static_cast<double>(p.row)};
+  }
+
+  auto endpoint_of_cell = [&](CellId id) -> std::optional<Endpoint> {
+    const Cell& c = nl.cell(id);
+    switch (c.kind) {
+      case CellKind::Lut4:
+      case CellKind::Dff: {
+        Endpoint ep;
+        ep.kind = Endpoint::Kind::Slice;
+        ep.index = d_.cell_place.at(id).slice_index;
+        return ep;
+      }
+      case CellKind::Ibuf:
+      case CellKind::Obuf: {
+        const auto it = iob_of_cell.find(id);
+        if (it != iob_of_cell.end()) {
+          Endpoint ep;
+          ep.kind = Endpoint::Kind::Iob;
+          ep.index = it->second;
+          return ep;
+        }
+        const auto pit = port_pos.find(id);
+        if (pit != port_pos.end()) {
+          Endpoint ep;
+          ep.kind = Endpoint::Kind::Fixed;
+          ep.fixed = pit->second;
+          return ep;
+        }
+        return std::nullopt;
+      }
+      default:
+        return std::nullopt;  // constants: no position
+    }
+  };
+
+  for (NetId id = 0; id < nl.num_nets(); ++id) {
+    const Net& net = nl.net(id);
+    if (net.driver == kNullCell || net.sinks.empty()) continue;
+    std::vector<Endpoint> eps;
+    if (const auto ep = endpoint_of_cell(net.driver)) eps.push_back(*ep);
+    for (const NetSink& s : net.sinks) {
+      if (const auto ep = endpoint_of_cell(s.cell)) eps.push_back(*ep);
+    }
+    if (eps.size() < 2) continue;
+    const std::size_t net_idx = net_endpoints_.size();
+    for (const Endpoint& ep : eps) {
+      if (ep.kind == Endpoint::Kind::Slice) {
+        nets_of_slice_[ep.index].push_back(net_idx);
+      } else if (ep.kind == Endpoint::Kind::Iob) {
+        nets_of_iob_[ep.index].push_back(net_idx);
+      }
+    }
+    net_endpoints_.push_back(std::move(eps));
+  }
+  // Deduplicate per-element net lists (a net may touch one slice twice).
+  for (auto* lists : {&nets_of_slice_, &nets_of_iob_}) {
+    for (auto& l : *lists) {
+      std::sort(l.begin(), l.end());
+      l.erase(std::unique(l.begin(), l.end()), l.end());
+    }
+  }
+}
+
+double Annealer::net_cost(std::size_t net_idx) const {
+  double minx = 1e18, maxx = -1e18, miny = 1e18, maxy = -1e18;
+  for (const Endpoint& ep : net_endpoints_[net_idx]) {
+    Pos p;
+    switch (ep.kind) {
+      case Endpoint::Kind::Slice: {
+        const SliceSite s = d_.slice_sites[ep.index];
+        p = {static_cast<double>(s.c), static_cast<double>(s.r)};
+        break;
+      }
+      case Endpoint::Kind::Iob: {
+        const IobSite s = d_.iob_sites[ep.index];
+        p = {s.side == Side::Left ? -1.0 : static_cast<double>(dev_.cols()),
+             static_cast<double>(s.row)};
+        break;
+      }
+      case Endpoint::Kind::Fixed:
+        p = ep.fixed;
+        break;
+    }
+    minx = std::min(minx, p.x);
+    maxx = std::max(maxx, p.x);
+    miny = std::min(miny, p.y);
+    maxy = std::max(maxy, p.y);
+  }
+  return (maxx - minx) + (maxy - miny);
+}
+
+double Annealer::total_cost() const {
+  double c = 0;
+  for (std::size_t i = 0; i < net_endpoints_.size(); ++i) c += net_cost(i);
+  return c;
+}
+
+bool Annealer::try_move(double temperature, PlaceStats& stats) {
+  if (movable_.empty()) return false;
+  ++stats.moves;
+  const std::size_t ei = movable_[rng_.uniform(movable_.size())];
+  Element& e = elements_[ei];
+
+  // Collect the nets affected and their pre-move cost lazily per candidate.
+  auto affected_nets = [&](const Element& el) -> const std::vector<std::size_t>& {
+    return el.kind == Element::Kind::Slice ? nets_of_slice_[el.index]
+                                           : nets_of_iob_[el.index];
+  };
+
+  if (e.kind == Element::Kind::Slice) {
+    const auto& candidates =
+        allowed_sites_[static_cast<std::size_t>(e.allowed)];
+    const std::size_t target = candidates[rng_.uniform(candidates.size())];
+    const std::size_t source = slice_site_index(d_.slice_sites[e.index]);
+    if (target == source) return false;
+    const int occ = site_occupant_[target];
+    Element* other = nullptr;
+    if (occ >= 0) {
+      other = &elements_[static_cast<std::size_t>(occ)];
+      if (other->locked || other->kind != Element::Kind::Slice ||
+          other->allowed != e.allowed) {
+        return false;  // can't displace
+      }
+    }
+    // Cost before.
+    double before = 0;
+    for (const std::size_t n : affected_nets(e)) before += net_cost(n);
+    if (other != nullptr) {
+      for (const std::size_t n : affected_nets(*other)) {
+        before += net_cost(n);
+      }
+    }
+    // Apply.
+    const SliceSite old_site = d_.slice_sites[e.index];
+    d_.slice_sites[e.index] = slice_site_of_index(target);
+    site_occupant_[target] = static_cast<int>(ei);
+    if (other != nullptr) {
+      d_.slice_sites[other->index] = old_site;
+      site_occupant_[source] = occ;
+    } else {
+      site_occupant_[source] = -1;
+    }
+    double after = 0;
+    for (const std::size_t n : affected_nets(e)) after += net_cost(n);
+    if (other != nullptr) {
+      for (const std::size_t n : affected_nets(*other)) after += net_cost(n);
+    }
+    const double delta = after - before;
+    if (delta <= 0 ||
+        (temperature > 0 && rng_.unit() < std::exp(-delta / temperature))) {
+      ++stats.accepted;
+      return true;
+    }
+    // Revert.
+    d_.slice_sites[e.index] = old_site;
+    site_occupant_[source] = static_cast<int>(ei);
+    if (other != nullptr) {
+      d_.slice_sites[other->index] = slice_site_of_index(target);
+      site_occupant_[target] = occ;
+    } else {
+      site_occupant_[target] = -1;
+    }
+    return false;
+  }
+
+  // IOB move.
+  const std::size_t target = rng_.uniform(iob_site_list_.size());
+  const std::size_t source = iob_site_of_cell_[e.index];
+  if (target == source) return false;
+  const int occ = iob_occupant_[target];
+  Element* other = nullptr;
+  if (occ >= 0) {
+    other = &elements_[static_cast<std::size_t>(occ)];
+    if (other->locked) return false;
+  }
+  double before = 0;
+  for (const std::size_t n : affected_nets(e)) before += net_cost(n);
+  if (other != nullptr) {
+    for (const std::size_t n : affected_nets(*other)) before += net_cost(n);
+  }
+  d_.iob_sites[e.index] = iob_site_list_[target];
+  iob_site_of_cell_[e.index] = target;
+  iob_occupant_[target] = static_cast<int>(ei);
+  if (other != nullptr) {
+    d_.iob_sites[other->index] = iob_site_list_[source];
+    iob_site_of_cell_[other->index] = source;
+    iob_occupant_[source] = occ;
+  } else {
+    iob_occupant_[source] = -1;
+  }
+  double after = 0;
+  for (const std::size_t n : affected_nets(e)) after += net_cost(n);
+  if (other != nullptr) {
+    for (const std::size_t n : affected_nets(*other)) after += net_cost(n);
+  }
+  const double delta = after - before;
+  if (delta <= 0 ||
+      (temperature > 0 && rng_.unit() < std::exp(-delta / temperature))) {
+    ++stats.accepted;
+    return true;
+  }
+  d_.iob_sites[e.index] = iob_site_list_[source];
+  iob_site_of_cell_[e.index] = source;
+  iob_occupant_[source] = static_cast<int>(ei);
+  if (other != nullptr) {
+    d_.iob_sites[other->index] = iob_site_list_[target];
+    iob_site_of_cell_[other->index] = target;
+    iob_occupant_[target] = occ;
+  } else {
+    iob_occupant_[target] = -1;
+  }
+  return false;
+}
+
+PlaceStats Annealer::run() {
+  build_allowed_sets();
+  initial_place();
+  build_net_adjacency();
+
+  PlaceStats stats;
+  stats.initial_cost = total_cost();
+
+  // Temperature from sampled move deltas.
+  double t0 = std::max(1.0, stats.initial_cost /
+                                std::max<std::size_t>(1, net_endpoints_.size()));
+  if (opt_.guided) t0 *= opt_.guided_temp_scale;
+
+  double t = t0;
+  const std::size_t moves_per_round =
+      std::max<std::size_t>(64, static_cast<std::size_t>(opt_.moves_per_le) *
+                                    movable_.size());
+  while (t > 0.01) {
+    for (std::size_t m = 0; m < moves_per_round; ++m) {
+      try_move(t, stats);
+    }
+    t *= opt_.cooling;
+  }
+  // Greedy cleanup at zero temperature.
+  for (std::size_t m = 0; m < moves_per_round; ++m) {
+    try_move(0, stats);
+  }
+
+  stats.final_cost = total_cost();
+  JPG_DEBUG("placer: cost " << stats.initial_cost << " -> " << stats.final_cost
+                            << " (" << stats.accepted << "/" << stats.moves
+                            << " moves)");
+  return stats;
+}
+
+}  // namespace
+
+PlaceStats place_design(PlacedDesign& design,
+                        const PlacementConstraints& constraints,
+                        const PlacerOptions& options) {
+  JPG_REQUIRE(!design.slices.empty() || design.netlist().num_cells() > 0,
+              "placing an unpacked design");
+  Annealer annealer(design, constraints, options);
+  return annealer.run();
+}
+
+}  // namespace jpg

@@ -1,0 +1,60 @@
+// Placer: simulated-annealing placement with floorplan constraints — the
+// PAR placement step of the Foundation flow, including the *guided* mode the
+// paper's phase-2 flow relies on ("guided floorplanning is performed using
+// the constraints from the base design").
+//
+// Constraints model the UCF subset JPG cares about:
+//  * area groups: every cell of partition P must sit inside P's region, and
+//    static cells must stay outside all regions (so a region can be wholly
+//    rewritten by partial reconfiguration);
+//  * LOC locks on named cells and pads;
+//  * module mode: `design.region` restricts everything, and interface ports
+//    are fixed boundary terminals rather than pads.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "pnr/placed_design.h"
+#include "support/rng.h"
+
+namespace jpg {
+
+struct PlacementConstraints {
+  /// Partition name -> region its slices must occupy.
+  std::map<std::string, Region> area_groups;
+  /// Cell name -> fixed slice site (the cell's whole packed slice is locked).
+  std::map<std::string, SliceSite> loc_slices;
+  /// Port name -> fixed pad number.
+  std::map<std::string, int> loc_pads;
+  /// Keep unconstrained (static) cells outside every area group region.
+  bool static_outside_groups = true;
+  /// Ports bound to region-boundary wires instead of pads (module flow).
+  std::set<std::string> interface_ports;
+};
+
+struct PlacerOptions {
+  std::uint64_t seed = 1;
+  double cooling = 0.92;
+  int moves_per_le = 8;
+  /// Guided mode: keep the existing placement as the starting point and
+  /// anneal at a fraction of the normal temperature (incremental re-place).
+  bool guided = false;
+  double guided_temp_scale = 0.05;
+};
+
+struct PlaceStats {
+  double initial_cost = 0;
+  double final_cost = 0;
+  std::size_t moves = 0;
+  std::size_t accepted = 0;
+};
+
+/// Places `design` (must be packed). Fills `slice_sites`, `iob_cells`,
+/// `iob_sites`. Throws DeviceError when constraints are unsatisfiable.
+PlaceStats place_design(PlacedDesign& design,
+                        const PlacementConstraints& constraints,
+                        const PlacerOptions& options = {});
+
+}  // namespace jpg

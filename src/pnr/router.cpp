@@ -1,0 +1,403 @@
+#include "pnr/router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/log.h"
+
+namespace jpg {
+
+// --- RoutingGraph -----------------------------------------------------------
+
+RoutingGraph::RoutingGraph(const Device& device) : device_(&device) {
+  const RoutingFabric& fab = device.fabric();
+  const std::size_t n = fab.num_nodes();
+
+  struct RawEdge {
+    std::size_t from;
+    Edge e;
+  };
+  std::vector<RawEdge> raw;
+
+  auto dest_node_of_mux = [&](int r, int c, const MuxDef& m) -> std::size_t {
+    if (m.dest_local < kTileWires) {
+      return fab.tile_wire_node(r, c, m.dest_local);
+    }
+    const int k = m.dest_local - kLongDriverBase;
+    return k < 2 ? fab.longh_node(r, k) : fab.longv_node(c, k - 2);
+  };
+
+  for (int r = 0; r < device.rows(); ++r) {
+    for (int c = 0; c < device.cols(); ++c) {
+      for (const MuxDef& m : fab.tile_muxes()) {
+        const std::size_t dest = dest_node_of_mux(r, c, m);
+        for (std::size_t i = 0; i < m.sources.size(); ++i) {
+          const auto src = fab.resolve_source(r, c, m.sources[i]);
+          if (!src) continue;
+          RawEdge re;
+          re.from = *src;
+          re.e.to = static_cast<std::uint32_t>(dest);
+          re.e.r = static_cast<std::int16_t>(r);
+          re.e.c = static_cast<std::int16_t>(c);
+          re.e.dest_local = static_cast<std::int16_t>(m.dest_local);
+          re.e.sel = static_cast<std::uint16_t>(i + 1);
+          raw.push_back(re);
+        }
+      }
+    }
+  }
+  // Pad-input muxes.
+  for (const IobSite s : device.all_iob_sites()) {
+    const auto sources = fab.pad_in_sources(s.side, s.row, s.k);
+    const std::size_t dest = fab.pad_in_node(s.side, s.row, s.k);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      RawEdge re;
+      re.from = sources[i];
+      re.e.to = static_cast<std::uint32_t>(dest);
+      re.e.r = static_cast<std::int16_t>(s.row);
+      re.e.c = static_cast<std::int16_t>(s.k);
+      re.e.dest_local = s.side == Side::Left ? kPadInLeft : kPadInRight;
+      re.e.sel = static_cast<std::uint16_t>(i + 1);
+      raw.push_back(re);
+    }
+  }
+
+  // CSR assembly.
+  offsets_.assign(n + 1, 0);
+  for (const RawEdge& re : raw) ++offsets_[re.from + 1];
+  for (std::size_t i = 1; i <= n; ++i) offsets_[i] += offsets_[i - 1];
+  edges_.resize(raw.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const RawEdge& re : raw) {
+    edges_[cursor[re.from]++] = re.e;
+  }
+  JPG_INFO("routing graph for " << device.spec().name << ": " << n
+                                << " nodes, " << edges_.size() << " edges");
+}
+
+const RoutingGraph& RoutingGraph::get(const Device& device) {
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<RoutingGraph>> cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(device.spec().name);
+  if (it == cache.end()) {
+    it = cache.emplace(device.spec().name,
+                       std::make_unique<RoutingGraph>(device))
+             .first;
+  }
+  return *it->second;
+}
+
+// --- PathFinder ----------------------------------------------------------------
+
+namespace {
+
+class PathFinder {
+ public:
+  PathFinder(const RoutingGraph& g, const std::vector<NetToRoute>& nets,
+             const RouteConstraints& cons, const RouterOptions& opt)
+      : g_(g), nets_(nets), cons_(cons), opt_(opt) {}
+
+  std::vector<RoutedNet> run(RouteStats* stats);
+
+ private:
+  void build_permissions();
+  [[nodiscard]] double base_cost(std::size_t node) const;
+  [[nodiscard]] double heuristic(std::size_t node, std::size_t sink) const;
+  /// Routes one net; returns its node set + edges. Throws on unreachable.
+  void route_net(std::size_t net_idx);
+  void rip_up(std::size_t net_idx);
+
+  const RoutingGraph& g_;
+  const std::vector<NetToRoute>& nets_;
+  const RouteConstraints& cons_;
+  const RouterOptions& opt_;
+
+  std::vector<std::uint8_t> allowed_;
+  /// Per-CLB-tile permission for *programming a mux there*. Nodes and pip
+  /// tiles must be gated separately: a long-line driver's config bits live
+  /// in the driving tile's column even though the driven node (the shared
+  /// long) is legal — without this gate a static net could program a mux
+  /// inside a reconfigurable region and be wiped by the next module swap.
+  std::vector<std::uint8_t> tile_allowed_;
+  std::vector<int> occupancy_;
+  std::vector<double> history_;
+  double pres_fac_ = 1.0;
+
+  // Per-net routing state.
+  struct NetRoute {
+    std::vector<std::size_t> nodes;  ///< tree nodes excluding the source
+    std::vector<RoutingGraph::Edge> edges;
+  };
+  std::vector<NetRoute> result_;
+
+  // Scratch for A*.
+  std::vector<double> cost_;
+  std::vector<std::int32_t> prev_edge_;  ///< index into scratch edge store
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t cur_stamp_ = 0;
+  std::vector<std::pair<std::uint32_t, RoutingGraph::Edge>> edge_store_;
+};
+
+void PathFinder::build_permissions() {
+  const Device& dev = g_.device();
+  const RoutingFabric& fab = dev.fabric();
+  const std::size_t n = fab.num_nodes();
+  allowed_.assign(n, 1);
+
+  if (cons_.restrict_region.has_value()) {
+    const Region reg = *cons_.restrict_region;
+    std::fill(allowed_.begin(), allowed_.end(), 0);
+    for (int r = reg.r0; r <= reg.r1; ++r) {
+      for (int c = reg.c0; c <= reg.c1; ++c) {
+        for (int w = 0; w < kTileWires; ++w) {
+          allowed_[fab.tile_wire_node(r, c, w)] = 1;
+        }
+      }
+    }
+    if (reg.full_height(dev)) {
+      for (int c = reg.c0; c <= reg.c1; ++c) {
+        for (int k = 0; k < kLongsPerCol; ++k) {
+          allowed_[fab.longv_node(c, k)] = 1;
+        }
+      }
+    }
+  }
+  for (const Region& reg : cons_.exclude_regions) {
+    for (int r = reg.r0; r <= reg.r1; ++r) {
+      for (int c = reg.c0; c <= reg.c1; ++c) {
+        for (int w = 0; w < kTileWires; ++w) {
+          allowed_[fab.tile_wire_node(r, c, w)] = 0;
+        }
+      }
+    }
+    for (int c = reg.c0; c <= reg.c1; ++c) {
+      for (int k = 0; k < kLongsPerCol; ++k) {
+        allowed_[fab.longv_node(c, k)] = 0;
+      }
+    }
+  }
+  // Tile gate for mux programming.
+  tile_allowed_.assign(
+      static_cast<std::size_t>(dev.rows()) * dev.cols(),
+      cons_.restrict_region.has_value() ? 0 : 1);
+  if (cons_.restrict_region.has_value()) {
+    const Region reg = *cons_.restrict_region;
+    for (int r = reg.r0; r <= reg.r1; ++r) {
+      for (int c = reg.c0; c <= reg.c1; ++c) {
+        tile_allowed_[static_cast<std::size_t>(r) * dev.cols() + c] = 1;
+      }
+    }
+  }
+  for (const Region& reg : cons_.exclude_regions) {
+    for (int r = reg.r0; r <= reg.r1; ++r) {
+      for (int c = reg.c0; c <= reg.c1; ++c) {
+        tile_allowed_[static_cast<std::size_t>(r) * dev.cols() + c] = 0;
+      }
+    }
+  }
+
+  for (const std::size_t node : cons_.blocked) allowed_[node] = 0;
+  for (const std::size_t node : cons_.extra_allowed) allowed_[node] = 1;
+  // A net's own source and sinks are always allowed.
+  for (const NetToRoute& net : nets_) {
+    allowed_[net.source] = 1;
+    for (const std::size_t s : net.sinks) allowed_[s] = 1;
+  }
+}
+
+double PathFinder::base_cost(std::size_t node) const {
+  const auto info = g_.device().fabric().node_info(node);
+  switch (info.type) {
+    case RoutingFabric::NodeInfo::Type::LongH:
+    case RoutingFabric::NodeInfo::Type::LongV:
+      return 3.0;  // discourage long lines unless they pay off
+    default:
+      return 1.0;
+  }
+}
+
+double PathFinder::heuristic(std::size_t node, std::size_t sink) const {
+  const RoutingFabric& fab = g_.device().fabric();
+  const auto a = fab.node_info(node);
+  const auto b = fab.node_info(sink);
+  if (a.type != RoutingFabric::NodeInfo::Type::TileWire ||
+      b.type != RoutingFabric::NodeInfo::Type::TileWire) {
+    return 0;  // longs span rows/cols; pads sit at edges: stay admissible
+  }
+  const double dist = std::abs(a.r - b.r) + std::abs(a.c - b.c);
+  return dist / static_cast<double>(kHexSpan);
+}
+
+void PathFinder::rip_up(std::size_t net_idx) {
+  for (const std::size_t node : result_[net_idx].nodes) {
+    --occupancy_[node];
+  }
+  result_[net_idx].nodes.clear();
+  result_[net_idx].edges.clear();
+}
+
+void PathFinder::route_net(std::size_t net_idx) {
+  const NetToRoute& net = nets_[net_idx];
+  NetRoute& out = result_[net_idx];
+
+  // Order sinks farthest-first (stabilises the tree shape).
+  std::vector<std::size_t> sinks = net.sinks;
+  std::sort(sinks.begin(), sinks.end(), [&](std::size_t x, std::size_t y) {
+    return heuristic(net.source, x) > heuristic(net.source, y);
+  });
+
+  std::vector<std::size_t> tree = {net.source};
+
+  using QItem = std::pair<double, std::size_t>;  // (est total, node)
+  for (const std::size_t sink : sinks) {
+    if (std::find(tree.begin(), tree.end(), sink) != tree.end()) continue;
+    ++cur_stamp_;
+    edge_store_.clear();
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    auto relax = [&](std::size_t node, double cost, std::int32_t via) {
+      if (stamp_[node] == cur_stamp_ && cost_[node] <= cost) return;
+      stamp_[node] = cur_stamp_;
+      cost_[node] = cost;
+      prev_edge_[node] = via;
+      pq.emplace(cost + heuristic(node, sink), node);
+    };
+    for (const std::size_t t : tree) relax(t, 0.0, -1);
+
+    bool found = false;
+    while (!pq.empty()) {
+      const auto [est, node] = pq.top();
+      pq.pop();
+      if (stamp_[node] != cur_stamp_) continue;
+      if (est > cost_[node] + heuristic(node, sink) + 1e-9) continue;  // stale
+      if (node == sink) {
+        found = true;
+        break;
+      }
+      for (const RoutingGraph::Edge& e : g_.out_edges(node)) {
+        const std::size_t to = e.to;
+        if (!allowed_[to]) continue;
+        // CLB pips also need their tile's config bits to be in bounds.
+        if (e.dest_local >= 0 &&
+            !tile_allowed_[static_cast<std::size_t>(e.r) *
+                               g_.device().cols() + e.c]) {
+          continue;
+        }
+        // Congestion-negotiated cost of entering `to`.
+        const double congestion =
+            1.0 + pres_fac_ * static_cast<double>(occupancy_[to]);
+        const double c =
+            cost_[node] + base_cost(to) * congestion + history_[to];
+        if (stamp_[to] == cur_stamp_ && cost_[to] <= c) continue;
+        edge_store_.emplace_back(static_cast<std::uint32_t>(node), e);
+        relax(to, c, static_cast<std::int32_t>(edge_store_.size() - 1));
+      }
+    }
+    if (!found) {
+      std::ostringstream os;
+      os << "unroutable net (id " << net.id << "): no path to sink "
+         << g_.device().fabric().node_name(sink);
+      throw DeviceError(os.str());
+    }
+    // Walk back, appending new nodes/edges to the tree.
+    std::size_t node = sink;
+    while (prev_edge_[node] >= 0) {
+      const auto& [from, edge] = edge_store_[static_cast<std::size_t>(
+          prev_edge_[node])];
+      out.nodes.push_back(node);
+      ++occupancy_[node];
+      out.edges.push_back(edge);
+      tree.push_back(node);
+      node = from;
+    }
+  }
+}
+
+std::vector<RoutedNet> PathFinder::run(RouteStats* stats) {
+  build_permissions();
+  const std::size_t n = g_.num_nodes();
+  occupancy_.assign(n, 0);
+  history_.assign(n, 0.0);
+  cost_.assign(n, 0.0);
+  prev_edge_.assign(n, -1);
+  stamp_.assign(n, 0);
+  result_.assign(nets_.size(), {});
+
+  pres_fac_ = opt_.pres_fac_first;
+  int iter = 0;
+  for (iter = 1; iter <= opt_.max_iterations; ++iter) {
+    // (Re)route nets that are unrouted or congested.
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+      bool needs = result_[i].nodes.empty() && !nets_[i].sinks.empty();
+      for (const std::size_t node : result_[i].nodes) {
+        if (occupancy_[node] > 1) {
+          needs = true;
+          break;
+        }
+      }
+      if (!needs) continue;
+      rip_up(i);
+      route_net(i);
+    }
+    // Check for congestion.
+    bool overused = false;
+    for (std::size_t node = 0; node < n; ++node) {
+      if (occupancy_[node] > 1) {
+        overused = true;
+        history_[node] +=
+            opt_.hist_fac * static_cast<double>(occupancy_[node] - 1);
+      }
+    }
+    if (!overused) break;
+    pres_fac_ *= opt_.pres_fac_mult;
+    if (iter == opt_.max_iterations) {
+      throw DeviceError("router failed to resolve congestion after " +
+                        std::to_string(iter) + " iterations");
+    }
+  }
+
+  // Assemble results.
+  std::vector<RoutedNet> routed(nets_.size());
+  std::size_t nodes_used = 0, pips = 0;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    routed[i].net = nets_[i].id;
+    for (const RoutingGraph::Edge& e : result_[i].edges) {
+      if (e.dest_local >= 0) {
+        routed[i].pips.push_back(RoutedPip{
+            TileCoord{e.r, e.c}, e.dest_local, e.sel});
+      } else {
+        const Side side =
+            e.dest_local == RoutingGraph::kPadInLeft ? Side::Left : Side::Right;
+        routed[i].iob_pips.push_back(IobRoute{IobSite{side, e.r, e.c}, e.sel});
+      }
+    }
+    nodes_used += result_[i].nodes.size();
+    pips += routed[i].pips.size() + routed[i].iob_pips.size();
+  }
+  if (stats != nullptr) {
+    stats->iterations = iter;
+    stats->nodes_used = nodes_used;
+    stats->total_pips = pips;
+  }
+  JPG_DEBUG("router: " << nets_.size() << " nets, " << pips << " pips, "
+                       << iter << " iterations");
+  return routed;
+}
+
+}  // namespace
+
+std::vector<RoutedNet> route_nets(const RoutingGraph& graph,
+                                  const std::vector<NetToRoute>& nets,
+                                  const RouteConstraints& constraints,
+                                  const RouterOptions& options,
+                                  RouteStats* stats) {
+  PathFinder pf(graph, nets, constraints, options);
+  return pf.run(stats);
+}
+
+}  // namespace jpg

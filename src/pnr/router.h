@@ -1,0 +1,93 @@
+// Router: PathFinder negotiated-congestion routing over the device fabric —
+// the PAR routing step of the Foundation flow.
+//
+// The router understands the partial-reconfiguration resource discipline
+// (DESIGN.md, pnr/flow.h): a *module* net may be restricted to its region's
+// tiles (plus the region's vertical long lines when the region is full
+// height, never horizontal longs), while *static* nets exclude region tiles
+// and region-column vertical longs. The two passes therefore consume
+// provably disjoint configuration bits, which is what makes JPG's frame
+// rewriting non-disruptive.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "pnr/placed_design.h"
+
+namespace jpg {
+
+/// Forward routing graph (CSR), built once per device and cached.
+class RoutingGraph {
+ public:
+  struct Edge {
+    std::uint32_t to = 0;
+    std::int16_t r = 0;           ///< pip tile row / IOB row
+    std::int16_t c = 0;           ///< pip tile col / IOB pad index
+    std::int16_t dest_local = 0;  ///< >=0: tile mux; -1/-2: left/right pad-in
+    std::uint16_t sel = 0;        ///< mux encoding programming this edge
+  };
+  static constexpr std::int16_t kPadInLeft = -1;
+  static constexpr std::int16_t kPadInRight = -2;
+
+  explicit RoutingGraph(const Device& device);
+
+  [[nodiscard]] const Device& device() const { return *device_; }
+  [[nodiscard]] std::size_t num_nodes() const { return offsets_.size() - 1; }
+  [[nodiscard]] std::span<const Edge> out_edges(std::size_t node) const {
+    return {edges_.data() + offsets_[node],
+            edges_.data() + offsets_[node + 1]};
+  }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  /// Process-wide cache (graphs are immutable and expensive).
+  static const RoutingGraph& get(const Device& device);
+
+ private:
+  const Device* device_;
+  std::vector<std::size_t> offsets_;
+  std::vector<Edge> edges_;
+};
+
+struct NetToRoute {
+  NetId id = kNullNet;
+  std::size_t source = 0;
+  std::vector<std::size_t> sinks;
+};
+
+struct RouteConstraints {
+  /// Nets may only use wires of tiles inside this region (module pass);
+  /// region-column vertical longs are allowed when the region is full
+  /// height; horizontal longs never.
+  std::optional<Region> restrict_region;
+  /// Nets must avoid wires of tiles inside these regions and the vertical
+  /// longs of their columns (static pass).
+  std::vector<Region> exclude_regions;
+  /// Nodes usable despite the region rules (locked boundary crossings).
+  std::vector<std::size_t> extra_allowed;
+  /// Nodes that must not be used (crossing wires reserved for other nets).
+  std::vector<std::size_t> blocked;
+};
+
+struct RouterOptions {
+  int max_iterations = 60;
+  double pres_fac_first = 0.8;
+  double pres_fac_mult = 1.6;
+  double hist_fac = 0.5;
+};
+
+struct RouteStats {
+  int iterations = 0;
+  std::size_t nodes_used = 0;
+  std::size_t total_pips = 0;
+};
+
+/// Routes all nets; throws DeviceError when a sink is unreachable or
+/// congestion cannot be resolved within max_iterations.
+[[nodiscard]] std::vector<RoutedNet> route_nets(
+    const RoutingGraph& graph, const std::vector<NetToRoute>& nets,
+    const RouteConstraints& constraints = {},
+    const RouterOptions& options = {}, RouteStats* stats = nullptr);
+
+}  // namespace jpg

@@ -1,0 +1,107 @@
+#include "pnr/timing.h"
+
+#include <algorithm>
+
+namespace jpg {
+
+namespace {
+
+constexpr double kLutDelay = 1.0;
+constexpr double kWireBase = 0.5;
+constexpr double kWirePerTile = 0.1;
+
+struct Pos {
+  double x = 0, y = 0;
+  bool valid = false;
+};
+
+}  // namespace
+
+TimingReport estimate_timing(const PlacedDesign& design) {
+  const Netlist& nl = design.netlist();
+
+  auto pos_of = [&](CellId id) -> Pos {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::Lut4 || c.kind == CellKind::Dff) {
+      if (design.cell_place.count(id) == 0) return {};
+      const SliceSite s = design.site_of(id);
+      return {static_cast<double>(s.c), static_cast<double>(s.r), true};
+    }
+    if (const auto site = design.iob_site_of(id)) {
+      return {site->side == Side::Left
+                  ? -1.0
+                  : static_cast<double>(design.device().cols()),
+              static_cast<double>(site->row), true};
+    }
+    return {};
+  };
+
+  auto net_delay = [&](CellId from, CellId to) {
+    const Pos a = pos_of(from);
+    const Pos b = pos_of(to);
+    if (!a.valid || !b.valid) return kWireBase;
+    return kWireBase +
+           kWirePerTile * (std::abs(a.x - b.x) + std::abs(a.y - b.y));
+  };
+
+  // Longest-path DP over the combinational (LUT) DAG. Arrival at a cell's
+  // output; sources are FF outputs, IBUFs and constants (arrival 0).
+  std::vector<double> arrival(nl.num_cells(), 0.0);
+  std::vector<int> levels(nl.num_cells(), 0);
+
+  // Topological order via repeated relaxation (the DAG is shallow; DRC has
+  // already rejected cycles, so |levels| passes suffice).
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < static_cast<int>(nl.num_cells()) + 2) {
+    changed = false;
+    for (CellId id = 0; id < nl.num_cells(); ++id) {
+      const Cell& c = nl.cell(id);
+      if (c.kind != CellKind::Lut4) continue;
+      double worst = 0;
+      int lvl = 0;
+      for (int p = 0; p < 4; ++p) {
+        const NetId in = c.in[static_cast<std::size_t>(p)];
+        if (in == kNullNet) continue;
+        const Net& net = nl.net(in);
+        if (net.driver == kNullCell) continue;
+        const Cell& drv = nl.cell(net.driver);
+        const double base =
+            drv.kind == CellKind::Lut4 ? arrival[net.driver] : 0.0;
+        worst = std::max(worst, base + net_delay(net.driver, id));
+        if (drv.kind == CellKind::Lut4) {
+          lvl = std::max(lvl, levels[net.driver]);
+        }
+      }
+      const double a = worst + kLutDelay;
+      if (a > arrival[id] + 1e-12) {
+        arrival[id] = a;
+        levels[id] = lvl + 1;
+        changed = true;
+      }
+    }
+  }
+
+  // Endpoints: FF D inputs and OBUF inputs.
+  TimingReport rep;
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.kind != CellKind::Dff && c.kind != CellKind::Obuf) continue;
+    const NetId in = c.in[0];
+    if (in == kNullNet) continue;
+    const Net& net = nl.net(in);
+    if (net.driver == kNullCell) continue;
+    const Cell& drv = nl.cell(net.driver);
+    const double base = drv.kind == CellKind::Lut4 ? arrival[net.driver] : 0.0;
+    const double t = base + net_delay(net.driver, id);
+    if (t > rep.critical_path) {
+      rep.critical_path = t;
+      rep.logic_levels =
+          drv.kind == CellKind::Lut4 ? levels[net.driver] : 0;
+      rep.critical_endpoint = c.name;
+    }
+  }
+  return rep;
+}
+
+}  // namespace jpg

@@ -1,0 +1,20 @@
+// Timing-lite: unit-delay static timing estimate over the placed design.
+//
+// The paper makes no timing claims; this exists so flows can compare design
+// variants and report a figure of merit. Delays: 1.0 per LUT, plus a
+// placement-derived wire delay per net hop.
+#pragma once
+
+#include "pnr/placed_design.h"
+
+namespace jpg {
+
+struct TimingReport {
+  double critical_path = 0;  ///< worst register-to-register/port path (a.u.)
+  int logic_levels = 0;      ///< LUT depth on the critical path
+  std::string critical_endpoint;
+};
+
+[[nodiscard]] TimingReport estimate_timing(const PlacedDesign& design);
+
+}  // namespace jpg

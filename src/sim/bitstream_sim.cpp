@@ -1,0 +1,53 @@
+#include "sim/bitstream_sim.h"
+
+namespace jpg {
+
+BitstreamSim::BitstreamSim(const ConfigMemory& mem)
+    : circuit_(extract_circuit(mem)),
+      sim_(std::make_unique<NetlistSim>(circuit_.netlist)) {}
+
+void BitstreamSim::set_pad(int pad, bool v) {
+  sim_->set_input("P" + std::to_string(pad), v);
+}
+
+bool BitstreamSim::get_pad(int pad) {
+  return sim_->get_output("P" + std::to_string(pad));
+}
+
+bool BitstreamSim::has_input_pad(int pad) const {
+  const auto ports = circuit_.netlist.input_ports();
+  const std::string name = "P" + std::to_string(pad);
+  for (const auto& p : ports) {
+    if (p == name) return true;
+  }
+  return false;
+}
+
+bool BitstreamSim::has_output_pad(int pad) const {
+  const auto ports = circuit_.netlist.output_ports();
+  const std::string name = "P" + std::to_string(pad);
+  for (const auto& p : ports) {
+    if (p == name) return true;
+  }
+  return false;
+}
+
+std::map<BitstreamSim::FfKey, bool> BitstreamSim::capture_ff_state() const {
+  std::map<FfKey, bool> state;
+  for (const ExtractedFf& ff : circuit_.ffs) {
+    state[{ff.site.r, ff.site.c, ff.site.slice, ff.le}] =
+        sim_->ff_state(ff.cell);
+  }
+  return state;
+}
+
+void BitstreamSim::restore_ff_state(const std::map<FfKey, bool>& state) {
+  for (const ExtractedFf& ff : circuit_.ffs) {
+    const auto it = state.find({ff.site.r, ff.site.c, ff.site.slice, ff.le});
+    if (it != state.end()) {
+      sim_->set_ff_state(ff.cell, it->second);
+    }
+  }
+}
+
+}  // namespace jpg

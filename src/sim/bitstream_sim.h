@@ -1,0 +1,51 @@
+// BitstreamSim: functional simulation straight from configuration memory.
+//
+// Wraps extract_circuit + NetlistSim and adds the one capability partial
+// reconfiguration needs: carrying flip-flop state across a configuration
+// change. FF state is keyed by physical identity (site + logic element), so
+// after a partial load the untouched part of the device resumes exactly
+// where it was — the paper's "dynamic reconfiguration" behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "sim/circuit_extractor.h"
+#include "sim/netlist_sim.h"
+
+namespace jpg {
+
+class BitstreamSim {
+ public:
+  /// Extracts the circuit from `mem` and builds the simulator. The memory is
+  /// not retained; re-extract after configuration changes.
+  explicit BitstreamSim(const ConfigMemory& mem);
+
+  [[nodiscard]] const ExtractedCircuit& circuit() const { return circuit_; }
+  [[nodiscard]] NetlistSim& sim() { return *sim_; }
+
+  /// Drives/reads pads by pad number (ports "P<n>").
+  void set_pad(int pad, bool v);
+  [[nodiscard]] bool get_pad(int pad);
+  [[nodiscard]] bool has_input_pad(int pad) const;
+  [[nodiscard]] bool has_output_pad(int pad) const;
+
+  void step() { sim_->step(); }
+  void step_n(int n) { sim_->step_n(n); }
+
+  // --- FF state transfer ---------------------------------------------------
+  /// Physical FF identity: (row, col, slice, logic element).
+  using FfKey = std::tuple<int, int, int, int>;
+
+  [[nodiscard]] std::map<FfKey, bool> capture_ff_state() const;
+  /// Restores matching FFs; FFs not present in `state` keep their init value.
+  void restore_ff_state(const std::map<FfKey, bool>& state);
+
+ private:
+  ExtractedCircuit circuit_;
+  std::unique_ptr<NetlistSim> sim_;
+};
+
+}  // namespace jpg

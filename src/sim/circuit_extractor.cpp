@@ -1,0 +1,324 @@
+#include "sim/circuit_extractor.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "cbits/cbits.h"
+
+namespace jpg {
+
+namespace {
+
+/// Per-logic-element decoded usage.
+struct LeUse {
+  bool lut = false;
+  bool ff = false;
+  bool comb_out = false;  ///< X/Y drives the fabric
+  NetId lut_out = kNullNet;
+  NetId ff_out = kNullNet;
+  CellId ff_cell = kNullCell;
+};
+
+class Extractor {
+ public:
+  explicit Extractor(const ConfigMemory& mem)
+      : mem_(mem), dev_(mem.device()), cb_(mem), out_{} {}
+
+  ExtractedCircuit run();
+
+ private:
+  /// Net driven by terminal `node`; creates it on first use. Only nodes
+  /// registered as terminals in pass 1 are valid.
+  NetId terminal_net(std::size_t node);
+
+  /// Traces wire `node` back to its driver terminal's net.
+  NetId trace(std::size_t node);
+
+  /// The mux selection currently driving a tile wire, resolved to the source
+  /// node; throws if the wire is undriven or misconfigured.
+  NetId trace_tile_wire(const RoutingFabric::NodeInfo& info, std::size_t node);
+  NetId trace_long(const RoutingFabric::NodeInfo& info, std::size_t node);
+
+  /// Traces an IMUX pin; returns kNullNet when the mux is off (input reads 0).
+  NetId trace_imux(SliceSite s, ImuxPin pin);
+
+  void decode_slices();
+  void decode_iobs();
+  void build_cells();
+
+  const ConfigMemory& mem_;
+  const Device& dev_;
+  CBits cb_;
+  ExtractedCircuit out_;
+
+  std::unordered_map<std::size_t, NetId> terminal_nets_;
+  std::unordered_map<std::size_t, NetId> wire_net_;  ///< trace memo
+  std::unordered_map<std::size_t, int> tracing_;     ///< cycle guard
+
+  // (site, le) -> decoded usage; indexed as flat vector.
+  std::vector<LeUse> les_;
+  [[nodiscard]] std::size_t le_index(SliceSite s, int le) const {
+    return ((static_cast<std::size_t>(s.r) * dev_.cols() + s.c) * 2 +
+            static_cast<std::size_t>(s.slice)) * 2 + static_cast<std::size_t>(le);
+  }
+};
+
+NetId Extractor::terminal_net(std::size_t node) {
+  const auto it = terminal_nets_.find(node);
+  if (it != terminal_nets_.end()) return it->second;
+  std::ostringstream os;
+  os << "configuration routes from " << dev_.fabric().node_name(node)
+     << ", which drives nothing (unused logic element or pad)";
+  throw ExtractError(os.str());
+}
+
+NetId Extractor::trace(std::size_t node) {
+  const auto memo = wire_net_.find(node);
+  if (memo != wire_net_.end()) return memo->second;
+  if (tracing_.count(node) != 0) {
+    throw ExtractError("routing cycle through " + dev_.fabric().node_name(node));
+  }
+  tracing_.emplace(node, 1);
+
+  const RoutingFabric& fab = dev_.fabric();
+  const auto info = fab.node_info(node);
+  NetId net = kNullNet;
+  switch (info.type) {
+    case RoutingFabric::NodeInfo::Type::TileWire:
+      net = trace_tile_wire(info, node);
+      break;
+    case RoutingFabric::NodeInfo::Type::LongH:
+    case RoutingFabric::NodeInfo::Type::LongV:
+      net = trace_long(info, node);
+      break;
+    case RoutingFabric::NodeInfo::Type::PadOut:
+    case RoutingFabric::NodeInfo::Type::Gclk:
+      net = terminal_net(node);
+      break;
+    case RoutingFabric::NodeInfo::Type::PadIn:
+      throw ExtractError("pad-input wire appears as a routing source");
+  }
+  tracing_.erase(node);
+  wire_net_.emplace(node, net);
+  return net;
+}
+
+NetId Extractor::trace_tile_wire(const RoutingFabric::NodeInfo& info,
+                                 std::size_t node) {
+  // Slice output pins are terminals.
+  if (info.local < kOutBase) {
+    return terminal_net(node);
+  }
+  const TileCoord t{info.r, info.c};
+  const MuxDef* mux = dev_.fabric().mux_for_dest(info.local);
+  JPG_ASSERT(mux != nullptr);  // OUT / singles / hexes / IMUX all have muxes
+  const std::uint32_t sel = cb_.get_mux(t, info.local);
+  if (sel == 0 || sel > mux->sources.size()) {
+    std::ostringstream os;
+    os << "wire " << dev_.fabric().node_name(node)
+       << " is consumed but its mux is "
+       << (sel == 0 ? "off" : "corrupt");
+    throw ExtractError(os.str());
+  }
+  const auto src =
+      dev_.fabric().resolve_source(info.r, info.c, mux->sources[sel - 1]);
+  if (!src) {
+    throw ExtractError("wire " + dev_.fabric().node_name(node) +
+                       " selects an unconnectable edge source");
+  }
+  return trace(*src);
+}
+
+NetId Extractor::trace_long(const RoutingFabric::NodeInfo& info,
+                            std::size_t node) {
+  // Find the unique tile driving this long line.
+  const bool horizontal = info.type == RoutingFabric::NodeInfo::Type::LongH;
+  const int alias = kLongDriverBase + (horizontal ? 0 : 2) + info.k;
+  int found_r = -1, found_c = -1;
+  std::uint32_t found_sel = 0;
+  const int span = horizontal ? dev_.cols() : dev_.rows();
+  for (int i = 0; i < span; ++i) {
+    const TileCoord t = horizontal ? TileCoord{info.r, i} : TileCoord{i, info.c};
+    const std::uint32_t sel = cb_.get_mux(t, alias);
+    if (sel != 0) {
+      if (found_r >= 0) {
+        throw ExtractError("long line " + dev_.fabric().node_name(node) +
+                           " has multiple drivers");
+      }
+      found_r = t.r;
+      found_c = t.c;
+      found_sel = sel;
+    }
+  }
+  if (found_r < 0) {
+    throw ExtractError("long line " + dev_.fabric().node_name(node) +
+                       " is consumed but undriven");
+  }
+  const MuxDef* mux = dev_.fabric().mux_for_dest(alias);
+  JPG_ASSERT(mux != nullptr);
+  if (found_sel > mux->sources.size()) {
+    throw ExtractError("long line " + dev_.fabric().node_name(node) +
+                       " has a corrupt driver encoding");
+  }
+  const auto src = dev_.fabric().resolve_source(found_r, found_c,
+                                                mux->sources[found_sel - 1]);
+  if (!src) {
+    throw ExtractError("long line " + dev_.fabric().node_name(node) +
+                       " driver selects an unconnectable source");
+  }
+  return trace(*src);
+}
+
+NetId Extractor::trace_imux(SliceSite s, ImuxPin pin) {
+  const TileCoord t{s.r, s.c};
+  const int local = imux_local(s.slice, pin);
+  const std::uint32_t sel = cb_.get_mux(t, local);
+  if (sel == 0) return kNullNet;
+  const auto src = cb_.selected_source_node(t, local);
+  if (!src) {
+    throw ExtractError("input mux " + dev_.fabric().node_name(
+                           dev_.fabric().tile_wire_node(s.r, s.c, local)) +
+                       " selects an unconnectable source");
+  }
+  return trace(*src);
+}
+
+void Extractor::decode_slices() {
+  les_.assign(static_cast<std::size_t>(dev_.rows()) * dev_.cols() * 4, LeUse{});
+  for (const SliceSite s : dev_.all_slice_sites()) {
+    for (int le = 0; le < 2; ++le) {
+      LeUse& use = les_[le_index(s, le)];
+      const bool ff_used =
+          cb_.get_field(s, le == 0 ? SliceField::FfxUsed : SliceField::FfyUsed);
+      const bool comb_used =
+          cb_.get_field(s, le == 0 ? SliceField::XUsed : SliceField::YUsed);
+      const bool dmux_bypass =
+          cb_.get_field(s, le == 0 ? SliceField::DxMux : SliceField::DyMux);
+      use.ff = ff_used;
+      use.comb_out = comb_used;
+      use.lut = comb_used || (ff_used && !dmux_bypass);
+      if (!use.lut && !use.ff) continue;
+      ++out_.used_les;
+
+      const RoutingFabric& fab = dev_.fabric();
+      if (use.lut) {
+        use.lut_out = out_.netlist.add_net(
+            dev_.slice_site_name(s) + (le == 0 ? ".X" : ".Y"));
+        if (use.comb_out) {
+          const SlicePin pin = le == 0 ? SlicePin::X : SlicePin::Y;
+          terminal_nets_[fab.tile_wire_node(s.r, s.c, pin_local(s.slice, pin))] =
+              use.lut_out;
+        }
+      }
+      if (use.ff) {
+        use.ff_out = out_.netlist.add_net(
+            dev_.slice_site_name(s) + (le == 0 ? ".XQ" : ".YQ"));
+        const SlicePin pin = le == 0 ? SlicePin::XQ : SlicePin::YQ;
+        terminal_nets_[fab.tile_wire_node(s.r, s.c, pin_local(s.slice, pin))] =
+            use.ff_out;
+      }
+    }
+  }
+}
+
+void Extractor::decode_iobs() {
+  const RoutingFabric& fab = dev_.fabric();
+  for (const IobSite s : dev_.all_iob_sites()) {
+    if (cb_.get_iob_flag(s, IobField::IsInput)) {
+      const std::size_t node = fab.pad_out_node(s.side, s.row, s.k);
+      const NetId net =
+          out_.netlist.add_net("P" + std::to_string(dev_.pad_number(s)) + "_i");
+      terminal_nets_[node] = net;
+      out_.netlist.add_ibuf(dev_.iob_site_name(s) + ".IBUF",
+                            "P" + std::to_string(dev_.pad_number(s)), net);
+    }
+  }
+  // GCLK is not modelled as a net: DFFs clock implicitly; trace_imux on CLK
+  // pins is used only as a validity check in build_cells.
+  terminal_nets_[fab.gclk_node()] = kNullNet;
+}
+
+void Extractor::build_cells() {
+  // Slice logic.
+  for (const SliceSite s : dev_.all_slice_sites()) {
+    for (int le = 0; le < 2; ++le) {
+      LeUse& use = les_[le_index(s, le)];
+      if (!use.lut && !use.ff) continue;
+      const std::string base =
+          dev_.slice_site_name(s) + (le == 0 ? ".F" : ".G");
+
+      if (use.ff) {
+        // FFs require a clock: the CLK input mux must select GCLK.
+        const TileCoord t{s.r, s.c};
+        if (cb_.get_mux(t, imux_local(s.slice, ImuxPin::CLK)) == 0) {
+          throw ExtractError("FF at " + base + " has no clock routed");
+        }
+      }
+
+      if (use.lut) {
+        const LutSel lsel = le == 0 ? LutSel::F : LutSel::G;
+        std::array<NetId, 4> in = {kNullNet, kNullNet, kNullNet, kNullNet};
+        for (int p = 0; p < 4; ++p) {
+          const ImuxPin pin = static_cast<ImuxPin>(
+              (le == 0 ? static_cast<int>(ImuxPin::F1)
+                       : static_cast<int>(ImuxPin::G1)) + p);
+          in[static_cast<std::size_t>(p)] = trace_imux(s, pin);
+        }
+        out_.netlist.add_lut(base + "LUT", cb_.get_lut(s, lsel), in,
+                             use.lut_out);
+      }
+      if (use.ff) {
+        const bool bypass = cb_.get_field(
+            s, le == 0 ? SliceField::DxMux : SliceField::DyMux);
+        NetId d = kNullNet;
+        if (bypass) {
+          d = trace_imux(s, le == 0 ? ImuxPin::BX : ImuxPin::BY);
+          if (d == kNullNet) {
+            throw ExtractError("FF at " + base +
+                               " bypass D input is unrouted");
+          }
+        } else {
+          d = use.lut_out;
+        }
+        const bool init = cb_.get_field(
+            s, le == 0 ? SliceField::InitX : SliceField::InitY);
+        const CellId ff =
+            out_.netlist.add_dff(base + "FF", d, use.ff_out, init);
+        use.ff_cell = ff;
+        out_.ffs.push_back({ff, s, le});
+      }
+    }
+  }
+
+  // Output pads.
+  const RoutingFabric& fab = dev_.fabric();
+  for (const IobSite s : dev_.all_iob_sites()) {
+    if (!cb_.get_iob_flag(s, IobField::IsOutput)) continue;
+    const std::uint32_t sel = cb_.get_iob_omux(s);
+    const auto sources = fab.pad_in_sources(s.side, s.row, s.k);
+    if (sel == 0 || sel > sources.size()) {
+      throw ExtractError("output pad " + dev_.iob_site_name(s) +
+                         (sel == 0 ? " has no source routed" : " is corrupt"));
+    }
+    const NetId in = trace(sources[sel - 1]);
+    out_.netlist.add_obuf(dev_.iob_site_name(s) + ".OBUF",
+                          "P" + std::to_string(dev_.pad_number(s)), in);
+  }
+}
+
+ExtractedCircuit Extractor::run() {
+  out_.netlist.set_name("extracted");
+  decode_slices();
+  decode_iobs();
+  build_cells();
+  return std::move(out_);
+}
+
+}  // namespace
+
+ExtractedCircuit extract_circuit(const ConfigMemory& mem) {
+  Extractor ex(mem);
+  return ex.run();
+}
+
+}  // namespace jpg

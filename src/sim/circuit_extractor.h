@@ -1,0 +1,50 @@
+// BitstreamCircuitExtractor: decodes configuration memory back into a
+// logical netlist.
+//
+// This is the inverse of the implementation flow and the backbone of the
+// repository's strongest invariant: after any sequence of full and partial
+// configuration loads, extract_circuit(config memory) must yield a circuit
+// that simulates identically to the golden netlist. Extraction walks the
+// *configured* fabric only — used logic elements (per slice control fields)
+// and programmed muxes — and reconstructs nets by tracing each input mux
+// back through selected sources to a driver terminal (slice output pin, pad
+// or GCLK).
+//
+// External ports of the extracted netlist are pad names "P<n>" (Device pad
+// numbering), since pad identity is all the configuration itself knows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bitstream/config_memory.h"
+#include "netlist/netlist.h"
+
+namespace jpg {
+
+/// Raised on inconsistent configuration: muxes selecting unconnectable edge
+/// sources, sinks tracing to unused logic, multiple drivers on a long line,
+/// combinational config corruption, FFs without a clock, ...
+class ExtractError : public JpgError {
+ public:
+  explicit ExtractError(const std::string& what) : JpgError(what) {}
+};
+
+struct ExtractedFf {
+  CellId cell = kNullCell;  ///< DFF cell in the extracted netlist
+  SliceSite site;
+  int le = 0;  ///< 0 = F/X element, 1 = G/Y element
+};
+
+struct ExtractedCircuit {
+  Netlist netlist{"extracted"};
+  std::vector<ExtractedFf> ffs;  ///< physical identity of every DFF
+  /// Count of used logic elements (LUTs or FFs) found.
+  std::size_t used_les = 0;
+};
+
+/// Decodes `mem` into a circuit. Throws ExtractError on inconsistent
+/// configuration.
+[[nodiscard]] ExtractedCircuit extract_circuit(const ConfigMemory& mem);
+
+}  // namespace jpg

@@ -1,0 +1,184 @@
+#include "sim/netlist_sim.h"
+
+#include <sstream>
+
+#include "netlist/drc.h"
+
+namespace jpg {
+
+NetlistSim::NetlistSim(const Netlist& nl) : nl_(&nl) {
+  const DrcReport rep = run_drc(nl);
+  if (!rep.ok()) {
+    std::ostringstream os;
+    os << "cannot simulate design with DRC errors:";
+    for (const auto& e : rep.errors) os << "\n  " << e;
+    throw JpgError(os.str());
+  }
+
+  net_val_.assign(nl.num_nets(), 0);
+  ff_val_.assign(nl.num_cells(), 0);
+
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    const Cell& c = nl.cell(id);
+    switch (c.kind) {
+      case CellKind::Ibuf:
+        in_port_net_[c.port] = c.out;
+        in_val_[c.port] = 0;
+        break;
+      case CellKind::Obuf:
+        out_port_net_[c.port] = c.in[0];
+        break;
+      case CellKind::Dff:
+        ffs_.push_back(id);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Kahn levelisation of LUT cells over LUT->LUT edges.
+  std::vector<int> indeg(nl.num_cells(), 0);
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.kind != CellKind::Lut4) continue;
+    for (int p = 0; p < 4; ++p) {
+      const NetId in = c.in[static_cast<std::size_t>(p)];
+      if (in == kNullNet) continue;
+      const Net& net = nl.net(in);
+      if (net.driver != kNullCell &&
+          nl.cell(net.driver).kind == CellKind::Lut4) {
+        ++indeg[id];
+      }
+    }
+  }
+  std::vector<CellId> queue;
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    if (nl.cell(id).kind == CellKind::Lut4 && indeg[id] == 0) {
+      queue.push_back(id);
+    }
+  }
+  while (!queue.empty()) {
+    const CellId id = queue.back();
+    queue.pop_back();
+    lut_order_.push_back(id);
+    const Cell& c = nl.cell(id);
+    if (c.out == kNullNet) continue;
+    for (const NetSink& s : nl.net(c.out).sinks) {
+      if (nl.cell(s.cell).kind == CellKind::Lut4 && --indeg[s.cell] == 0) {
+        queue.push_back(s.cell);
+      }
+    }
+  }
+  reset();
+}
+
+void NetlistSim::reset() {
+  for (auto& [port, v] : in_val_) v = 0;
+  for (const CellId ff : ffs_) {
+    ff_val_[ff] = nl_->cell(ff).ff_init ? 1 : 0;
+  }
+  mark_dirty();
+}
+
+void NetlistSim::set_input(std::string_view port, bool v) {
+  const auto it = in_val_.find(std::string(port));
+  JPG_REQUIRE(it != in_val_.end(),
+              "unknown input port '" + std::string(port) + "'");
+  if (it->second != static_cast<std::uint8_t>(v)) {
+    it->second = v ? 1 : 0;
+    mark_dirty();
+  }
+}
+
+bool NetlistSim::get_output(std::string_view port) {
+  eval();
+  const auto it = out_port_net_.find(std::string(port));
+  JPG_REQUIRE(it != out_port_net_.end(),
+              "unknown output port '" + std::string(port) + "'");
+  return net_val_[it->second] != 0;
+}
+
+void NetlistSim::set_input_bus(const std::string& prefix, std::uint64_t value,
+                               int width) {
+  for (int i = 0; i < width; ++i) {
+    set_input(prefix + std::to_string(i), (value >> i) & 1u);
+  }
+}
+
+std::uint64_t NetlistSim::get_output_bus(const std::string& prefix, int width) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    const std::string port = prefix + std::to_string(i);
+    if (out_port_net_.count(port) != 0 && get_output(port)) {
+      v |= 1ull << i;
+    }
+  }
+  return v;
+}
+
+void NetlistSim::eval() {
+  if (clean_) return;
+  // Seed nets from constants, inputs and FF outputs.
+  for (CellId id = 0; id < nl_->num_cells(); ++id) {
+    const Cell& c = nl_->cell(id);
+    if (c.out == kNullNet) continue;
+    switch (c.kind) {
+      case CellKind::Gnd: net_val_[c.out] = 0; break;
+      case CellKind::Vcc: net_val_[c.out] = 1; break;
+      case CellKind::Dff: net_val_[c.out] = ff_val_[id]; break;
+      case CellKind::Ibuf: net_val_[c.out] = in_val_.at(c.port); break;
+      default: break;
+    }
+  }
+  // Propagate LUTs in topological order.
+  for (const CellId id : lut_order_) {
+    const Cell& c = nl_->cell(id);
+    unsigned idx = 0;
+    for (int p = 0; p < 4; ++p) {
+      const NetId in = c.in[static_cast<std::size_t>(p)];
+      const bool v = in != kNullNet && net_val_[in] != 0;
+      idx |= static_cast<unsigned>(v) << p;
+    }
+    if (c.out != kNullNet) {
+      net_val_[c.out] = (c.lut_init >> idx) & 1u;
+    }
+  }
+  clean_ = true;
+}
+
+void NetlistSim::step() {
+  eval();
+  // Sample all Ds, then commit (two-phase: no shoot-through).
+  std::vector<std::uint8_t> next(ffs_.size());
+  for (std::size_t i = 0; i < ffs_.size(); ++i) {
+    const Cell& c = nl_->cell(ffs_[i]);
+    const NetId d = c.in[0];
+    next[i] = (d != kNullNet && net_val_[d] != 0) ? 1 : 0;
+  }
+  for (std::size_t i = 0; i < ffs_.size(); ++i) {
+    ff_val_[ffs_[i]] = next[i];
+  }
+  mark_dirty();
+  eval();
+}
+
+bool NetlistSim::ff_state(CellId ff) const {
+  JPG_REQUIRE(ff < nl_->num_cells() && nl_->cell(ff).kind == CellKind::Dff,
+              "cell is not a DFF");
+  return ff_val_[ff] != 0;
+}
+
+void NetlistSim::set_ff_state(CellId ff, bool v) {
+  JPG_REQUIRE(ff < nl_->num_cells() && nl_->cell(ff).kind == CellKind::Dff,
+              "cell is not a DFF");
+  ff_val_[ff] = v ? 1 : 0;
+  mark_dirty();
+}
+
+bool NetlistSim::net_value(NetId id) {
+  eval();
+  JPG_REQUIRE(id < net_val_.size(), "net id out of range");
+  return net_val_[id] != 0;
+}
+
+}  // namespace jpg

@@ -1,0 +1,72 @@
+// NetlistSim: cycle-accurate functional simulation of a logical netlist.
+//
+// This is the *golden* reference: the same netlist the flow implements is
+// simulated directly, and the end-to-end tests demand that the circuit
+// decoded back out of configuration memory (sim/bitstream_sim.h) behaves
+// identically cycle for cycle.
+//
+// Model: one global clock. eval() propagates combinational logic;
+// step() = eval, sample every FF's D, commit, eval again.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace jpg {
+
+class NetlistSim {
+ public:
+  /// Levelises the combinational graph; throws JpgError on cycles or DRC
+  /// violations that make simulation meaningless.
+  explicit NetlistSim(const Netlist& nl);
+
+  [[nodiscard]] const Netlist& netlist() const { return *nl_; }
+
+  /// Resets every FF to its init value and clears inputs to 0.
+  void reset();
+
+  void set_input(std::string_view port, bool v);
+  [[nodiscard]] bool get_output(std::string_view port);
+
+  /// Drives ports `prefix`0..`prefix`<width-1> from the bits of `value`.
+  void set_input_bus(const std::string& prefix, std::uint64_t value, int width);
+  /// Reads ports `prefix`0.. as a bus (missing bits read 0).
+  [[nodiscard]] std::uint64_t get_output_bus(const std::string& prefix,
+                                             int width);
+
+  /// Propagates combinational logic (idempotent until inputs/FFs change).
+  void eval();
+
+  /// One clock cycle.
+  void step();
+  void step_n(int n) {
+    for (int i = 0; i < n; ++i) step();
+  }
+
+  // --- FF state transfer (partial-reconfiguration support) --------------------
+  [[nodiscard]] bool ff_state(CellId ff) const;
+  void set_ff_state(CellId ff, bool v);
+
+  /// Current value of a net (post-eval).
+  [[nodiscard]] bool net_value(NetId id);
+
+ private:
+  void mark_dirty() { clean_ = false; }
+
+  const Netlist* nl_;
+  std::vector<CellId> lut_order_;  ///< topological order of LUTs
+  std::vector<std::uint8_t> net_val_;
+  std::vector<std::uint8_t> ff_val_;  ///< indexed by CellId (sparse-safe)
+  std::unordered_map<std::string, NetId> in_port_net_;
+  std::unordered_map<std::string, NetId> out_port_net_;
+  std::unordered_map<std::string, std::uint8_t> in_val_;
+  std::vector<CellId> ffs_;
+  bool clean_ = false;
+};
+
+}  // namespace jpg

@@ -1,0 +1,40 @@
+#include "support/bitvec.h"
+
+#include <bit>
+
+namespace jpg {
+
+std::uint32_t BitVector::get_field(std::size_t pos, unsigned width) const {
+  JPG_ASSERT_MSG(width >= 1 && width <= 32, "field width out of range");
+  JPG_ASSERT_MSG(pos + width <= nbits_, "field read out of range");
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    v |= static_cast<std::uint32_t>(get(pos + i)) << i;
+  }
+  return v;
+}
+
+void BitVector::set_field(std::size_t pos, unsigned width, std::uint32_t value) {
+  JPG_ASSERT_MSG(width >= 1 && width <= 32, "field width out of range");
+  JPG_ASSERT_MSG(pos + width <= nbits_, "field write out of range");
+  JPG_ASSERT_MSG(width == 32 || (value >> width) == 0,
+                 "field value wider than field");
+  for (unsigned i = 0; i < width; ++i) {
+    set(pos + i, (value >> i) & 1u);
+  }
+}
+
+std::size_t BitVector::popcount() const noexcept {
+  std::size_t n = 0;
+  for (std::uint32_t w : words_) {
+    n += static_cast<std::size_t>(std::popcount(w));
+  }
+  return n;
+}
+
+bool BitVector::differs_from(const BitVector& other) const {
+  JPG_ASSERT_MSG(nbits_ == other.nbits_, "comparing BitVectors of unequal size");
+  return words_ != other.words_;
+}
+
+}  // namespace jpg

@@ -1,0 +1,92 @@
+// A fixed-size bit vector with word-level access.
+//
+// Configuration frames and LUT truth tables are bit-addressed but shipped as
+// 32-bit words; BitVector supports both views plus the bulk operations the
+// partial bitstream generator needs (compare, copy ranges, population count).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.h"
+
+namespace jpg {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t nbits) { resize(nbits); }
+
+  void resize(std::size_t nbits) {
+    nbits_ = nbits;
+    words_.assign((nbits + 31) / 32, 0u);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return nbits_; }
+  [[nodiscard]] std::size_t num_words() const noexcept { return words_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return nbits_ == 0; }
+
+  [[nodiscard]] bool get(std::size_t i) const {
+    JPG_ASSERT_MSG(i < nbits_, "BitVector::get out of range");
+    return (words_[i >> 5] >> (i & 31)) & 1u;
+  }
+
+  void set(std::size_t i, bool v) {
+    JPG_ASSERT_MSG(i < nbits_, "BitVector::set out of range");
+    const std::uint32_t mask = 1u << (i & 31);
+    if (v) {
+      words_[i >> 5] |= mask;
+    } else {
+      words_[i >> 5] &= ~mask;
+    }
+  }
+
+  /// Reads a field of up to 32 bits starting at bit `pos` (LSB-first).
+  [[nodiscard]] std::uint32_t get_field(std::size_t pos, unsigned width) const;
+
+  /// Writes a field of up to 32 bits starting at bit `pos` (LSB-first).
+  void set_field(std::size_t pos, unsigned width, std::uint32_t value);
+
+  [[nodiscard]] std::uint32_t word(std::size_t w) const {
+    JPG_ASSERT(w < words_.size());
+    return words_[w];
+  }
+
+  void set_word(std::size_t w, std::uint32_t value) {
+    JPG_ASSERT(w < words_.size());
+    words_[w] = value;
+    mask_tail();
+  }
+
+  void clear() { words_.assign(words_.size(), 0u); }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t popcount() const noexcept;
+
+  /// True iff any bit differs from `other` (sizes must match).
+  [[nodiscard]] bool differs_from(const BitVector& other) const;
+
+  bool operator==(const BitVector& other) const {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+  bool operator!=(const BitVector& other) const { return !(*this == other); }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& words() const noexcept {
+    return words_;
+  }
+
+ private:
+  // Bits past nbits_ in the last word must stay zero so word-level compares
+  // are exact.
+  void mask_tail() {
+    const unsigned tail = nbits_ & 31;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (1u << tail) - 1u;
+    }
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint32_t> words_;
+};
+
+}  // namespace jpg

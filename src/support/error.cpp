@@ -1,0 +1,31 @@
+#include "support/error.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace jpg {
+
+namespace {
+std::string format_parse_error(const std::string& file, int line,
+                               const std::string& what) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << what;
+  return os.str();
+}
+}  // namespace
+
+ParseError::ParseError(const std::string& file, int line,
+                       const std::string& what)
+    : JpgError(format_parse_error(file, line, what)), file_(file), line_(line) {}
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "jpg-cpp internal assertion failed: %s at %s:%d%s%s\n",
+               expr, file, line, msg.empty() ? "" : " -- ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace jpg

@@ -1,0 +1,79 @@
+// Error handling primitives for jpg-cpp.
+//
+// The library reports unrecoverable misuse and malformed-input conditions by
+// throwing JpgError (or a subclass). Internal invariants are guarded with
+// JPG_ASSERT, which is compiled in all build types: a bitstream generator
+// that silently emits wrong frames is worse than one that aborts.
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace jpg {
+
+/// Base class for all errors raised by the jpg-cpp library.
+class JpgError : public std::runtime_error {
+ public:
+  explicit JpgError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed textual input (XDL, UCF, options files, project files).
+class ParseError : public JpgError {
+ public:
+  ParseError(const std::string& file, int line, const std::string& what);
+
+  [[nodiscard]] const std::string& file() const noexcept { return file_; }
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  std::string file_;
+  int line_ = 0;
+};
+
+/// Malformed or inconsistent configuration bitstream (bad sync, bad CRC,
+/// out-of-range FAR, truncated packet, ...).
+class BitstreamError : public JpgError {
+ public:
+  explicit BitstreamError(const std::string& what) : JpgError(what) {}
+};
+
+/// A request that is structurally valid but impossible on the target device
+/// (site out of range, unroutable net, region that does not fit, ...).
+class DeviceError : public JpgError {
+ public:
+  explicit DeviceError(const std::string& what) : JpgError(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace jpg
+
+/// Internal invariant check, active in every build type.
+#define JPG_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      ::jpg::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+    }                                                                 \
+  } while (0)
+
+/// Internal invariant check with a formatted context message.
+#define JPG_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      ::jpg::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                 \
+  } while (0)
+
+/// Precondition on a public API: throws JpgError instead of aborting so
+/// callers (and tests) can recover.
+#define JPG_REQUIRE(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      throw ::jpg::JpgError(std::string("precondition failed: ") +    \
+                            (msg) + " (" #expr ")");                  \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,39 @@
+// Minimal leveled logging.
+//
+// The library is quiet by default (level = Warn); the flow runner, examples
+// and benches raise the level to narrate progress. Logging is process-global
+// and thread-safe at the line level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace jpg {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+#define JPG_LOG(level, stream_expr)                         \
+  do {                                                      \
+    if (static_cast<int>(level) >=                          \
+        static_cast<int>(::jpg::log_level())) {             \
+      std::ostringstream jpg_log_os_;                       \
+      jpg_log_os_ << stream_expr;                           \
+      ::jpg::detail::log_line((level), jpg_log_os_.str());  \
+    }                                                       \
+  } while (0)
+
+#define JPG_TRACE(s) JPG_LOG(::jpg::LogLevel::Trace, s)
+#define JPG_DEBUG(s) JPG_LOG(::jpg::LogLevel::Debug, s)
+#define JPG_INFO(s) JPG_LOG(::jpg::LogLevel::Info, s)
+#define JPG_WARN(s) JPG_LOG(::jpg::LogLevel::Warn, s)
+#define JPG_ERROR(s) JPG_LOG(::jpg::LogLevel::Error, s)
+
+}  // namespace jpg

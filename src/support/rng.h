@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in jpg-cpp (the annealing placer, workload
+// generators, fault injectors) takes an explicit Rng so that runs are exactly
+// reproducible from a seed. The generator is xoshiro256** seeded through
+// SplitMix64, which is fast, has a 2^256-1 period, and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+
+#include "support/error.h"
+
+namespace jpg {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 stream to fill the xoshiro state; avoids the all-zero state.
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound) {
+    JPG_ASSERT(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    JPG_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return unit() < p; }
+
+  /// Forks an independent stream (for per-thread determinism).
+  Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace jpg

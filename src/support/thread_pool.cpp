@@ -1,0 +1,122 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+#include "support/error.h"
+
+namespace jpg {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared by the caller and every enqueued helper task, so helper copies
+/// that outlive the parallel_for call (they may still be draining their
+/// claim loop after the last iteration completes) never touch dead stack
+/// frames.
+struct ParallelForContext {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr first_error;
+
+  void run() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*body)(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // On a single worker (or tiny n) run inline: no synchronization cost and
+  // identical iteration order, which keeps seeded algorithms deterministic.
+  if (workers_.size() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto ctx = std::make_shared<ParallelForContext>();
+  ctx->n = n;
+  ctx->body = &body;  // the caller outlives every *iteration* (see wait)
+
+  const std::size_t chunks = std::min(n, workers_.size());
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      tasks_.emplace([ctx] { ctx->run(); });
+    }
+  }
+  cv_.notify_all();
+  // The caller participates too, so the pool can never deadlock on nested use.
+  ctx->run();
+
+  std::unique_lock<std::mutex> lock(ctx->mutex);
+  ctx->cv.wait(lock, [&] {
+    return ctx->done.load(std::memory_order_acquire) >= n;
+  });
+  if (ctx->first_error) std::rethrow_exception(ctx->first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  ThreadPool::global().parallel_for(n, body);
+}
+
+}  // namespace jpg

@@ -1,0 +1,51 @@
+// A small work-stealing-free thread pool with a parallel_for helper.
+//
+// jpg-cpp uses task parallelism in three places: the PathFinder router's
+// per-net path searches within an iteration, fan-out of independent module
+// flows (each region variant is an independent P&R run), and the bench
+// harness. The pool is sized to the hardware by default; on a single-core
+// host parallel_for degrades to a plain loop with no thread overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace jpg {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs `body(i)` for i in [0, n). Blocks until all iterations finish.
+  /// Exceptions from `body` are rethrown (first one wins) on the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Shared process-wide pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace jpg

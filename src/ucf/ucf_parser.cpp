@@ -1,0 +1,212 @@
+#include "ucf/ucf_parser.h"
+
+#include <sstream>
+
+#include "support/string_util.h"
+
+namespace jpg {
+
+namespace {
+
+struct Statement {
+  std::vector<std::string> tokens;
+  int line = 0;
+};
+
+/// Splits text into ';'-terminated statements of whitespace/quote tokens.
+std::vector<Statement> tokenize(std::string_view text,
+                                const std::string& filename) {
+  std::vector<Statement> stmts;
+  Statement cur;
+  int line = 1;
+  std::size_t i = 0;
+  cur.line = line;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == ';') {
+      if (!cur.tokens.empty()) stmts.push_back(std::move(cur));
+      cur = Statement{};
+      cur.line = line;
+      ++i;
+      continue;
+    }
+    if (c == '=') {
+      cur.tokens.emplace_back("=");
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      const std::size_t start = ++i;
+      while (i < text.size() && text[i] != '"' && text[i] != '\n') ++i;
+      if (i >= text.size() || text[i] != '"') {
+        throw ParseError(filename, line, "unterminated string");
+      }
+      cur.tokens.emplace_back(text.substr(start, i - start));
+      if (cur.tokens.size() == 1) cur.line = line;
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < text.size()) {
+      const char w = text[i];
+      if (w == ' ' || w == '\t' || w == '\r' || w == '\n' || w == ';' ||
+          w == '=' || w == '#' || w == '"') {
+        break;
+      }
+      ++i;
+    }
+    if (cur.tokens.empty()) cur.line = line;
+    cur.tokens.emplace_back(text.substr(start, i - start));
+  }
+  if (!cur.tokens.empty()) {
+    throw ParseError(filename, cur.line, "statement missing terminating ';'");
+  }
+  return stmts;
+}
+
+Region parse_range(const std::string& range, const Device& dev,
+                   const std::string& filename, int line) {
+  const auto parts = split(range, ':');
+  if (parts.size() != 2 || !starts_with(parts[0], "CLB_") ||
+      !starts_with(parts[1], "CLB_")) {
+    throw ParseError(filename, line, "bad RANGE '" + range + "'");
+  }
+  const auto a = dev.parse_tile_name(std::string_view(parts[0]).substr(4));
+  const auto b = dev.parse_tile_name(std::string_view(parts[1]).substr(4));
+  if (!a || !b) {
+    throw ParseError(filename, line, "RANGE tile out of bounds: " + range);
+  }
+  Region reg{std::min(a->r, b->r), std::min(a->c, b->c),
+             std::max(a->r, b->r), std::max(a->c, b->c)};
+  return reg;
+}
+
+}  // namespace
+
+UcfData parse_ucf(std::string_view text, const Device& device,
+                  const std::string& filename) {
+  UcfData ucf;
+  for (const Statement& st : tokenize(text, filename)) {
+    auto fail = [&](const std::string& why) -> ParseError {
+      return ParseError(filename, st.line, why);
+    };
+    const auto& t = st.tokens;
+    if (iequals(t[0], "INST")) {
+      if (t.size() == 5 && iequals(t[2], "AREA_GROUP") && t[3] == "=") {
+        ucf.inst_area_groups.emplace_back(t[1], t[4]);
+        continue;
+      }
+      if (t.size() == 5 && iequals(t[2], "LOC") && t[3] == "=") {
+        const auto site = device.parse_slice_site(t[4]);
+        if (!site) throw fail("bad slice site '" + t[4] + "'");
+        if (!ucf.inst_locs.emplace(t[1], *site).second) {
+          throw fail("duplicate LOC for INST '" + t[1] + "'");
+        }
+        continue;
+      }
+      throw fail("malformed INST constraint");
+    }
+    if (iequals(t[0], "AREA_GROUP")) {
+      if (t.size() != 5 || !iequals(t[2], "RANGE") || t[3] != "=") {
+        throw fail("malformed AREA_GROUP constraint");
+      }
+      const Region reg = parse_range(t[4], device, filename, st.line);
+      if (!ucf.area_group_ranges.emplace(t[1], reg).second) {
+        throw fail("duplicate RANGE for AREA_GROUP '" + t[1] + "'");
+      }
+      continue;
+    }
+    if (iequals(t[0], "PORT")) {
+      if (t.size() != 5 || !iequals(t[2], "LOC") || t[3] != "=" ||
+          t[4].empty() || (t[4][0] != 'P' && t[4][0] != 'p')) {
+        throw fail("malformed PORT constraint");
+      }
+      const auto pad = parse_uint(std::string_view(t[4]).substr(1));
+      if (!pad || !device.iob_by_pad_number(static_cast<int>(*pad))) {
+        throw fail("bad pad '" + t[4] + "'");
+      }
+      if (!ucf.port_locs.emplace(t[1], static_cast<int>(*pad)).second) {
+        throw fail("duplicate LOC for PORT '" + t[1] + "'");
+      }
+      continue;
+    }
+    throw fail("unknown constraint '" + t[0] + "'");
+  }
+  // Cross checks: every referenced group has a range.
+  for (const auto& [pattern, group] : ucf.inst_area_groups) {
+    if (ucf.area_group_ranges.count(group) == 0) {
+      throw JpgError("AREA_GROUP '" + group + "' referenced by INST \"" +
+                     pattern + "\" has no RANGE");
+    }
+  }
+  return ucf;
+}
+
+std::string write_ucf(const UcfData& ucf, const Device& device) {
+  std::ostringstream os;
+  os << "# jpg-cpp UCF\n";
+  for (const auto& [pattern, group] : ucf.inst_area_groups) {
+    os << "INST \"" << pattern << "\" AREA_GROUP = \"" << group << "\" ;\n";
+  }
+  for (const auto& [group, reg] : ucf.area_group_ranges) {
+    os << "AREA_GROUP \"" << group << "\" RANGE = CLB_R" << (reg.r0 + 1) << "C"
+       << (reg.c0 + 1) << ":CLB_R" << (reg.r1 + 1) << "C" << (reg.c1 + 1)
+       << " ;\n";
+  }
+  for (const auto& [cell, site] : ucf.inst_locs) {
+    os << "INST \"" << cell << "\" LOC = " << device.slice_site_name(site)
+       << " ;\n";
+  }
+  for (const auto& [port, pad] : ucf.port_locs) {
+    os << "PORT \"" << port << "\" LOC = P" << pad << " ;\n";
+  }
+  return os.str();
+}
+
+std::map<std::string, Region> ucf_partition_regions(const UcfData& ucf,
+                                                    const Netlist& netlist) {
+  std::map<std::string, Region> out;
+  for (const auto& [pattern, group] : ucf.inst_area_groups) {
+    const Region reg = ucf.area_group_ranges.at(group);
+    std::string partition;
+    bool found = false;
+    for (const Cell& c : netlist.cells()) {
+      if (!wildcard_match(pattern, c.name)) continue;
+      if (c.partition.empty()) {
+        throw JpgError("AREA_GROUP pattern \"" + pattern +
+                       "\" matches static cell '" + c.name + "'");
+      }
+      if (found && c.partition != partition) {
+        throw JpgError("AREA_GROUP pattern \"" + pattern +
+                       "\" spans partitions '" + partition + "' and '" +
+                       c.partition + "'");
+      }
+      partition = c.partition;
+      found = true;
+    }
+    if (!found) {
+      throw JpgError("AREA_GROUP pattern \"" + pattern +
+                     "\" matches no cells");
+    }
+    const auto [it, inserted] = out.emplace(partition, reg);
+    if (!inserted && !(it->second == reg)) {
+      throw JpgError("conflicting regions for partition '" + partition + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace jpg

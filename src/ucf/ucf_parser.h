@@ -1,0 +1,50 @@
+// UCF: user constraint files, the subset JPG's flow consumes (paper §3.1,
+// §3.2: initial constraint definitions, floorplanning, guided placement).
+//
+//   # floorplan: partition u1 owns columns 7..12
+//   INST "u1/*" AREA_GROUP = "AG_u1" ;
+//   AREA_GROUP "AG_u1" RANGE = CLB_R1C7:CLB_R16C12 ;
+//   # hard locks
+//   INST "u1/nrz" LOC = CLB_R3C23.S0 ;
+//   PORT "d" LOC = P12 ;
+//
+// Keywords are case-insensitive; '#' comments; statements end with ';'.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "device/region.h"
+#include "netlist/netlist.h"
+
+namespace jpg {
+
+struct PlacementConstraints;  // pnr/placer.h
+
+struct UcfData {
+  /// INST "<pattern>" AREA_GROUP = "<group>" (pattern uses '*' wildcards).
+  std::vector<std::pair<std::string, std::string>> inst_area_groups;
+  /// AREA_GROUP "<group>" RANGE = CLB_RxCy:CLB_RxCy.
+  std::map<std::string, Region> area_group_ranges;
+  /// INST "<cell>" LOC = CLB_RxCy.Sz.
+  std::map<std::string, SliceSite> inst_locs;
+  /// PORT "<port>" LOC = P<n>.
+  std::map<std::string, int> port_locs;
+};
+
+/// Parses UCF text; throws ParseError with file/line context.
+[[nodiscard]] UcfData parse_ucf(std::string_view text, const Device& device,
+                                const std::string& filename = "<ucf>");
+
+/// Renders constraints back to UCF text.
+[[nodiscard]] std::string write_ucf(const UcfData& ucf, const Device& device);
+
+/// Resolves area-group patterns against a netlist and returns
+/// partition -> region. Every cell matched by a group's pattern must belong
+/// to one partition; throws JpgError otherwise.
+[[nodiscard]] std::map<std::string, Region> ucf_partition_regions(
+    const UcfData& ucf, const Netlist& netlist);
+
+}  // namespace jpg

@@ -1,0 +1,257 @@
+#include "xdl/lut_equation.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "support/error.h"
+#include "support/string_util.h"
+
+namespace jpg {
+
+namespace {
+
+// Truth vectors of the four inputs.
+constexpr std::uint16_t kVar[4] = {0xAAAA, 0xCCCC, 0xF0F0, 0xFF00};
+
+class EquationParser {
+ public:
+  explicit EquationParser(std::string_view s) : s_(s) {}
+
+  std::uint16_t parse() {
+    const std::uint16_t v = parse_or();
+    skip_ws();
+    if (pos_ != s_.size()) {
+      fail("trailing characters");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    std::ostringstream os;
+    os << "bad LUT equation '" << s_ << "' at offset " << pos_ << ": " << why;
+    throw JpgError(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  std::uint16_t parse_or() {
+    std::uint16_t v = parse_xor();
+    while (peek() == '+') {
+      ++pos_;
+      v |= parse_xor();
+    }
+    return v;
+  }
+
+  std::uint16_t parse_xor() {
+    std::uint16_t v = parse_and();
+    while (peek() == '@') {
+      ++pos_;
+      v ^= parse_and();
+    }
+    return v;
+  }
+
+  std::uint16_t parse_and() {
+    std::uint16_t v = parse_factor();
+    while (peek() == '*') {
+      ++pos_;
+      v &= parse_factor();
+    }
+    return v;
+  }
+
+  std::uint16_t parse_factor() {
+    const char c = peek();
+    if (c == '~') {
+      ++pos_;
+      return static_cast<std::uint16_t>(~parse_factor());
+    }
+    if (c == '(') {
+      ++pos_;
+      const std::uint16_t v = parse_or();
+      if (peek() != ')') fail("expected ')'");
+      ++pos_;
+      return v;
+    }
+    if (c == 'A' || c == 'a') {
+      ++pos_;
+      if (pos_ >= s_.size() || s_[pos_] < '1' || s_[pos_] > '4') {
+        fail("expected A1..A4");
+      }
+      return kVar[s_[pos_++] - '1'];
+    }
+    if (c == '0') {
+      ++pos_;
+      return 0x0000;
+    }
+    if (c == '1') {
+      ++pos_;
+      return 0xFFFF;
+    }
+    fail("expected a factor");
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::uint16_t parse_lut_equation(std::string_view expr) {
+  expr = trim(expr);
+  if (starts_with(expr, "0x") || starts_with(expr, "0X")) {
+    const auto v = parse_uint(expr);
+    if (!v || *v > 0xFFFF) {
+      throw JpgError("bad LUT init literal '" + std::string(expr) + "'");
+    }
+    return static_cast<std::uint16_t>(*v);
+  }
+  return EquationParser(expr).parse();
+}
+
+namespace {
+
+/// An implicant over 4 variables: `care` marks bound variables, `value`
+/// their polarity. Covers 2^(4-popcount(care)) minterms.
+struct Implicant {
+  unsigned value = 0;
+  unsigned care = 0xF;
+
+  [[nodiscard]] bool covers(unsigned minterm) const {
+    return (minterm & care) == (value & care);
+  }
+  bool operator==(const Implicant&) const = default;
+};
+
+/// Quine-McCluskey prime implicant generation for a 4-variable function —
+/// small enough to run exhaustively.
+std::vector<Implicant> prime_implicants(std::uint16_t init) {
+  std::vector<Implicant> current;
+  for (unsigned m = 0; m < 16; ++m) {
+    if ((init >> m) & 1u) current.push_back({m, 0xF});
+  }
+  std::vector<Implicant> primes;
+  while (!current.empty()) {
+    std::vector<bool> combined(current.size(), false);
+    std::vector<Implicant> next;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      for (std::size_t j = i + 1; j < current.size(); ++j) {
+        const Implicant& a = current[i];
+        const Implicant& b = current[j];
+        if (a.care != b.care) continue;
+        const unsigned diff = (a.value ^ b.value) & a.care;
+        if (__builtin_popcount(diff) != 1) continue;
+        const Implicant merged{a.value & ~diff, a.care & ~diff};
+        combined[i] = combined[j] = true;
+        if (std::find(next.begin(), next.end(), merged) == next.end()) {
+          next.push_back(merged);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (!combined[i] &&
+          std::find(primes.begin(), primes.end(), current[i]) == primes.end()) {
+        primes.push_back(current[i]);
+      }
+    }
+    current = std::move(next);
+  }
+  return primes;
+}
+
+std::string implicant_to_term(const Implicant& imp) {
+  std::ostringstream os;
+  bool first = true;
+  for (int v = 0; v < 4; ++v) {
+    if (((imp.care >> v) & 1u) == 0) continue;
+    if (!first) os << "*";
+    first = false;
+    if (((imp.value >> v) & 1u) == 0) os << "~";
+    os << "A" << (v + 1);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string lut_equation_from_init(std::uint16_t init) {
+  if (init == 0) return "0";
+  if (init == 0xFFFF) return "1";
+
+  // Greedy prime-implicant cover (essential primes first, then largest
+  // remaining coverage) — minimal or near-minimal for every 4-input
+  // function, and always exact.
+  const std::vector<Implicant> primes = prime_implicants(init);
+  std::vector<unsigned> uncovered;
+  for (unsigned m = 0; m < 16; ++m) {
+    if ((init >> m) & 1u) uncovered.push_back(m);
+  }
+  std::vector<const Implicant*> cover;
+  // Essential primes: a minterm covered by exactly one prime forces it.
+  for (const unsigned m : uncovered) {
+    const Implicant* only = nullptr;
+    int count = 0;
+    for (const Implicant& p : primes) {
+      if (p.covers(m)) {
+        ++count;
+        only = &p;
+      }
+    }
+    if (count == 1 &&
+        std::find(cover.begin(), cover.end(), only) == cover.end()) {
+      cover.push_back(only);
+    }
+  }
+  auto is_covered = [&](unsigned m) {
+    for (const Implicant* p : cover) {
+      if (p->covers(m)) return true;
+    }
+    return false;
+  };
+  for (;;) {
+    std::vector<unsigned> remaining;
+    for (const unsigned m : uncovered) {
+      if (!is_covered(m)) remaining.push_back(m);
+    }
+    if (remaining.empty()) break;
+    const Implicant* best = nullptr;
+    int best_gain = -1;
+    for (const Implicant& p : primes) {
+      if (std::find(cover.begin(), cover.end(), &p) != cover.end()) continue;
+      int gain = 0;
+      for (const unsigned m : remaining) {
+        if (p.covers(m)) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = &p;
+      }
+    }
+    JPG_ASSERT(best != nullptr && best_gain > 0);
+    cover.push_back(best);
+  }
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cover.size(); ++i) {
+    if (i > 0) os << "+";
+    const std::string term = implicant_to_term(*cover[i]);
+    if (cover.size() > 1 && term.find('*') != std::string::npos) {
+      os << "(" << term << ")";
+    } else {
+      os << term;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace jpg

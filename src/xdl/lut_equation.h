@@ -1,0 +1,27 @@
+// LUT equation syntax, as quoted in the paper's sample XDL:
+//   F:u1/C307:#LUT:D=(A1@A4)
+//
+// Grammar (precedence low to high):
+//   expr   := term ('+' term)*          OR
+//   term   := xterm ('@' xterm)*        XOR
+//   xterm  := factor ('*' factor)*      AND
+//   factor := '~' factor | '(' expr ')' | A1 | A2 | A3 | A4 | 0 | 1
+//
+// Truth tables are 16-bit masks with bit index A1 + 2*A2 + 4*A3 + 8*A4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jpg {
+
+/// Parses an equation (or a "0x####" literal) into a LUT init mask.
+/// Throws JpgError on malformed input.
+[[nodiscard]] std::uint16_t parse_lut_equation(std::string_view expr);
+
+/// Renders an init mask as an equation (sum of products; "0"/"1" for
+/// constants). parse_lut_equation(lut_equation_from_init(m)) == m.
+[[nodiscard]] std::string lut_equation_from_init(std::uint16_t init);
+
+}  // namespace jpg

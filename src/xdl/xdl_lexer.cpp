@@ -1,0 +1,79 @@
+#include "xdl/xdl_lexer.h"
+
+namespace jpg {
+
+XdlLexer::XdlLexer(std::string_view text, std::string filename)
+    : filename_(std::move(filename)) {
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == ',') {
+      tokens_.push_back({XdlToken::Kind::Comma, ",", line});
+      ++i;
+      continue;
+    }
+    if (c == ';') {
+      tokens_.push_back({XdlToken::Kind::Semicolon, ";", line});
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      tokens_.push_back({XdlToken::Kind::Arrow, "->", line});
+      i += 2;
+      continue;
+    }
+    if (c == '"') {
+      // Strings may span lines (cfg strings routinely do in real XDL).
+      const int start_line = line;
+      const std::size_t start = ++i;
+      while (i < n && text[i] != '"') {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      if (i >= n) {
+        throw ParseError(filename_, start_line, "unterminated string literal");
+      }
+      tokens_.push_back(
+          {XdlToken::Kind::String, std::string(text.substr(start, i - start)),
+           start_line});
+      ++i;
+      continue;
+    }
+    // Bare word: runs until whitespace or a delimiter.
+    const std::size_t start = i;
+    while (i < n) {
+      const char w = text[i];
+      if (w == ' ' || w == '\t' || w == '\r' || w == '\n' || w == ',' ||
+          w == ';' || w == '#' || w == '"') {
+        break;
+      }
+      if (w == '-' && i + 1 < n && text[i + 1] == '>') break;
+      ++i;
+    }
+    if (i == start) {
+      throw ParseError(filename_, line,
+                       std::string("unexpected character '") + c + "'");
+    }
+    tokens_.push_back(
+        {XdlToken::Kind::Word, std::string(text.substr(start, i - start)),
+         line});
+  }
+  tokens_.push_back({XdlToken::Kind::End, "", line});
+}
+
+}  // namespace jpg

@@ -1,0 +1,35 @@
+// XDL lexer: tokenises the textual XDL dialect.
+//
+// Tokens: quoted strings, bare words (identifiers/numbers/site names),
+// ',', ';', and the pip arrow '->'. '#' starts a comment to end of line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+
+namespace jpg {
+
+struct XdlToken {
+  enum class Kind { Word, String, Comma, Semicolon, Arrow, End };
+  Kind kind = Kind::End;
+  std::string text;
+  int line = 0;
+};
+
+class XdlLexer {
+ public:
+  XdlLexer(std::string_view text, std::string filename = "<xdl>");
+
+  /// All tokens incl. a trailing End token.
+  [[nodiscard]] const std::vector<XdlToken>& tokens() const { return tokens_; }
+  [[nodiscard]] const std::string& filename() const { return filename_; }
+
+ private:
+  std::string filename_;
+  std::vector<XdlToken> tokens_;
+};
+
+}  // namespace jpg

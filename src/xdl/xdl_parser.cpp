@@ -1,0 +1,452 @@
+#include "xdl/xdl_parser.h"
+
+#include <map>
+#include <sstream>
+
+#include "support/string_util.h"
+#include "xdl/lut_equation.h"
+#include "xdl/xdl_lexer.h"
+
+namespace jpg {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const std::string& filename)
+      : lexer_(text, filename) {}
+
+  XdlDesign parse() {
+    XdlDesign d;
+    expect_word("design");
+    d.name = expect_string();
+    d.part = expect_word_any();
+    d.version = expect_word_any();
+    expect(XdlToken::Kind::Semicolon);
+    for (;;) {
+      const XdlToken& t = peek();
+      if (t.kind == XdlToken::Kind::End) break;
+      if (t.kind == XdlToken::Kind::Word && t.text == "inst") {
+        d.instances.push_back(parse_inst());
+      } else if (t.kind == XdlToken::Kind::Word && t.text == "net") {
+        d.nets.push_back(parse_net());
+      } else {
+        fail("expected 'inst' or 'net'");
+      }
+    }
+    return d;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError(lexer_.filename(), peek().line, why);
+  }
+
+  [[nodiscard]] const XdlToken& peek() const { return lexer_.tokens()[pos_]; }
+  const XdlToken& next() { return lexer_.tokens()[pos_++]; }
+
+  void expect(XdlToken::Kind kind) {
+    if (peek().kind != kind) fail("unexpected token '" + peek().text + "'");
+    ++pos_;
+  }
+  void expect_word(const std::string& w) {
+    if (peek().kind != XdlToken::Kind::Word || peek().text != w) {
+      fail("expected '" + w + "', got '" + peek().text + "'");
+    }
+    ++pos_;
+  }
+  std::string expect_word_any() {
+    if (peek().kind != XdlToken::Kind::Word) {
+      fail("expected a word, got '" + peek().text + "'");
+    }
+    return next().text;
+  }
+  std::string expect_string() {
+    if (peek().kind != XdlToken::Kind::String) {
+      fail("expected a quoted string, got '" + peek().text + "'");
+    }
+    return next().text;
+  }
+
+  XdlInstance parse_inst() {
+    expect_word("inst");
+    XdlInstance inst;
+    inst.name = expect_string();
+    inst.type = expect_string();
+    expect(XdlToken::Kind::Comma);
+    expect_word("placed");
+    inst.placed_a = expect_word_any();
+    if (peek().kind == XdlToken::Kind::Word) {
+      inst.placed_b = next().text;
+    }
+    if (peek().kind == XdlToken::Kind::Comma) {
+      ++pos_;
+      expect_word("cfg");
+      const std::string cfg = expect_string();
+      for (auto& tok : split_ws(cfg)) inst.cfg.push_back(std::move(tok));
+    }
+    expect(XdlToken::Kind::Semicolon);
+    return inst;
+  }
+
+  XdlNet parse_net() {
+    expect_word("net");
+    XdlNet net;
+    net.name = expect_string();
+    while (peek().kind == XdlToken::Kind::Comma) {
+      ++pos_;
+      const std::string what = expect_word_any();
+      if (what == "outpin" || what == "inpin") {
+        XdlPin pin;
+        pin.instance = expect_string();
+        pin.pin = expect_word_any();
+        (what == "outpin" ? net.outpins : net.inpins).push_back(std::move(pin));
+      } else if (what == "pip") {
+        XdlPip pip;
+        pip.tile = expect_word_any();
+        pip.src = expect_word_any();
+        expect(XdlToken::Kind::Arrow);
+        pip.dest = expect_word_any();
+        net.pips.push_back(std::move(pip));
+      } else if (what == "iobpip") {
+        XdlIobPip ip;
+        ip.site = expect_word_any();
+        ip.wire = expect_word_any();
+        net.iobpips.push_back(std::move(ip));
+      } else {
+        fail("unexpected net item '" + what + "'");
+      }
+    }
+    expect(XdlToken::Kind::Semicolon);
+    return net;
+  }
+
+  XdlLexer lexer_;
+  std::size_t pos_ = 0;
+};
+
+// --- XdlDesign -> PlacedDesign -------------------------------------------------
+
+/// Decoded slice cfg.
+struct SliceCfg {
+  bool has_lut[2] = {false, false};
+  std::string lut_name[2];
+  std::uint16_t lut_init[2] = {0, 0};
+  bool has_ff[2] = {false, false};
+  std::string ff_name[2];
+  bool ff_init[2] = {false, false};
+  bool dmux_bypass[2] = {false, false};
+  bool comb_used[2] = {false, false};
+  std::string partition;
+};
+
+[[noreturn]] void bad_cfg(const std::string& inst, const std::string& why) {
+  throw JpgError("bad cfg on instance '" + inst + "': " + why);
+}
+
+SliceCfg decode_slice_cfg(const XdlInstance& inst) {
+  SliceCfg cfg;
+  for (const std::string& tok : inst.cfg) {
+    const auto parts = split(tok, ':');
+    if (parts.size() < 2) bad_cfg(inst.name, "malformed token '" + tok + "'");
+    const std::string& key = parts[0];
+    if (key == "F" || key == "G") {
+      // F:<name>:#LUT:D=<equation>
+      const int le = key == "F" ? 0 : 1;
+      if (parts.size() != 4 || parts[2] != "#LUT" ||
+          !starts_with(parts[3], "D=")) {
+        bad_cfg(inst.name, "malformed LUT token '" + tok + "'");
+      }
+      cfg.has_lut[le] = true;
+      cfg.lut_name[le] = parts[1];
+      cfg.lut_init[le] = parse_lut_equation(parts[3].substr(2));
+      continue;
+    }
+    if (key == "FFX" || key == "FFY") {
+      const int le = key == "FFX" ? 0 : 1;
+      if (parts.size() != 3 || parts[2] != "#FF") {
+        bad_cfg(inst.name, "malformed FF token '" + tok + "'");
+      }
+      cfg.has_ff[le] = true;
+      cfg.ff_name[le] = parts[1];
+      continue;
+    }
+    // Attribute pairs KEY::VALUE -> parts = {KEY, "", VALUE}.
+    if (parts.size() != 3 || !parts[1].empty()) {
+      bad_cfg(inst.name, "malformed token '" + tok + "'");
+    }
+    const std::string& v = parts[2];
+    if (key == "DXMUX" || key == "DYMUX") {
+      cfg.dmux_bypass[key == "DXMUX" ? 0 : 1] = v == "1";
+    } else if (key == "INITX" || key == "INITY") {
+      cfg.ff_init[key == "INITX" ? 0 : 1] = iequals(v, "HIGH");
+    } else if (key == "FXMUX") {
+      cfg.comb_used[0] = v == "F";
+    } else if (key == "GYMUX") {
+      cfg.comb_used[1] = v == "G";
+    } else if (key == "_PART") {
+      cfg.partition = v;
+    } else if (key == "CKINV") {
+      if (v != "0") bad_cfg(inst.name, "CKINV::1 is not supported");
+    } else if (key == "SYNC_ATTR") {
+      if (!iequals(v, "ASYNC")) {
+        bad_cfg(inst.name, "SYNC_ATTR::SYNC is not supported");
+      }
+    } else if (key == "CEMUX" || key == "SRMUX") {
+      if (!iequals(v, "OFF")) {
+        bad_cfg(inst.name, key + " must be OFF (CE/SR are not modelled)");
+      }
+    } else if (key == "SRFFMUX") {
+      if (v != "0") bad_cfg(inst.name, "SRFFMUX::1 is not supported");
+    } else {
+      bad_cfg(inst.name, "unknown cfg key '" + key + "'");
+    }
+  }
+  return cfg;
+}
+
+std::string cfg_value(const XdlInstance& inst, const std::string& key) {
+  for (const std::string& tok : inst.cfg) {
+    const auto parts = split(tok, ':');
+    if (parts.size() == 3 && parts[0] == key && parts[1].empty()) {
+      return parts[2];
+    }
+  }
+  bad_cfg(inst.name, "missing cfg key '" + key + "'");
+}
+
+}  // namespace
+
+XdlDesign parse_xdl(std::string_view text, const std::string& filename) {
+  return Parser(text, filename).parse();
+}
+
+std::unique_ptr<PlacedDesign> placed_design_from_xdl(const XdlDesign& xdl) {
+  const Device& dev = Device::get(xdl.part);
+  Netlist nl(xdl.name);
+
+  // Pass 1: nets by name (GCLK is the implicit clock, not a logical net).
+  std::map<std::string, NetId> net_ids;
+  for (const XdlNet& n : xdl.nets) {
+    if (n.name == "GCLK") continue;
+    if (net_ids.count(n.name) != 0) {
+      throw JpgError("duplicate net '" + n.name + "' in XDL");
+    }
+    net_ids[n.name] = nl.add_net(n.name);
+  }
+
+  // Pin connectivity index: (instance, pin) for outpins and inpins.
+  std::map<std::pair<std::string, std::string>, NetId> out_of, in_of;
+  std::map<std::pair<std::string, std::string>, std::vector<NetId>> ins_of;
+  for (const XdlNet& n : xdl.nets) {
+    if (n.name == "GCLK") continue;
+    const NetId id = net_ids[n.name];
+    for (const XdlPin& p : n.outpins) {
+      if (!out_of.emplace(std::make_pair(p.instance, p.pin), id).second) {
+        throw JpgError("pin " + p.instance + "." + p.pin +
+                       " drives two nets in XDL");
+      }
+    }
+    for (const XdlPin& p : n.inpins) {
+      ins_of[{p.instance, p.pin}].push_back(id);
+    }
+  }
+  auto out_net = [&](const std::string& inst, const std::string& pin) {
+    const auto it = out_of.find({inst, pin});
+    return it == out_of.end() ? kNullNet : it->second;
+  };
+  auto in_net = [&](const std::string& inst, const std::string& pin) {
+    const auto it = ins_of.find({inst, pin});
+    if (it == ins_of.end()) return kNullNet;
+    if (it->second.size() != 1) {
+      throw JpgError("pin " + inst + "." + pin + " sinks multiple nets");
+    }
+    return it->second[0];
+  };
+
+  // Pass 2: build cells, slices and ports.
+  struct PendingPort {
+    CellId cell;
+    bool is_input;
+    int row, k;
+  };
+  std::vector<PackedSlice> slices;
+  std::vector<SliceSite> slice_sites;
+  std::unordered_map<CellId, CellPlace> cell_place;
+  std::vector<CellId> iob_cells;
+  std::vector<IobSite> iob_sites;
+  std::vector<PendingPort> pend_ports;
+
+  for (const XdlInstance& inst : xdl.instances) {
+    if (inst.type == "SLICE") {
+      const auto site = dev.parse_slice_site(inst.placed_b);
+      if (!site) throw JpgError("bad slice site '" + inst.placed_b + "'");
+      const SliceCfg cfg = decode_slice_cfg(inst);
+      PackedSlice ps;
+      ps.name = inst.name;
+      ps.partition = cfg.partition;
+      const std::size_t slice_index = slices.size();
+      for (int le = 0; le < 2; ++le) {
+        const char* out_pin = le == 0 ? "X" : "Y";
+        const char* q_pin = le == 0 ? "XQ" : "YQ";
+        NetId lut_out = kNullNet;
+        if (cfg.has_lut[le]) {
+          lut_out = out_net(inst.name, out_pin);
+          if (lut_out == kNullNet) {
+            // LUT feeding only its paired FF: synthesise the internal net.
+            lut_out = nl.add_net(inst.name + (le == 0 ? "/Xint" : "/Yint"));
+          }
+          std::array<NetId, 4> ins{};
+          for (int p = 0; p < 4; ++p) {
+            const std::string pin =
+                std::string(le == 0 ? "F" : "G") + std::to_string(p + 1);
+            ins[static_cast<std::size_t>(p)] = in_net(inst.name, pin);
+          }
+          const CellId lut = nl.add_lut(cfg.lut_name[le], cfg.lut_init[le],
+                                        ins, lut_out, cfg.partition);
+          ps.le[le].lut = lut;
+          cell_place[lut] = {slice_index, le};
+        }
+        if (cfg.has_ff[le]) {
+          NetId d;
+          if (cfg.dmux_bypass[le]) {
+            d = in_net(inst.name, le == 0 ? "BX" : "BY");
+            if (d == kNullNet) {
+              throw JpgError("FF '" + cfg.ff_name[le] +
+                             "' bypass D input unconnected");
+            }
+          } else {
+            if (!cfg.has_lut[le]) {
+              throw JpgError("FF '" + cfg.ff_name[le] +
+                             "' takes its D from a missing LUT");
+            }
+            d = lut_out;
+          }
+          NetId q = out_net(inst.name, q_pin);
+          if (q == kNullNet) {
+            q = nl.add_net(inst.name + (le == 0 ? "/XQint" : "/YQint"));
+          }
+          const CellId ff = nl.add_dff(cfg.ff_name[le], d, q, cfg.ff_init[le],
+                                       cfg.partition);
+          ps.le[le].ff = ff;
+          cell_place[ff] = {slice_index, le};
+        }
+      }
+      slices.push_back(std::move(ps));
+      slice_sites.push_back(*site);
+      continue;
+    }
+    if (inst.type == "IOB") {
+      const auto site = dev.parse_iob_site(inst.placed_b);
+      if (!site) throw JpgError("bad IOB site '" + inst.placed_b + "'");
+      const std::string dir = cfg_value(inst, "IOB");
+      const std::string port = cfg_value(inst, "NAME");
+      CellId cell;
+      if (iequals(dir, "INPUT")) {
+        const NetId out = out_net(inst.name, "I");
+        cell = nl.add_ibuf(inst.name, port, out);
+      } else if (iequals(dir, "OUTPUT")) {
+        const NetId in = in_net(inst.name, "O");
+        cell = nl.add_obuf(inst.name, port, in);
+      } else {
+        throw JpgError("bad IOB direction '" + dir + "'");
+      }
+      iob_cells.push_back(cell);
+      iob_sites.push_back(*site);
+      continue;
+    }
+    if (inst.type == "PORT") {
+      // placed BOUNDARY R<row>K<k>
+      const std::string& loc = inst.placed_b;
+      std::size_t kpos = loc.find('K');
+      if (inst.placed_a != "BOUNDARY" || loc.empty() || loc[0] != 'R' ||
+          kpos == std::string::npos) {
+        throw JpgError("bad PORT placement '" + loc + "'");
+      }
+      const auto row = parse_uint(loc.substr(1, kpos - 1));
+      const auto k = parse_uint(loc.substr(kpos + 1));
+      if (!row || !k || *row < 1) {
+        throw JpgError("bad PORT placement '" + loc + "'");
+      }
+      const std::string dir = cfg_value(inst, "DIR");
+      const std::string port = cfg_value(inst, "NAME");
+      PendingPort pp;
+      pp.is_input = iequals(dir, "INPUT");
+      pp.row = static_cast<int>(*row) - 1;
+      pp.k = static_cast<int>(*k);
+      if (pp.is_input) {
+        pp.cell = nl.add_ibuf(inst.name, port, out_net(inst.name, "I"));
+      } else {
+        pp.cell = nl.add_obuf(inst.name, port, in_net(inst.name, "O"));
+      }
+      pend_ports.push_back(pp);
+      continue;
+    }
+    throw JpgError("unknown instance type '" + inst.type + "'");
+  }
+
+  auto design = std::make_unique<PlacedDesign>(dev, std::move(nl));
+  design->slices = std::move(slices);
+  design->slice_sites = std::move(slice_sites);
+  design->cell_place = std::move(cell_place);
+  design->iob_cells = std::move(iob_cells);
+  design->iob_sites = std::move(iob_sites);
+  for (const PendingPort& pp : pend_ports) {
+    design->ports.push_back(PlacedPort{pp.cell, pp.is_input, pp.row, pp.k});
+  }
+
+  // Pass 3: routing.
+  const RoutingFabric& fab = dev.fabric();
+  for (const XdlNet& n : xdl.nets) {
+    RoutedNet rn;
+    rn.net = n.name == "GCLK" ? kNullNet : net_ids[n.name];
+    for (const XdlPip& p : n.pips) {
+      const auto tile = dev.parse_tile_name(p.tile);
+      if (!tile) throw JpgError("bad pip tile '" + p.tile + "'");
+      const auto dest = local_wire_by_name(p.dest);
+      if (!dest) throw JpgError("bad pip dest wire '" + p.dest + "'");
+      const auto src = source_ref_by_name(p.src);
+      if (!src) throw JpgError("bad pip source wire '" + p.src + "'");
+      const MuxDef* mux = fab.mux_for_dest(*dest);
+      if (mux == nullptr) {
+        throw JpgError("pip dest '" + p.dest + "' has no mux");
+      }
+      std::uint32_t sel = 0;
+      for (std::size_t i = 0; i < mux->sources.size(); ++i) {
+        if (mux->sources[i] == *src) {
+          sel = static_cast<std::uint32_t>(i + 1);
+          break;
+        }
+      }
+      if (sel == 0) {
+        throw JpgError("no such pip " + p.src + " -> " + p.dest + " at " +
+                       p.tile);
+      }
+      rn.pips.push_back(RoutedPip{*tile, *dest, sel});
+    }
+    for (const XdlIobPip& ip : n.iobpips) {
+      const auto site = dev.parse_iob_site(ip.site);
+      if (!site) throw JpgError("bad iobpip site '" + ip.site + "'");
+      const auto wire = local_wire_by_name(ip.wire);
+      if (!wire || *wire < kSingleBase || *wire >= kHexBase) {
+        throw JpgError("bad iobpip wire '" + ip.wire + "'");
+      }
+      const Dir toward_pad = site->side == Side::Left ? Dir::W : Dir::E;
+      const int k = *wire - single_local(toward_pad, 0);
+      if (k < 0 || k >= kSinglesPerDir) {
+        throw JpgError("iobpip wire '" + ip.wire +
+                       "' does not face the pad side");
+      }
+      rn.iob_pips.push_back(
+          IobRoute{*site, static_cast<std::uint32_t>(k + 1)});
+    }
+    if (n.name == "GCLK") {
+      for (const RoutedPip& p : rn.pips) design->clock_pips.push_back(p);
+    } else if (!rn.pips.empty() || !rn.iob_pips.empty()) {
+      design->routes.push_back(std::move(rn));
+    }
+  }
+  return design;
+}
+
+}  // namespace jpg

@@ -1,0 +1,85 @@
+// XDL: the ASCII physical-design exchange format (paper §3.2.1-3.2.2).
+//
+// The dialect mirrors the structure the paper quotes. One design record,
+// then instances and nets:
+//
+//   design "mod_v1" XCV50 v3.1 ;
+//   inst "u1/nrz" "SLICE" , placed R3C23 CLB_R3C23.S0 ,
+//     cfg "CKINV::0 SYNC_ATTR::ASYNC DXMUX::0 INITX::LOW
+//          F:u1/enc:#LUT:D=(A1@A2) FFX:u1/nrz_reg:#FF FXMUX::F" ;
+//   inst "ib_d" "IOB" , placed P12 IOB_L3K1 , cfg "IOB::INPUT NAME::d" ;
+//   inst "p_d" "PORT" , placed BOUNDARY R5K3 , cfg "DIR::INPUT NAME::d" ;
+//   net "u1/d" , outpin "ib_d" I , inpin "u1/nrz" F1 ,
+//     pip R3C23 OUT0 -> E3 , pip R4C23 WIN3 -> S0_F1 ,
+//     iobpip IOB_L3K0 W2 ;
+//   net "GCLK" , pip R3C23 GCLK -> S0_CLK ;
+//
+// Slice cfg tokens: F/G LUT definitions ("F:<cellname>:#LUT:D=<equation>"),
+// FF definitions ("FFX:<cellname>:#FF"), and attribute pairs
+// CKINV::0|1, SYNC_ATTR::SYNC|ASYNC, DXMUX/DYMUX::0|1 (1 = BX/BY bypass),
+// INITX/INITY::LOW|HIGH, FXMUX::F|OFF, GYMUX::G|OFF (comb output used),
+// CEMUX::CE|OFF, SRMUX::SR|OFF, SRFFMUX::0|1, _PART::<partition>.
+// Our slices do not implement CKINV=1/SYNC/CE/SR behaviour, so non-default
+// values are rejected rather than silently mis-implemented.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pnr/placed_design.h"
+
+namespace jpg {
+
+struct XdlInstance {
+  std::string name;
+  std::string type;  ///< "SLICE", "IOB" or "PORT"
+  std::string placed_a;  ///< tile ("R3C23"), pad ("P12") or "BOUNDARY"
+  std::string placed_b;  ///< site ("CLB_R3C23.S0", "IOB_L3K1") or "R5K3"
+  std::vector<std::string> cfg;  ///< whitespace-split cfg tokens
+};
+
+struct XdlPip {
+  std::string tile;
+  std::string src;
+  std::string dest;
+};
+
+struct XdlIobPip {
+  std::string site;
+  std::string wire;
+};
+
+struct XdlPin {
+  std::string instance;
+  std::string pin;
+};
+
+struct XdlNet {
+  std::string name;
+  std::vector<XdlPin> outpins;
+  std::vector<XdlPin> inpins;
+  std::vector<XdlPip> pips;
+  std::vector<XdlIobPip> iobpips;
+};
+
+struct XdlDesign {
+  std::string name;
+  std::string part;     ///< e.g. "XCV50"
+  std::string version;  ///< e.g. "v3.1"
+  std::vector<XdlInstance> instances;
+  std::vector<XdlNet> nets;
+};
+
+/// Parses XDL text. Throws ParseError with file/line context.
+[[nodiscard]] XdlDesign parse_xdl(std::string_view text,
+                                  const std::string& filename = "<xdl>");
+
+/// Reconstructs a physical design (netlist + placement + routing) from an
+/// XDL description. Throws ParseError/DeviceError on inconsistencies.
+/// For module designs the caller supplies the region afterwards (the region
+/// travels in the UCF, not the XDL, exactly as in the paper's flow).
+[[nodiscard]] std::unique_ptr<PlacedDesign> placed_design_from_xdl(
+    const XdlDesign& xdl);
+
+}  // namespace jpg

@@ -1,0 +1,239 @@
+#include "xdl/xdl_writer.h"
+
+#include <map>
+#include <sstream>
+
+#include "xdl/lut_equation.h"
+
+namespace jpg {
+
+namespace {
+
+/// True when the LE's comb output leaves the slice (mirrors
+/// PlacedDesign::apply's FXMUX/GYMUX decision).
+bool comb_out_used(const PlacedDesign& d, const LogicElement& le) {
+  if (le.lut == kNullCell) return false;
+  const Netlist& nl = d.netlist();
+  const Cell& lut = nl.cell(le.lut);
+  if (lut.out == kNullNet) return false;
+  for (const NetSink& s : nl.net(lut.out).sinks) {
+    const bool internal = le.ff != kNullCell && s.cell == le.ff &&
+                          nl.cell(le.ff).in[0] == lut.out;
+    if (!internal) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+XdlDesign xdl_from_placed(const PlacedDesign& design, const std::string& version) {
+  const Device& dev = design.device();
+  const Netlist& nl = design.netlist();
+  XdlDesign xdl;
+  xdl.name = nl.name();
+  xdl.part = dev.spec().name;
+  xdl.version = version;
+
+  // instance name per cell (for net pins).
+  std::map<CellId, std::pair<std::string, std::string>> pin_of_out;  // cell -> (inst, pin)
+  std::map<CellId, std::map<int, std::pair<std::string, std::string>>> pin_of_in;
+
+  // --- Slice instances --------------------------------------------------------
+  for (std::size_t i = 0; i < design.slices.size(); ++i) {
+    const PackedSlice& ps = design.slices[i];
+    const SliceSite site = design.slice_sites[i];
+    XdlInstance inst;
+    inst.name = ps.name;
+    inst.type = "SLICE";
+    inst.placed_a = dev.tile_name({site.r, site.c});
+    inst.placed_b = dev.slice_site_name(site);
+    inst.cfg.push_back("CKINV::0");
+    inst.cfg.push_back("SYNC_ATTR::ASYNC");
+    inst.cfg.push_back("CEMUX::OFF");
+    inst.cfg.push_back("SRMUX::OFF");
+    inst.cfg.push_back("SRFFMUX::0");
+    if (!ps.partition.empty()) inst.cfg.push_back("_PART::" + ps.partition);
+    for (int le = 0; le < 2; ++le) {
+      const LogicElement& e = ps.le[le];
+      const std::string fg = le == 0 ? "F" : "G";
+      if (e.lut != kNullCell) {
+        const Cell& lut = nl.cell(e.lut);
+        inst.cfg.push_back(fg + ":" + lut.name + ":#LUT:D=" +
+                           lut_equation_from_init(lut.lut_init));
+        inst.cfg.push_back(le == 0
+                               ? (comb_out_used(design, e) ? "FXMUX::F"
+                                                           : "FXMUX::OFF")
+                               : (comb_out_used(design, e) ? "GYMUX::G"
+                                                           : "GYMUX::OFF"));
+        if (comb_out_used(design, e)) {
+          pin_of_out[e.lut] = {inst.name, le == 0 ? "X" : "Y"};
+        }
+        for (int p = 0; p < 4; ++p) {
+          if (lut.in[static_cast<std::size_t>(p)] != kNullNet) {
+            pin_of_in[e.lut][p] = {inst.name, fg + std::to_string(p + 1)};
+          }
+        }
+      }
+      if (e.ff != kNullCell) {
+        const Cell& ff = nl.cell(e.ff);
+        inst.cfg.push_back((le == 0 ? "FFX:" : "FFY:") + ff.name + ":#FF");
+        const bool paired =
+            e.lut != kNullCell && nl.cell(e.lut).out == ff.in[0];
+        inst.cfg.push_back((le == 0 ? "DXMUX::" : "DYMUX::") +
+                           std::string(paired ? "0" : "1"));
+        inst.cfg.push_back((le == 0 ? "INITX::" : "INITY::") +
+                           std::string(ff.ff_init ? "HIGH" : "LOW"));
+        pin_of_out[e.ff] = {inst.name, le == 0 ? "XQ" : "YQ"};
+        if (!paired) {
+          pin_of_in[e.ff][0] = {inst.name, le == 0 ? "BX" : "BY"};
+        }
+      }
+    }
+    xdl.instances.push_back(std::move(inst));
+  }
+
+  // --- IOB instances -----------------------------------------------------------
+  for (std::size_t i = 0; i < design.iob_cells.size(); ++i) {
+    const Cell& c = nl.cell(design.iob_cells[i]);
+    XdlInstance inst;
+    inst.name = c.name;
+    inst.type = "IOB";
+    inst.placed_a = "P" + std::to_string(dev.pad_number(design.iob_sites[i]));
+    inst.placed_b = dev.iob_site_name(design.iob_sites[i]);
+    inst.cfg.push_back(c.kind == CellKind::Ibuf ? "IOB::INPUT" : "IOB::OUTPUT");
+    inst.cfg.push_back("NAME::" + c.port);
+    if (c.kind == CellKind::Ibuf) {
+      pin_of_out[design.iob_cells[i]] = {inst.name, "I"};
+    } else {
+      pin_of_in[design.iob_cells[i]][0] = {inst.name, "O"};
+    }
+    xdl.instances.push_back(std::move(inst));
+  }
+
+  // --- Port instances (module designs) ----------------------------------------
+  for (const PlacedPort& p : design.ports) {
+    const Cell& c = nl.cell(p.cell);
+    XdlInstance inst;
+    inst.name = c.name;
+    inst.type = "PORT";
+    inst.placed_a = "BOUNDARY";
+    inst.placed_b = "R" + std::to_string(p.row + 1) + "K" + std::to_string(p.k);
+    inst.cfg.push_back(p.is_input ? "DIR::INPUT" : "DIR::OUTPUT");
+    inst.cfg.push_back("NAME::" + c.port);
+    if (p.is_input) {
+      pin_of_out[p.cell] = {inst.name, "I"};
+    } else {
+      pin_of_in[p.cell][0] = {inst.name, "O"};
+    }
+    xdl.instances.push_back(std::move(inst));
+  }
+
+  // --- Nets ---------------------------------------------------------------------
+  // Routing by net id (several RoutedNet entries may share an id).
+  std::map<NetId, std::vector<const RoutedNet*>> routes_of;
+  for (const RoutedNet& rn : design.routes) {
+    routes_of[rn.net].push_back(&rn);
+  }
+  const RoutingFabric& fab = dev.fabric();
+  auto pip_to_xdl = [&](const RoutedPip& p) {
+    const MuxDef* mux = fab.mux_for_dest(p.dest_local);
+    JPG_ASSERT(mux != nullptr && p.sel >= 1 &&
+               p.sel <= mux->sources.size());
+    XdlPip xp;
+    xp.tile = dev.tile_name(p.tile);
+    xp.src = source_ref_name(mux->sources[p.sel - 1]);
+    xp.dest = local_wire_name(p.dest_local);
+    return xp;
+  };
+
+  for (NetId id = 0; id < nl.num_nets(); ++id) {
+    const Net& net = nl.net(id);
+    XdlNet xn;
+    xn.name = net.name;
+    if (net.driver != kNullCell) {
+      const auto it = pin_of_out.find(net.driver);
+      if (it != pin_of_out.end()) {
+        xn.outpins.push_back({it->second.first, it->second.second});
+      }
+    }
+    for (const NetSink& s : net.sinks) {
+      const auto ci = pin_of_in.find(s.cell);
+      if (ci == pin_of_in.end()) continue;
+      const auto pi = ci->second.find(s.pin);
+      if (pi == ci->second.end()) continue;
+      xn.inpins.push_back({pi->second.first, pi->second.second});
+    }
+    const auto rit = routes_of.find(id);
+    if (rit != routes_of.end()) {
+      for (const RoutedNet* rn : rit->second) {
+        for (const RoutedPip& p : rn->pips) xn.pips.push_back(pip_to_xdl(p));
+        for (const IobRoute& ir : rn->iob_pips) {
+          XdlIobPip ip;
+          ip.site = dev.iob_site_name(ir.site);
+          const Dir toward_pad = ir.site.side == Side::Left ? Dir::W : Dir::E;
+          ip.wire = local_wire_name(
+              single_local(toward_pad, static_cast<int>(ir.omux_sel) - 1));
+          xn.iobpips.push_back(std::move(ip));
+        }
+      }
+    }
+    if (xn.outpins.empty() && xn.inpins.empty() && xn.pips.empty()) continue;
+    xdl.nets.push_back(std::move(xn));
+  }
+
+  // Clock pips as the special GCLK net.
+  if (!design.clock_pips.empty()) {
+    XdlNet gclk;
+    gclk.name = "GCLK";
+    for (const RoutedPip& p : design.clock_pips) {
+      gclk.pips.push_back(pip_to_xdl(p));
+    }
+    xdl.nets.push_back(std::move(gclk));
+  }
+  return xdl;
+}
+
+std::string write_xdl(const XdlDesign& xdl) {
+  std::ostringstream os;
+  os << "# jpg-cpp XDL, dialect per DESIGN.md\n";
+  os << "design \"" << xdl.name << "\" " << xdl.part << " " << xdl.version
+     << " ;\n\n";
+  for (const XdlInstance& inst : xdl.instances) {
+    os << "inst \"" << inst.name << "\" \"" << inst.type << "\" , placed "
+       << inst.placed_a;
+    if (!inst.placed_b.empty()) os << " " << inst.placed_b;
+    if (!inst.cfg.empty()) {
+      os << " ,\n  cfg \"";
+      for (std::size_t i = 0; i < inst.cfg.size(); ++i) {
+        if (i > 0) os << " ";
+        os << inst.cfg[i];
+      }
+      os << "\"";
+    }
+    os << " ;\n";
+  }
+  os << "\n";
+  for (const XdlNet& n : xdl.nets) {
+    os << "net \"" << n.name << "\"";
+    for (const XdlPin& p : n.outpins) {
+      os << " ,\n  outpin \"" << p.instance << "\" " << p.pin;
+    }
+    for (const XdlPin& p : n.inpins) {
+      os << " ,\n  inpin \"" << p.instance << "\" " << p.pin;
+    }
+    for (const XdlPip& p : n.pips) {
+      os << " ,\n  pip " << p.tile << " " << p.src << " -> " << p.dest;
+    }
+    for (const XdlIobPip& p : n.iobpips) {
+      os << " ,\n  iobpip " << p.site << " " << p.wire;
+    }
+    os << " ;\n";
+  }
+  return os.str();
+}
+
+std::string write_xdl(const PlacedDesign& design) {
+  return write_xdl(xdl_from_placed(design));
+}
+
+}  // namespace jpg

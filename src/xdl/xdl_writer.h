@@ -1,0 +1,23 @@
+// XDL writer: serialises a PlacedDesign to the textual XDL dialect — the
+// stand-in for the Xilinx "XDL program tool" step in the paper's Figure 2
+// (NCD -> XDL conversion).
+#pragma once
+
+#include <string>
+
+#include "pnr/placed_design.h"
+#include "xdl/xdl_parser.h"
+
+namespace jpg {
+
+/// Structural conversion; `version` labels the producing flow.
+[[nodiscard]] XdlDesign xdl_from_placed(const PlacedDesign& design,
+                                        const std::string& version = "v3.1");
+
+/// Text rendering of an XdlDesign.
+[[nodiscard]] std::string write_xdl(const XdlDesign& xdl);
+
+/// Convenience: placed design straight to text.
+[[nodiscard]] std::string write_xdl(const PlacedDesign& design);
+
+}  // namespace jpg

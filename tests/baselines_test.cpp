@@ -1,0 +1,256 @@
+// Tests for the PARBIT and JBitsDiff baseline reimplementations, including
+// the cross-tool agreement invariant: PARBIT (block mode) and JPG configure
+// identical region contents from the same module update.
+#include <gtest/gtest.h>
+
+#include "baselines/jbitsdiff.h"
+#include "baselines/parbit.h"
+#include "bitstream/bitgen.h"
+#include "bitstream/config_port.h"
+#include "core/jpg.h"
+#include "core/partial_gen.h"
+#include "netlib/generators.h"
+#include "pnr/flow.h"
+#include "sim/bitstream_sim.h"
+
+namespace jpg {
+namespace {
+
+TEST(ParbitOptions, FileRoundtrip) {
+  ParbitOptions opts;
+  opts.mode = ParbitOptions::Mode::Block;
+  opts.source = Region{0, 6, 15, 9};
+  opts.target_r0 = 0;
+  opts.target_c0 = 12;
+  const ParbitOptions back = ParbitOptions::parse(opts.to_text());
+  EXPECT_EQ(back.mode, opts.mode);
+  EXPECT_EQ(back.source, opts.source);
+  EXPECT_EQ(back.target_c0, 12);
+  EXPECT_TRUE(back.relocated());
+}
+
+TEST(ParbitOptions, RejectsMalformed) {
+  EXPECT_THROW(ParbitOptions::parse("mode sideways\nsource R1C1:R2C2\n"),
+               ParseError);
+  EXPECT_THROW(ParbitOptions::parse("mode block\n"), JpgError);
+  EXPECT_THROW(ParbitOptions::parse("source R0C1:R2C2\n"), ParseError);
+  EXPECT_THROW(ParbitOptions::parse("bogus x\n"), ParseError);
+}
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = &Device::get("XCV50");
+    region_ = Region{0, 6, dev_->rows() - 1, 9};
+
+    // Base design: module u1 = 4-bit LFSR feeding static pads.
+    Netlist top("base");
+    const auto merged = top.merge_module(netlib::make_lfsr(4), "u1");
+    PartitionSpec spec;
+    spec.name = "u1";
+    spec.region = region_;
+    for (const auto& [port, net] : merged.outputs) {
+      top.add_obuf("ob_" + port, port, net);
+      spec.output_ports.emplace_back(port, net);
+    }
+    FlowOptions opt;
+    opt.seed = 5;
+    base_flow_ = std::make_unique<BaseFlowResult>(
+        run_base_flow(*dev_, top, {spec}, opt));
+    base_mem_ = std::make_unique<ConfigMemory>(*dev_);
+    CBits cb(*base_mem_);
+    base_flow_->design->apply(cb);
+    base_bit_ = generate_full_bitstream(*base_mem_);
+
+    // A replacement module (4-bit counter with the same ports q0..q3).
+    FlowOptions mopt;
+    mopt.seed = 6;
+    variant_ = std::make_unique<ModuleFlowResult>(run_module_flow(
+        *dev_, netlib::make_counter(4), base_flow_->interface_of("u1"), mopt));
+    variant_mem_ = std::make_unique<ConfigMemory>(*dev_);
+    CBits vcb(*variant_mem_);
+    variant_->design->apply(vcb);
+  }
+
+  /// The updated plane JPG would produce (ground truth for both baselines).
+  ConfigMemory updated_plane() const {
+    const PartialBitstreamGenerator gen(*base_mem_);
+    return gen.compose(*variant_mem_, region_);
+  }
+
+  const Device* dev_ = nullptr;
+  Region region_;
+  std::unique_ptr<BaseFlowResult> base_flow_;
+  std::unique_ptr<ConfigMemory> base_mem_;
+  Bitstream base_bit_;
+  std::unique_ptr<ModuleFlowResult> variant_;
+  std::unique_ptr<ConfigMemory> variant_mem_;
+};
+
+TEST_F(BaselineFixture, ParbitBlockModeAgreesWithJpg) {
+  // PARBIT's input: a COMPLETE bitstream of the new design. Build it by
+  // bitgen'ing the module-only plane (module compiled standalone).
+  const Bitstream new_full = generate_full_bitstream(*variant_mem_);
+
+  ParbitOptions opts;
+  opts.mode = ParbitOptions::Mode::Block;
+  opts.source = region_;
+  opts.target_r0 = region_.r0;
+  opts.target_c0 = region_.c0;
+  const ParbitResult pr = parbit_transform(new_full, base_bit_, opts);
+  EXPECT_EQ(pr.frames,
+            static_cast<std::size_t>(region_.width()) * FrameMap::kClbFrames);
+
+  // Load base then the PARBIT partial; must equal JPG's composition.
+  ConfigMemory mem(*dev_);
+  ConfigPort port(mem);
+  port.load(base_bit_);
+  port.load(pr.bitstream);
+  EXPECT_EQ(mem, updated_plane());
+}
+
+TEST_F(BaselineFixture, ParbitColumnModeShipsWholeColumns) {
+  const Bitstream new_full = generate_full_bitstream(*variant_mem_);
+  ParbitOptions opts;
+  opts.mode = ParbitOptions::Mode::Column;
+  opts.source = region_;
+  opts.target_r0 = region_.r0;
+  opts.target_c0 = region_.c0;
+  const ParbitResult pr = parbit_transform(new_full, base_bit_, opts);
+
+  ConfigMemory mem(*dev_);
+  ConfigPort port(mem);
+  port.load(base_bit_);
+  port.load(pr.bitstream);
+  // Column mode replaces whole columns with the new design's content; for a
+  // full-height region that is identical to the block merge.
+  EXPECT_EQ(mem, updated_plane());
+}
+
+TEST_F(BaselineFixture, ParbitRelocatesColumns) {
+  // Relocate the module two columns right (region 8..11) and verify the
+  // region contents moved bit-exactly.
+  const Bitstream new_full = generate_full_bitstream(*variant_mem_);
+  ParbitOptions opts;
+  opts.mode = ParbitOptions::Mode::Block;
+  opts.source = region_;
+  opts.target_r0 = region_.r0;
+  opts.target_c0 = region_.c0 + 2;
+  const ParbitResult pr = parbit_transform(new_full, base_bit_, opts);
+
+  ConfigMemory mem(*dev_);
+  ConfigPort port(mem);
+  port.load(base_bit_);
+  port.load(pr.bitstream);
+
+  CBits moved(mem);
+  CBits orig(*variant_mem_);
+  for (int r = 0; r < dev_->rows(); ++r) {
+    for (int c = region_.c0; c <= region_.c1; ++c) {
+      for (int s = 0; s < 2; ++s) {
+        EXPECT_EQ(moved.get_lut({r, c + 2, s}, LutSel::F),
+                  orig.get_lut({r, c, s}, LutSel::F));
+        EXPECT_EQ(moved.get_lut({r, c + 2, s}, LutSel::G),
+                  orig.get_lut({r, c, s}, LutSel::G));
+      }
+      for (const MuxDef& m : dev_->fabric().tile_muxes()) {
+        EXPECT_EQ(moved.get_mux({r, c + 2}, m.dest_local),
+                  orig.get_mux({r, c}, m.dest_local));
+      }
+    }
+  }
+}
+
+TEST_F(BaselineFixture, ParbitRejectsVerticalRelocationInColumnMode) {
+  const Bitstream new_full = generate_full_bitstream(*variant_mem_);
+  ParbitOptions opts;
+  opts.mode = ParbitOptions::Mode::Column;
+  opts.source = Region{2, 6, 10, 9};
+  opts.target_r0 = 4;
+  opts.target_c0 = 6;
+  EXPECT_THROW(parbit_transform(new_full, base_bit_, opts), JpgError);
+}
+
+TEST_F(BaselineFixture, JBitsDiffCoreReplayMatchesFrameDiff) {
+  const ConfigMemory updated = updated_plane();
+  const JBitsCore core = extract_core(*base_mem_, updated, "u1_counter");
+  EXPECT_GT(core.ops.size(), 0u);
+
+  ConfigMemory replayed = *base_mem_;
+  CBits cb(replayed);
+  const std::size_t calls = core.replay(cb);
+  EXPECT_EQ(calls, core.ops.size());
+  EXPECT_EQ(replayed, updated);
+}
+
+TEST_F(BaselineFixture, JBitsDiffWindowedCore) {
+  const ConfigMemory updated = updated_plane();
+  const JBitsCore windowed =
+      extract_core(*base_mem_, updated, "u1_counter", region_);
+  const JBitsCore full = extract_core(*base_mem_, updated, "u1_counter");
+  // All differences live inside the region, so the windowed core is complete.
+  EXPECT_EQ(windowed.ops.size(), full.ops.size());
+
+  ConfigMemory replayed = *base_mem_;
+  CBits cb(replayed);
+  windowed.replay(cb);
+  EXPECT_EQ(replayed, updated);
+}
+
+TEST_F(BaselineFixture, JBitsCoreTextRoundtrip) {
+  const ConfigMemory updated = updated_plane();
+  const JBitsCore core = extract_core(*base_mem_, updated, "u1_counter");
+  const std::string text = core.to_text();
+  const JBitsCore back = JBitsCore::parse(text, "core.txt");
+  EXPECT_EQ(back.name, core.name);
+  EXPECT_EQ(back.part, core.part);
+  ASSERT_EQ(back.ops.size(), core.ops.size());
+
+  ConfigMemory replayed = *base_mem_;
+  CBits cb(replayed);
+  back.replay(cb);
+  EXPECT_EQ(replayed, updated);
+}
+
+TEST_F(BaselineFixture, JBitsCoreRejectsWrongDevice) {
+  const ConfigMemory updated = updated_plane();
+  const JBitsCore core = extract_core(*base_mem_, updated, "c");
+  ConfigMemory other(Device::get("XCV100"));
+  CBits cb(other);
+  EXPECT_THROW(core.replay(cb), JpgError);
+  EXPECT_THROW(JBitsCore::parse("set_lut CLB_R1C1.S0 F 0x1\n"), JpgError);
+  EXPECT_THROW(JBitsCore::parse("core c XCV50\nset_lut bogus F 0x1\n"),
+               ParseError);
+}
+
+TEST_F(BaselineFixture, UpdatedDeviceStillWorksThroughParbitPath) {
+  const Bitstream new_full = generate_full_bitstream(*variant_mem_);
+  ParbitOptions opts;
+  opts.mode = ParbitOptions::Mode::Block;
+  opts.source = region_;
+  opts.target_r0 = region_.r0;
+  opts.target_c0 = region_.c0;
+  const ParbitResult pr = parbit_transform(new_full, base_bit_, opts);
+
+  ConfigMemory mem(*dev_);
+  ConfigPort port(mem);
+  port.load(base_bit_);
+  port.load(pr.bitstream);
+  BitstreamSim hw(mem);
+  // The counter module drives q0: it must toggle every cycle.
+  std::map<std::string, int> pads;
+  for (std::size_t i = 0; i < base_flow_->design->iob_cells.size(); ++i) {
+    pads[base_flow_->design->netlist().cell(base_flow_->design->iob_cells[i]).port] =
+        dev_->pad_number(base_flow_->design->iob_sites[i]);
+  }
+  bool prev = hw.get_pad(pads.at("q0"));
+  for (int cyc = 0; cyc < 8; ++cyc) {
+    hw.step();
+    const bool cur = hw.get_pad(pads.at("q0"));
+    EXPECT_NE(cur, prev) << "cycle " << cyc;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace jpg

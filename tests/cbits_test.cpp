@@ -1,0 +1,152 @@
+// Tests for the CBits resource API: get/set roundtrips, PIP programming by
+// name, read-only views, bulk clears, and isolation between resources.
+#include <gtest/gtest.h>
+
+#include "cbits/cbits.h"
+
+namespace jpg {
+namespace {
+
+class CBitsTest : public ::testing::Test {
+ protected:
+  const Device& dev_ = Device::get("XCV50");
+  ConfigMemory mem_{dev_};
+  CBits cb_{mem_};
+};
+
+TEST_F(CBitsTest, LutRoundtrip) {
+  const SliceSite s{2, 22, 0};
+  EXPECT_EQ(cb_.get_lut(s, LutSel::F), 0);
+  cb_.set_lut(s, LutSel::F, 0xBEEF);
+  cb_.set_lut(s, LutSel::G, 0x1234);
+  EXPECT_EQ(cb_.get_lut(s, LutSel::F), 0xBEEF);
+  EXPECT_EQ(cb_.get_lut(s, LutSel::G), 0x1234);
+  // The sibling slice is untouched.
+  EXPECT_EQ(cb_.get_lut({2, 22, 1}, LutSel::F), 0);
+  cb_.set_lut(s, LutSel::F, 0);
+  EXPECT_EQ(cb_.get_lut(s, LutSel::F), 0);
+  EXPECT_EQ(cb_.get_lut(s, LutSel::G), 0x1234);
+}
+
+TEST_F(CBitsTest, FieldRoundtripIsolatedPerSlice) {
+  const SliceSite s0{5, 7, 0}, s1{5, 7, 1};
+  cb_.set_field(s0, SliceField::FfxUsed, true);
+  cb_.set_field(s1, SliceField::CkInv, true);
+  EXPECT_TRUE(cb_.get_field(s0, SliceField::FfxUsed));
+  EXPECT_FALSE(cb_.get_field(s1, SliceField::FfxUsed));
+  EXPECT_TRUE(cb_.get_field(s1, SliceField::CkInv));
+  EXPECT_FALSE(cb_.get_field(s0, SliceField::CkInv));
+}
+
+TEST_F(CBitsTest, MuxRoundtripAllWires) {
+  const TileCoord t{3, 9};
+  for (const MuxDef& m : dev_.fabric().tile_muxes()) {
+    const auto max_sel = static_cast<std::uint32_t>(m.sources.size());
+    cb_.set_mux(t, m.dest_local, max_sel);
+    EXPECT_EQ(cb_.get_mux(t, m.dest_local), max_sel)
+        << local_wire_name(m.dest_local);
+  }
+  // And back to zero.
+  for (const MuxDef& m : dev_.fabric().tile_muxes()) {
+    cb_.set_mux(t, m.dest_local, 0);
+    EXPECT_EQ(cb_.get_mux(t, m.dest_local), 0u);
+  }
+}
+
+TEST_F(CBitsTest, MuxesDoNotAliasAcrossTiles) {
+  cb_.set_mux({0, 0}, out_local(0), 1);
+  EXPECT_EQ(cb_.get_mux({0, 1}, out_local(0)), 0u);
+  EXPECT_EQ(cb_.get_mux({1, 0}, out_local(0)), 0u);
+}
+
+TEST_F(CBitsTest, SetPipByName) {
+  const TileCoord t{4, 4};
+  // OUT2 <- S0_XQ (slice pin 2, source position 3).
+  cb_.set_pip(t, "S0_XQ", "OUT2");
+  EXPECT_EQ(cb_.get_mux(t, out_local(2)), 3u);
+  const auto node = cb_.selected_source_node(t, out_local(2));
+  ASSERT_TRUE(node.has_value());
+  EXPECT_EQ(*node, dev_.fabric().tile_wire_node(4, 4, pin_local(0, SlicePin::XQ)));
+  // A PIP that does not exist in the fabric throws.
+  EXPECT_THROW(cb_.set_pip(t, "S0_X", "E0"), DeviceError);  // singles take OUTs
+  EXPECT_THROW(cb_.set_pip(t, "NOPE", "OUT0"), DeviceError);
+  EXPECT_THROW(cb_.set_pip(t, "OUT0", "NOPE"), DeviceError);
+}
+
+TEST_F(CBitsTest, SetPipStraightThroughSingle) {
+  // E3 at (2,2) continued from the west neighbour's E3 ("WIN3").
+  const TileCoord t{2, 2};
+  cb_.set_pip(t, "WIN3", "E3");
+  const auto node = cb_.selected_source_node(t, single_local(Dir::E, 3));
+  ASSERT_TRUE(node.has_value());
+  EXPECT_EQ(*node, dev_.fabric().tile_wire_node(2, 1, single_local(Dir::E, 3)));
+}
+
+TEST_F(CBitsTest, LongDriverPip) {
+  const TileCoord t{6, 6};
+  cb_.set_pip(t, "OUT0", "LH0");
+  EXPECT_EQ(cb_.get_mux(t, kLongDriverBase + 0), 1u);
+  cb_.set_mux(t, kLongDriverBase + 0, 0);
+  EXPECT_EQ(cb_.get_mux(t, kLongDriverBase + 0), 0u);
+}
+
+TEST_F(CBitsTest, SelectedSourceNodeOffMux) {
+  EXPECT_FALSE(cb_.selected_source_node({0, 0}, out_local(1)).has_value());
+}
+
+TEST_F(CBitsTest, IobFlagsAndOmux) {
+  const IobSite s{Side::Left, 3, 1};
+  EXPECT_FALSE(cb_.get_iob_flag(s, IobField::IsInput));
+  cb_.set_iob_flag(s, IobField::IsInput, true);
+  cb_.set_iob_omux(s, 5);
+  EXPECT_TRUE(cb_.get_iob_flag(s, IobField::IsInput));
+  EXPECT_FALSE(cb_.get_iob_flag(s, IobField::IsOutput));
+  EXPECT_EQ(cb_.get_iob_omux(s), 5u);
+  // The neighbouring pad is isolated.
+  EXPECT_FALSE(cb_.get_iob_flag({Side::Left, 3, 0}, IobField::IsInput));
+  EXPECT_EQ(cb_.get_iob_omux({Side::Left, 3, 0}), 0u);
+  EXPECT_THROW(cb_.set_iob_omux(s, 99), JpgError);
+}
+
+TEST_F(CBitsTest, ClearTileErasesEverything) {
+  const TileCoord t{1, 1};
+  cb_.set_lut({1, 1, 0}, LutSel::F, 0xFFFF);
+  cb_.set_field({1, 1, 1}, SliceField::FfyUsed, true);
+  cb_.set_pip(t, "S0_X", "OUT0");
+  ASSERT_NE(mem_.diff_frames(ConfigMemory(dev_)).size(), 0u);
+  cb_.clear_tile(t);
+  EXPECT_TRUE(mem_.diff_frames(ConfigMemory(dev_)).empty());
+}
+
+TEST_F(CBitsTest, ClearIob) {
+  const IobSite s{Side::Right, 0, 0};
+  cb_.set_iob_flag(s, IobField::IsOutput, true);
+  cb_.set_iob_omux(s, 3);
+  cb_.clear_iob(s);
+  EXPECT_TRUE(mem_.diff_frames(ConfigMemory(dev_)).empty());
+}
+
+TEST_F(CBitsTest, ReadOnlyViewRejectsWrites) {
+  const ConfigMemory& cmem = mem_;
+  CBits ro(cmem);
+  cb_.set_lut({0, 0, 0}, LutSel::F, 0xAAAA);
+  EXPECT_EQ(ro.get_lut({0, 0, 0}, LutSel::F), 0xAAAA);
+  EXPECT_THROW(ro.set_lut({0, 0, 0}, LutSel::F, 0), JpgError);
+  EXPECT_THROW(ro.set_mux({0, 0}, out_local(0), 1), JpgError);
+  EXPECT_THROW(ro.set_iob_flag({Side::Left, 0, 0}, IobField::IsInput, true),
+               JpgError);
+}
+
+TEST_F(CBitsTest, ConfigBitsLandInOwnColumnOnly) {
+  // Writing a tile at column 10 must only dirty frames of that column's major.
+  cb_.set_lut({8, 10, 1}, LutSel::G, 0x5A5A);
+  cb_.set_pip({8, 10}, "S1_Y", "OUT4");
+  const ConfigMemory empty(dev_);
+  const int major = dev_.frames().major_of_clb_col(10);
+  for (const std::size_t f : mem_.diff_frames(empty)) {
+    EXPECT_EQ(static_cast<int>(dev_.frames().address_of_index(f).major), major);
+  }
+}
+
+}  // namespace
+}  // namespace jpg

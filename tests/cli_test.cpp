@@ -1,0 +1,167 @@
+// End-to-end tests of the jpg_cli binary: generates real .bit/.xdl/.ucf
+// fixtures through the library, then drives the tool as a user would.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "bitstream/bitgen.h"
+#include "bitstream/config_port.h"
+#include "netlib/generators.h"
+#include "pnr/flow.h"
+#include "ucf/ucf_parser.h"
+#include "xdl/xdl_writer.h"
+
+#ifndef JPG_CLI_PATH
+#error "JPG_CLI_PATH must point at the jpg_cli binary"
+#endif
+
+namespace jpg {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new fs::path(fs::path(::testing::TempDir()) / "jpg_cli_test");
+    fs::create_directories(*dir_);
+
+    const Device& dev = Device::get("XCV50");
+    const Region region{0, 6, dev.rows() - 1, 9};
+    Netlist top("cli_base");
+    const auto merged = top.merge_module(netlib::make_nrz_encoder(), "u1");
+    PartitionSpec spec;
+    spec.name = "u1";
+    spec.region = region;
+    for (const auto& [port, net] : merged.inputs) {
+      top.add_ibuf("ib_" + port, port, net);
+      spec.input_ports.emplace_back(port, net);
+    }
+    for (const auto& [port, net] : merged.outputs) {
+      top.add_obuf("ob_" + port, port, net);
+      spec.output_ports.emplace_back(port, net);
+    }
+    const BaseFlowResult base = run_base_flow(dev, top, {spec});
+    ConfigMemory mem(dev);
+    CBits cb(mem);
+    base.design->apply(cb);
+    generate_full_bitstream(mem).save((*dir_ / "base.bit").string());
+
+    const ModuleFlowResult mod =
+        run_module_flow(dev, netlib::make_nrz_encoder(), base.interface_of("u1"));
+    std::ofstream xdl(*dir_ / "mod.xdl");
+    xdl << write_xdl(*mod.design);
+    UcfData ucf;
+    ucf.area_group_ranges["AG_u1"] = region;
+    std::ofstream ucf_out(*dir_ / "mod.ucf");
+    ucf_out << write_ucf(ucf, dev);
+  }
+
+  static void TearDownTestSuite() {
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static int run(const std::string& args) {
+    const std::string cmd = std::string(JPG_CLI_PATH) + " " + args +
+                            " > " + (*dir_ / "out.txt").string() + " 2>&1";
+    return std::system(cmd.c_str());
+  }
+
+  static std::string output() {
+    std::ifstream in(*dir_ / "out.txt");
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  static std::string path(const std::string& name) {
+    return (*dir_ / name).string();
+  }
+
+  static fs::path* dir_;
+};
+
+fs::path* CliTest::dir_ = nullptr;
+
+TEST_F(CliTest, NoArgsPrintsUsage) {
+  EXPECT_NE(run(""), 0);
+  EXPECT_NE(output().find("commands:"), std::string::npos);
+}
+
+TEST_F(CliTest, InfoOnCompleteBitstream) {
+  ASSERT_EQ(run("info " + path("base.bit")), 0);
+  const std::string out = output();
+  EXPECT_NE(out.find("XCV50"), std::string::npos);
+  EXPECT_NE(out.find("complete bitstream"), std::string::npos);
+}
+
+TEST_F(CliTest, SummarizeDumpsPackets) {
+  ASSERT_EQ(run("summarize " + path("base.bit")), 0);
+  const std::string out = output();
+  EXPECT_NE(out.find("IDCODE"), std::string::npos);
+  EXPECT_NE(out.find("FDRI"), std::string::npos);
+  EXPECT_NE(out.find("DESYNC"), std::string::npos);
+}
+
+TEST_F(CliTest, PartialGenerationAndInfo) {
+  ASSERT_EQ(run("partial " + path("base.bit") + " " + path("mod.xdl") + " " +
+                path("mod.ucf") + " -o " + path("update.pbit")),
+            0);
+  EXPECT_NE(output().find("wrote"), std::string::npos);
+  ASSERT_TRUE(fs::exists(path("update.pbit")));
+
+  ASSERT_EQ(run("info " + path("update.pbit")), 0);
+  EXPECT_NE(output().find("partial bitstream"), std::string::npos);
+}
+
+TEST_F(CliTest, ApplyProducesLoadableFullBitstream) {
+  ASSERT_EQ(run("partial " + path("base.bit") + " " + path("mod.xdl") + " " +
+                path("mod.ucf") + " -o " + path("update.pbit")),
+            0);
+  ASSERT_EQ(run("apply " + path("base.bit") + " " + path("update.pbit") +
+                " -o " + path("updated.bit")),
+            0);
+  // The produced file must load as a complete bitstream.
+  const Bitstream updated = Bitstream::load(path("updated.bit"));
+  const Device& dev = Device::get("XCV50");
+  ConfigMemory mem(dev);
+  ConfigPort port(mem);
+  EXPECT_NO_THROW(port.load(updated));
+  EXPECT_TRUE(port.started());
+}
+
+TEST_F(CliTest, VerifyPassesOnHonestPartial) {
+  ASSERT_EQ(run("partial " + path("base.bit") + " " + path("mod.xdl") + " " +
+                path("mod.ucf") + " -o " + path("update.pbit")),
+            0);
+  ASSERT_EQ(run("verify " + path("base.bit") + " " + path("update.pbit")), 0);
+  EXPECT_NE(output().find("0 mismatches"), std::string::npos);
+}
+
+TEST_F(CliTest, FloorplanShowsRegion) {
+  ASSERT_EQ(run("floorplan " + path("base.bit") + " " + path("mod.ucf")), 0);
+  EXPECT_NE(output().find("#"), std::string::npos);
+}
+
+TEST_F(CliTest, ProjectWorkflow) {
+  const std::string proj = path("proj");
+  const std::string outdir = path("proj_out");
+  ASSERT_EQ(run("project-new " + proj + " " + path("base.bit") + " demo"), 0);
+  ASSERT_EQ(run("project-add " + proj + " nrz_v2 " + path("mod.xdl") + " " +
+                path("mod.ucf")),
+            0);
+  ASSERT_EQ(run("project-build " + proj + " " + outdir), 0);
+  EXPECT_TRUE(fs::exists(outdir + "/nrz_v2.pbit"));
+}
+
+TEST_F(CliTest, ErrorsAreReported) {
+  EXPECT_NE(run("info /no/such/file.bit"), 0);
+  EXPECT_NE(output().find("error"), std::string::npos);
+  EXPECT_NE(run("partial " + path("base.bit") + " missing.xdl missing.ucf -o x"),
+            0);
+}
+
+}  // namespace
+}  // namespace jpg

@@ -1,0 +1,475 @@
+// Unit and property tests for the device model: part table, frame geometry,
+// resource->bit mapping injectivity, wire naming, and the routing fabric
+// template.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "device/device.h"
+#include "device/region.h"
+#include "support/error.h"
+
+namespace jpg {
+namespace {
+
+TEST(DeviceSpec, PartTable) {
+  const DeviceSpec& v50 = DeviceSpec::by_name("XCV50");
+  EXPECT_EQ(v50.clb_rows, 16);
+  EXPECT_EQ(v50.clb_cols, 24);
+  EXPECT_EQ(v50.num_slices(), 16 * 24 * 2);
+  EXPECT_EQ(v50.num_luts(), 16 * 24 * 4);
+  EXPECT_EQ(&DeviceSpec::by_name("xcv50"), &v50);  // case-insensitive
+  EXPECT_EQ(&DeviceSpec::by_idcode(v50.idcode), &v50);
+  EXPECT_THROW(DeviceSpec::by_name("XCV9999"), DeviceError);
+  EXPECT_THROW(DeviceSpec::by_idcode(0xDEADBEEF), DeviceError);
+}
+
+TEST(DeviceSpec, AllPartsDistinct) {
+  std::set<std::string> names;
+  std::set<std::uint32_t> idcodes;
+  for (const auto& p : DeviceSpec::all()) {
+    EXPECT_TRUE(names.insert(p.name).second);
+    EXPECT_TRUE(idcodes.insert(p.idcode).second);
+    EXPECT_EQ(p.clb_cols % 2, 0) << p.name;
+    // Real Virtex aspect: cols = 1.5 * rows.
+    EXPECT_EQ(p.clb_cols * 2, p.clb_rows * 3) << p.name;
+  }
+}
+
+class FrameMapTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FrameMapTest, ColumnLayout) {
+  const Device& dev = Device::get(GetParam());
+  const FrameMap& fm = dev.frames();
+  const int C = dev.cols();
+  EXPECT_EQ(fm.num_majors(), C + 3);
+  EXPECT_EQ(fm.column_kind(fm.left_iob_major()), ColumnKind::Iob);
+  EXPECT_EQ(fm.column_kind(fm.right_iob_major()), ColumnKind::Iob);
+  EXPECT_EQ(fm.column_kind(fm.clock_major()), ColumnKind::Clock);
+  int clb_majors = 0;
+  for (int m = 0; m < fm.num_majors(); ++m) {
+    if (fm.column_kind(m) == ColumnKind::Clb) ++clb_majors;
+  }
+  EXPECT_EQ(clb_majors, C);
+  // Expected frames: 2 IOB + clock + C CLB columns, plus the two BRAM
+  // columns' block-type-1 content frames.
+  EXPECT_EQ(fm.num_type0_frames(),
+            static_cast<std::size_t>(2 * FrameMap::kIobFrames +
+                                     FrameMap::kClockFrames +
+                                     C * FrameMap::kClbFrames));
+  EXPECT_EQ(fm.num_frames(),
+            fm.num_type0_frames() +
+                static_cast<std::size_t>(FrameMap::kBramMajors) *
+                    FrameMap::kBramFrames);
+}
+
+TEST_P(FrameMapTest, MajorColumnBijection) {
+  const Device& dev = Device::get(GetParam());
+  const FrameMap& fm = dev.frames();
+  std::set<int> majors;
+  for (int c = 0; c < dev.cols(); ++c) {
+    const int m = fm.major_of_clb_col(c);
+    EXPECT_EQ(fm.column_kind(m), ColumnKind::Clb);
+    EXPECT_EQ(fm.clb_col_of_major(m), c);
+    EXPECT_TRUE(majors.insert(m).second);
+  }
+}
+
+TEST_P(FrameMapTest, FrameIndexBijection) {
+  const Device& dev = Device::get(GetParam());
+  const FrameMap& fm = dev.frames();
+  std::size_t count = 0;
+  for (int m = 0; m < fm.num_majors(); ++m) {
+    for (int minor = 0; minor < fm.frames_in_major(m); ++minor) {
+      const std::size_t idx = fm.frame_index(m, minor);
+      EXPECT_LT(idx, fm.num_type0_frames());
+      const FrameAddress a = fm.address_of_index(idx);
+      EXPECT_EQ(a.block_type, 0u);
+      EXPECT_EQ(a.major, static_cast<std::uint32_t>(m));
+      EXPECT_EQ(a.minor, static_cast<std::uint32_t>(minor));
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, fm.num_type0_frames());
+  // The BRAM content frames (block type 1) complete the plane.
+  for (int bm = 0; bm < FrameMap::kBramMajors; ++bm) {
+    for (int minor = 0; minor < FrameMap::kBramFrames; ++minor) {
+      const std::size_t idx = fm.bram_frame_index(bm, minor);
+      const FrameAddress a = fm.address_of_index(idx);
+      EXPECT_EQ(a.block_type, 1u);
+      EXPECT_EQ(a.major, static_cast<std::uint32_t>(bm));
+      EXPECT_EQ(a.minor, static_cast<std::uint32_t>(minor));
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, fm.num_frames());
+}
+
+TEST_P(FrameMapTest, FarRoundtrip) {
+  const Device& dev = Device::get(GetParam());
+  const FrameMap& fm = dev.frames();
+  for (int m = 0; m < fm.num_majors(); m += 3) {
+    for (int minor = 0; minor < fm.frames_in_major(m); minor += 5) {
+      const FrameAddress a{0, static_cast<std::uint32_t>(m),
+                           static_cast<std::uint32_t>(minor)};
+      const std::uint32_t far = fm.encode_far(a);
+      EXPECT_TRUE(fm.far_valid(far));
+      EXPECT_EQ(fm.decode_far(far), a);
+    }
+  }
+  // Invalid FARs are rejected (block type 2 is unassigned; type 1 is BRAM).
+  EXPECT_FALSE(fm.far_valid(fm.encode_far({0, 0, 0}) | (2u << 24)));
+  EXPECT_TRUE(fm.far_valid(fm.encode_far({1, 0, 0})));
+  const FrameAddress last{
+      0, static_cast<std::uint32_t>(fm.num_majors() - 1),
+      static_cast<std::uint32_t>(fm.frames_in_major(fm.num_majors() - 1))};
+  EXPECT_FALSE(fm.far_valid((last.major << 12) | last.minor));
+}
+
+TEST_P(FrameMapTest, FrameBitsCoverRows) {
+  const Device& dev = Device::get(GetParam());
+  const FrameMap& fm = dev.frames();
+  EXPECT_EQ(fm.frame_bits(),
+            static_cast<std::size_t>(FrameMap::kBitsPerRow) * (dev.rows() + 2));
+  EXPECT_EQ(fm.frame_words(), (fm.frame_bits() + 31) / 32);
+  // Row windows are disjoint and in range.
+  for (int r = 0; r < dev.rows(); ++r) {
+    EXPECT_GE(fm.row_bit_base(r), static_cast<std::size_t>(FrameMap::kBitsPerRow));
+    EXPECT_LE(fm.row_bit_base(r) + FrameMap::kBitsPerRow,
+              fm.frame_bits() - FrameMap::kBitsPerRow);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParts, FrameMapTest,
+                         ::testing::Values("XCV50", "XCV100", "XCV300",
+                                           "XCV1000"));
+
+// The single most important device property: the resource->bit map is
+// injective (no two resources share a configuration bit) and column-local.
+TEST(SliceConfigMap, InjectiveAndColumnLocal) {
+  const Device& dev = Device::get("XCV50");
+  const SliceConfigMap& cm = dev.config_map();
+  const FrameMap& fm = dev.frames();
+
+  std::set<std::tuple<int, int, unsigned>> used;  // (major, minor, bit)
+  auto claim = [&](const FrameBit& fb, int expect_major) {
+    EXPECT_EQ(fb.major, expect_major);
+    EXPECT_LT(fb.minor, fm.frames_in_major(fb.major));
+    EXPECT_LT(fb.bit, fm.frame_bits());
+    EXPECT_TRUE(used.insert({fb.major, fb.minor, fb.bit}).second)
+        << "bit collision at major " << fb.major << " minor " << fb.minor
+        << " bit " << fb.bit;
+  };
+
+  // Sample a handful of tiles fully (a full sweep of XCV50 is ~1M bits and
+  // adds nothing: the map is translation-invariant per row/column).
+  for (const TileCoord t : {TileCoord{0, 0}, TileCoord{5, 11}, TileCoord{15, 23}}) {
+    used.clear();
+    const int major = fm.major_of_clb_col(t.c);
+    for (int s = 0; s < 2; ++s) {
+      for (int i = 0; i < 16; ++i) {
+        claim(cm.lut_bit(t.r, t.c, s, LutSel::F, i), major);
+        claim(cm.lut_bit(t.r, t.c, s, LutSel::G, i), major);
+      }
+      for (int f = 0; f < kNumSliceFields; ++f) {
+        claim(cm.field_bit(t.r, t.c, s, static_cast<SliceField>(f)), major);
+      }
+    }
+    for (int i = 0; i < SliceConfigMap::kRoutingBitsPerTile; ++i) {
+      claim(cm.routing_bit(t.r, t.c, i), major);
+    }
+  }
+}
+
+TEST(SliceConfigMap, RowsDoNotCollide) {
+  // Two vertically adjacent tiles in the same column must use disjoint bits.
+  const Device& dev = Device::get("XCV50");
+  const SliceConfigMap& cm = dev.config_map();
+  std::set<std::tuple<int, int, unsigned>> used;
+  for (int r = 3; r <= 4; ++r) {
+    for (int i = 0; i < 16; ++i) {
+      const FrameBit fb = cm.lut_bit(r, 7, 0, LutSel::F, i);
+      EXPECT_TRUE(used.insert({fb.major, fb.minor, fb.bit}).second);
+    }
+    for (int i = 0; i < SliceConfigMap::kRoutingBitsPerTile; ++i) {
+      const FrameBit fb = cm.routing_bit(r, 7, i);
+      EXPECT_TRUE(used.insert({fb.major, fb.minor, fb.bit}).second);
+    }
+  }
+}
+
+TEST(SliceConfigMap, IobBitsInIobColumns) {
+  const Device& dev = Device::get("XCV50");
+  const SliceConfigMap& cm = dev.config_map();
+  const FrameMap& fm = dev.frames();
+  std::set<std::tuple<int, int, unsigned>> used;
+  for (const Side side : {Side::Left, Side::Right}) {
+    const int major =
+        side == Side::Left ? fm.left_iob_major() : fm.right_iob_major();
+    for (int k = 0; k < DeviceSpec::kIobsPerRow; ++k) {
+      const FrameBit in = cm.iob_field_bit(side, 3, k, IobField::IsInput);
+      const FrameBit out = cm.iob_field_bit(side, 3, k, IobField::IsOutput);
+      EXPECT_EQ(in.major, major);
+      EXPECT_EQ(out.major, major);
+      EXPECT_TRUE(used.insert({in.major, in.minor, in.bit}).second);
+      EXPECT_TRUE(used.insert({out.major, out.minor, out.bit}).second);
+      for (unsigned b = 0; b < kIobOmuxBits; ++b) {
+        const FrameBit fb = cm.iob_field_bit(side, 3, k, IobField::OmuxSel, b);
+        EXPECT_EQ(fb.major, major);
+        EXPECT_TRUE(used.insert({fb.major, fb.minor, fb.bit}).second);
+      }
+    }
+  }
+}
+
+TEST(SliceField, NameRoundtrip) {
+  for (int f = 0; f < kNumSliceFields; ++f) {
+    const auto field = static_cast<SliceField>(f);
+    const auto back = slice_field_by_name(slice_field_name(field));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, field);
+  }
+  EXPECT_FALSE(slice_field_by_name("NOT_A_FIELD").has_value());
+}
+
+TEST(WireNames, LocalWireRoundtrip) {
+  for (int local = 0; local < kTileWires + kNumLongDrivers; ++local) {
+    const std::string name = local_wire_name(local);
+    const auto back = local_wire_by_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, local) << name;
+  }
+  EXPECT_FALSE(local_wire_by_name("BOGUS").has_value());
+  EXPECT_FALSE(local_wire_by_name("OUT9").has_value());
+  EXPECT_FALSE(local_wire_by_name("S2_X").has_value());
+}
+
+TEST(WireNames, KnownNames) {
+  EXPECT_EQ(local_wire_name(pin_local(0, SlicePin::X)), "S0_X");
+  EXPECT_EQ(local_wire_name(pin_local(1, SlicePin::YQ)), "S1_YQ");
+  EXPECT_EQ(local_wire_name(out_local(3)), "OUT3");
+  EXPECT_EQ(local_wire_name(single_local(Dir::E, 2)), "E2");
+  EXPECT_EQ(local_wire_name(hex_local(Dir::N, 1)), "HN1");
+  EXPECT_EQ(local_wire_name(imux_local(0, ImuxPin::F1)), "S0_F1");
+  EXPECT_EQ(local_wire_name(imux_local(1, ImuxPin::CLK)), "S1_CLK");
+  EXPECT_EQ(local_wire_name(kLongDriverBase + 2), "LV0");
+}
+
+TEST(SourceRefNames, Roundtrip) {
+  const Device& dev = Device::get("XCV50");
+  for (const MuxDef& mux : dev.fabric().tile_muxes()) {
+    for (const SourceRef& src : mux.sources) {
+      const std::string name = source_ref_name(src);
+      const auto back = source_ref_by_name(name);
+      ASSERT_TRUE(back.has_value()) << name;
+      EXPECT_EQ(*back, src) << name;
+    }
+  }
+}
+
+TEST(RoutingFabric, TemplateFitsConfigBudget) {
+  const Device& dev = Device::get("XCV50");
+  const RoutingFabric& fab = dev.fabric();
+  EXPECT_LE(fab.cfg_bits_used(), SliceConfigMap::kRoutingBitsPerTile);
+  // Mux config fields are disjoint.
+  std::set<int> bits;
+  for (const MuxDef& m : fab.tile_muxes()) {
+    EXPECT_GE(m.cfg_bits, 1u);
+    // The encoding must fit: value sources.size() must be representable.
+    EXPECT_LT(m.sources.size(), (1u << m.cfg_bits));
+    for (unsigned b = 0; b < m.cfg_bits; ++b) {
+      EXPECT_TRUE(bits.insert(m.cfg_offset + static_cast<int>(b)).second);
+    }
+  }
+}
+
+TEST(RoutingFabric, EveryFabricWireHasAMux) {
+  const Device& dev = Device::get("XCV50");
+  const RoutingFabric& fab = dev.fabric();
+  for (int local = 0; local < kTileWires; ++local) {
+    if (local < kOutBase) {
+      EXPECT_EQ(fab.mux_for_dest(local), nullptr) << local_wire_name(local);
+    } else {
+      const MuxDef* m = fab.mux_for_dest(local);
+      ASSERT_NE(m, nullptr) << local_wire_name(local);
+      EXPECT_EQ(m->dest_local, local);
+    }
+  }
+  for (int k = 0; k < kNumLongDrivers; ++k) {
+    EXPECT_NE(fab.mux_for_dest(kLongDriverBase + k), nullptr);
+  }
+}
+
+TEST(RoutingFabric, NodeInfoRoundtrip) {
+  const Device& dev = Device::get("XCV50");
+  const RoutingFabric& fab = dev.fabric();
+  // Tile wires.
+  const std::size_t n1 = fab.tile_wire_node(3, 17, out_local(5));
+  const auto i1 = fab.node_info(n1);
+  EXPECT_EQ(i1.type, RoutingFabric::NodeInfo::Type::TileWire);
+  EXPECT_EQ(i1.r, 3);
+  EXPECT_EQ(i1.c, 17);
+  EXPECT_EQ(i1.local, out_local(5));
+  // Longs.
+  const auto ih = fab.node_info(fab.longh_node(7, 1));
+  EXPECT_EQ(ih.type, RoutingFabric::NodeInfo::Type::LongH);
+  EXPECT_EQ(ih.r, 7);
+  EXPECT_EQ(ih.k, 1);
+  const auto iv = fab.node_info(fab.longv_node(9, 0));
+  EXPECT_EQ(iv.type, RoutingFabric::NodeInfo::Type::LongV);
+  EXPECT_EQ(iv.c, 9);
+  // Pads.
+  const auto ip = fab.node_info(fab.pad_out_node(Side::Right, 11, 1));
+  EXPECT_EQ(ip.type, RoutingFabric::NodeInfo::Type::PadOut);
+  EXPECT_EQ(ip.side, Side::Right);
+  EXPECT_EQ(ip.r, 11);
+  EXPECT_EQ(ip.k, 1);
+  EXPECT_EQ(fab.pad_in_node(Side::Right, 11, 1),
+            fab.pad_out_node(Side::Right, 11, 1) + 1);
+  // GCLK.
+  EXPECT_EQ(fab.node_info(fab.gclk_node()).type,
+            RoutingFabric::NodeInfo::Type::Gclk);
+}
+
+TEST(RoutingFabric, ResolveSourceInterior) {
+  const Device& dev = Device::get("XCV50");
+  const RoutingFabric& fab = dev.fabric();
+  // A local wire resolves to the same tile.
+  const SourceRef local{SourceRef::Kind::TileWire, 0, 0, out_local(2)};
+  EXPECT_EQ(fab.resolve_source(4, 4, local),
+            fab.tile_wire_node(4, 4, out_local(2)));
+  // An incoming-from-west single resolves to the west neighbour's E wire.
+  const SourceRef win{SourceRef::Kind::TileWire, 0, -1,
+                      single_local(Dir::E, 3)};
+  EXPECT_EQ(fab.resolve_source(4, 4, win),
+            fab.tile_wire_node(4, 3, single_local(Dir::E, 3)));
+}
+
+TEST(RoutingFabric, EdgeSubstitutionToPads) {
+  const Device& dev = Device::get("XCV50");
+  const RoutingFabric& fab = dev.fabric();
+  // At column 0, the single arriving from the west is a left pad-out wire.
+  const SourceRef win0{SourceRef::Kind::TileWire, 0, -1,
+                       single_local(Dir::E, 1)};
+  EXPECT_EQ(fab.resolve_source(6, 0, win0), fab.pad_out_node(Side::Left, 6, 0));
+  const SourceRef win5{SourceRef::Kind::TileWire, 0, -1,
+                       single_local(Dir::E, 5)};
+  EXPECT_EQ(fab.resolve_source(6, 0, win5), fab.pad_out_node(Side::Left, 6, 1));
+  // At the right edge, the single arriving from the east is a right pad.
+  const SourceRef ein{SourceRef::Kind::TileWire, 0, 1,
+                      single_local(Dir::W, 6)};
+  EXPECT_EQ(fab.resolve_source(2, dev.cols() - 1, ein),
+            fab.pad_out_node(Side::Right, 2, 1));
+  // Vertical off-array references are unconnectable.
+  const SourceRef nin{SourceRef::Kind::TileWire, -1, 0,
+                      single_local(Dir::S, 0)};
+  EXPECT_FALSE(fab.resolve_source(0, 5, nin).has_value());
+  // Hexes off the edge are unconnectable, not substituted.
+  const SourceRef hex{SourceRef::Kind::TileWire, 0, -6,
+                      hex_local(Dir::E, 0)};
+  EXPECT_FALSE(fab.resolve_source(3, 2, hex).has_value());
+}
+
+TEST(RoutingFabric, ImuxPinsHaveLocalFeedbackAndLong) {
+  const Device& dev = Device::get("XCV50");
+  const RoutingFabric& fab = dev.fabric();
+  for (int slice = 0; slice < 2; ++slice) {
+    for (int p = 0; p < kImuxPinsPerSlice; ++p) {
+      const auto pin = static_cast<ImuxPin>(p);
+      const MuxDef* m = fab.mux_for_dest(imux_local(slice, pin));
+      ASSERT_NE(m, nullptr);
+      if (pin == ImuxPin::CLK) {
+        ASSERT_EQ(m->sources.size(), 1u);
+        EXPECT_EQ(m->sources[0].kind, SourceRef::Kind::Gclk);
+        continue;
+      }
+      bool has_out = false, has_long = false;
+      for (const SourceRef& s : m->sources) {
+        if (s.kind == SourceRef::Kind::TileWire && s.dr == 0 && s.dc == 0 &&
+            s.index >= kOutBase && s.index < kSingleBase) {
+          has_out = true;
+        }
+        if (s.kind == SourceRef::Kind::LongH ||
+            s.kind == SourceRef::Kind::LongV) {
+          has_long = true;
+        }
+      }
+      EXPECT_TRUE(has_out) << "slice " << slice << " pin " << p;
+      EXPECT_TRUE(has_long) << "slice " << slice << " pin " << p;
+    }
+  }
+}
+
+TEST(RoutingFabric, PadInSources) {
+  const Device& dev = Device::get("XCV50");
+  const RoutingFabric& fab = dev.fabric();
+  const auto left = fab.pad_in_sources(Side::Left, 5, 0);
+  ASSERT_EQ(left.size(), static_cast<std::size_t>(kSinglesPerDir));
+  for (int j = 0; j < kSinglesPerDir; ++j) {
+    EXPECT_EQ(left[static_cast<std::size_t>(j)],
+              fab.tile_wire_node(5, 0, single_local(Dir::W, j)));
+  }
+  const auto right = fab.pad_in_sources(Side::Right, 5, 1);
+  EXPECT_EQ(right[0], fab.tile_wire_node(5, dev.cols() - 1,
+                                         single_local(Dir::E, 0)));
+}
+
+TEST(Device, SiteNameRoundtrips) {
+  const Device& dev = Device::get("XCV50");
+  const SliceSite s{2, 22, 1};
+  EXPECT_EQ(dev.slice_site_name(s), "CLB_R3C23.S1");
+  EXPECT_EQ(dev.parse_slice_site("CLB_R3C23.S1"), s);
+  EXPECT_EQ(dev.parse_tile_name("R3C23"), (TileCoord{2, 22}));
+  EXPECT_FALSE(dev.parse_tile_name("R99C1").has_value());
+  EXPECT_FALSE(dev.parse_slice_site("CLB_R3C23.S2").has_value());
+  const IobSite iob{Side::Right, 4, 1};
+  EXPECT_EQ(dev.iob_site_name(iob), "IOB_R5K1");
+  EXPECT_EQ(dev.parse_iob_site("IOB_R5K1"), iob);
+}
+
+TEST(Device, PadNumbering) {
+  const Device& dev = Device::get("XCV50");
+  std::set<int> pads;
+  for (const IobSite s : dev.all_iob_sites()) {
+    const int p = dev.pad_number(s);
+    EXPECT_GE(p, 1);
+    EXPECT_LE(p, dev.spec().num_iobs());
+    EXPECT_TRUE(pads.insert(p).second);
+    EXPECT_EQ(dev.iob_by_pad_number(p), s);
+  }
+  EXPECT_EQ(static_cast<int>(pads.size()), dev.spec().num_iobs());
+  EXPECT_FALSE(dev.iob_by_pad_number(0).has_value());
+  EXPECT_FALSE(dev.iob_by_pad_number(dev.spec().num_iobs() + 1).has_value());
+}
+
+TEST(Device, SiteEnumerationCounts) {
+  const Device& dev = Device::get("XCV100");
+  EXPECT_EQ(dev.all_slice_sites().size(),
+            static_cast<std::size_t>(dev.spec().num_slices()));
+  EXPECT_EQ(dev.all_iob_sites().size(),
+            static_cast<std::size_t>(dev.spec().num_iobs()));
+}
+
+TEST(Region, GeometryAndMajors) {
+  const Device& dev = Device::get("XCV50");
+  const Region reg{0, 6, dev.rows() - 1, 11};
+  EXPECT_TRUE(reg.in_bounds(dev));
+  EXPECT_TRUE(reg.full_height(dev));
+  EXPECT_EQ(reg.width(), 6);
+  EXPECT_EQ(reg.num_tiles(), 6 * dev.rows());
+  EXPECT_TRUE(reg.contains({0, 6}));
+  EXPECT_FALSE(reg.contains({0, 5}));
+  const auto majors = reg.clb_majors(dev);
+  ASSERT_EQ(majors.size(), 6u);
+  for (const int m : majors) {
+    EXPECT_EQ(dev.frames().column_kind(m), ColumnKind::Clb);
+  }
+  EXPECT_EQ(reg.to_string(), "R1C7:R16C12");
+  const Region other{0, 12, dev.rows() - 1, 13};
+  EXPECT_FALSE(reg.overlaps(other));
+  EXPECT_TRUE(reg.overlaps(Region{4, 4, 8, 8}));
+}
+
+}  // namespace
+}  // namespace jpg

@@ -1,0 +1,177 @@
+// Tests for the logical netlist, DRC, and the netlib module generators.
+#include <gtest/gtest.h>
+
+#include "netlib/generators.h"
+#include "netlist/drc.h"
+#include "netlist/netlist.h"
+
+namespace jpg {
+namespace {
+
+TEST(Netlist, BasicConstruction) {
+  Netlist nl("t");
+  const NetId a = nl.add_net("a");
+  const NetId y = nl.add_net("y");
+  nl.add_ibuf("ib", "a", a);
+  const CellId lut = nl.add_lut("inv", netlib::lut_not1(),
+                                {a, kNullNet, kNullNet, kNullNet}, y);
+  nl.add_obuf("ob", "y", y);
+  EXPECT_EQ(nl.num_cells(), 3u);
+  EXPECT_EQ(nl.num_nets(), 2u);
+  EXPECT_EQ(nl.net(y).driver, lut);
+  ASSERT_EQ(nl.net(a).sinks.size(), 1u);
+  EXPECT_EQ(nl.net(a).sinks[0].cell, lut);
+  EXPECT_EQ(nl.find_cell("inv"), lut);
+  EXPECT_EQ(nl.find_net("y"), y);
+  EXPECT_FALSE(nl.find_cell("nope").has_value());
+}
+
+TEST(Netlist, RejectsDoubleDriver) {
+  Netlist nl("t");
+  const NetId y = nl.add_net("y");
+  nl.add_const("g", false, y);
+  EXPECT_THROW(nl.add_const("v", true, y), JpgError);
+}
+
+TEST(Netlist, PortsAndPartitions) {
+  Netlist nl("t");
+  const NetId a = nl.add_net("a");
+  const NetId q = nl.add_net("q");
+  nl.add_ibuf("ib", "a", a);
+  nl.add_dff("ff", a, q, false, "u1");
+  nl.add_obuf("ob", "q", q);
+  EXPECT_EQ(nl.input_ports(), std::vector<std::string>{"a"});
+  EXPECT_EQ(nl.output_ports(), std::vector<std::string>{"q"});
+  EXPECT_EQ(nl.partitions(), std::vector<std::string>{"u1"});
+  // a: ibuf (static) -> dff (u1): interface net. q: dff (u1) -> obuf (static).
+  EXPECT_EQ(nl.interface_nets().size(), 2u);
+}
+
+TEST(Netlist, MergeModule) {
+  Netlist top("top");
+  const Netlist counter = netlib::make_counter(4);
+  const auto merged = top.merge_module(counter, "u_cnt");
+  EXPECT_TRUE(merged.inputs.empty());  // counter has no input ports
+  ASSERT_EQ(merged.outputs.size(), 4u);
+  // Ports come back in cell order q0..q3.
+  EXPECT_EQ(merged.outputs[0].first, "q0");
+  // The exposed net is driven by the merged module's logic.
+  const Net& q0 = top.net(merged.outputs[0].second);
+  EXPECT_NE(q0.driver, kNullCell);
+  EXPECT_EQ(top.cell(q0.driver).partition, "u_cnt");
+  // No Ibuf/Obuf cells were copied.
+  for (const Cell& c : top.cells()) {
+    EXPECT_NE(c.kind, CellKind::Ibuf);
+    EXPECT_NE(c.kind, CellKind::Obuf);
+  }
+}
+
+TEST(Drc, CleanDesignPasses) {
+  const Netlist nl = netlib::make_counter(8);
+  const DrcReport rep = run_drc(nl);
+  EXPECT_TRUE(rep.ok()) << (rep.errors.empty() ? "" : rep.errors[0]);
+  EXPECT_NO_THROW(require_drc_clean(nl));
+}
+
+TEST(Drc, CatchesDriverlessNet) {
+  Netlist nl("t");
+  const NetId a = nl.add_net("a");
+  const NetId y = nl.add_net("y");
+  nl.add_lut("l", 0, {a, kNullNet, kNullNet, kNullNet}, y);
+  nl.add_obuf("ob", "y", y);
+  const DrcReport rep = run_drc(nl);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.errors[0].find("no driver"), std::string::npos);
+  EXPECT_THROW(require_drc_clean(nl), JpgError);
+}
+
+TEST(Drc, CatchesDuplicateNames) {
+  Netlist nl("t");
+  const NetId a = nl.add_net("a");
+  nl.add_ibuf("x", "p1", a);
+  const NetId b = nl.add_net("b");
+  nl.add_ibuf("x", "p1", b);
+  const DrcReport rep = run_drc(nl);
+  EXPECT_GE(rep.errors.size(), 2u);  // duplicate cell name + duplicate port
+}
+
+TEST(Drc, CatchesConstantDrivenObuf) {
+  Netlist nl("t");
+  const NetId y = nl.add_net("y");
+  nl.add_const("g", false, y);
+  nl.add_obuf("ob", "y", y);
+  const DrcReport rep = run_drc(nl);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.errors[0].find("constant"), std::string::npos);
+}
+
+TEST(Drc, CatchesCombinationalCycle) {
+  Netlist nl("t");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.add_lut("l1", netlib::lut_buf1(), {b, kNullNet, kNullNet, kNullNet}, a);
+  nl.add_lut("l2", netlib::lut_buf1(), {a, kNullNet, kNullNet, kNullNet}, b);
+  const DrcReport rep = run_drc(nl);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.errors[0].find("cycle"), std::string::npos);
+}
+
+TEST(Drc, RegisteredLoopIsFine) {
+  Netlist nl("t");
+  const NetId q = nl.add_net("q");
+  const NetId d = nl.add_net("d");
+  nl.add_lut("inv", netlib::lut_not1(), {q, kNullNet, kNullNet, kNullNet}, d);
+  nl.add_dff("ff", d, q);
+  nl.add_obuf("ob", "t", q);
+  EXPECT_TRUE(run_drc(nl).ok());
+}
+
+TEST(Generators, LutInitHelpers) {
+  EXPECT_EQ(netlib::lut_and2() & 0xF, 0b1000);
+  EXPECT_EQ(netlib::lut_or2() & 0xF, 0b1110);
+  EXPECT_EQ(netlib::lut_xor2() & 0xF, 0b0110);
+  EXPECT_EQ(netlib::lut_xnor2() & 0xF, 0b1001);
+  EXPECT_EQ(netlib::lut_not1() & 0x3, 0b01);
+  EXPECT_EQ(netlib::lut_buf1() & 0x3, 0b10);
+}
+
+class GeneratorDrc : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorDrc, AllGeneratorsAreDrcClean) {
+  const auto& gens = netlib::registry();
+  const int param = GetParam();
+  for (const auto& g : gens) {
+    const Netlist nl = g.make(param);
+    const DrcReport rep = run_drc(nl);
+    EXPECT_TRUE(rep.ok()) << g.name << "(" << param
+                          << "): " << (rep.errors.empty() ? "" : rep.errors[0]);
+    EXPECT_GT(nl.num_cells(), 0u) << g.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GeneratorDrc, ::testing::Values(2, 4, 8, 16));
+
+TEST(Generators, SpecialModulesAreDrcClean) {
+  EXPECT_TRUE(run_drc(netlib::make_nrz_encoder()).ok());
+  EXPECT_TRUE(run_drc(netlib::make_toggler()).ok());
+  EXPECT_TRUE(run_drc(netlib::make_mux_tree(2)).ok());
+  EXPECT_TRUE(
+      run_drc(netlib::make_matcher({true, false, true, true, false})).ok());
+  EXPECT_TRUE(run_drc(netlib::make_shift_register(12)).ok());
+}
+
+TEST(Generators, CounterHasExpectedShape) {
+  const Netlist nl = netlib::make_counter(8);
+  int ffs = 0, luts = 0, obufs = 0;
+  for (const Cell& c : nl.cells()) {
+    if (c.kind == CellKind::Dff) ++ffs;
+    if (c.kind == CellKind::Lut4) ++luts;
+    if (c.kind == CellKind::Obuf) ++obufs;
+  }
+  EXPECT_EQ(ffs, 8);
+  EXPECT_EQ(obufs, 8);
+  EXPECT_GE(luts, 8);
+}
+
+}  // namespace
+}  // namespace jpg

@@ -1,0 +1,208 @@
+// Unit tests for PartialBitstreamGenerator: frame composition (including
+// rectangular, non-full-height regions), FAR-run coalescing, CRC options,
+// and the non-disruptiveness property at the bit level.
+#include <gtest/gtest.h>
+
+#include "bitstream/bitstream_reader.h"
+#include "bitstream/config_port.h"
+#include "core/partial_gen.h"
+#include "support/rng.h"
+
+namespace jpg {
+namespace {
+
+class PartialGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = &Device::get("XCV50");
+    base_ = std::make_unique<ConfigMemory>(*dev_);
+    module_ = std::make_unique<ConfigMemory>(*dev_);
+    // Fill both planes with distinct reproducible noise.
+    Rng rng(123);
+    for (std::size_t f = 0; f < base_->num_frames(); ++f) {
+      for (std::size_t w = 0; w < dev_->frames().frame_words(); ++w) {
+        base_->frame(f).set_word(w, static_cast<std::uint32_t>(rng.next()));
+        module_->frame(f).set_word(w, static_cast<std::uint32_t>(rng.next()));
+      }
+    }
+  }
+
+  const Device* dev_ = nullptr;
+  std::unique_ptr<ConfigMemory> base_;
+  std::unique_ptr<ConfigMemory> module_;
+};
+
+TEST_F(PartialGenTest, ComposeFullHeightReplacesRegionColumns) {
+  const Region region{0, 5, dev_->rows() - 1, 8};
+  const PartialBitstreamGenerator gen(*base_);
+  const ConfigMemory composed = gen.compose(*module_, region);
+
+  const FrameMap& fm = dev_->frames();
+  const auto majors = region.clb_majors(*dev_);
+  for (std::size_t f = 0; f < composed.num_frames(); ++f) {
+    const auto a = fm.address_of_index(f);
+    const bool in_region =
+        std::find(majors.begin(), majors.end(), static_cast<int>(a.major)) !=
+        majors.end();
+    if (!in_region) {
+      EXPECT_FALSE(composed.frame(f).differs_from(base_->frame(f)))
+          << fm.describe_frame(f);
+      continue;
+    }
+    // In-region frame: region rows from the module, padding rows from base.
+    for (int r = 0; r < dev_->rows(); ++r) {
+      const ConfigMemory& want = region.contains_row(r) ? *module_ : *base_;
+      for (int b = 0; b < FrameMap::kBitsPerRow; ++b) {
+        const std::size_t bit = fm.row_bit_base(r) + static_cast<std::size_t>(b);
+        ASSERT_EQ(composed.frame(f).get(bit), want.frame(f).get(bit))
+            << fm.describe_frame(f) << " row " << r << " bit " << b;
+      }
+    }
+    // The top/bottom padding windows always come from the base.
+    for (int b = 0; b < FrameMap::kBitsPerRow; ++b) {
+      EXPECT_EQ(composed.frame(f).get(static_cast<std::size_t>(b)),
+                base_->frame(f).get(static_cast<std::size_t>(b)));
+    }
+  }
+}
+
+TEST_F(PartialGenTest, ComposeRectangularRegionMergesRows) {
+  // Rows 4..9 only: out-of-region rows of the region columns must keep the
+  // base content (the non-disruptiveness property for 2D regions).
+  const Region region{4, 10, 9, 12};
+  const PartialBitstreamGenerator gen(*base_);
+  const ConfigMemory composed = gen.compose(*module_, region);
+
+  const FrameMap& fm = dev_->frames();
+  for (const int major : region.clb_majors(*dev_)) {
+    for (int minor = 0; minor < fm.frames_in_major(major); ++minor) {
+      const std::size_t f = fm.frame_index(major, minor);
+      for (int r = 0; r < dev_->rows(); ++r) {
+        const ConfigMemory& want = region.contains_row(r) ? *module_ : *base_;
+        for (int b = 0; b < FrameMap::kBitsPerRow; b += 5) {
+          const std::size_t bit =
+              fm.row_bit_base(r) + static_cast<std::size_t>(b);
+          ASSERT_EQ(composed.frame(f).get(bit), want.frame(f).get(bit))
+              << "major " << major << " minor " << minor << " row " << r;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(PartialGenTest, GeneratedStreamLoadsToComposedState) {
+  const Region region{2, 7, 11, 9};  // rectangular on purpose
+  const PartialBitstreamGenerator gen(*base_);
+  const PartialGenResult pr = gen.generate(*module_, region);
+
+  ConfigMemory loaded = *base_;
+  ConfigPort port(loaded);
+  port.load(pr.bitstream);
+  EXPECT_EQ(loaded, gen.compose(*module_, region));
+}
+
+TEST_F(PartialGenTest, AllFramesModeShipsWholeColumns) {
+  const Region region{0, 5, dev_->rows() - 1, 6};
+  const PartialBitstreamGenerator gen(*base_);
+  PartialGenOptions opts;
+  opts.diff_only = false;
+  const PartialGenResult pr = gen.generate(*module_, region, opts);
+  EXPECT_EQ(pr.frames.size(),
+            static_cast<std::size_t>(region.width()) * FrameMap::kClbFrames);
+  // Contiguity check: adjacent CLB columns may or may not be adjacent
+  // majors (the clock column intervenes mid-device), so the block count is
+  // between 1 and the column count.
+  EXPECT_GE(pr.far_blocks, 1u);
+  EXPECT_LE(pr.far_blocks, static_cast<std::size_t>(region.width()));
+}
+
+TEST_F(PartialGenTest, DiffOnlySkipsIdenticalFrames) {
+  // Make module identical to base except one frame's region rows.
+  const Region region{0, 5, dev_->rows() - 1, 8};
+  ConfigMemory same = *base_;
+  const int major = dev_->frames().major_of_clb_col(6);
+  const std::size_t touched = dev_->frames().frame_index(major, 17);
+  same.frame(touched).set(dev_->frames().row_bit_base(3) + 2,
+                          !base_->frame(touched).get(
+                              dev_->frames().row_bit_base(3) + 2));
+  const PartialBitstreamGenerator gen(*base_);
+  PartialGenOptions opts;
+  opts.diff_only = true;
+  const PartialGenResult pr = gen.generate(same, region, opts);
+  ASSERT_EQ(pr.frames.size(), 1u);
+  EXPECT_EQ(pr.frames[0], touched);
+  EXPECT_EQ(pr.far_blocks, 1u);
+}
+
+TEST_F(PartialGenTest, FarRunsCoalesceContiguousFrames) {
+  const Region region{0, 5, dev_->rows() - 1, 8};
+  ConfigMemory same = *base_;
+  const int major = dev_->frames().major_of_clb_col(6);
+  // Touch frames 10,11,12 (one run) and 20 (second run).
+  for (const int minor : {10, 11, 12, 20}) {
+    const std::size_t f = dev_->frames().frame_index(major, minor);
+    same.frame(f).set(dev_->frames().row_bit_base(1), true);
+    // Ensure the flip actually differs from base.
+    same.frame(f).set(dev_->frames().row_bit_base(1),
+                      !base_->frame(f).get(dev_->frames().row_bit_base(1)));
+  }
+  const PartialBitstreamGenerator gen(*base_);
+  PartialGenOptions opts;
+  opts.diff_only = true;
+  const PartialGenResult pr = gen.generate(same, region, opts);
+  EXPECT_EQ(pr.frames.size(), 4u);
+  EXPECT_EQ(pr.far_blocks, 2u);
+
+  // And the stream declares exactly those FAR blocks.
+  const BitstreamReader reader(pr.bitstream);
+  const auto blocks = reader.far_blocks(dev_->frames().frame_words());
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].second, 3u);
+  EXPECT_EQ(blocks[1].second, 1u);
+}
+
+TEST_F(PartialGenTest, NoCrcOptionOmitsCrcButStillLoads) {
+  const Region region{0, 5, dev_->rows() - 1, 5};
+  const PartialBitstreamGenerator gen(*base_);
+  PartialGenOptions opts;
+  opts.include_crc = false;
+  const PartialGenResult pr = gen.generate(*module_, region, opts);
+  const BitstreamReader reader(pr.bitstream);
+  for (const auto& w : reader.writes()) {
+    EXPECT_NE(w.reg, ConfigReg::CRC);
+  }
+  ConfigMemory loaded = *base_;
+  ConfigPort port(loaded);
+  EXPECT_NO_THROW(port.load(pr.bitstream));
+}
+
+TEST_F(PartialGenTest, EmptyDiffYieldsFramelessStream) {
+  const Region region{0, 5, dev_->rows() - 1, 8};
+  const PartialBitstreamGenerator gen(*base_);
+  PartialGenOptions opts;
+  opts.diff_only = true;
+  const PartialGenResult pr = gen.generate(*base_, region, opts);
+  EXPECT_TRUE(pr.frames.empty());
+  EXPECT_EQ(pr.far_blocks, 0u);
+  // Still a well-formed (if pointless) stream.
+  ConfigMemory loaded = *base_;
+  ConfigPort port(loaded);
+  EXPECT_NO_THROW(port.load(pr.bitstream));
+  EXPECT_EQ(loaded, *base_);
+}
+
+TEST_F(PartialGenTest, ApplyToBaseMutatesInPlace) {
+  const Region region{0, 5, dev_->rows() - 1, 7};
+  const PartialBitstreamGenerator gen(*base_);
+  ConfigMemory target = *base_;
+  gen.apply_to_base(target, *module_, region);
+  EXPECT_EQ(target, gen.compose(*module_, region));
+}
+
+TEST_F(PartialGenTest, RejectsOutOfBoundsRegion) {
+  const PartialBitstreamGenerator gen(*base_);
+  EXPECT_THROW((void)gen.compose(*module_, Region{0, 0, 99, 99}), JpgError);
+}
+
+}  // namespace
+}  // namespace jpg

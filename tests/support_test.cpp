@@ -1,0 +1,196 @@
+// Unit tests for the support substrate: BitVector, Rng, string utilities,
+// ThreadPool, and error types.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "support/bitvec.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/string_util.h"
+#include "support/thread_pool.h"
+
+namespace jpg {
+namespace {
+
+TEST(BitVector, StartsZeroed) {
+  BitVector bv(100);
+  EXPECT_EQ(bv.size(), 100u);
+  EXPECT_EQ(bv.num_words(), 4u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(bv.get(i));
+  }
+  EXPECT_EQ(bv.popcount(), 0u);
+}
+
+TEST(BitVector, SetGetRoundtrip) {
+  BitVector bv(70);
+  bv.set(0, true);
+  bv.set(31, true);
+  bv.set(32, true);
+  bv.set(69, true);
+  EXPECT_TRUE(bv.get(0));
+  EXPECT_TRUE(bv.get(31));
+  EXPECT_TRUE(bv.get(32));
+  EXPECT_TRUE(bv.get(69));
+  EXPECT_FALSE(bv.get(1));
+  EXPECT_EQ(bv.popcount(), 4u);
+  bv.set(31, false);
+  EXPECT_FALSE(bv.get(31));
+  EXPECT_EQ(bv.popcount(), 3u);
+}
+
+TEST(BitVector, FieldAccess) {
+  BitVector bv(64);
+  bv.set_field(3, 7, 0b1011001);
+  EXPECT_EQ(bv.get_field(3, 7), 0b1011001u);
+  EXPECT_FALSE(bv.get(2));
+  EXPECT_FALSE(bv.get(10));
+  // Field spanning a word boundary.
+  bv.set_field(28, 8, 0xA5);
+  EXPECT_EQ(bv.get_field(28, 8), 0xA5u);
+}
+
+TEST(BitVector, WordAccessMasksTail) {
+  BitVector bv(40);  // 8 tail bits in word 1
+  bv.set_word(1, 0xFFFFFFFFu);
+  EXPECT_EQ(bv.word(1), 0xFFu);
+  EXPECT_EQ(bv.popcount(), 8u);
+}
+
+TEST(BitVector, EqualityAndDiff) {
+  BitVector a(50), b(50);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.differs_from(b));
+  b.set(17, true);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a.differs_from(b));
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next() != c.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\ta b\n"), "a b");
+}
+
+TEST(StringUtil, Split) {
+  const auto v = split("a,b,,c", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "");
+  EXPECT_EQ(v[3], "c");
+}
+
+TEST(StringUtil, SplitWs) {
+  const auto v = split_ws("  foo\t bar baz ");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "foo");
+  EXPECT_EQ(v[2], "baz");
+}
+
+TEST(StringUtil, CaseInsensitiveEquals) {
+  EXPECT_TRUE(iequals("XCV50", "xcv50"));
+  EXPECT_FALSE(iequals("XCV50", "XCV100"));
+}
+
+TEST(StringUtil, ParseUint) {
+  EXPECT_EQ(parse_uint("123"), 123u);
+  EXPECT_EQ(parse_uint("0x1F"), 31u);
+  EXPECT_EQ(parse_uint(" 7 "), 7u);
+  EXPECT_FALSE(parse_uint("12a").has_value());
+  EXPECT_FALSE(parse_uint("").has_value());
+  EXPECT_FALSE(parse_uint("-3").has_value());
+  EXPECT_FALSE(parse_uint("99999999999999999999999").has_value());
+}
+
+TEST(StringUtil, WildcardMatch) {
+  EXPECT_TRUE(wildcard_match("u1/*", "u1/nrz"));
+  EXPECT_TRUE(wildcard_match("*", "anything"));
+  EXPECT_TRUE(wildcard_match("u*/ff*", "u12/ff3"));
+  EXPECT_FALSE(wildcard_match("u1/*", "u2/nrz"));
+  EXPECT_TRUE(wildcard_match("abc", "abc"));
+  EXPECT_FALSE(wildcard_match("abc", "abcd"));
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10,
+                        [](std::size_t i) {
+                          if (i == 5) throw JpgError("boom");
+                        }),
+      JpgError);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(Errors, ParseErrorCarriesLocation) {
+  const ParseError e("design.xdl", 12, "unexpected token");
+  EXPECT_EQ(e.file(), "design.xdl");
+  EXPECT_EQ(e.line(), 12);
+  EXPECT_NE(std::string(e.what()).find("design.xdl:12"), std::string::npos);
+}
+
+TEST(Errors, RequireThrowsJpgError) {
+  EXPECT_THROW(JPG_REQUIRE(false, "must hold"), JpgError);
+  EXPECT_NO_THROW(JPG_REQUIRE(true, "must hold"));
+}
+
+}  // namespace
+}  // namespace jpg

@@ -1,0 +1,263 @@
+// jpg_cli: the command-line surface of the JPG tool.
+//
+//   jpg_cli info <file.bit>                      device + payload summary
+//   jpg_cli summarize <file.bit>                 packet-level dump
+//   jpg_cli partial <base.bit> <mod.xdl> <mod.ucf> -o <out.pbit> [--diff]
+//                                                option 1: emit a partial
+//   jpg_cli apply <base.bit> <partial.pbit> -o <updated.bit>
+//                                                option 2: write onto base
+//   jpg_cli floorplan <base.bit> <mod.ucf>       Figure-3 view of the target
+//   jpg_cli verify <base.bit> <partial.pbit>     load on a simulated board,
+//                                                read back, compare
+//   jpg_cli project-new <dir> <base.bit> <name>
+//   jpg_cli project-add <dir> <name> <mod.xdl> <mod.ucf>
+//   jpg_cli project-build <dir> <outdir>         partial for every module
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bitstream/bitgen.h"
+#include "bitstream/bitstream_reader.h"
+#include "core/jpg.h"
+#include "core/project.h"
+#include "hwif/sim_board.h"
+#include "ucf/ucf_parser.h"
+
+namespace jpg::cli {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw JpgError("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc != 1) throw JpgError("usage: jpg_cli info <file.bit>");
+  const Bitstream bs = Bitstream::load(argv[0]);
+  const BitstreamReader reader(bs);
+  std::printf("file          : %s\n", argv[0]);
+  std::printf("words         : %zu (%zu bytes)\n", bs.words.size(),
+              bs.size_bytes());
+  if (const auto idcode = reader.idcode()) {
+    const DeviceSpec& spec = DeviceSpec::by_idcode(*idcode);
+    std::printf("device        : %s (%dx%d CLBs)\n", spec.name.c_str(),
+                spec.clb_rows, spec.clb_cols);
+    const Device& dev = Device::get(spec.name);
+    const auto blocks = reader.far_blocks(dev.frames().frame_words());
+    std::size_t frames = 0;
+    for (const auto& [far, n] : blocks) frames += n;
+    std::printf("FAR blocks    : %zu (%zu frames of %zu total)\n",
+                blocks.size(), frames, dev.frames().num_frames());
+    const bool full = frames >= dev.frames().num_frames();
+    std::printf("kind          : %s bitstream\n", full ? "complete" : "partial");
+  } else {
+    std::printf("device        : unknown (no IDCODE write)\n");
+  }
+  return 0;
+}
+
+int cmd_summarize(int argc, char** argv) {
+  if (argc != 1) throw JpgError("usage: jpg_cli summarize <file.bit>");
+  const BitstreamReader reader(Bitstream::load(argv[0]));
+  std::printf("%s", reader.summarize().c_str());
+  return 0;
+}
+
+int cmd_partial(int argc, char** argv) {
+  std::string out;
+  PartialGenOptions opts;
+  std::vector<std::string> pos;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--diff") == 0) {
+      opts.diff_only = true;
+    } else {
+      pos.emplace_back(argv[i]);
+    }
+  }
+  if (pos.size() != 3 || out.empty()) {
+    throw JpgError(
+        "usage: jpg_cli partial <base.bit> <mod.xdl> <mod.ucf> -o <out.pbit> "
+        "[--diff]");
+  }
+  Jpg tool(Bitstream::load(pos[0]));
+  const auto res = tool.generate_partial_from_text(read_file(pos[1]),
+                                                   read_file(pos[2]), opts);
+  res.partial.save(out);
+  std::printf("%s", res.floorplan.c_str());
+  std::printf("wrote %s: %zu bytes, %zu frames in %zu FAR blocks (%zu CBits "
+              "calls)\n",
+              out.c_str(), res.partial.size_bytes(), res.frames.size(),
+              res.far_blocks, res.cbits_calls);
+  return 0;
+}
+
+int cmd_apply(int argc, char** argv) {
+  std::string out;
+  std::vector<std::string> pos;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      pos.emplace_back(argv[i]);
+    }
+  }
+  if (pos.size() != 2 || out.empty()) {
+    throw JpgError(
+        "usage: jpg_cli apply <base.bit> <partial.pbit> -o <updated.bit>");
+  }
+  const Bitstream base = Bitstream::load(pos[0]);
+  const Bitstream partial = Bitstream::load(pos[1]);
+  const Device& dev = device_for_bitstream(base);
+  ConfigMemory mem(dev);
+  ConfigPort port(mem);
+  port.load(base);
+  if (!port.started()) throw JpgError("base bitstream did not start up");
+  port.load(partial);
+  generate_full_bitstream(mem).save(out);
+  std::printf("wrote %s (base + %zu partial frames)\n", out.c_str(),
+              port.committed_frames().size() - dev.frames().num_frames());
+  return 0;
+}
+
+int cmd_floorplan(int argc, char** argv) {
+  if (argc != 2) {
+    throw JpgError("usage: jpg_cli floorplan <base.bit> <mod.ucf>");
+  }
+  const Device& dev = device_for_bitstream(Bitstream::load(argv[0]));
+  const UcfData ucf = parse_ucf(read_file(argv[1]), dev, argv[1]);
+  std::vector<FloorplanEntry> entries;
+  for (const auto& [group, region] : ucf.area_group_ranges) {
+    entries.push_back({group, region});
+  }
+  const auto highlight = entries.empty()
+                             ? std::nullopt
+                             : std::optional<Region>(entries[0].region);
+  std::printf("%s", render_floorplan(dev, entries, highlight).c_str());
+  return 0;
+}
+
+int cmd_verify(int argc, char** argv) {
+  if (argc != 2) {
+    throw JpgError("usage: jpg_cli verify <base.bit> <partial.pbit>");
+  }
+  const Bitstream base = Bitstream::load(argv[0]);
+  const Bitstream partial = Bitstream::load(argv[1]);
+  const Device& dev = device_for_bitstream(base);
+
+  // Board bring-up, download, then frame-by-frame readback comparison.
+  SimBoard board(dev);
+  board.send_config(base.words);
+  board.send_config(partial.words);
+
+  const BitstreamReader reader(partial);
+  ConfigMemory expected(dev);
+  {
+    ConfigPort port(expected);
+    port.load(base);
+    port.load(partial);
+  }
+  std::size_t frames = 0, bad = 0;
+  const std::size_t fw = dev.frames().frame_words();
+  std::vector<std::uint32_t> buf(fw);
+  for (const auto& [far, count] : reader.far_blocks(fw)) {
+    const FrameAddress a = dev.frames().decode_far(far);
+    const std::size_t first =
+        dev.frames().frame_index(static_cast<int>(a.major),
+                                 static_cast<int>(a.minor));
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto words = board.readback(first + i, 1);
+      expected.read_frame_words(first + i, buf.data());
+      ++frames;
+      if (words != buf) ++bad;
+    }
+  }
+  std::printf("readback verification: %zu frames checked, %zu mismatches\n",
+              frames, bad);
+  return bad == 0 ? 0 : 1;
+}
+
+int cmd_project_new(int argc, char** argv) {
+  if (argc != 3) {
+    throw JpgError("usage: jpg_cli project-new <dir> <base.bit> <name>");
+  }
+  JpgProject p;
+  p.name = argv[2];
+  p.base = Bitstream::load(argv[1]);
+  p.device_part = device_for_bitstream(p.base).spec().name;
+  p.save(argv[0]);
+  std::printf("created project '%s' in %s (device %s)\n", p.name.c_str(),
+              argv[0], p.device_part.c_str());
+  return 0;
+}
+
+int cmd_project_add(int argc, char** argv) {
+  if (argc != 4) {
+    throw JpgError(
+        "usage: jpg_cli project-add <dir> <name> <mod.xdl> <mod.ucf>");
+  }
+  JpgProject p = JpgProject::load(argv[0]);
+  p.modules.push_back({argv[1], read_file(argv[2]), read_file(argv[3])});
+  p.save(argv[0]);
+  std::printf("added module '%s' (%zu modules total)\n", argv[1],
+              p.modules.size());
+  return 0;
+}
+
+int cmd_project_build(int argc, char** argv) {
+  if (argc != 2) {
+    throw JpgError("usage: jpg_cli project-build <dir> <outdir>");
+  }
+  const JpgProject p = JpgProject::load(argv[0]);
+  Jpg tool(p.base);
+  std::filesystem::create_directories(argv[1]);
+  for (const JpgModuleEntry& m : p.modules) {
+    const auto res = tool.generate_partial_from_text(m.xdl_text, m.ucf_text);
+    const std::string out =
+        std::string(argv[1]) + "/" + m.name + ".pbit";
+    res.partial.save(out);
+    std::printf("%-16s -> %s (%zu bytes, %zu frames)\n", m.name.c_str(),
+                out.c_str(), res.partial.size_bytes(), res.frames.size());
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "jpg_cli — partial bitstream generation (jpg-cpp)\n"
+               "commands: info summarize partial apply floorplan verify\n"
+               "          project-new project-add project-build\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace jpg::cli
+
+int main(int argc, char** argv) {
+  using namespace jpg::cli;
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  argc -= 2;
+  argv += 2;
+  try {
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "summarize") return cmd_summarize(argc, argv);
+    if (cmd == "partial") return cmd_partial(argc, argv);
+    if (cmd == "apply") return cmd_apply(argc, argv);
+    if (cmd == "floorplan") return cmd_floorplan(argc, argv);
+    if (cmd == "verify") return cmd_verify(argc, argv);
+    if (cmd == "project-new") return cmd_project_new(argc, argv);
+    if (cmd == "project-add") return cmd_project_add(argc, argv);
+    if (cmd == "project-build") return cmd_project_build(argc, argv);
+    return usage();
+  } catch (const jpg::JpgError& e) {
+    std::fprintf(stderr, "jpg_cli %s: error: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
