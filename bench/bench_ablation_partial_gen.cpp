@@ -5,13 +5,19 @@
 //     (smaller but only valid from the exact base state);
 //   * FAR-run coalescing (contiguous frames share one FAR+FDRI block) vs
 //     one block per frame;
-//   * CRC on/off (integrity vs the handful of words it costs).
+//   * CRC on/off (integrity vs the handful of words it costs);
+//   * the fast path itself: seed-style full-device compose vs the
+//     region-scoped frame overlay, cold and through the pbit cache, plus
+//     generate_batch over disjoint regions. Results land in
+//     BENCH_partial_gen.json for the driver to scrape.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
 #include "bitstream/bitgen.h"
 #include "core/jpg.h"
 #include "scenarios.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
 #include "ucf/ucf_parser.h"
 #include "xdl/xdl_writer.h"
 
@@ -128,6 +134,159 @@ void print_ablation() {
               3 + fw);
 }
 
+// --- fast-path ablation: overlay + cache + batch vs the seed pipeline ------
+
+ConfigMemory noise_plane(const Device& dev, std::uint64_t seed) {
+  ConfigMemory mem(dev);
+  Rng rng(seed);
+  const std::size_t fw = dev.frames().frame_words();
+  for (std::size_t f = 0; f < mem.num_frames(); ++f) {
+    for (std::size_t w = 0; w < fw; ++w) {
+      mem.frame(f).set_word(w, static_cast<std::uint32_t>(rng.next()));
+    }
+  }
+  return mem;
+}
+
+/// Replica of the pre-overlay generate(): full-device copy of the base,
+/// per-bit row-window merge, then generate_frames over the full plane.
+/// Kept here (not in the library) so the ablation keeps an honest baseline
+/// after the hot path moved to overlays and word blits.
+PartialGenResult seed_generate(const PartialBitstreamGenerator& gen,
+                               const ConfigMemory& base,
+                               const ConfigMemory& module_config,
+                               const Region& region,
+                               const PartialGenOptions& opts) {
+  const Device& dev = base.device();
+  const FrameMap& fm = dev.frames();
+  ConfigMemory composed = base;
+  for (const int major : region.clb_majors(dev)) {
+    for (int minor = 0; minor < fm.frames_in_major(major); ++minor) {
+      const std::size_t idx = fm.frame_index(major, minor);
+      BitVector& frame = composed.frame(idx);
+      const BitVector& mod = module_config.frame(idx);
+      for (int r = region.r0; r <= region.r1; ++r) {
+        const std::size_t base_bit = fm.row_bit_base(r);
+        for (int b = 0; b < FrameMap::kBitsPerRow; ++b) {
+          frame.set(base_bit + static_cast<std::size_t>(b),
+                    mod.get(base_bit + static_cast<std::size_t>(b)));
+        }
+      }
+    }
+  }
+  std::vector<std::size_t> frames;
+  for (const int major : region.clb_majors(dev)) {
+    for (int minor = 0; minor < fm.frames_in_major(major); ++minor) {
+      const std::size_t idx = fm.frame_index(major, minor);
+      if (!opts.diff_only ||
+          composed.frame(idx).differs_from(base.frame(idx))) {
+        frames.push_back(idx);
+      }
+    }
+  }
+  return gen.generate_frames(composed, frames, opts);
+}
+
+template <typename F>
+double ns_per_call(F&& f, int min_iters = 8, double min_seconds = 0.2) {
+  f();  // warm up allocators and caches
+  int iters = 0;
+  benchutil::Stopwatch sw;
+  do {
+    f();
+    ++iters;
+  } while (iters < min_iters || sw.seconds() < min_seconds);
+  return sw.seconds() * 1e9 / iters;
+}
+
+void bench_fastpath(benchutil::JsonReport& report) {
+  using benchutil::fmt;
+  benchutil::Table t({"device", "path", "ns/frame", "bytes", "vs seed"});
+  for (const char* part : {"XCV50", "XCV300"}) {
+    const Device& dev = Device::get(part);
+    const ConfigMemory base = noise_plane(dev, 1);
+    // A module pool cycling through one region — the Figure-1 serving
+    // workload (4 pre-built variants of a ~4-column full-height slot).
+    std::vector<ConfigMemory> pool;
+    for (std::uint64_t s = 2; s <= 5; ++s) pool.push_back(noise_plane(dev, s));
+    const int c0 = dev.cols() / 2 - 2;
+    const Region region{0, c0, dev.rows() - 1, c0 + 3};
+    const PartialGenOptions opts;  // all-frames, CRC: the shipping default
+
+    const PartialBitstreamGenerator uncached(base, /*cache_capacity=*/0);
+    std::size_t n = 0;
+    std::size_t bytes = 0, nframes = 1;
+    const double seed_ns = ns_per_call([&] {
+      const auto r = seed_generate(uncached, base, pool[n++ % pool.size()],
+                                   region, opts);
+      bytes = r.bitstream.size_bytes();
+      nframes = r.frames.size();
+      benchmark::DoNotOptimize(bytes);
+    });
+    const double cold_ns = ns_per_call([&] {
+      benchmark::DoNotOptimize(
+          uncached.generate(pool[n++ % pool.size()], region, opts)
+              .bitstream.size_bytes());
+    });
+    const PartialBitstreamGenerator cached(base);
+    for (const ConfigMemory& m : pool) {
+      (void)cached.generate(m, region, opts);  // populate the cache
+    }
+    const double warm_ns = ns_per_call([&] {
+      benchmark::DoNotOptimize(
+          cached.generate(pool[n++ % pool.size()], region, opts)
+              .bitstream.size_bytes());
+    });
+    const PbitCacheStats stats = cached.cache_stats();
+
+    const double fn = static_cast<double>(nframes);
+    t.row({part, "seed full-copy compose", fmt(seed_ns / fn, 0),
+           std::to_string(bytes), "1.00x"});
+    t.row({part, "overlay, cold", fmt(cold_ns / fn, 0), std::to_string(bytes),
+           fmt(seed_ns / cold_ns, 2) + "x"});
+    t.row({part, "overlay, warm pbit cache", fmt(warm_ns / fn, 0),
+           std::to_string(bytes), fmt(seed_ns / warm_ns, 2) + "x"});
+
+    report.set(part, "frames_per_pbit", fn);
+    report.set(part, "bytes_per_pbit", static_cast<double>(bytes));
+    report.set(part, "seed_ns_per_frame", seed_ns / fn);
+    report.set(part, "cold_ns_per_frame", cold_ns / fn);
+    report.set(part, "warm_ns_per_frame", warm_ns / fn);
+    report.set(part, "speedup_cold", seed_ns / cold_ns);
+    report.set(part, "speedup_warm", seed_ns / warm_ns);
+    report.set(part, "cache_hit_rate", stats.hit_rate());
+
+    // Batched generation over disjoint slots vs the same updates serially.
+    std::vector<Region> slots;
+    for (int c = 1; c + 3 < dev.cols() && slots.size() < 4; c += dev.cols() / 4) {
+      slots.push_back(Region{0, c, dev.rows() - 1, c + 2});
+    }
+    std::vector<RegionUpdate> updates;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      updates.push_back({&pool[i % pool.size()], slots[i], opts});
+    }
+    const PartialBitstreamGenerator batch_gen(base, /*cache_capacity=*/0);
+    const double seq_ns = ns_per_call([&] {
+      for (const RegionUpdate& u : updates) {
+        benchmark::DoNotOptimize(
+            batch_gen.generate(*u.module_config, u.region, u.opts).far_blocks);
+      }
+    });
+    const double par_ns = ns_per_call([&] {
+      benchmark::DoNotOptimize(batch_gen.generate_batch(updates).size());
+    });
+    t.row({part, "batch " + std::to_string(updates.size()) + " regions",
+           fmt(par_ns / (fn * static_cast<double>(updates.size())), 0), "-",
+           fmt(seq_ns / par_ns, 2) + "x vs sequential"});
+    report.set(part, "batch_regions", static_cast<double>(updates.size()));
+    report.set(part, "batch_speedup_vs_sequential", seq_ns / par_ns);
+    // ~1x on a single-core host: parallel_for degrades to an inline loop.
+    report.set(part, "pool_threads",
+               static_cast<double>(ThreadPool::global().size()));
+  }
+  t.print("ABLATION: fast path (overlay compose, pbit cache, batch)");
+}
+
 }  // namespace
 }  // namespace jpg
 
@@ -135,5 +294,8 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   jpg::print_ablation();
+  jpg::benchutil::JsonReport report;
+  jpg::bench_fastpath(report);
+  report.write_file("BENCH_partial_gen.json");
   return 0;
 }

@@ -1,11 +1,13 @@
-// Small shared helpers for the benchmark binaries: a stopwatch and a
+// Small shared helpers for the benchmark binaries: a stopwatch, a
 // fixed-width table printer for the paper-shaped summary rows each binary
-// emits after the google-benchmark kernels.
+// emits after the google-benchmark kernels, and a machine-readable JSON
+// report (BENCH_*.json) for the driver to scrape.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace jpg::benchutil {
@@ -53,6 +55,62 @@ class Table {
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// Two-level JSON report: named sections of key -> number|string, written
+/// with insertion order preserved so the files diff cleanly across runs.
+class JsonReport {
+ public:
+  void set(const std::string& section, const std::string& key, double value) {
+    char buf[64];
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(value));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.4f", value);
+    }
+    sec(section).emplace_back(key, buf);
+  }
+  void set(const std::string& section, const std::string& key,
+           const std::string& value) {
+    sec(section).emplace_back(key, "\"" + value + "\"");
+  }
+
+  /// Writes the report; returns false (with a note on stderr) on I/O error.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t s = 0; s < sections_.size(); ++s) {
+      std::fprintf(f, "  \"%s\": {\n", sections_[s].first.c_str());
+      const auto& kv = sections_[s].second;
+      for (std::size_t i = 0; i < kv.size(); ++i) {
+        std::fprintf(f, "    \"%s\": %s%s\n", kv[i].first.c_str(),
+                     kv[i].second.c_str(), i + 1 < kv.size() ? "," : "");
+      }
+      std::fprintf(f, "  }%s\n", s + 1 < sections_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  using Section = std::vector<std::pair<std::string, std::string>>;
+
+  Section& sec(const std::string& name) {
+    for (auto& s : sections_) {
+      if (s.first == name) return s.second;
+    }
+    sections_.emplace_back(name, Section{});
+    return sections_.back().second;
+  }
+
+  std::vector<std::pair<std::string, Section>> sections_;
 };
 
 inline std::string fmt(double v, int prec = 1) {

@@ -175,10 +175,36 @@ JBitsCore extract_core(const ConfigMemory& base, const ConfigMemory& with_core,
     return !window.has_value() || window->contains(t);
   };
 
+  // Word-level pre-filter: every tile resource lives in its own row window
+  // of its own column's frames, so a column whose frames are identical (in
+  // the window rows when one is given) cannot contribute a single op —
+  // skip its tiles without any resource-level reads.
+  const FrameMap& fm = dev.frames();
+  std::vector<bool> col_differs(static_cast<std::size_t>(dev.cols()), false);
+  for (int c = 0; c < dev.cols(); ++c) {
+    if (window.has_value() && !window->contains_col(c)) continue;
+    const int major = fm.major_of_clb_col(c);
+    bool differs = false;
+    for (int minor = 0; minor < fm.frames_in_major(major) && !differs;
+         ++minor) {
+      const std::size_t idx = fm.frame_index(major, minor);
+      if (window.has_value()) {
+        differs = base.frame(idx).diff_in_range(
+            with_core.frame(idx), fm.row_bit_base(window->r0),
+            static_cast<std::size_t>(window->height()) *
+                FrameMap::kBitsPerRow);
+      } else {
+        differs = base.frame(idx).differs_from(with_core.frame(idx));
+      }
+    }
+    col_differs[static_cast<std::size_t>(c)] = differs;
+  }
+
   for (int r = 0; r < dev.rows(); ++r) {
     for (int c = 0; c < dev.cols(); ++c) {
       const TileCoord t{r, c};
       if (!in_window(t)) continue;
+      if (!col_differs[static_cast<std::size_t>(c)]) continue;
       for (int s = 0; s < 2; ++s) {
         const SliceSite site{r, c, s};
         for (const LutSel lut : {LutSel::F, LutSel::G}) {

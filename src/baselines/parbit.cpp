@@ -148,15 +148,12 @@ ParbitResult parbit_transform(const Bitstream& new_design,
       BitVector frame = opts.mode == ParbitOptions::Mode::Block
                             ? current.frame(tidx)
                             : BitVector(fm.frame_bits());
-      // Copy the block rows (relocated by dr) from the new design.
-      for (int r = opts.source.r0; r <= opts.source.r1; ++r) {
-        const std::size_t from = fm.row_bit_base(r);
-        const std::size_t to = fm.row_bit_base(r + dr);
-        for (int b = 0; b < FrameMap::kBitsPerRow; ++b) {
-          frame.set(to + static_cast<std::size_t>(b),
-                    fresh.frame(sidx).get(from + static_cast<std::size_t>(b)));
-        }
-      }
+      // Copy the block rows (relocated by dr) from the new design. Row
+      // windows are contiguous, so the whole block is one word-level blit.
+      frame.copy_range(fresh.frame(sidx), fm.row_bit_base(opts.source.r0),
+                       fm.row_bit_base(opts.source.r0 + dr),
+                       static_cast<std::size_t>(opts.source.height()) *
+                           FrameMap::kBitsPerRow);
       if (opts.mode == ParbitOptions::Mode::Column) {
         // Column mode ships the full source frame rows as-is (relocation of
         // whole columns); out-of-block rows come from the new design too.

@@ -39,21 +39,48 @@ void BitstreamWriter::write_fdri(std::span<const std::uint32_t> words) {
   }
 }
 
-void BitstreamWriter::write_frames(const ConfigMemory& mem, std::size_t first,
-                                   std::size_t count) {
+template <typename FrameSource>
+void BitstreamWriter::write_frames_impl(const FrameSource& mem,
+                                        std::size_t first, std::size_t count) {
   JPG_REQUIRE(first + count <= mem.num_frames(), "frame range out of bounds");
   JPG_REQUIRE(count > 0, "empty frame range");
   const std::size_t fw = device_->frames().frame_words();
-  std::vector<std::uint32_t> payload;
-  payload.reserve((count + 1) * fw);
-  std::vector<std::uint32_t> buf(fw);
+  const std::size_t payload = (count + 1) * fw;  // +1: pipeline-flush pad
+  const std::size_t header = payload < (1u << 11) ? 1 : 2;
+  reserve(header + payload);
+  if (header == 1) {
+    emit(encode_type1(PacketOp::Write, ConfigReg::FDRI,
+                      static_cast<std::uint32_t>(payload)));
+  } else {
+    emit(encode_type1(PacketOp::Write, ConfigReg::FDRI, 0));
+    emit(encode_type2(PacketOp::Write, static_cast<std::uint32_t>(payload)));
+  }
+  const std::size_t before = out_.words.size();
   for (std::size_t i = 0; i < count; ++i) {
-    mem.read_frame_words(first + i, buf.data());
-    payload.insert(payload.end(), buf.begin(), buf.end());
+    const BitVector& f = mem.frame(first + i);
+    JPG_ASSERT(f.num_words() == fw);
+    for (const std::uint32_t w : f.words()) {
+      emit(w);
+      crc_.update(static_cast<std::uint32_t>(ConfigReg::FDRI), w);
+    }
   }
   // Pipeline-flush pad frame (discarded by the port).
-  payload.insert(payload.end(), fw, 0u);
-  write_fdri(payload);
+  for (std::size_t w = 0; w < fw; ++w) {
+    emit(0u);
+    crc_.update(static_cast<std::uint32_t>(ConfigReg::FDRI), 0u);
+  }
+  JPG_ASSERT_MSG(out_.words.size() - before == payload,
+                 "FDRI payload size does not match prediction");
+}
+
+void BitstreamWriter::write_frames(const ConfigMemory& mem, std::size_t first,
+                                   std::size_t count) {
+  write_frames_impl(mem, first, count);
+}
+
+void BitstreamWriter::write_frames(const FrameOverlay& mem, std::size_t first,
+                                   std::size_t count) {
+  write_frames_impl(mem, first, count);
 }
 
 void BitstreamWriter::write_crc() {

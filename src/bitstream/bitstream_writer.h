@@ -8,6 +8,7 @@
 
 #include "bitstream/config_memory.h"
 #include "bitstream/crc16.h"
+#include "bitstream/frame_overlay.h"
 #include "bitstream/packet.h"
 #include "device/device.h"
 
@@ -43,9 +44,28 @@ class BitstreamWriter {
   void write_frames(const ConfigMemory& mem, std::size_t first,
                     std::size_t count);
 
+  /// Same, reading through a FrameOverlay (the partial generator's fast
+  /// path: untouched frames stream straight from the borrowed base).
+  void write_frames(const FrameOverlay& mem, std::size_t first,
+                    std::size_t count);
+
+  /// Grows the output capacity to hold `words` more words. Callers that
+  /// know the frame payload ahead (the partial generator does) reserve once
+  /// instead of reallocating across write_frames calls.
+  void reserve(std::size_t words) {
+    out_.words.reserve(out_.words.size() + words);
+  }
+
+  [[nodiscard]] std::size_t size_words() const { return out_.words.size(); }
+  [[nodiscard]] std::size_t size_bytes() const { return out_.size_bytes(); }
+
   [[nodiscard]] const Bitstream& stream() const { return out_; }
 
  private:
+  template <typename FrameSource>
+  void write_frames_impl(const FrameSource& mem, std::size_t first,
+                         std::size_t count);
+
   void emit(std::uint32_t word) { out_.words.push_back(word); }
 
   const Device* device_;

@@ -1,0 +1,15 @@
+#include "bitstream/frame_overlay.h"
+
+#include <algorithm>
+
+namespace jpg {
+
+std::vector<std::size_t> FrameOverlay::overlaid_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(frames_.size());
+  for (const auto& [idx, _] : frames_) out.push_back(idx);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace jpg

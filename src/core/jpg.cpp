@@ -16,6 +16,7 @@ Jpg::Jpg(const Bitstream& base_bitstream)
         "base bitstream did not complete startup; is it a partial "
         "bitstream?");
   }
+  gen_ = std::make_unique<PartialBitstreamGenerator>(*base_);
   JPG_INFO("JPG initialised from base bitstream for " << device_->spec().name);
 }
 
@@ -27,8 +28,7 @@ Jpg::PartialResult Jpg::generate_partial(const XdlDesign& module_xdl,
   const XdlBindResult bound = bind_xdl_module(module_xdl, ucf, scratch);
 
   // Then extract the partial bitstream against the base design.
-  const PartialBitstreamGenerator gen(*base_);
-  PartialGenResult pg = gen.generate(scratch, bound.region, opts);
+  PartialGenResult pg = gen_->generate(scratch, bound.region, opts);
 
   PartialResult result;
   result.partial = std::move(pg.bitstream);

@@ -68,9 +68,17 @@ class Jpg {
   /// Returns the number of mismatching frames (0 = verified).
   [[nodiscard]] std::size_t verify_via_readback(const PartialResult& update);
 
+  /// The tool's persistent partial generator; its pbit cache makes cycling
+  /// a module pool regenerate nothing after the first pass (cache keys hash
+  /// the base content, so write_onto_base invalidates naturally).
+  [[nodiscard]] const PartialBitstreamGenerator& generator() const {
+    return *gen_;
+  }
+
  private:
   const Device* device_;
   std::unique_ptr<ConfigMemory> base_;
+  std::unique_ptr<PartialBitstreamGenerator> gen_;
   Xhwif* board_ = nullptr;
 };
 

@@ -1,56 +1,136 @@
 #include "core/partial_gen.h"
 
+#include <string>
+#include <utility>
+
 #include "support/error.h"
 #include "support/log.h"
+#include "support/thread_pool.h"
 
 namespace jpg {
 
-PartialBitstreamGenerator::PartialBitstreamGenerator(const ConfigMemory& base)
-    : base_(&base), device_(&base.device()) {}
+namespace {
 
-ConfigMemory PartialBitstreamGenerator::compose(
-    const ConfigMemory& module_config, const Region& region) const {
+/// First bit / bit count of the region's row windows inside a frame. The
+/// windows of consecutive rows are contiguous, so a region's rows form one
+/// blit-able span per frame.
+std::size_t window_base(const FrameMap& fm, const Region& region) {
+  return fm.row_bit_base(region.r0);
+}
+std::size_t window_bits(const Region& region) {
+  return static_cast<std::size_t>(region.height()) * FrameMap::kBitsPerRow;
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= kFnvPrime;
+}
+
+}  // namespace
+
+PartialBitstreamGenerator::PartialBitstreamGenerator(const ConfigMemory& base,
+                                                     std::size_t cache_capacity)
+    : base_(&base),
+      device_(&base.device()),
+      cache_capacity_(cache_capacity) {}
+
+void PartialBitstreamGenerator::check_update(const ConfigMemory& module_config,
+                                             const Region& region) const {
   JPG_REQUIRE(&module_config.device() == device_ ||
                   module_config.device().spec().name == device_->spec().name,
               "module config targets a different device");
   JPG_REQUIRE(region.in_bounds(*device_), "region out of bounds");
+}
 
-  ConfigMemory out = *base_;
+std::size_t PartialBitstreamGenerator::CacheKeyHash::operator()(
+    const CacheKey& k) const noexcept {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, static_cast<std::uint64_t>(k.region.r0) << 48 ^
+                 static_cast<std::uint64_t>(k.region.c0) << 32 ^
+                 static_cast<std::uint64_t>(k.region.r1) << 16 ^
+                 static_cast<std::uint64_t>(k.region.c1));
+  fnv_mix(h, (k.diff_only ? 2u : 0u) | (k.include_crc ? 1u : 0u));
+  fnv_mix(h, k.content_hash);
+  return static_cast<std::size_t>(h);
+}
+
+std::uint64_t PartialBitstreamGenerator::content_hash(
+    const ConfigMemory& module_config, const Region& region) const {
   const FrameMap& fm = device_->frames();
+  const std::size_t win_lo = window_base(fm, region);
+  const std::size_t win_hi = win_lo + window_bits(region) - 1;
+  // The output depends on the full base frame (out-of-region rows are
+  // re-shipped from it) but only on the module's region-row windows; the
+  // module hash covers the words overlapping the window, so edits outside
+  // the window cost at most a spurious miss, never a wrong hit.
+  std::uint64_t h = kFnvOffset;
   for (const int major : region.clb_majors(*device_)) {
     for (int minor = 0; minor < fm.frames_in_major(major); ++minor) {
       const std::size_t idx = fm.frame_index(major, minor);
-      BitVector& frame = out.frame(idx);
+      fnv_mix(h, idx);
+      for (const std::uint32_t w : base_->frame(idx).words()) {
+        fnv_mix(h, w);
+      }
       const BitVector& mod = module_config.frame(idx);
+      for (std::size_t w = win_lo >> 5; w <= (win_hi >> 5); ++w) {
+        fnv_mix(h, mod.word(w));
+      }
+    }
+  }
+  return h;
+}
+
+FrameOverlay PartialBitstreamGenerator::compose_overlay(
+    const ConfigMemory& module_config, const Region& region) const {
+  check_update(module_config, region);
+  const FrameMap& fm = device_->frames();
+  const std::size_t win_lo = window_base(fm, region);
+  const std::size_t win_bits = window_bits(region);
+  FrameOverlay overlay(*base_);
+  for (const int major : region.clb_majors(*device_)) {
+    for (int minor = 0; minor < fm.frames_in_major(major); ++minor) {
+      const std::size_t idx = fm.frame_index(major, minor);
       // Replace only the region rows' windows; out-of-region rows keep the
       // base content, so rewriting the frame is non-disruptive.
-      for (int r = region.r0; r <= region.r1; ++r) {
-        const std::size_t base_bit = fm.row_bit_base(r);
-        for (int b = 0; b < FrameMap::kBitsPerRow; ++b) {
-          frame.set(base_bit + static_cast<std::size_t>(b),
-                    mod.get(base_bit + static_cast<std::size_t>(b)));
-        }
-      }
+      overlay.mutable_frame(idx).copy_range(module_config.frame(idx), win_lo,
+                                            win_bits);
+    }
+  }
+  return overlay;
+}
+
+ConfigMemory PartialBitstreamGenerator::compose(
+    const ConfigMemory& module_config, const Region& region) const {
+  check_update(module_config, region);
+  const FrameMap& fm = device_->frames();
+  const std::size_t win_lo = window_base(fm, region);
+  const std::size_t win_bits = window_bits(region);
+  ConfigMemory out = *base_;
+  for (const int major : region.clb_majors(*device_)) {
+    for (int minor = 0; minor < fm.frames_in_major(major); ++minor) {
+      const std::size_t idx = fm.frame_index(major, minor);
+      out.frame(idx).copy_range(module_config.frame(idx), win_lo, win_bits);
     }
   }
   return out;
 }
 
-PartialGenResult PartialBitstreamGenerator::generate_frames(
-    const ConfigMemory& content, const std::vector<std::size_t>& frames,
+template <typename FrameSource>
+PartialGenResult PartialBitstreamGenerator::generate_frames_impl(
+    const FrameSource& content, const std::vector<std::size_t>& frames,
     const PartialGenOptions& opts) const {
   const FrameMap& fm = device_->frames();
+  const std::size_t fw = fm.frame_words();
   PartialGenResult result;
   result.frames = frames;
 
-  BitstreamWriter w(*device_);
-  w.begin();
-  w.write_cmd(Command::RCRC);
-  w.write_reg(ConfigReg::FLR, static_cast<std::uint32_t>(fm.frame_words() - 1));
-  w.write_reg(ConfigReg::IDCODE, device_->spec().idcode);
-  w.write_cmd(Command::WCFG);
-
-  // Contiguous runs share one FAR + FDRI block.
+  // Coalesce contiguous runs first (they share one FAR + FDRI block); with
+  // the runs known, the exact output size is predictable before a single
+  // word is emitted, so the writer allocates once.
+  std::vector<std::pair<std::size_t, std::size_t>> runs;  // (first, count)
   std::size_t i = 0;
   while (i < result.frames.size()) {
     std::size_t j = i + 1;
@@ -58,45 +138,161 @@ PartialGenResult PartialBitstreamGenerator::generate_frames(
            result.frames[j] == result.frames[j - 1] + 1) {
       ++j;
     }
-    const FrameAddress a = fm.address_of_index(result.frames[i]);
-    w.write_reg(ConfigReg::FAR, fm.encode_far(a));
-    w.write_frames(content, result.frames[i], j - i);
-    ++result.far_blocks;
+    runs.emplace_back(result.frames[i], j - i);
     i = j;
+  }
+
+  // begin(2) + RCRC(2) + FLR(2) + IDCODE(2) + WCFG(2), per run FAR(2) +
+  // FDRI header(1|2) + payload, then CRC(2)? + LFRM(2) + DESYNC(2)+pad(1).
+  std::size_t predicted = 10 + (opts.include_crc ? 2 : 0) + 2 + 3;
+  for (const auto& [first, count] : runs) {
+    const std::size_t payload = (count + 1) * fw;
+    predicted += 2 + (payload < (1u << 11) ? 1 : 2) + payload;
+  }
+
+  BitstreamWriter w(*device_);
+  w.reserve(predicted);
+  w.begin();
+  w.write_cmd(Command::RCRC);
+  w.write_reg(ConfigReg::FLR, static_cast<std::uint32_t>(fw - 1));
+  w.write_reg(ConfigReg::IDCODE, device_->spec().idcode);
+  w.write_cmd(Command::WCFG);
+
+  for (const auto& [first, count] : runs) {
+    const FrameAddress a = fm.address_of_index(first);
+    w.write_reg(ConfigReg::FAR, fm.encode_far(a));
+    w.write_frames(content, first, count);
+    ++result.far_blocks;
   }
 
   if (opts.include_crc) w.write_crc();
   w.write_cmd(Command::LFRM);
   // No START: the device stays live through a dynamic partial load.
   result.bitstream = w.finish();
+  JPG_ASSERT_MSG(result.bitstream.words.size() == predicted,
+                 "partial stream size does not match prediction");
   return result;
+}
+
+PartialGenResult PartialBitstreamGenerator::generate_frames(
+    const ConfigMemory& content, const std::vector<std::size_t>& frames,
+    const PartialGenOptions& opts) const {
+  return generate_frames_impl(content, frames, opts);
+}
+
+PartialGenResult PartialBitstreamGenerator::generate_frames(
+    const FrameOverlay& content, const std::vector<std::size_t>& frames,
+    const PartialGenOptions& opts) const {
+  return generate_frames_impl(content, frames, opts);
+}
+
+PartialGenResult PartialBitstreamGenerator::generate_uncached(
+    const ConfigMemory& module_config, const Region& region,
+    const PartialGenOptions& opts) const {
+  const FrameMap& fm = device_->frames();
+  const FrameOverlay composed = compose_overlay(module_config, region);
+  const std::size_t win_lo = window_base(fm, region);
+  const std::size_t win_bits = window_bits(region);
+
+  // Frames to ship: the region columns' frames, optionally reduced to those
+  // that differ from the base. Composed frames can only differ inside the
+  // region window, so the diff scan is a word-level range compare.
+  std::vector<std::size_t> frames;
+  const auto majors = region.clb_majors(*device_);
+  frames.reserve(majors.size() * static_cast<std::size_t>(FrameMap::kClbFrames));
+  for (const int major : majors) {
+    for (int minor = 0; minor < fm.frames_in_major(major); ++minor) {
+      const std::size_t idx = fm.frame_index(major, minor);
+      if (!opts.diff_only ||
+          composed.frame(idx).diff_in_range(base_->frame(idx), win_lo,
+                                            win_bits)) {
+        frames.push_back(idx);
+      }
+    }
+  }
+  return generate_frames_impl(composed, frames, opts);
 }
 
 PartialGenResult PartialBitstreamGenerator::generate(
     const ConfigMemory& module_config, const Region& region,
     const PartialGenOptions& opts) const {
-  const FrameMap& fm = device_->frames();
-  const ConfigMemory composed = compose(module_config, region);
+  check_update(module_config, region);
 
-  // Frames to ship: the region columns' frames, optionally reduced to those
-  // that differ from the base.
-  std::vector<std::size_t> frames;
-  for (const int major : region.clb_majors(*device_)) {
-    for (int minor = 0; minor < fm.frames_in_major(major); ++minor) {
-      const std::size_t idx = fm.frame_index(major, minor);
-      if (!opts.diff_only ||
-          composed.frame(idx).differs_from(base_->frame(idx))) {
-        frames.push_back(idx);
-      }
-    }
+  CacheKey key;
+  bool use_cache;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    use_cache = cache_capacity_ > 0;
   }
-  PartialGenResult result = generate_frames(composed, frames, opts);
+  if (use_cache) {
+    key = CacheKey{region, opts.diff_only, opts.include_crc,
+                   content_hash(module_config, region)};
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cache_index_.find(key);
+    if (it != cache_index_.end()) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+      ++cache_hits_;
+      PartialGenResult result = it->second->second;
+      JPG_INFO("partial bitstream for " << region.to_string() << ": "
+                                        << result.frames.size()
+                                        << " frames (cached), "
+                                        << result.bitstream.size_bytes()
+                                        << " bytes");
+      return result;
+    }
+    ++cache_misses_;
+  }
+
+  PartialGenResult result = generate_uncached(module_config, region, opts);
   JPG_INFO("partial bitstream for " << region.to_string() << ": "
                                     << result.frames.size() << " frames in "
                                     << result.far_blocks << " blocks, "
                                     << result.bitstream.size_bytes()
                                     << " bytes");
+  if (use_cache) {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cache_index_.find(key);
+    if (it != cache_index_.end()) {
+      // A concurrent batch worker generated the same key; outputs are
+      // deterministic, so just refresh recency.
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    } else {
+      cache_lru_.emplace_front(key, result);
+      cache_index_.emplace(key, cache_lru_.begin());
+      while (cache_lru_.size() > cache_capacity_) {
+        cache_index_.erase(cache_lru_.back().first);
+        cache_lru_.pop_back();
+      }
+    }
+  }
   return result;
+}
+
+std::vector<PartialGenResult> PartialBitstreamGenerator::generate_batch(
+    std::span<const RegionUpdate> updates) const {
+  // Validate everything up front: each update alone, then major
+  // disjointness across the batch — disjoint majors mean disjoint frame
+  // sets, which is what makes the fan-out embarrassingly parallel.
+  std::vector<bool> owned(static_cast<std::size_t>(device_->frames().num_majors()),
+                          false);
+  for (const RegionUpdate& u : updates) {
+    JPG_REQUIRE(u.module_config != nullptr,
+                "batch update missing module config");
+    check_update(*u.module_config, u.region);
+    for (const int major : u.region.clb_majors(*device_)) {
+      JPG_REQUIRE(!owned[static_cast<std::size_t>(major)],
+                  "batch regions must own disjoint majors (major " +
+                      std::to_string(major) + " claimed twice)");
+      owned[static_cast<std::size_t>(major)] = true;
+    }
+  }
+
+  std::vector<PartialGenResult> out(updates.size());
+  parallel_for(updates.size(), [&](std::size_t i) {
+    out[i] = generate(*updates[i].module_config, updates[i].region,
+                      updates[i].opts);
+  });
+  return out;
 }
 
 PartialGenResult PartialBitstreamGenerator::generate_bram_update(
@@ -124,7 +320,43 @@ PartialGenResult PartialBitstreamGenerator::generate_bram_update(
 void PartialBitstreamGenerator::apply_to_base(
     ConfigMemory& base, const ConfigMemory& module_config,
     const Region& region) const {
-  base = compose(module_config, region);
+  check_update(module_config, region);
+  // Equivalent to `base = compose(module_config, region)` without the full
+  // round trip: reset to the generator's base plane (a no-op when applying
+  // onto it directly), then blit the region windows in place.
+  if (&base != base_) base = *base_;
+  const FrameMap& fm = device_->frames();
+  const std::size_t win_lo = window_base(fm, region);
+  const std::size_t win_bits = window_bits(region);
+  for (const int major : region.clb_majors(*device_)) {
+    for (int minor = 0; minor < fm.frames_in_major(major); ++minor) {
+      const std::size_t idx = fm.frame_index(major, minor);
+      base.frame(idx).copy_range(module_config.frame(idx), win_lo, win_bits);
+    }
+  }
+}
+
+void PartialBitstreamGenerator::set_cache_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_capacity_ = capacity;
+  while (cache_lru_.size() > cache_capacity_) {
+    cache_index_.erase(cache_lru_.back().first);
+    cache_lru_.pop_back();
+  }
+}
+
+void PartialBitstreamGenerator::clear_cache() {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_lru_.clear();
+  cache_index_.clear();
+  cache_hits_ = 0;
+  cache_misses_ = 0;
+}
+
+PbitCacheStats PartialBitstreamGenerator::cache_stats() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return PbitCacheStats{cache_hits_, cache_misses_, cache_lru_.size(),
+                        cache_capacity_};
 }
 
 }  // namespace jpg

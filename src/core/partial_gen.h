@@ -8,10 +8,24 @@
 // writing a region always rewrites entire columns; composition from the
 // base guarantees the out-of-region rows are rewritten with their *current*
 // values, which is what makes the load non-disruptive (paper §2.1, §3).
+//
+// The hot path is region-scoped: composition materialises only the frames
+// owned by the region's majors in a FrameOverlay over the borrowed base
+// (never a full-device copy), row windows move as word-level blits, and a
+// content-addressed LRU cache short-circuits regeneration when a module
+// pool cycles (the Figure-1 serving workload). Batches of updates over
+// disjoint majors fan out across ThreadPool::global().
 #pragma once
+
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "bitstream/bitstream_writer.h"
 #include "bitstream/config_memory.h"
+#include "bitstream/frame_overlay.h"
 #include "device/region.h"
 
 namespace jpg {
@@ -37,23 +51,64 @@ struct PartialGenResult {
   std::size_t far_blocks = 0;       ///< contiguous FAR/FDRI runs emitted
 };
 
+/// One independent region update for generate_batch.
+struct RegionUpdate {
+  const ConfigMemory* module_config = nullptr;
+  Region region;
+  PartialGenOptions opts;
+};
+
+struct PbitCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
 class PartialBitstreamGenerator {
  public:
+  /// Entries the pbit cache holds by default; enough for every module pool
+  /// in the paper's scenarios (3 regions × 4 variants) with headroom.
+  static constexpr std::size_t kDefaultCacheCapacity = 64;
+
   /// `base` must outlive the generator.
-  explicit PartialBitstreamGenerator(const ConfigMemory& base);
+  explicit PartialBitstreamGenerator(
+      const ConfigMemory& base, std::size_t cache_capacity = kDefaultCacheCapacity);
 
   /// Frame-level composition: base memory with the region's rows of the
-  /// region's columns replaced by `module_config`'s bits.
+  /// region's columns replaced by `module_config`'s bits. Full-device
+  /// result; the generation paths use compose_overlay instead.
   [[nodiscard]] ConfigMemory compose(const ConfigMemory& module_config,
                                      const Region& region) const;
+
+  /// Region-scoped composition: materialises only the frames of the
+  /// region's majors, each a word-level blend of module rows over base.
+  [[nodiscard]] FrameOverlay compose_overlay(const ConfigMemory& module_config,
+                                             const Region& region) const;
 
   /// Generates the partial bitstream updating `region` of the base design
   /// to `module_config`'s content. The stream carries IDCODE/FLR checks, a
   /// WCFG sequence of FAR+FDRI runs, CRC, LFRM and DESYNC — and no startup
   /// sequence, since the device keeps running during a dynamic load.
+  /// Results are served from the pbit cache when (region, options, content)
+  /// was generated before.
   [[nodiscard]] PartialGenResult generate(const ConfigMemory& module_config,
                                           const Region& region,
                                           const PartialGenOptions& opts = {}) const;
+
+  /// Fans independent region updates out over ThreadPool::global().
+  /// The regions must own pairwise-disjoint majors (their frame sets are
+  /// then disjoint, so the generations are embarrassingly parallel);
+  /// overlapping batches are rejected. Output order matches input order and
+  /// each element is byte-identical to a sequential generate() call.
+  [[nodiscard]] std::vector<PartialGenResult> generate_batch(
+      std::span<const RegionUpdate> updates) const;
 
   /// Option 2 of the tool (paper §3.2.1): writes the partial update into the
   /// base configuration itself, overwriting it.
@@ -64,6 +119,11 @@ class PartialBitstreamGenerator {
   /// (linear indices, any block type) with contents taken from `content`.
   [[nodiscard]] PartialGenResult generate_frames(
       const ConfigMemory& content, const std::vector<std::size_t>& frames,
+      const PartialGenOptions& opts = {}) const;
+
+  /// Overlay form of the same: untouched frames stream from the base.
+  [[nodiscard]] PartialGenResult generate_frames(
+      const FrameOverlay& content, const std::vector<std::size_t>& frames,
       const PartialGenOptions& opts = {}) const;
 
   /// BRAM content update (block type 1): ships the frames of `side`'s BRAM
@@ -77,9 +137,56 @@ class PartialBitstreamGenerator {
 
   [[nodiscard]] const ConfigMemory& base() const { return *base_; }
 
+  // --- pbit cache ----------------------------------------------------------
+  /// Capacity 0 disables caching. Shrinking evicts LRU entries.
+  void set_cache_capacity(std::size_t capacity);
+  void clear_cache();
+  [[nodiscard]] PbitCacheStats cache_stats() const;
+
  private:
+  struct CacheKey {
+    Region region;
+    bool diff_only = false;
+    bool include_crc = false;
+    std::uint64_t content_hash = 0;  ///< region-scoped base+module content
+
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const noexcept;
+  };
+
+  /// Shared precondition of compose/generate/generate_batch: the module
+  /// plane targets this device and the region is in bounds.
+  void check_update(const ConfigMemory& module_config,
+                    const Region& region) const;
+
+  [[nodiscard]] std::uint64_t content_hash(const ConfigMemory& module_config,
+                                           const Region& region) const;
+
+  [[nodiscard]] PartialGenResult generate_uncached(
+      const ConfigMemory& module_config, const Region& region,
+      const PartialGenOptions& opts) const;
+
+  template <typename FrameSource>
+  [[nodiscard]] PartialGenResult generate_frames_impl(
+      const FrameSource& content, const std::vector<std::size_t>& frames,
+      const PartialGenOptions& opts) const;
+
   const ConfigMemory* base_;
   const Device* device_;
+
+  // LRU pbit cache, keyed by (region, options, content hash); front of the
+  // list is most recently used. Guarded for generate_batch's worker threads.
+  using CacheEntry = std::pair<CacheKey, PartialGenResult>;
+  mutable std::mutex cache_mutex_;
+  mutable std::list<CacheEntry> cache_lru_;
+  mutable std::unordered_map<CacheKey, std::list<CacheEntry>::iterator,
+                             CacheKeyHash>
+      cache_index_;
+  mutable std::size_t cache_hits_ = 0;
+  mutable std::size_t cache_misses_ = 0;
+  std::size_t cache_capacity_ = kDefaultCacheCapacity;
 };
 
 }  // namespace jpg

@@ -1,5 +1,6 @@
 #include "support/bitvec.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace jpg {
@@ -22,6 +23,94 @@ void BitVector::set_field(std::size_t pos, unsigned width, std::uint32_t value) 
   for (unsigned i = 0; i < width; ++i) {
     set(pos + i, (value >> i) & 1u);
   }
+}
+
+namespace {
+
+/// Mask of word bits [lo, hi] inclusive, 0 <= lo <= hi <= 31.
+constexpr std::uint32_t bit_span_mask(unsigned lo, unsigned hi) {
+  const std::uint32_t upto_hi =
+      hi == 31 ? 0xFFFFFFFFu : (1u << (hi + 1)) - 1u;
+  return upto_hi & ~((1u << lo) - 1u);
+}
+
+}  // namespace
+
+void BitVector::copy_range(const BitVector& src, std::size_t pos,
+                           std::size_t nbits) {
+  JPG_ASSERT_MSG(pos + nbits <= nbits_ && pos + nbits <= src.nbits_,
+                 "copy_range out of range");
+  if (nbits == 0) return;
+  const std::size_t first = pos >> 5;
+  const std::size_t last = (pos + nbits - 1) >> 5;
+  const unsigned head = pos & 31;
+  const unsigned tail = (pos + nbits - 1) & 31;
+  if (first == last) {
+    const std::uint32_t m = bit_span_mask(head, tail);
+    words_[first] = (words_[first] & ~m) | (src.words_[first] & m);
+    return;
+  }
+  const std::uint32_t mf = bit_span_mask(head, 31);
+  words_[first] = (words_[first] & ~mf) | (src.words_[first] & mf);
+  for (std::size_t w = first + 1; w < last; ++w) {
+    words_[w] = src.words_[w];
+  }
+  const std::uint32_t ml = bit_span_mask(0, tail);
+  words_[last] = (words_[last] & ~ml) | (src.words_[last] & ml);
+}
+
+void BitVector::copy_range(const BitVector& src, std::size_t src_pos,
+                           std::size_t dst_pos, std::size_t nbits) {
+  if (src_pos == dst_pos) {
+    if (&src != this) copy_range(src, src_pos, nbits);
+    return;
+  }
+  JPG_ASSERT_MSG(this != &src, "relocating self-copy is unsupported");
+  JPG_ASSERT_MSG(src_pos + nbits <= src.nbits_ && dst_pos + nbits <= nbits_,
+                 "copy_range out of range");
+  // Walk destination word by word; each chunk gathers up to 32 source bits
+  // with a funnel shift across the source word boundary.
+  std::size_t sp = src_pos, dp = dst_pos, remaining = nbits;
+  while (remaining > 0) {
+    const unsigned doff = dp & 31;
+    const unsigned chunk =
+        static_cast<unsigned>(std::min<std::size_t>(32 - doff, remaining));
+    const std::size_t sw = sp >> 5;
+    const unsigned soff = sp & 31;
+    std::uint32_t bits = src.words_[sw] >> soff;
+    if (soff != 0 && sw + 1 < src.words_.size()) {
+      bits |= src.words_[sw + 1] << (32 - soff);
+    }
+    const std::uint32_t m =
+        (chunk == 32 ? 0xFFFFFFFFu : (1u << chunk) - 1u) << doff;
+    words_[dp >> 5] = (words_[dp >> 5] & ~m) | ((bits << doff) & m);
+    sp += chunk;
+    dp += chunk;
+    remaining -= chunk;
+  }
+}
+
+bool BitVector::diff_in_range(const BitVector& other, std::size_t pos,
+                              std::size_t nbits) const {
+  JPG_ASSERT_MSG(nbits_ == other.nbits_,
+                 "comparing BitVectors of unequal size");
+  JPG_ASSERT_MSG(pos + nbits <= nbits_, "diff_in_range out of range");
+  if (nbits == 0) return false;
+  const std::size_t first = pos >> 5;
+  const std::size_t last = (pos + nbits - 1) >> 5;
+  const unsigned head = pos & 31;
+  const unsigned tail = (pos + nbits - 1) & 31;
+  if (first == last) {
+    return ((words_[first] ^ other.words_[first]) &
+            bit_span_mask(head, tail)) != 0;
+  }
+  if ((words_[first] ^ other.words_[first]) & bit_span_mask(head, 31)) {
+    return true;
+  }
+  for (std::size_t w = first + 1; w < last; ++w) {
+    if (words_[w] != other.words_[w]) return true;
+  }
+  return ((words_[last] ^ other.words_[last]) & bit_span_mask(0, tail)) != 0;
 }
 
 std::size_t BitVector::popcount() const noexcept {

@@ -44,6 +44,22 @@ class BitVector {
   /// Reads a field of up to 32 bits starting at bit `pos` (LSB-first).
   [[nodiscard]] std::uint32_t get_field(std::size_t pos, unsigned width) const;
 
+  // --- Bulk range operations (masked 32-bit word blits) ---------------------
+  /// Copies bits [pos, pos+nbits) of `src` into the same positions of *this.
+  /// Bits outside the range are untouched.
+  void copy_range(const BitVector& src, std::size_t pos, std::size_t nbits);
+
+  /// Copies bits [src_pos, src_pos+nbits) of `src` into
+  /// [dst_pos, dst_pos+nbits) of *this (the relocating form PARBIT needs).
+  /// Self-copy is only allowed when the ranges coincide.
+  void copy_range(const BitVector& src, std::size_t src_pos,
+                  std::size_t dst_pos, std::size_t nbits);
+
+  /// True iff any bit in [pos, pos+nbits) differs from `other` (sizes must
+  /// match). The word-level form of `differs_from` for a sub-range.
+  [[nodiscard]] bool diff_in_range(const BitVector& other, std::size_t pos,
+                                   std::size_t nbits) const;
+
   /// Writes a field of up to 32 bits starting at bit `pos` (LSB-first).
   void set_field(std::size_t pos, unsigned width, std::uint32_t value);
 

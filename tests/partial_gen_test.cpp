@@ -7,6 +7,7 @@
 #include "bitstream/config_port.h"
 #include "core/partial_gen.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 
 namespace jpg {
 namespace {
@@ -202,6 +203,202 @@ TEST_F(PartialGenTest, ApplyToBaseMutatesInPlace) {
 TEST_F(PartialGenTest, RejectsOutOfBoundsRegion) {
   const PartialBitstreamGenerator gen(*base_);
   EXPECT_THROW((void)gen.compose(*module_, Region{0, 0, 99, 99}), JpgError);
+  EXPECT_THROW((void)gen.compose_overlay(*module_, Region{0, 0, 99, 99}),
+               JpgError);
+  const RegionUpdate bad{module_.get(), Region{0, 0, 99, 99}, {}};
+  EXPECT_THROW((void)gen.generate_batch({&bad, 1}), JpgError);
+}
+
+TEST_F(PartialGenTest, ComposeOverlayMatchesCompose) {
+  const Region region{4, 10, 9, 12};  // rectangular: row merge both sides
+  const PartialBitstreamGenerator gen(*base_);
+  const ConfigMemory full = gen.compose(*module_, region);
+  const FrameOverlay overlay = gen.compose_overlay(*module_, region);
+
+  // Every frame reads identically through the overlay...
+  ASSERT_EQ(overlay.num_frames(), full.num_frames());
+  for (std::size_t f = 0; f < full.num_frames(); ++f) {
+    ASSERT_FALSE(overlay.frame(f).differs_from(full.frame(f)))
+        << dev_->frames().describe_frame(f);
+  }
+  // ...but only the region majors' frames were materialised.
+  std::size_t expected = 0;
+  for (const int major : region.clb_majors(*dev_)) {
+    expected += static_cast<std::size_t>(dev_->frames().frames_in_major(major));
+  }
+  EXPECT_EQ(overlay.overlay_count(), expected);
+  EXPECT_LT(overlay.overlay_count(), full.num_frames());
+}
+
+TEST_F(PartialGenTest, GenerateMatchesSeedFramePath) {
+  // Byte-identity of the overlay fast path against the original pipeline
+  // (full compose + explicit frame list through generate_frames).
+  const Region region{2, 7, 11, 9};
+  const PartialBitstreamGenerator gen(*base_, /*cache_capacity=*/0);
+  const FrameMap& fm = dev_->frames();
+  for (const bool diff_only : {false, true}) {
+    PartialGenOptions opts;
+    opts.diff_only = diff_only;
+    const ConfigMemory composed = gen.compose(*module_, region);
+    std::vector<std::size_t> frames;
+    for (const int major : region.clb_majors(*dev_)) {
+      for (int minor = 0; minor < fm.frames_in_major(major); ++minor) {
+        const std::size_t idx = fm.frame_index(major, minor);
+        if (!diff_only ||
+            composed.frame(idx).differs_from(base_->frame(idx))) {
+          frames.push_back(idx);
+        }
+      }
+    }
+    const PartialGenResult seed = gen.generate_frames(composed, frames, opts);
+    const PartialGenResult fast = gen.generate(*module_, region, opts);
+    EXPECT_EQ(fast.bitstream.words, seed.bitstream.words)
+        << "diff_only=" << diff_only;
+    EXPECT_EQ(fast.frames, seed.frames);
+    EXPECT_EQ(fast.far_blocks, seed.far_blocks);
+    frames.clear();
+  }
+}
+
+TEST_F(PartialGenTest, GenerateBatchMatchesSequentialGenerate) {
+  // Parallel determinism property: batch output is byte-identical to
+  // sequential generate() over the same updates, in input order.
+  PartialGenOptions diff;
+  diff.diff_only = true;
+  const std::vector<RegionUpdate> updates = {
+      {module_.get(), Region{0, 2, dev_->rows() - 1, 5}, {}},
+      {module_.get(), Region{3, 8, 10, 11}, diff},
+      {module_.get(), Region{0, 14, 7, 17}, {}},
+  };
+  const PartialBitstreamGenerator par(*base_);
+  const auto batch = par.generate_batch(updates);
+  ASSERT_EQ(batch.size(), updates.size());
+  const PartialBitstreamGenerator seq(*base_, /*cache_capacity=*/0);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const PartialGenResult want = seq.generate(
+        *updates[i].module_config, updates[i].region, updates[i].opts);
+    EXPECT_EQ(batch[i].bitstream.words, want.bitstream.words) << "update " << i;
+    EXPECT_EQ(batch[i].frames, want.frames) << "update " << i;
+    EXPECT_EQ(batch[i].far_blocks, want.far_blocks) << "update " << i;
+  }
+  // Repeating the batch (now warm in the cache) must be just as identical.
+  const auto again = par.generate_batch(updates);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(again[i].bitstream.words, batch[i].bitstream.words);
+  }
+}
+
+TEST_F(PartialGenTest, GenerateBatchRejectsOverlappingMajors) {
+  const std::vector<RegionUpdate> updates = {
+      {module_.get(), Region{0, 2, dev_->rows() - 1, 5}, {}},
+      {module_.get(), Region{0, 4, dev_->rows() - 1, 8}, {}},  // shares cols 4-5
+  };
+  const PartialBitstreamGenerator gen(*base_);
+  EXPECT_THROW((void)gen.generate_batch(updates), JpgError);
+}
+
+TEST_F(PartialGenTest, CacheHitServesIdenticalBytes) {
+  const Region region{0, 5, dev_->rows() - 1, 8};
+  const PartialBitstreamGenerator gen(*base_);
+  const PartialGenResult first = gen.generate(*module_, region);
+  const PartialGenResult again = gen.generate(*module_, region);
+  EXPECT_EQ(again.bitstream.words, first.bitstream.words);
+  EXPECT_EQ(again.frames, first.frames);
+  const PbitCacheStats stats = gen.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST_F(PartialGenTest, CacheMissesOnModuleEdit) {
+  const Region region{0, 5, dev_->rows() - 1, 8};
+  const PartialBitstreamGenerator gen(*base_);
+  (void)gen.generate(*module_, region);
+  // Flip a module bit inside the region window: the content hash changes,
+  // so the stale entry must not be served.
+  const FrameMap& fm = dev_->frames();
+  const std::size_t f = fm.frame_index(fm.major_of_clb_col(6), 3);
+  const std::size_t bit = fm.row_bit_base(4) + 7;
+  module_->frame(f).set(bit, !module_->frame(f).get(bit));
+  const PartialGenResult fresh = gen.generate(*module_, region);
+  EXPECT_EQ(gen.cache_stats().misses, 2u);
+  EXPECT_EQ(gen.cache_stats().hits, 0u);
+  const PartialBitstreamGenerator uncached(*base_, /*cache_capacity=*/0);
+  EXPECT_EQ(fresh.bitstream.words,
+            uncached.generate(*module_, region).bitstream.words);
+}
+
+TEST_F(PartialGenTest, CacheMissesOnBaseMutation) {
+  const Region region{0, 5, dev_->rows() - 1, 8};
+  const PartialBitstreamGenerator gen(*base_);
+  (void)gen.generate(*module_, region);
+  // Mutate the base in a padding window of a region-major frame (the
+  // write_onto_base scenario): padding rows come from the base, so the
+  // correct output actually changes — a stale cache hit would be wrong.
+  const FrameMap& fm = dev_->frames();
+  const std::size_t f = fm.frame_index(fm.major_of_clb_col(6), 3);
+  base_->frame(f).set(3, !base_->frame(f).get(3));
+  const PartialGenResult fresh = gen.generate(*module_, region);
+  EXPECT_EQ(gen.cache_stats().misses, 2u);
+  EXPECT_EQ(gen.cache_stats().hits, 0u);
+  const PartialBitstreamGenerator uncached(*base_, /*cache_capacity=*/0);
+  EXPECT_EQ(fresh.bitstream.words,
+            uncached.generate(*module_, region).bitstream.words);
+}
+
+TEST_F(PartialGenTest, CacheDistinguishesOptions) {
+  const Region region{0, 5, dev_->rows() - 1, 8};
+  const PartialBitstreamGenerator gen(*base_);
+  PartialGenOptions no_crc;
+  no_crc.include_crc = false;
+  const PartialGenResult with_crc = gen.generate(*module_, region);
+  const PartialGenResult without = gen.generate(*module_, region, no_crc);
+  EXPECT_EQ(gen.cache_stats().misses, 2u);
+  EXPECT_EQ(gen.cache_stats().hits, 0u);
+  EXPECT_NE(with_crc.bitstream.words, without.bitstream.words);
+}
+
+TEST_F(PartialGenTest, CacheIsThreadSafeUnderConcurrentGenerate) {
+  // ThreadPool::global() may be a single worker on a small host; force a
+  // 4-worker pool so the cache mutex really is contended (and so the TSan
+  // build of this test exercises cross-thread access).
+  const Region region{0, 5, dev_->rows() - 1, 8};
+  const PartialBitstreamGenerator gen(*base_);
+  const PartialGenResult want = gen.generate(*module_, region);
+  ThreadPool pool(4);
+  std::vector<PartialGenResult> got(16);
+  pool.parallel_for(got.size(), [&](std::size_t i) {
+    PartialGenOptions opts;
+    opts.include_crc = (i % 2 == 0);
+    got[i] = gen.generate(*module_, region, opts);
+  });
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(got[i].bitstream.words, want.bitstream.words) << i;
+    } else {
+      EXPECT_EQ(got[i].frames, want.frames) << i;
+    }
+  }
+  const PbitCacheStats stats = gen.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, 17u);
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST_F(PartialGenTest, CacheEvictsLeastRecentlyUsed) {
+  const Region region{0, 5, dev_->rows() - 1, 8};
+  const PartialBitstreamGenerator gen(*base_, /*cache_capacity=*/1);
+  PartialGenOptions no_crc;
+  no_crc.include_crc = false;
+  (void)gen.generate(*module_, region);          // miss, cached
+  (void)gen.generate(*module_, region, no_crc);  // miss, evicts the first
+  (void)gen.generate(*module_, region);          // miss again
+  const PbitCacheStats stats = gen.cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.capacity, 1u);
 }
 
 }  // namespace

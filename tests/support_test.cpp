@@ -68,6 +68,98 @@ TEST(BitVector, EqualityAndDiff) {
   EXPECT_TRUE(a.differs_from(b));
 }
 
+// Reference BitVector filled with reproducible noise.
+BitVector noise_vector(std::size_t nbits, std::uint64_t seed) {
+  BitVector bv(nbits);
+  Rng rng(seed);
+  for (std::size_t w = 0; w < bv.num_words(); ++w) {
+    bv.set_word(w, static_cast<std::uint32_t>(rng.next()));
+  }
+  return bv;
+}
+
+TEST(BitVector, CopyRangeExhaustiveBoundaries) {
+  // All alignments 0..63 x lengths crossing one, two and three word
+  // boundaries, verified bit-for-bit against a get/set reference —
+  // including that bits outside the range stay untouched.
+  constexpr std::size_t kBits = 64 + 3 * 32 + 64;  // headroom on both sides
+  const BitVector src = noise_vector(kBits, 1);
+  const BitVector dst0 = noise_vector(kBits, 2);
+  for (std::size_t pos = 0; pos < 64; ++pos) {
+    for (std::size_t len = 1; pos + len <= kBits && len <= 3 * 32 + 2;
+         ++len) {
+      BitVector got = dst0;
+      got.copy_range(src, pos, len);
+      BitVector want = dst0;
+      for (std::size_t i = pos; i < pos + len; ++i) {
+        want.set(i, src.get(i));
+      }
+      ASSERT_EQ(got, want) << "pos " << pos << " len " << len;
+    }
+  }
+}
+
+TEST(BitVector, CopyRangeRelocatingExhaustiveBoundaries) {
+  constexpr std::size_t kBits = 256;
+  const BitVector src = noise_vector(kBits, 3);
+  const BitVector dst0 = noise_vector(kBits, 4);
+  for (std::size_t sp = 0; sp < 40; ++sp) {
+    for (std::size_t dp = 0; dp < 40; ++dp) {
+      for (const std::size_t len : {1u, 17u, 31u, 32u, 33u, 64u, 65u, 97u}) {
+        BitVector got = dst0;
+        got.copy_range(src, sp, dp, len);
+        BitVector want = dst0;
+        for (std::size_t i = 0; i < len; ++i) {
+          want.set(dp + i, src.get(sp + i));
+        }
+        ASSERT_EQ(got, want) << "sp " << sp << " dp " << dp << " len " << len;
+      }
+    }
+  }
+}
+
+TEST(BitVector, CopyRangeZeroLengthIsNoop) {
+  const BitVector src = noise_vector(96, 5);
+  const BitVector dst0 = noise_vector(96, 6);
+  BitVector got = dst0;
+  got.copy_range(src, 40, 0);
+  EXPECT_EQ(got, dst0);
+  got.copy_range(src, 17, 55, 0);
+  EXPECT_EQ(got, dst0);
+}
+
+TEST(BitVector, DiffInRangeExhaustiveBoundaries) {
+  constexpr std::size_t kBits = 64 + 3 * 32 + 64;
+  const BitVector a = noise_vector(kBits, 7);
+  for (std::size_t pos = 0; pos < 64; ++pos) {
+    for (const std::size_t len : {1u, 2u, 31u, 32u, 33u, 63u, 64u, 65u,
+                                  95u, 96u, 97u}) {
+      if (pos + len > kBits) continue;
+      BitVector b = a;
+      EXPECT_FALSE(a.diff_in_range(b, pos, len)) << pos << "+" << len;
+      // A flipped bit just outside either edge must not register; one on
+      // each edge and in the middle must.
+      if (pos > 0) {
+        b.set(pos - 1, !a.get(pos - 1));
+        EXPECT_FALSE(a.diff_in_range(b, pos, len)) << pos << "+" << len;
+        b = a;
+      }
+      if (pos + len < kBits) {
+        b.set(pos + len, !a.get(pos + len));
+        EXPECT_FALSE(a.diff_in_range(b, pos, len)) << pos << "+" << len;
+        b = a;
+      }
+      for (const std::size_t at : {pos, pos + len / 2, pos + len - 1}) {
+        b.set(at, !a.get(at));
+        EXPECT_TRUE(a.diff_in_range(b, pos, len))
+            << pos << "+" << len << " flip " << at;
+        b = a;
+      }
+    }
+  }
+  EXPECT_FALSE(a.diff_in_range(a, 10, 0));
+}
+
 TEST(Rng, DeterministicFromSeed) {
   Rng a(42), b(42), c(43);
   for (int i = 0; i < 100; ++i) {
