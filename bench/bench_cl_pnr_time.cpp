@@ -105,6 +105,66 @@ void print_pnr_series() {
               "gap widens with device size.\n");
 }
 
+/// XCV300 threads sweep for the batched router, against the in-tree seed
+/// reference algorithm (RouterOptions::reference_impl), written to
+/// BENCH_pnr.json. Each configuration takes the best of `kRepeats` runs to
+/// shave scheduler noise off single-shot flow timings.
+void print_parallel_series() {
+  using benchutil::fmt;
+  constexpr int kRepeats = 3;
+  const Device& dev = Device::get("XCV300");
+  (void)RoutingGraph::get(dev);  // one-off graph build outside timing
+  auto base = scenarios::build_base(dev, scenarios::fig4_slots(dev));
+
+  auto best_flow = [&](const FlowOptions& opt) {
+    BaseFlowResult best;
+    for (int i = 0; i < kRepeats; ++i) {
+      BaseFlowResult res = run_base_flow(dev, base.top, base.specs, opt);
+      if (i == 0 || res.timings.route_s < best.timings.route_s) {
+        best = std::move(res);
+      }
+    }
+    return best;
+  };
+
+  FlowOptions ref_opt;
+  ref_opt.router.reference_impl = true;
+  const BaseFlowResult ref = best_flow(ref_opt);
+  const double ref_route_ms = ref.timings.route_s * 1e3;
+
+  benchutil::JsonReport report;
+  report.set("xcv300", "device", std::string("XCV300"));
+  report.set("xcv300", "route_ms_reference", ref_route_ms);
+
+  benchutil::Table t(
+      {"router", "threads", "pack ms", "place ms", "route ms", "batches",
+       "route speedup"});
+  t.row({"reference", "1", fmt(ref.timings.pack_s * 1e3),
+         fmt(ref.timings.place_s * 1e3), fmt(ref_route_ms), "-", "1.0x"});
+  for (const int threads : {1, 2, 4, 8}) {
+    FlowOptions opt;
+    opt.router.num_threads = threads;
+    const BaseFlowResult res = best_flow(opt);
+    const double route_ms = res.timings.route_s * 1e3;
+    const double speedup = ref_route_ms / route_ms;
+    const std::string tag = "_t" + std::to_string(threads);
+    if (threads == 1) {
+      report.set("xcv300", "pack_ms", res.timings.pack_s * 1e3);
+      report.set("xcv300", "place_ms", res.timings.place_s * 1e3);
+      report.set("xcv300", "batches", static_cast<double>(res.route_stats.batches));
+      report.set("xcv300", "nets_rerouted",
+                 static_cast<double>(res.route_stats.nets_rerouted));
+    }
+    report.set("xcv300", "route_ms" + tag, route_ms);
+    report.set("xcv300", "route_speedup" + tag, speedup);
+    t.row({"batched", std::to_string(threads), fmt(res.timings.pack_s * 1e3),
+           fmt(res.timings.place_s * 1e3), fmt(route_ms),
+           std::to_string(res.route_stats.batches), fmt(speedup) + "x"});
+  }
+  t.print("CL-PNR: XCV300 route phase, batched router vs seed reference");
+  report.write_file("BENCH_pnr.json");
+}
+
 }  // namespace
 }  // namespace jpg
 
@@ -112,5 +172,6 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   jpg::print_pnr_series();
+  jpg::print_parallel_series();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "netlib/generators.h"
 #include "scenarios.h"
 #include "ucf/ucf_parser.h"
+#include "xdl/xdl_lexer.h"
 #include "xdl/xdl_writer.h"
 
 namespace jpg {
@@ -87,7 +88,115 @@ void BM_XdlParseAndBind(benchmark::State& state) {
 BENCHMARK(BM_XdlParseAndBind)->Arg(8)->Arg(16)->Arg(32)->Arg(48)
     ->Unit(benchmark::kMicrosecond);
 
-void print_parse_series() {
+// --- Zero-copy lexer before/after ------------------------------------------
+
+/// The seed's copying tokenizer, kept verbatim as the benchmark baseline:
+/// every Word/String token materialises a std::string, and the token vector
+/// grows without a reserve pass. The shipping XdlLexer replaces both with
+/// string_view slices into the source buffer.
+struct LegacyToken {
+  XdlToken::Kind kind;
+  std::string text;
+  int line;
+};
+
+std::vector<LegacyToken> legacy_lex(std::string_view text) {
+  std::vector<LegacyToken> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == ',') {
+      tokens.push_back({XdlToken::Kind::Comma, ",", line});
+      ++i;
+      continue;
+    }
+    if (c == ';') {
+      tokens.push_back({XdlToken::Kind::Semicolon, ";", line});
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      tokens.push_back({XdlToken::Kind::Arrow, "->", line});
+      i += 2;
+      continue;
+    }
+    if (c == '"') {
+      const int start_line = line;
+      const std::size_t start = ++i;
+      while (i < n && text[i] != '"') {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      tokens.push_back({XdlToken::Kind::String,
+                        std::string(text.substr(start, i - start)),
+                        start_line});
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < n) {
+      const char w = text[i];
+      if (w == ' ' || w == '\t' || w == '\r' || w == '\n' || w == ',' ||
+          w == ';' || w == '#' || w == '"') {
+        break;
+      }
+      if (w == '-' && i + 1 < n && text[i + 1] == '>') break;
+      ++i;
+    }
+    tokens.push_back({XdlToken::Kind::Word,
+                      std::string(text.substr(start, i - start)), line});
+  }
+  tokens.push_back({XdlToken::Kind::End, "", line});
+  return tokens;
+}
+
+void print_lexer_series(benchutil::JsonReport& report) {
+  using benchutil::fmt;
+  constexpr int kReps = 50;
+  benchutil::Table t({"LFSR bits", "XDL bytes", "tokens", "legacy us",
+                      "zero-copy us", "speedup"});
+  for (const int bits : {8, 16, 32, 48}) {
+    const ModXdl& m = module_of(bits);
+    benchutil::Stopwatch sw1;
+    std::size_t n_tokens = 0;
+    for (int i = 0; i < kReps; ++i) {
+      n_tokens = legacy_lex(m.xdl).size();
+      benchmark::DoNotOptimize(n_tokens);
+    }
+    const double legacy_us = sw1.ms() * 1e3 / kReps;
+    benchutil::Stopwatch sw2;
+    for (int i = 0; i < kReps; ++i) {
+      benchmark::DoNotOptimize(XdlLexer(std::string_view(m.xdl)).tokens().size());
+    }
+    const double zc_us = sw2.ms() * 1e3 / kReps;
+    t.row({std::to_string(bits), std::to_string(m.xdl.size()),
+           std::to_string(n_tokens), fmt(legacy_us), fmt(zc_us),
+           fmt(legacy_us / zc_us) + "x"});
+    const std::string tag = "lfsr" + std::to_string(bits);
+    report.set("lexer", tag + "_bytes", static_cast<double>(m.xdl.size()));
+    report.set("lexer", tag + "_legacy_us", legacy_us);
+    report.set("lexer", tag + "_zero_copy_us", zc_us);
+    report.set("lexer", tag + "_speedup", legacy_us / zc_us);
+  }
+  t.print("CL-XDL: copying lexer (seed) vs zero-copy string_view lexer");
+}
+
+void print_parse_series(benchutil::JsonReport& report) {
   using benchutil::fmt;
   benchutil::Table t({"LFSR bits", "XDL bytes", "instances", "parse ms",
                       "parse+bind ms", "CBits calls"});
@@ -109,6 +218,9 @@ void print_parse_series() {
     t.row({std::to_string(bits), std::to_string(m.xdl.size()),
            std::to_string(m.instances), fmt(parse_ms, 3), fmt(bind_ms, 3),
            std::to_string(calls)});
+    const std::string tag = "lfsr" + std::to_string(bits);
+    report.set("parse", tag + "_parse_ms", parse_ms);
+    report.set("parse", tag + "_parse_bind_ms", bind_ms);
   }
   t.print("CL-XDL: parser -> CBits binding throughput (XCV100)");
   std::printf("paper shape: the binder scales linearly with the module's XDL "
@@ -122,6 +234,9 @@ void print_parse_series() {
 int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
-  jpg::print_parse_series();
+  jpg::benchutil::JsonReport report;
+  jpg::print_lexer_series(report);
+  jpg::print_parse_series(report);
+  report.write_file("BENCH_xdl_parse.json");
   return 0;
 }

@@ -29,6 +29,16 @@ void add_clock_pips(PlacedDesign& d) {
   }
 }
 
+/// Folds one routing pass into a flow-level aggregate: counters sum across
+/// passes, `iterations` keeps the worst pass.
+void accumulate(RouteStats& into, const RouteStats& pass) {
+  into.iterations = std::max(into.iterations, pass.iterations);
+  into.nodes_used += pass.nodes_used;
+  into.total_pips += pass.total_pips;
+  into.batches += pass.batches;
+  into.nets_rerouted += pass.nets_rerouted;
+}
+
 /// Crossing wire node for a binding, given the region.
 std::size_t crossing_node(const Device& dev, const Region& reg,
                           const PortBinding& b) {
@@ -247,7 +257,9 @@ BaseFlowResult run_base_flow(const Device& device, const Netlist& base,
     RouteConstraints rc;
     rc.restrict_region = p.region;
     rc.blocked = all_crossings;
-    auto routed = route_nets(graph, nets, rc, opt.router);
+    RouteStats pass;
+    auto routed = route_nets(graph, nets, rc, opt.router, &pass);
+    accumulate(result.route_stats, pass);
     for (auto& rn : routed) d.routes.push_back(std::move(rn));
   }
 
@@ -281,7 +293,9 @@ BaseFlowResult run_base_flow(const Device& device, const Netlist& base,
       rc.exclude_regions.push_back(p.region);
     }
     rc.blocked = all_crossings;
-    auto routed = route_nets(graph, nets, rc, opt.router);
+    RouteStats pass;
+    auto routed = route_nets(graph, nets, rc, opt.router, &pass);
+    accumulate(result.route_stats, pass);
     for (auto& rn : routed) d.routes.push_back(std::move(rn));
   }
 
@@ -359,7 +373,8 @@ ModuleFlowResult run_module_flow(const Device& device, const Netlist& module,
   for (const PortBinding& b : iface.bindings) {
     rc.blocked.push_back(crossing_node(device, iface.region, b));
   }
-  auto routed = route_nets(RoutingGraph::get(device), nets, rc, opt.router);
+  auto routed = route_nets(RoutingGraph::get(device), nets, rc, opt.router,
+                           &result.route_stats);
   for (auto& rn : routed) d.routes.push_back(std::move(rn));
   add_clock_pips(d);
   result.timings.route_s = now_s() - t;

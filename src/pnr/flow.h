@@ -81,6 +81,9 @@ struct BaseFlowResult {
   std::unique_ptr<PlacedDesign> design;
   std::vector<PartitionInterface> interfaces;
   PackStats pack_stats;
+  /// Aggregated over every routing pass (per-partition module passes plus
+  /// the static pass): sums, except `iterations` which is the worst pass.
+  RouteStats route_stats;
   FlowTimings timings;
 
   [[nodiscard]] const PartitionInterface& interface_of(
@@ -97,6 +100,7 @@ struct BaseFlowResult {
 struct ModuleFlowResult {
   std::unique_ptr<PlacedDesign> design;
   PackStats pack_stats;
+  RouteStats route_stats;
   FlowTimings timings;
 };
 

@@ -54,12 +54,16 @@ struct RoutedPip {
 struct IobRoute {
   IobSite site;
   std::uint32_t omux_sel = 0;
+
+  bool operator==(const IobRoute&) const = default;
 };
 
 struct RoutedNet {
   NetId net = kNullNet;
   std::vector<RoutedPip> pips;
   std::vector<IobRoute> iob_pips;
+
+  bool operator==(const RoutedNet&) const = default;
 };
 
 /// Where a cell's logic landed.

@@ -17,6 +17,9 @@ struct Element {
   std::size_t index = 0;  ///< slice index or iob order index
   bool locked = false;
   int allowed = -1;  ///< allowed-set id (elements may swap if ids match)
+  /// Cached &allowed_sites_[allowed] (stable after build_allowed_sets), so
+  /// the move loop never re-indexes the set table.
+  const std::vector<std::size_t>* candidates = nullptr;
 };
 
 struct Pos {
@@ -35,10 +38,11 @@ class Annealer {
   void build_allowed_sets();
   void initial_place();
   void build_net_adjacency();
-  [[nodiscard]] Pos element_pos(const Element& e) const;
-  [[nodiscard]] Pos endpoint_pos(std::size_t ep) const;
   [[nodiscard]] double net_cost(std::size_t net_idx) const;
   [[nodiscard]] double total_cost() const;
+  void refresh_cost_cache();
+  const std::vector<std::size_t>& collect_affected(const Element& e,
+                                                   const Element* other);
   bool try_move(double temperature, PlaceStats& stats);
 
   [[nodiscard]] std::size_t slice_site_index(SliceSite s) const {
@@ -82,6 +86,14 @@ class Annealer {
   std::vector<std::vector<Endpoint>> net_endpoints_;
   std::vector<std::vector<std::size_t>> nets_of_slice_;
   std::vector<std::vector<std::size_t>> nets_of_iob_;
+
+  // Incremental cost state: net_cost_cache_[n] always equals net_cost(n) for
+  // the current placement (moves recompute only the affected nets and write
+  // the fresh values back on accept), so a move's "before" sum is table
+  // lookups instead of bounding-box walks.
+  std::vector<double> net_cost_cache_;
+  std::vector<std::size_t> affected_scratch_;
+  std::vector<double> new_cost_scratch_;
 };
 
 void Annealer::build_allowed_sets() {
@@ -165,6 +177,7 @@ void Annealer::initial_place() {
     e.kind = Element::Kind::Slice;
     e.index = i;
     e.allowed = slice_allowed_[i];
+    e.candidates = &allowed_sites_[static_cast<std::size_t>(e.allowed)];
     // A slice is LOC-locked when any of its cells has a LOC constraint.
     const PackedSlice& ps = d_.slices[i];
     for (int le = 0; le < 2 && !e.locked; ++le) {
@@ -265,16 +278,6 @@ void Annealer::initial_place() {
     if (!e.locked) movable_.push_back(elements_.size());
     elements_.push_back(e);
   }
-}
-
-Pos Annealer::element_pos(const Element& e) const {
-  if (e.kind == Element::Kind::Slice) {
-    const SliceSite s = d_.slice_sites[e.index];
-    return {static_cast<double>(s.c), static_cast<double>(s.r)};
-  }
-  const IobSite s = d_.iob_sites[e.index];
-  return {s.side == Side::Left ? -1.0 : static_cast<double>(dev_.cols()),
-          static_cast<double>(s.row)};
 }
 
 void Annealer::build_net_adjacency() {
@@ -389,21 +392,68 @@ double Annealer::total_cost() const {
   return c;
 }
 
+void Annealer::refresh_cost_cache() {
+  net_cost_cache_.resize(net_endpoints_.size());
+  for (std::size_t i = 0; i < net_endpoints_.size(); ++i) {
+    net_cost_cache_[i] = net_cost(i);
+  }
+}
+
+/// Nets touched by moving `e` (and `other`, when swapping), deduplicated so
+/// a net spanning both elements contributes its true delta exactly once.
+const std::vector<std::size_t>& Annealer::collect_affected(
+    const Element& e, const Element* other) {
+  auto nets_of = [&](const Element& el) -> const std::vector<std::size_t>& {
+    return el.kind == Element::Kind::Slice ? nets_of_slice_[el.index]
+                                           : nets_of_iob_[el.index];
+  };
+  affected_scratch_.clear();
+  const auto& a = nets_of(e);
+  affected_scratch_.assign(a.begin(), a.end());
+  if (other != nullptr) {
+    const auto& b = nets_of(*other);
+    affected_scratch_.insert(affected_scratch_.end(), b.begin(), b.end());
+    std::sort(affected_scratch_.begin(), affected_scratch_.end());
+    affected_scratch_.erase(
+        std::unique(affected_scratch_.begin(), affected_scratch_.end()),
+        affected_scratch_.end());
+  }
+  return affected_scratch_;
+}
+
 bool Annealer::try_move(double temperature, PlaceStats& stats) {
   if (movable_.empty()) return false;
   ++stats.moves;
   const std::size_t ei = movable_[rng_.uniform(movable_.size())];
   Element& e = elements_[ei];
 
-  // Collect the nets affected and their pre-move cost lazily per candidate.
-  auto affected_nets = [&](const Element& el) -> const std::vector<std::size_t>& {
-    return el.kind == Element::Kind::Slice ? nets_of_slice_[el.index]
-                                           : nets_of_iob_[el.index];
+  // Evaluate a move after its sites are swapped: the "before" sum comes from
+  // the cache, only the affected nets are re-measured, and accepted moves
+  // write the fresh values back so the cache stays exact. Returns the
+  // accept/reject decision; the caller reverts sites on reject.
+  auto decide = [&](const std::vector<std::size_t>& affected,
+                    double before) -> bool {
+    new_cost_scratch_.clear();
+    double after = 0;
+    for (const std::size_t n : affected) {
+      const double c = net_cost(n);
+      new_cost_scratch_.push_back(c);
+      after += c;
+    }
+    const double delta = after - before;
+    if (delta <= 0 ||
+        (temperature > 0 && rng_.unit() < std::exp(-delta / temperature))) {
+      for (std::size_t i = 0; i < affected.size(); ++i) {
+        net_cost_cache_[affected[i]] = new_cost_scratch_[i];
+      }
+      ++stats.accepted;
+      return true;
+    }
+    return false;
   };
 
   if (e.kind == Element::Kind::Slice) {
-    const auto& candidates =
-        allowed_sites_[static_cast<std::size_t>(e.allowed)];
+    const auto& candidates = *e.candidates;
     const std::size_t target = candidates[rng_.uniform(candidates.size())];
     const std::size_t source = slice_site_index(d_.slice_sites[e.index]);
     if (target == source) return false;
@@ -416,14 +466,9 @@ bool Annealer::try_move(double temperature, PlaceStats& stats) {
         return false;  // can't displace
       }
     }
-    // Cost before.
+    const auto& affected = collect_affected(e, other);
     double before = 0;
-    for (const std::size_t n : affected_nets(e)) before += net_cost(n);
-    if (other != nullptr) {
-      for (const std::size_t n : affected_nets(*other)) {
-        before += net_cost(n);
-      }
-    }
+    for (const std::size_t n : affected) before += net_cost_cache_[n];
     // Apply.
     const SliceSite old_site = d_.slice_sites[e.index];
     d_.slice_sites[e.index] = slice_site_of_index(target);
@@ -434,17 +479,7 @@ bool Annealer::try_move(double temperature, PlaceStats& stats) {
     } else {
       site_occupant_[source] = -1;
     }
-    double after = 0;
-    for (const std::size_t n : affected_nets(e)) after += net_cost(n);
-    if (other != nullptr) {
-      for (const std::size_t n : affected_nets(*other)) after += net_cost(n);
-    }
-    const double delta = after - before;
-    if (delta <= 0 ||
-        (temperature > 0 && rng_.unit() < std::exp(-delta / temperature))) {
-      ++stats.accepted;
-      return true;
-    }
+    if (decide(affected, before)) return true;
     // Revert.
     d_.slice_sites[e.index] = old_site;
     site_occupant_[source] = static_cast<int>(ei);
@@ -467,11 +502,9 @@ bool Annealer::try_move(double temperature, PlaceStats& stats) {
     other = &elements_[static_cast<std::size_t>(occ)];
     if (other->locked) return false;
   }
+  const auto& affected = collect_affected(e, other);
   double before = 0;
-  for (const std::size_t n : affected_nets(e)) before += net_cost(n);
-  if (other != nullptr) {
-    for (const std::size_t n : affected_nets(*other)) before += net_cost(n);
-  }
+  for (const std::size_t n : affected) before += net_cost_cache_[n];
   d_.iob_sites[e.index] = iob_site_list_[target];
   iob_site_of_cell_[e.index] = target;
   iob_occupant_[target] = static_cast<int>(ei);
@@ -482,17 +515,7 @@ bool Annealer::try_move(double temperature, PlaceStats& stats) {
   } else {
     iob_occupant_[source] = -1;
   }
-  double after = 0;
-  for (const std::size_t n : affected_nets(e)) after += net_cost(n);
-  if (other != nullptr) {
-    for (const std::size_t n : affected_nets(*other)) after += net_cost(n);
-  }
-  const double delta = after - before;
-  if (delta <= 0 ||
-      (temperature > 0 && rng_.unit() < std::exp(-delta / temperature))) {
-    ++stats.accepted;
-    return true;
-  }
+  if (decide(affected, before)) return true;
   d_.iob_sites[e.index] = iob_site_list_[source];
   iob_site_of_cell_[e.index] = source;
   iob_occupant_[source] = static_cast<int>(ei);
@@ -512,6 +535,7 @@ PlaceStats Annealer::run() {
   build_net_adjacency();
 
   PlaceStats stats;
+  refresh_cost_cache();
   stats.initial_cost = total_cost();
 
   // Temperature from sampled move deltas.

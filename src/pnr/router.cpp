@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <sstream>
 #include <unordered_map>
 
 #include "support/log.h"
+#include "support/thread_pool.h"
 
 namespace jpg {
 
@@ -76,6 +78,35 @@ RoutingGraph::RoutingGraph(const Device& device) : device_(&device) {
   for (const RawEdge& re : raw) {
     edges_[cursor[re.from]++] = re.e;
   }
+
+  // Flattened node metadata for the A* inner loop.
+  node_r_.assign(n, -1);
+  node_c_.assign(n, -1);
+  base_cost_.assign(n, 1.0f);
+  for (std::size_t node = 0; node < n; ++node) {
+    const auto info = fab.node_info(node);
+    switch (info.type) {
+      case RoutingFabric::NodeInfo::Type::TileWire:
+        node_r_[node] = static_cast<std::int16_t>(info.r);
+        node_c_[node] = static_cast<std::int16_t>(info.c);
+        break;
+      case RoutingFabric::NodeInfo::Type::PadOut:
+      case RoutingFabric::NodeInfo::Type::PadIn:
+        // Pads sit just off the array edge; anchoring them at the adjacent
+        // CLB column keeps IOB nets' A* heuristic and bounding box tight
+        // (a -1 here would degrade every pad search to blind Dijkstra).
+        node_r_[node] = static_cast<std::int16_t>(info.r);
+        node_c_[node] = static_cast<std::int16_t>(
+            info.side == Side::Left ? 0 : device.cols() - 1);
+        break;
+      case RoutingFabric::NodeInfo::Type::LongH:
+      case RoutingFabric::NodeInfo::Type::LongV:
+        base_cost_[node] = 3.0f;  // discourage long lines unless they pay off
+        break;
+      default:
+        break;
+    }
+  }
   JPG_INFO("routing graph for " << device.spec().name << ": " << n
                                 << " nodes, " << edges_.size() << " edges");
 }
@@ -97,6 +128,87 @@ const RoutingGraph& RoutingGraph::get(const Device& device) {
 
 namespace {
 
+/// Per-worker A* scratch: the stamp/cost/predecessor arrays, the reusable
+/// binary heap, and the routing-tree membership stamps. One instance per
+/// concurrent search; leased from a pool so batches of any width reuse the
+/// same allocations.
+struct RouterScratch {
+  std::vector<double> cost;
+  std::vector<std::int32_t> prev_edge;  ///< index into edge_store
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t cur_stamp = 0;
+  std::vector<std::pair<std::uint32_t, RoutingGraph::Edge>> edge_store;
+  /// Min-heap of (est total, node), reused across sink searches.
+  std::vector<std::pair<double, std::size_t>> heap;
+  /// Routing-tree membership as a stamp array (replaces the seed's O(n)
+  /// std::find over the tree vector) plus the tree nodes for seeding.
+  std::vector<std::uint32_t> tree_stamp;
+  std::uint32_t tree_mark = 0;
+  std::vector<std::size_t> tree;
+  std::vector<std::size_t> sinks;
+
+  void ensure(std::size_t n) {
+    if (stamp.size() < n) {
+      cost.resize(n);
+      prev_edge.resize(n);
+      stamp.assign(n, 0);
+      tree_stamp.assign(n, 0);
+      cur_stamp = 0;
+      tree_mark = 0;
+    }
+  }
+};
+
+/// Mutex-guarded lease pool of RouterScratch instances (cheap relative to a
+/// single A* search; keeps per-worker state off the PathFinder object).
+class ScratchPool {
+ public:
+  explicit ScratchPool(std::size_t nodes) : nodes_(nodes) {}
+
+  RouterScratch* acquire() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.empty()) {
+      all_.push_back(std::make_unique<RouterScratch>());
+      all_.back()->ensure(nodes_);
+      return all_.back().get();
+    }
+    RouterScratch* s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  void release(RouterScratch* s) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(s);
+  }
+
+  struct Lease {
+    ScratchPool* pool;
+    RouterScratch* s;
+    explicit Lease(ScratchPool& p) : pool(&p), s(p.acquire()) {}
+    ~Lease() { pool->release(s); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+  };
+
+ private:
+  std::size_t nodes_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<RouterScratch>> all_;
+  std::vector<RouterScratch*> free_;
+};
+
+/// Net bounding box over CLB tile coordinates, used for conflict-free
+/// batching. Nets touching position-free nodes (longs, pads, GCLK) get the
+/// whole device — conservative, so they never share a batch with anything
+/// they could contend with.
+struct NetBBox {
+  int r0 = 0, c0 = 0, r1 = 0, c1 = 0;
+
+  [[nodiscard]] bool overlaps(const NetBBox& o) const {
+    return !(r1 < o.r0 || o.r1 < r0 || c1 < o.c0 || o.c1 < c0);
+  }
+};
+
 class PathFinder {
  public:
   PathFinder(const RoutingGraph& g, const std::vector<NetToRoute>& nets,
@@ -107,11 +219,25 @@ class PathFinder {
 
  private:
   void build_permissions();
-  [[nodiscard]] double base_cost(std::size_t node) const;
-  [[nodiscard]] double heuristic(std::size_t node, std::size_t sink) const;
-  /// Routes one net; returns its node set + edges. Throws on unreachable.
-  void route_net(std::size_t net_idx);
+  void compute_bboxes();
+  void make_batches(const std::vector<std::size_t>& work,
+                    std::vector<std::vector<std::size_t>>& batches) const;
+  /// Routes one net against the frozen occupancy/history snapshot using the
+  /// given scratch; fills result_[net_idx] but does NOT touch occupancy_
+  /// (merged at the batch barrier). Throws on unreachable.
+  void route_net(std::size_t net_idx, RouterScratch& s);
   void rip_up(std::size_t net_idx);
+  std::vector<RoutedNet> assemble(RouteStats* stats, int iterations,
+                                  std::size_t batches,
+                                  std::size_t reroutes) const;
+
+  // Seed-algorithm reference implementation (RouterOptions::reference_impl):
+  // online occupancy updates, interleaved rip-up, linear tree scans.
+  [[nodiscard]] double reference_base_cost(std::size_t node) const;
+  [[nodiscard]] double reference_heuristic(std::size_t node,
+                                           std::size_t sink) const;
+  void reference_route_net(std::size_t net_idx, RouterScratch& s);
+  std::vector<RoutedNet> run_reference(RouteStats* stats);
 
   const RoutingGraph& g_;
   const std::vector<NetToRoute>& nets_;
@@ -129,19 +255,14 @@ class PathFinder {
   std::vector<double> history_;
   double pres_fac_ = 1.0;
 
+  std::vector<NetBBox> bbox_;  ///< parallel to nets_
+
   // Per-net routing state.
   struct NetRoute {
     std::vector<std::size_t> nodes;  ///< tree nodes excluding the source
     std::vector<RoutingGraph::Edge> edges;
   };
   std::vector<NetRoute> result_;
-
-  // Scratch for A*.
-  std::vector<double> cost_;
-  std::vector<std::int32_t> prev_edge_;  ///< index into scratch edge store
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t cur_stamp_ = 0;
-  std::vector<std::pair<std::uint32_t, RoutingGraph::Edge>> edge_store_;
 };
 
 void PathFinder::build_permissions() {
@@ -211,27 +332,74 @@ void PathFinder::build_permissions() {
   }
 }
 
-double PathFinder::base_cost(std::size_t node) const {
-  const auto info = g_.device().fabric().node_info(node);
-  switch (info.type) {
-    case RoutingFabric::NodeInfo::Type::LongH:
-    case RoutingFabric::NodeInfo::Type::LongV:
-      return 3.0;  // discourage long lines unless they pay off
-    default:
-      return 1.0;
+/// Bounding-box margin (tiles) around a net's terminals. Searches may
+/// wander outside it (the box is a batching hint, not a search limit);
+/// the margin keeps most detours inside the claimed area so nets of the
+/// same batch rarely claim the same node.
+constexpr int kBatchMargin = kHexSpan;
+
+void PathFinder::compute_bboxes() {
+  const Device& dev = g_.device();
+  bbox_.resize(nets_.size());
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    NetBBox full{0, 0, dev.rows() - 1, dev.cols() - 1};
+    NetBBox b{dev.rows(), dev.cols(), -1, -1};
+    bool positional = true;
+    auto add = [&](std::size_t node) {
+      const int r = g_.node_r(node);
+      if (r < 0) {
+        positional = false;
+        return;
+      }
+      b.r0 = std::min(b.r0, r);
+      b.r1 = std::max(b.r1, r);
+      b.c0 = std::min(b.c0, static_cast<int>(g_.node_c(node)));
+      b.c1 = std::max(b.c1, static_cast<int>(g_.node_c(node)));
+    };
+    add(nets_[i].source);
+    for (const std::size_t s : nets_[i].sinks) add(s);
+    if (!positional) {
+      bbox_[i] = full;
+      continue;
+    }
+    b.r0 = std::max(0, b.r0 - kBatchMargin);
+    b.c0 = std::max(0, b.c0 - kBatchMargin);
+    b.r1 = std::min(dev.rows() - 1, b.r1 + kBatchMargin);
+    b.c1 = std::min(dev.cols() - 1, b.c1 + kBatchMargin);
+    bbox_[i] = b;
   }
 }
 
-double PathFinder::heuristic(std::size_t node, std::size_t sink) const {
-  const RoutingFabric& fab = g_.device().fabric();
-  const auto a = fab.node_info(node);
-  const auto b = fab.node_info(sink);
-  if (a.type != RoutingFabric::NodeInfo::Type::TileWire ||
-      b.type != RoutingFabric::NodeInfo::Type::TileWire) {
-    return 0;  // longs span rows/cols; pads sit at edges: stay admissible
+void PathFinder::make_batches(
+    const std::vector<std::size_t>& work,
+    std::vector<std::vector<std::size_t>>& batches) const {
+  // Greedy first-fit in net order: a net joins the earliest batch whose
+  // members' boxes it does not overlap. Purely a function of the work list
+  // and the terminal positions, hence identical at every thread count.
+  batches.clear();
+  std::vector<std::vector<const NetBBox*>> boxes;
+  for (const std::size_t i : work) {
+    const NetBBox& nb = bbox_[i];
+    bool placed = false;
+    for (std::size_t b = 0; b < batches.size() && !placed; ++b) {
+      bool clash = false;
+      for (const NetBBox* other : boxes[b]) {
+        if (nb.overlaps(*other)) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) {
+        batches[b].push_back(i);
+        boxes[b].push_back(&nb);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      batches.push_back({i});
+      boxes.push_back({&nb});
+    }
   }
-  const double dist = std::abs(a.r - b.r) + std::abs(a.c - b.c);
-  return dist / static_cast<double>(kHexSpan);
 }
 
 void PathFinder::rip_up(std::size_t net_idx) {
@@ -242,62 +410,124 @@ void PathFinder::rip_up(std::size_t net_idx) {
   result_[net_idx].edges.clear();
 }
 
-void PathFinder::route_net(std::size_t net_idx) {
+/// Extra tiles the *search window* extends beyond the batching bbox. The
+/// window prunes A* expansion to the net's neighbourhood — on a large part
+/// most of the graph is provably irrelevant to a short net — and a failed
+/// windowed search falls back to the full graph, so routability is never
+/// lost. Both window and fallback are pure functions of the net, keeping
+/// the result thread-count-invariant.
+constexpr int kSearchMargin = kHexSpan;
+
+void PathFinder::route_net(std::size_t net_idx, RouterScratch& s) {
   const NetToRoute& net = nets_[net_idx];
   NetRoute& out = result_[net_idx];
+  const Device& dev = g_.device();
+  const int cols = dev.cols();
 
-  // Order sinks farthest-first (stabilises the tree shape).
-  std::vector<std::size_t> sinks = net.sinks;
-  std::sort(sinks.begin(), sinks.end(), [&](std::size_t x, std::size_t y) {
-    return heuristic(net.source, x) > heuristic(net.source, y);
+  const NetBBox& bb = bbox_[net_idx];
+  const NetBBox win{std::max(0, bb.r0 - kSearchMargin),
+                    std::max(0, bb.c0 - kSearchMargin),
+                    std::min(dev.rows() - 1, bb.r1 + kSearchMargin),
+                    std::min(cols - 1, bb.c1 + kSearchMargin)};
+  const bool win_is_full = win.r0 == 0 && win.c0 == 0 &&
+                           win.r1 == dev.rows() - 1 && win.c1 == cols - 1;
+
+  // Order sinks farthest-first (stabilises the tree shape); ties break on
+  // node id so the order is a pure function of the net.
+  const int src_r = g_.node_r(net.source);
+  const int src_c = g_.node_c(net.source);
+  auto dist_from_source = [&](std::size_t x) {
+    const int r = g_.node_r(x);
+    if (src_r < 0 || r < 0) return 0;
+    return std::abs(src_r - r) + std::abs(src_c - g_.node_c(x));
+  };
+  s.sinks.assign(net.sinks.begin(), net.sinks.end());
+  std::sort(s.sinks.begin(), s.sinks.end(), [&](std::size_t x, std::size_t y) {
+    const int dx = dist_from_source(x), dy = dist_from_source(y);
+    return dx != dy ? dx > dy : x < y;
   });
 
-  std::vector<std::size_t> tree = {net.source};
+  s.tree.clear();
+  s.tree.push_back(net.source);
+  ++s.tree_mark;
+  s.tree_stamp[net.source] = s.tree_mark;
 
-  using QItem = std::pair<double, std::size_t>;  // (est total, node)
-  for (const std::size_t sink : sinks) {
-    if (std::find(tree.begin(), tree.end(), sink) != tree.end()) continue;
-    ++cur_stamp_;
-    edge_store_.clear();
-    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
-    auto relax = [&](std::size_t node, double cost, std::int32_t via) {
-      if (stamp_[node] == cur_stamp_ && cost_[node] <= cost) return;
-      stamp_[node] = cur_stamp_;
-      cost_[node] = cost;
-      prev_edge_[node] = via;
-      pq.emplace(cost + heuristic(node, sink), node);
+  for (const std::size_t sink : s.sinks) {
+    if (s.tree_stamp[sink] == s.tree_mark) continue;  // already in the tree
+    // Hoisted sink info: one lookup per sink search, not one per relax.
+    const int sink_r = g_.node_r(sink);
+    const int sink_c = g_.node_c(sink);
+    // Weighted A*: kAstarFac > 1 trades a sliver of path optimality for a
+    // large cut in expanded nodes (the admissible bound dist/kHexSpan is a
+    // 6x underestimate whenever the route rides singles, so the plain bound
+    // degenerates toward Dijkstra). PathFinder's negotiation still converges
+    // on slightly non-minimal trees; the factor is identical for every
+    // thread count, so determinism is unaffected.
+    constexpr double kAstarFac = 2.5;
+    auto heur = [&](std::size_t node) -> double {
+      if (sink_r < 0) return 0;
+      const int r = g_.node_r(node);
+      if (r < 0) return 0;
+      const double dist = std::abs(r - sink_r) +
+                          std::abs(static_cast<int>(g_.node_c(node)) - sink_c);
+      return dist * (kAstarFac / static_cast<double>(kHexSpan));
     };
-    for (const std::size_t t : tree) relax(t, 0.0, -1);
+    auto search = [&](bool windowed) -> bool {
+      ++s.cur_stamp;
+      s.edge_store.clear();
+      s.heap.clear();
+      auto relax = [&](std::size_t node, double cost, std::int32_t via) {
+        if (s.stamp[node] == s.cur_stamp && s.cost[node] <= cost) return;
+        s.stamp[node] = s.cur_stamp;
+        s.cost[node] = cost;
+        s.prev_edge[node] = via;
+        s.heap.emplace_back(cost + heur(node), node);
+        std::push_heap(s.heap.begin(), s.heap.end(), std::greater<>());
+      };
+      for (const std::size_t t : s.tree) relax(t, 0.0, -1);
 
-    bool found = false;
-    while (!pq.empty()) {
-      const auto [est, node] = pq.top();
-      pq.pop();
-      if (stamp_[node] != cur_stamp_) continue;
-      if (est > cost_[node] + heuristic(node, sink) + 1e-9) continue;  // stale
-      if (node == sink) {
-        found = true;
-        break;
-      }
-      for (const RoutingGraph::Edge& e : g_.out_edges(node)) {
-        const std::size_t to = e.to;
-        if (!allowed_[to]) continue;
-        // CLB pips also need their tile's config bits to be in bounds.
-        if (e.dest_local >= 0 &&
-            !tile_allowed_[static_cast<std::size_t>(e.r) *
-                               g_.device().cols() + e.c]) {
-          continue;
+      while (!s.heap.empty()) {
+        const auto [est, node] = s.heap.front();
+        std::pop_heap(s.heap.begin(), s.heap.end(), std::greater<>());
+        s.heap.pop_back();
+        if (s.stamp[node] != s.cur_stamp) continue;
+        if (est > s.cost[node] + heur(node) + 1e-9) continue;  // stale
+        if (node == sink) return true;
+        for (const RoutingGraph::Edge& e : g_.out_edges(node)) {
+          const std::size_t to = e.to;
+          if (!allowed_[to]) continue;
+          if (windowed) {
+            // Position-free nodes (longs, pads, GCLK) are never pruned.
+            const int tr = g_.node_r(to);
+            if (tr >= 0 &&
+                (tr < win.r0 || tr > win.r1 ||
+                 static_cast<int>(g_.node_c(to)) < win.c0 ||
+                 static_cast<int>(g_.node_c(to)) > win.c1)) {
+              continue;
+            }
+          }
+          // CLB pips also need their tile's config bits to be in bounds.
+          if (e.dest_local >= 0 &&
+              !tile_allowed_[static_cast<std::size_t>(e.r) * cols + e.c]) {
+            continue;
+          }
+          // Congestion-negotiated cost of entering `to`, against the frozen
+          // batch-start snapshot of occupancy/history.
+          const double congestion =
+              1.0 + pres_fac_ * static_cast<double>(occupancy_[to]);
+          const double c =
+              s.cost[node] + g_.base_cost(to) * congestion + history_[to];
+          if (s.stamp[to] == s.cur_stamp && s.cost[to] <= c) continue;
+          s.edge_store.emplace_back(static_cast<std::uint32_t>(node), e);
+          relax(to, c, static_cast<std::int32_t>(s.edge_store.size() - 1));
         }
-        // Congestion-negotiated cost of entering `to`.
-        const double congestion =
-            1.0 + pres_fac_ * static_cast<double>(occupancy_[to]);
-        const double c =
-            cost_[node] + base_cost(to) * congestion + history_[to];
-        if (stamp_[to] == cur_stamp_ && cost_[to] <= c) continue;
-        edge_store_.emplace_back(static_cast<std::uint32_t>(node), e);
-        relax(to, c, static_cast<std::int32_t>(edge_store_.size() - 1));
       }
-    }
+      return false;
+    };
+    bool found = search(/*windowed=*/!win_is_full);
+    // A detour forced outside the window (e.g. around an excluded region)
+    // retries against the whole graph before the net is called unroutable.
+    if (!found && !win_is_full) found = search(/*windowed=*/false);
     if (!found) {
       std::ostringstream os;
       os << "unroutable net (id " << net.id << "): no path to sink "
@@ -306,9 +536,226 @@ void PathFinder::route_net(std::size_t net_idx) {
     }
     // Walk back, appending new nodes/edges to the tree.
     std::size_t node = sink;
-    while (prev_edge_[node] >= 0) {
-      const auto& [from, edge] = edge_store_[static_cast<std::size_t>(
-          prev_edge_[node])];
+    while (s.prev_edge[node] >= 0) {
+      const auto& [from, edge] =
+          s.edge_store[static_cast<std::size_t>(s.prev_edge[node])];
+      out.nodes.push_back(node);
+      out.edges.push_back(edge);
+      s.tree.push_back(node);
+      s.tree_stamp[node] = s.tree_mark;
+      node = from;
+    }
+  }
+}
+
+std::vector<RoutedNet> PathFinder::assemble(RouteStats* stats, int iterations,
+                                            std::size_t batches,
+                                            std::size_t reroutes) const {
+  std::vector<RoutedNet> routed(nets_.size());
+  std::size_t nodes_used = 0, pips = 0;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    routed[i].net = nets_[i].id;
+    for (const RoutingGraph::Edge& e : result_[i].edges) {
+      if (e.dest_local >= 0) {
+        routed[i].pips.push_back(
+            RoutedPip{TileCoord{e.r, e.c}, e.dest_local, e.sel});
+      } else {
+        const Side side =
+            e.dest_local == RoutingGraph::kPadInLeft ? Side::Left : Side::Right;
+        routed[i].iob_pips.push_back(IobRoute{IobSite{side, e.r, e.c}, e.sel});
+      }
+    }
+    nodes_used += result_[i].nodes.size();
+    pips += routed[i].pips.size() + routed[i].iob_pips.size();
+  }
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->nodes_used = nodes_used;
+    stats->total_pips = pips;
+    stats->batches = batches;
+    stats->nets_rerouted = reroutes;
+  }
+  JPG_DEBUG("router: " << nets_.size() << " nets, " << pips << " pips, "
+                       << iterations << " iterations, " << batches
+                       << " batches");
+  return routed;
+}
+
+std::vector<RoutedNet> PathFinder::run(RouteStats* stats) {
+  build_permissions();
+  const std::size_t n = g_.num_nodes();
+  occupancy_.assign(n, 0);
+  history_.assign(n, 0.0);
+  result_.assign(nets_.size(), {});
+
+  if (opt_.reference_impl) return run_reference(stats);
+
+  compute_bboxes();
+  // Execution width: 1 routes in the caller's thread; 0/auto and N>1 lease
+  // a shared pool. The result is identical either way (batch snapshots).
+  ThreadPool* pool = nullptr;
+  if (opt_.num_threads != 1) {
+    ThreadPool& p = ThreadPool::sized(
+        opt_.num_threads <= 0 ? 0 : static_cast<std::size_t>(opt_.num_threads));
+    if (p.size() > 1) pool = &p;
+  }
+  ScratchPool scratch(n);
+
+  pres_fac_ = opt_.pres_fac_first;
+  std::vector<std::size_t> work;
+  std::vector<std::size_t> overused_nodes;
+  std::vector<std::vector<std::size_t>> batches;
+  std::size_t batch_count = 0, reroutes = 0;
+  int iter = 0;
+  for (iter = 1; iter <= opt_.max_iterations; ++iter) {
+    // Nets that are unrouted or ride an overused node get rerouted.
+    work.clear();
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+      bool needs = result_[i].nodes.empty() && !nets_[i].sinks.empty();
+      for (const std::size_t node : result_[i].nodes) {
+        if (occupancy_[node] > 1) {
+          needs = true;
+          break;
+        }
+      }
+      if (needs) work.push_back(i);
+    }
+    for (const std::size_t i : work) rip_up(i);
+    make_batches(work, batches);
+    batch_count += batches.size();
+    reroutes += work.size();
+
+    overused_nodes.clear();
+    for (const auto& batch : batches) {
+      // Route the batch against the frozen snapshot. occupancy_/history_
+      // are read-only until every search of the batch has finished.
+      if (pool == nullptr || batch.size() == 1) {
+        ScratchPool::Lease lease(scratch);
+        for (const std::size_t i : batch) route_net(i, *lease.s);
+      } else {
+        pool->parallel_for(batch.size(), [&](std::size_t k) {
+          ScratchPool::Lease lease(scratch);
+          route_net(batch[k], *lease.s);
+        });
+      }
+      // Deterministic merge barrier: claims land in net order. Rip-up leaves
+      // every node at occupancy 0 or 1 (all riders of an overused node are
+      // rerouted together), so a node is overused this iteration iff some
+      // merge increment takes it to exactly 2 — record that transition and
+      // the congestion check below stays O(overused), not O(n).
+      for (const std::size_t i : batch) {
+        for (const std::size_t node : result_[i].nodes) {
+          if (++occupancy_[node] == 2) overused_nodes.push_back(node);
+        }
+      }
+    }
+
+    // Check for congestion.
+    for (const std::size_t node : overused_nodes) {
+      history_[node] +=
+          opt_.hist_fac * static_cast<double>(occupancy_[node] - 1);
+    }
+    if (overused_nodes.empty()) break;
+    pres_fac_ *= opt_.pres_fac_mult;
+    if (iter == opt_.max_iterations) {
+      throw DeviceError("router failed to resolve congestion after " +
+                        std::to_string(iter) + " iterations");
+    }
+  }
+
+  return assemble(stats, iter, batch_count, reroutes);
+}
+
+// --- Seed-algorithm reference (bench baseline) -------------------------------
+
+double PathFinder::reference_base_cost(std::size_t node) const {
+  const auto info = g_.device().fabric().node_info(node);
+  switch (info.type) {
+    case RoutingFabric::NodeInfo::Type::LongH:
+    case RoutingFabric::NodeInfo::Type::LongV:
+      return 3.0;
+    default:
+      return 1.0;
+  }
+}
+
+double PathFinder::reference_heuristic(std::size_t node,
+                                       std::size_t sink) const {
+  const RoutingFabric& fab = g_.device().fabric();
+  const auto a = fab.node_info(node);
+  const auto b = fab.node_info(sink);
+  if (a.type != RoutingFabric::NodeInfo::Type::TileWire ||
+      b.type != RoutingFabric::NodeInfo::Type::TileWire) {
+    return 0;
+  }
+  const double dist = std::abs(a.r - b.r) + std::abs(a.c - b.c);
+  return dist / static_cast<double>(kHexSpan);
+}
+
+void PathFinder::reference_route_net(std::size_t net_idx, RouterScratch& s) {
+  const NetToRoute& net = nets_[net_idx];
+  NetRoute& out = result_[net_idx];
+
+  std::vector<std::size_t> sinks = net.sinks;
+  std::sort(sinks.begin(), sinks.end(), [&](std::size_t x, std::size_t y) {
+    return reference_heuristic(net.source, x) >
+           reference_heuristic(net.source, y);
+  });
+
+  std::vector<std::size_t> tree = {net.source};
+
+  using QItem = std::pair<double, std::size_t>;
+  for (const std::size_t sink : sinks) {
+    if (std::find(tree.begin(), tree.end(), sink) != tree.end()) continue;
+    ++s.cur_stamp;
+    s.edge_store.clear();
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    auto relax = [&](std::size_t node, double cost, std::int32_t via) {
+      if (s.stamp[node] == s.cur_stamp && s.cost[node] <= cost) return;
+      s.stamp[node] = s.cur_stamp;
+      s.cost[node] = cost;
+      s.prev_edge[node] = via;
+      pq.emplace(cost + reference_heuristic(node, sink), node);
+    };
+    for (const std::size_t t : tree) relax(t, 0.0, -1);
+
+    bool found = false;
+    while (!pq.empty()) {
+      const auto [est, node] = pq.top();
+      pq.pop();
+      if (s.stamp[node] != s.cur_stamp) continue;
+      if (est > s.cost[node] + reference_heuristic(node, sink) + 1e-9) continue;
+      if (node == sink) {
+        found = true;
+        break;
+      }
+      for (const RoutingGraph::Edge& e : g_.out_edges(node)) {
+        const std::size_t to = e.to;
+        if (!allowed_[to]) continue;
+        if (e.dest_local >= 0 &&
+            !tile_allowed_[static_cast<std::size_t>(e.r) * g_.device().cols() +
+                           e.c]) {
+          continue;
+        }
+        const double congestion =
+            1.0 + pres_fac_ * static_cast<double>(occupancy_[to]);
+        const double c =
+            s.cost[node] + reference_base_cost(to) * congestion + history_[to];
+        if (s.stamp[to] == s.cur_stamp && s.cost[to] <= c) continue;
+        s.edge_store.emplace_back(static_cast<std::uint32_t>(node), e);
+        relax(to, c, static_cast<std::int32_t>(s.edge_store.size() - 1));
+      }
+    }
+    if (!found) {
+      std::ostringstream os;
+      os << "unroutable net (id " << net.id << "): no path to sink "
+         << g_.device().fabric().node_name(sink);
+      throw DeviceError(os.str());
+    }
+    std::size_t node = sink;
+    while (s.prev_edge[node] >= 0) {
+      const auto& [from, edge] =
+          s.edge_store[static_cast<std::size_t>(s.prev_edge[node])];
       out.nodes.push_back(node);
       ++occupancy_[node];
       out.edges.push_back(edge);
@@ -318,20 +765,15 @@ void PathFinder::route_net(std::size_t net_idx) {
   }
 }
 
-std::vector<RoutedNet> PathFinder::run(RouteStats* stats) {
-  build_permissions();
+std::vector<RoutedNet> PathFinder::run_reference(RouteStats* stats) {
   const std::size_t n = g_.num_nodes();
-  occupancy_.assign(n, 0);
-  history_.assign(n, 0.0);
-  cost_.assign(n, 0.0);
-  prev_edge_.assign(n, -1);
-  stamp_.assign(n, 0);
-  result_.assign(nets_.size(), {});
+  RouterScratch scratch;
+  scratch.ensure(n);
 
   pres_fac_ = opt_.pres_fac_first;
+  std::size_t reroutes = 0;
   int iter = 0;
   for (iter = 1; iter <= opt_.max_iterations; ++iter) {
-    // (Re)route nets that are unrouted or congested.
     for (std::size_t i = 0; i < nets_.size(); ++i) {
       bool needs = result_[i].nodes.empty() && !nets_[i].sinks.empty();
       for (const std::size_t node : result_[i].nodes) {
@@ -342,9 +784,9 @@ std::vector<RoutedNet> PathFinder::run(RouteStats* stats) {
       }
       if (!needs) continue;
       rip_up(i);
-      route_net(i);
+      reference_route_net(i, scratch);
+      ++reroutes;
     }
-    // Check for congestion.
     bool overused = false;
     for (std::size_t node = 0; node < n; ++node) {
       if (occupancy_[node] > 1) {
@@ -361,32 +803,7 @@ std::vector<RoutedNet> PathFinder::run(RouteStats* stats) {
     }
   }
 
-  // Assemble results.
-  std::vector<RoutedNet> routed(nets_.size());
-  std::size_t nodes_used = 0, pips = 0;
-  for (std::size_t i = 0; i < nets_.size(); ++i) {
-    routed[i].net = nets_[i].id;
-    for (const RoutingGraph::Edge& e : result_[i].edges) {
-      if (e.dest_local >= 0) {
-        routed[i].pips.push_back(RoutedPip{
-            TileCoord{e.r, e.c}, e.dest_local, e.sel});
-      } else {
-        const Side side =
-            e.dest_local == RoutingGraph::kPadInLeft ? Side::Left : Side::Right;
-        routed[i].iob_pips.push_back(IobRoute{IobSite{side, e.r, e.c}, e.sel});
-      }
-    }
-    nodes_used += result_[i].nodes.size();
-    pips += routed[i].pips.size() + routed[i].iob_pips.size();
-  }
-  if (stats != nullptr) {
-    stats->iterations = iter;
-    stats->nodes_used = nodes_used;
-    stats->total_pips = pips;
-  }
-  JPG_DEBUG("router: " << nets_.size() << " nets, " << pips << " pips, "
-                       << iter << " iterations");
-  return routed;
+  return assemble(stats, iter, 0, reroutes);
 }
 
 }  // namespace

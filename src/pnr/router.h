@@ -1,6 +1,13 @@
 // Router: PathFinder negotiated-congestion routing over the device fabric —
 // the PAR routing step of the Foundation flow.
 //
+// Each PathFinder iteration batches the nets that need (re)routing into
+// conflict-free groups by bounding-box overlap and routes a batch's nets
+// concurrently against a frozen occupancy/history snapshot; occupancy is
+// merged back in net order at a barrier between batches. Because every
+// net's search depends only on the snapshot, the result is byte-identical
+// for any RouterOptions::num_threads (see DESIGN.md §5c).
+//
 // The router understands the partial-reconfiguration resource discipline
 // (DESIGN.md, pnr/flow.h): a *module* net may be restricted to its region's
 // tiles (plus the region's vertical long lines when the region is full
@@ -41,6 +48,20 @@ class RoutingGraph {
   }
   [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
 
+  /// Flattened per-node metadata for the router's hot loop: tile row/col
+  /// (-1 for longs, pads and GCLK — nodes without a single tile position)
+  /// and the PathFinder base cost by node type. Precomputed once per device
+  /// so A* never calls RoutingFabric::node_info while relaxing edges.
+  [[nodiscard]] std::int16_t node_r(std::size_t node) const {
+    return node_r_[node];
+  }
+  [[nodiscard]] std::int16_t node_c(std::size_t node) const {
+    return node_c_[node];
+  }
+  [[nodiscard]] double base_cost(std::size_t node) const {
+    return base_cost_[node];
+  }
+
   /// Process-wide cache (graphs are immutable and expensive).
   static const RoutingGraph& get(const Device& device);
 
@@ -48,6 +69,9 @@ class RoutingGraph {
   const Device* device_;
   std::vector<std::size_t> offsets_;
   std::vector<Edge> edges_;
+  std::vector<std::int16_t> node_r_;
+  std::vector<std::int16_t> node_c_;
+  std::vector<float> base_cost_;
 };
 
 struct NetToRoute {
@@ -75,12 +99,27 @@ struct RouterOptions {
   double pres_fac_first = 0.8;
   double pres_fac_mult = 1.6;
   double hist_fac = 0.5;
+  /// Worker threads for the per-iteration net fan-out: 0 sizes to the
+  /// hardware (ThreadPool::global()), 1 routes in the caller's thread, N>1
+  /// uses a shared pool of exactly N workers (ThreadPool::sized). The
+  /// routed output is byte-identical for every value — nets are batched
+  /// into conflict-free groups and merged at a deterministic barrier, so
+  /// the thread count only changes wall-clock, never the result.
+  int num_threads = 0;
+  /// Bench-only reference: the seed's unbatched sequential algorithm
+  /// (linear tree-membership scans, per-relax node_info lookups, a fresh
+  /// heap per sink search, online occupancy updates). Kept so
+  /// bench_cl_pnr_time can measure the batched router's speedup against an
+  /// in-tree baseline; its results may differ from the batched router.
+  bool reference_impl = false;
 };
 
 struct RouteStats {
   int iterations = 0;
   std::size_t nodes_used = 0;
   std::size_t total_pips = 0;
+  std::size_t batches = 0;        ///< conflict-free batches executed
+  std::size_t nets_rerouted = 0;  ///< (re)route invocations over all iterations
 };
 
 /// Routes all nets; throws DeviceError when a sink is unreachable or

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <exception>
+#include <map>
+#include <memory>
 
 #include "support/error.h"
 
@@ -113,6 +115,18 @@ void ThreadPool::parallel_for(std::size_t n,
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
+}
+
+ThreadPool& ThreadPool::sized(std::size_t n) {
+  if (n == 0) return global();
+  static std::mutex mutex;
+  static std::map<std::size_t, std::unique_ptr<ThreadPool>> pools;
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto it = pools.find(n);
+  if (it == pools.end()) {
+    it = pools.emplace(n, std::make_unique<ThreadPool>(n)).first;
+  }
+  return *it->second;
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {

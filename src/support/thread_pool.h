@@ -35,6 +35,13 @@ class ThreadPool {
   /// Shared process-wide pool (lazily constructed).
   static ThreadPool& global();
 
+  /// Shared pool with exactly `n` workers (lazily constructed, cached per
+  /// size, never destroyed before exit). `n == 0` returns global(). Callers
+  /// that take a thread-count knob (RouterOptions::num_threads) use this so
+  /// repeated runs at the same width reuse the same workers instead of
+  /// spawning a pool per call.
+  static ThreadPool& sized(std::size_t n);
+
  private:
   void worker_loop();
 

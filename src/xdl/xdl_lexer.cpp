@@ -4,6 +4,18 @@ namespace jpg {
 
 XdlLexer::XdlLexer(std::string_view text, std::string filename)
     : filename_(std::move(filename)) {
+  lex(text);
+}
+
+XdlLexer::XdlLexer(std::string&& text, std::string filename)
+    : filename_(std::move(filename)), owned_(std::move(text)) {
+  lex(owned_);
+}
+
+void XdlLexer::lex(std::string_view text) {
+  // One token per handful of source bytes is typical for XDL; reserving up
+  // front avoids the vector's doubling copies on multi-megabyte designs.
+  tokens_.reserve(text.size() / 8 + 4);
   int line = 1;
   std::size_t i = 0;
   const std::size_t n = text.size();
@@ -23,22 +35,23 @@ XdlLexer::XdlLexer(std::string_view text, std::string filename)
       continue;
     }
     if (c == ',') {
-      tokens_.push_back({XdlToken::Kind::Comma, ",", line});
+      tokens_.push_back({XdlToken::Kind::Comma, text.substr(i, 1), line});
       ++i;
       continue;
     }
     if (c == ';') {
-      tokens_.push_back({XdlToken::Kind::Semicolon, ";", line});
+      tokens_.push_back({XdlToken::Kind::Semicolon, text.substr(i, 1), line});
       ++i;
       continue;
     }
     if (c == '-' && i + 1 < n && text[i + 1] == '>') {
-      tokens_.push_back({XdlToken::Kind::Arrow, "->", line});
+      tokens_.push_back({XdlToken::Kind::Arrow, text.substr(i, 2), line});
       i += 2;
       continue;
     }
     if (c == '"') {
-      // Strings may span lines (cfg strings routinely do in real XDL).
+      // Strings may span lines (cfg strings routinely do in real XDL); the
+      // token views the raw span between the quotes, newlines included.
       const int start_line = line;
       const std::size_t start = ++i;
       while (i < n && text[i] != '"') {
@@ -49,8 +62,7 @@ XdlLexer::XdlLexer(std::string_view text, std::string filename)
         throw ParseError(filename_, start_line, "unterminated string literal");
       }
       tokens_.push_back(
-          {XdlToken::Kind::String, std::string(text.substr(start, i - start)),
-           start_line});
+          {XdlToken::Kind::String, text.substr(start, i - start), start_line});
       ++i;
       continue;
     }
@@ -70,10 +82,9 @@ XdlLexer::XdlLexer(std::string_view text, std::string filename)
                        std::string("unexpected character '") + c + "'");
     }
     tokens_.push_back(
-        {XdlToken::Kind::Word, std::string(text.substr(start, i - start)),
-         line});
+        {XdlToken::Kind::Word, text.substr(start, i - start), line});
   }
-  tokens_.push_back({XdlToken::Kind::End, "", line});
+  tokens_.push_back({XdlToken::Kind::End, {}, line});
 }
 
 }  // namespace jpg

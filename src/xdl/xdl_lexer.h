@@ -2,6 +2,12 @@
 //
 // Tokens: quoted strings, bare words (identifiers/numbers/site names),
 // ',', ';', and the pip arrow '->'. '#' starts a comment to end of line.
+//
+// The lexer is zero-copy: every token's `text` is a std::string_view into
+// the source buffer (quoted strings keep their raw span, newlines and all,
+// which is exactly what the parser wants). Construct from a string_view
+// when the caller keeps the buffer alive for the lexer's lifetime, or move
+// a std::string in to transfer ownership.
 #pragma once
 
 #include <string>
@@ -15,20 +21,27 @@ namespace jpg {
 struct XdlToken {
   enum class Kind { Word, String, Comma, Semicolon, Arrow, End };
   Kind kind = Kind::End;
-  std::string text;
+  std::string_view text;  ///< view into the lexer's source buffer
   int line = 0;
 };
 
 class XdlLexer {
  public:
+  /// `text` must outlive the lexer (tokens are views into it).
   XdlLexer(std::string_view text, std::string filename = "<xdl>");
+  /// Owning overload: the lexer keeps the buffer, so token views stay valid
+  /// for its whole lifetime regardless of the caller's copy.
+  XdlLexer(std::string&& text, std::string filename = "<xdl>");
 
   /// All tokens incl. a trailing End token.
   [[nodiscard]] const std::vector<XdlToken>& tokens() const { return tokens_; }
   [[nodiscard]] const std::string& filename() const { return filename_; }
 
  private:
+  void lex(std::string_view text);
+
   std::string filename_;
+  std::string owned_;  ///< backs the tokens for the owning constructor
   std::vector<XdlToken> tokens_;
 };
 

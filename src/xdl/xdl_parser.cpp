@@ -18,6 +18,20 @@ class Parser {
 
   XdlDesign parse() {
     XdlDesign d;
+    // Reserve-ahead: one cheap scan over the token stream sizes the
+    // instance and net vectors before any parse work, so multi-thousand
+    // element designs never pay vector-doubling moves.
+    std::size_t n_inst = 0, n_net = 0;
+    for (const XdlToken& tok : lexer_.tokens()) {
+      if (tok.kind != XdlToken::Kind::Word) continue;
+      if (tok.text == "inst") {
+        ++n_inst;
+      } else if (tok.text == "net") {
+        ++n_net;
+      }
+    }
+    d.instances.reserve(n_inst);
+    d.nets.reserve(n_net);
     expect_word("design");
     d.name = expect_string();
     d.part = expect_word_any();
@@ -45,27 +59,34 @@ class Parser {
   [[nodiscard]] const XdlToken& peek() const { return lexer_.tokens()[pos_]; }
   const XdlToken& next() { return lexer_.tokens()[pos_++]; }
 
+  /// Materializes a zero-copy token view (for error messages and returns).
+  [[nodiscard]] static std::string str(std::string_view sv) {
+    return std::string(sv);
+  }
+
   void expect(XdlToken::Kind kind) {
-    if (peek().kind != kind) fail("unexpected token '" + peek().text + "'");
+    if (peek().kind != kind) {
+      fail("unexpected token '" + str(peek().text) + "'");
+    }
     ++pos_;
   }
-  void expect_word(const std::string& w) {
+  void expect_word(std::string_view w) {
     if (peek().kind != XdlToken::Kind::Word || peek().text != w) {
-      fail("expected '" + w + "', got '" + peek().text + "'");
+      fail("expected '" + str(w) + "', got '" + str(peek().text) + "'");
     }
     ++pos_;
   }
   std::string expect_word_any() {
     if (peek().kind != XdlToken::Kind::Word) {
-      fail("expected a word, got '" + peek().text + "'");
+      fail("expected a word, got '" + str(peek().text) + "'");
     }
-    return next().text;
+    return str(next().text);
   }
   std::string expect_string() {
     if (peek().kind != XdlToken::Kind::String) {
-      fail("expected a quoted string, got '" + peek().text + "'");
+      fail("expected a quoted string, got '" + str(peek().text) + "'");
     }
-    return next().text;
+    return str(next().text);
   }
 
   XdlInstance parse_inst() {

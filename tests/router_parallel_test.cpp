@@ -1,0 +1,145 @@
+// Determinism tests for the batched router: the routed output must be
+// byte-identical for every RouterOptions::num_threads, because each
+// PathFinder iteration routes conflict-free batches against a frozen
+// occupancy/history snapshot and merges in net order (DESIGN.md §5c).
+#include <gtest/gtest.h>
+
+#include "netlib/generators.h"
+#include "pnr/flow.h"
+
+namespace jpg {
+namespace {
+
+constexpr int kThreadCounts[] = {2, 4, 8};
+
+std::vector<RoutedNet> flow_routes(const Device& dev, const Netlist& nl,
+                                   std::uint64_t seed, int threads) {
+  FlowOptions opt;
+  opt.seed = seed;
+  opt.router.num_threads = threads;
+  BaseFlowResult res = run_base_flow(dev, nl, {}, opt);
+  return std::move(res.design->routes);
+}
+
+TEST(RouterParallel, FullFlowByteIdenticalAcrossThreadCounts) {
+  struct Case {
+    const char* part;
+    const char* gen;
+    int param;
+  };
+  for (const Case& c : {Case{"XCV50", "counter", 12}, Case{"XCV50", "lfsr", 8},
+                        Case{"XCV100", "adder", 8}}) {
+    const Device& dev = Device::get(c.part);
+    Netlist nl("par_test");
+    for (const auto& g : netlib::registry()) {
+      if (g.name == c.gen) nl = g.make(c.param);
+    }
+    ASSERT_GT(nl.num_cells(), 0u);
+    for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+      const auto baseline = flow_routes(dev, nl, seed, 1);
+      ASSERT_FALSE(baseline.empty());
+      for (const int threads : kThreadCounts) {
+        EXPECT_EQ(flow_routes(dev, nl, seed, threads), baseline)
+            << c.gen << "/" << c.param << " on " << c.part << " seed " << seed
+            << " threads " << threads;
+      }
+    }
+  }
+}
+
+/// Spatially spread nets: slice output at (r, c) to an F1 input mux a few
+/// columns east. Disjoint bounding boxes let batches hold many nets.
+std::vector<NetToRoute> spread_nets(const Device& dev) {
+  const RoutingFabric& fab = dev.fabric();
+  std::vector<NetToRoute> nets;
+  for (int r = 0; r < dev.rows(); r += 2) {
+    for (int c = 0; c + 3 < dev.cols(); c += 5) {
+      NetToRoute n;
+      n.id = static_cast<NetId>(nets.size());
+      n.source = fab.tile_wire_node(r, c, pin_local(0, SlicePin::X));
+      n.sinks = {fab.tile_wire_node(r, c + 3, imux_local(0, ImuxPin::F1))};
+      nets.push_back(std::move(n));
+    }
+  }
+  return nets;
+}
+
+/// Congested nets: sources spread over the west half all targeting input
+/// muxes of one narrow column band, forcing several PathFinder iterations.
+std::vector<NetToRoute> congested_nets(const Device& dev) {
+  const RoutingFabric& fab = dev.fabric();
+  std::vector<NetToRoute> nets;
+  const int sink_col = dev.cols() - 3;
+  for (int r = 2; r + 2 < dev.rows(); ++r) {
+    NetToRoute n;
+    n.id = static_cast<NetId>(nets.size());
+    n.source = fab.tile_wire_node(r, (r * 3) % (dev.cols() / 2),
+                                  pin_local(r % 2, SlicePin::X));
+    n.sinks = {
+        fab.tile_wire_node(r, sink_col, imux_local(0, ImuxPin::F1)),
+        fab.tile_wire_node((r + 5) % dev.rows(), sink_col,
+                           imux_local(1, ImuxPin::G2))};
+    nets.push_back(std::move(n));
+  }
+  return nets;
+}
+
+TEST(RouterParallel, RouteNetsByteIdenticalAcrossThreadCounts) {
+  const Device& dev = Device::get("XCV50");
+  const RoutingGraph& g = RoutingGraph::get(dev);
+  using NetMaker = std::vector<NetToRoute> (*)(const Device&);
+  for (const NetMaker maker : {NetMaker{&spread_nets}, NetMaker{&congested_nets}}) {
+    const std::vector<NetToRoute> nets = maker(dev);
+    ASSERT_GT(nets.size(), 8u);
+    RouterOptions opt;
+    opt.num_threads = 1;
+    RouteStats base_stats;
+    const auto baseline = route_nets(g, nets, {}, opt, &base_stats);
+    EXPECT_GT(base_stats.batches, 0u);
+    for (const int threads : kThreadCounts) {
+      opt.num_threads = threads;
+      RouteStats stats;
+      EXPECT_EQ(route_nets(g, nets, {}, opt, &stats), baseline)
+          << "threads " << threads;
+      // Batching is a pure function of the work list, not the thread count.
+      EXPECT_EQ(stats.batches, base_stats.batches);
+      EXPECT_EQ(stats.iterations, base_stats.iterations);
+    }
+  }
+}
+
+TEST(RouterParallel, RegionConstrainedByteIdenticalAcrossThreadCounts) {
+  const Device& dev = Device::get("XCV50");
+  const RoutingGraph& g = RoutingGraph::get(dev);
+  const Region region{0, 8, dev.rows() - 1, 15};
+
+  // Static nets detouring around an excluded region exercise the region
+  // permission path under the snapshot discipline.
+  const RoutingFabric& fab = dev.fabric();
+  std::vector<NetToRoute> nets;
+  for (int r = 1; r + 1 < dev.rows(); r += 2) {
+    NetToRoute n;
+    n.id = static_cast<NetId>(nets.size());
+    n.source = fab.tile_wire_node(r, 20, pin_local(0, SlicePin::X));
+    n.sinks = {fab.tile_wire_node(r, 2, imux_local(0, ImuxPin::F1))};
+    nets.push_back(std::move(n));
+  }
+  RouteConstraints rc;
+  rc.exclude_regions.push_back(region);
+
+  RouterOptions opt;
+  opt.num_threads = 1;
+  const auto baseline = route_nets(g, nets, rc, opt);
+  for (const RoutedNet& rn : baseline) {
+    for (const RoutedPip& p : rn.pips) {
+      ASSERT_FALSE(region.contains(p.tile));
+    }
+  }
+  for (const int threads : kThreadCounts) {
+    opt.num_threads = threads;
+    EXPECT_EQ(route_nets(g, nets, rc, opt), baseline) << "threads " << threads;
+  }
+}
+
+}  // namespace
+}  // namespace jpg

@@ -12,6 +12,10 @@
 //   jpg_cli project-new <dir> <base.bit> <name>
 //   jpg_cli project-add <dir> <name> <mod.xdl> <mod.ucf>
 //   jpg_cli project-build <dir> <outdir>         partial for every module
+//   jpg_cli pnr <part> <generator> <param> [--seed S] [--threads N] [--ref]
+//                                                run the P&R flow on a
+//                                                netlib design; the printed
+//                                                digest is thread-invariant
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -23,6 +27,8 @@
 #include "core/jpg.h"
 #include "core/project.h"
 #include "hwif/sim_board.h"
+#include "netlib/generators.h"
+#include "pnr/flow.h"
 #include "ucf/ucf_parser.h"
 
 namespace jpg::cli {
@@ -228,11 +234,84 @@ int cmd_project_build(int argc, char** argv) {
   return 0;
 }
 
+int cmd_pnr(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  int threads = 0;
+  bool ref = false;
+  std::vector<std::string> pos;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ref") == 0) {
+      ref = true;
+    } else {
+      pos.emplace_back(argv[i]);
+    }
+  }
+  if (pos.size() != 3) {
+    throw JpgError(
+        "usage: jpg_cli pnr <part> <generator> <param> [--seed S] "
+        "[--threads N] [--ref]");
+  }
+  const Device& dev = Device::get(pos[0]);
+  const netlib::GeneratorInfo* gen = nullptr;
+  for (const netlib::GeneratorInfo& g : netlib::registry()) {
+    if (g.name == pos[1]) gen = &g;
+  }
+  if (gen == nullptr) {
+    std::string known;
+    for (const netlib::GeneratorInfo& g : netlib::registry()) {
+      known += " " + g.name;
+    }
+    throw JpgError("unknown generator '" + pos[1] + "'; known:" + known);
+  }
+  FlowOptions opt;
+  opt.seed = seed;
+  opt.router.num_threads = threads;
+  opt.router.reference_impl = ref;
+  const BaseFlowResult res =
+      run_base_flow(dev, gen->make(std::atoi(pos[2].c_str())), {}, opt);
+
+  // FNV-1a over the routed nets, so runs at different --threads values can
+  // be diffed for byte-identity by comparing one line of output.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const RoutedNet& rn : res.design->routes) {
+    mix(rn.net);
+    for (const RoutedPip& p : rn.pips) {
+      mix(static_cast<std::uint64_t>(p.tile.r));
+      mix(static_cast<std::uint64_t>(p.tile.c));
+      mix(static_cast<std::uint64_t>(p.dest_local));
+      mix(p.sel);
+    }
+    for (const IobRoute& p : rn.iob_pips) {
+      mix(p.site.side == Side::Left ? 0u : 1u);
+      mix(static_cast<std::uint64_t>(p.site.row));
+      mix(static_cast<std::uint64_t>(p.site.k));
+      mix(p.omux_sel);
+    }
+  }
+  std::printf("design        : %s param %s on %s (seed %llu)\n", pos[1].c_str(),
+              pos[2].c_str(), dev.spec().name.c_str(),
+              static_cast<unsigned long long>(seed));
+  std::printf("packed        : %zu slices\n", res.pack_stats.slices);
+  std::printf("routed        : %zu nets, %zu pips, %d iterations, %zu batches\n",
+              res.design->routes.size(), res.route_stats.total_pips,
+              res.route_stats.iterations, res.route_stats.batches);
+  std::printf("route digest  : %016llx\n", static_cast<unsigned long long>(h));
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "jpg_cli — partial bitstream generation (jpg-cpp)\n"
                "commands: info summarize partial apply floorplan verify\n"
-               "          project-new project-add project-build\n");
+               "          project-new project-add project-build pnr\n");
   return 2;
 }
 
@@ -255,6 +334,7 @@ int main(int argc, char** argv) {
     if (cmd == "project-new") return cmd_project_new(argc, argv);
     if (cmd == "project-add") return cmd_project_add(argc, argv);
     if (cmd == "project-build") return cmd_project_build(argc, argv);
+    if (cmd == "pnr") return cmd_pnr(argc, argv);
     return usage();
   } catch (const jpg::JpgError& e) {
     std::fprintf(stderr, "jpg_cli %s: error: %s\n", cmd.c_str(), e.what());
