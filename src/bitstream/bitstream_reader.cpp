@@ -38,9 +38,11 @@ BitstreamReader::BitstreamReader(const Bitstream& bs) {
     ++i;
     if (h->op == PacketOp::Nop) continue;
     if (h->op == PacketOp::Read) {
-      // Read requests carry no payload on the write path.
-      prev_reg = h->reg;
-      continue;
+      // ConfigPort rejects read packets on the load path; the reader
+      // mirrors the device so both decoders accept the same streams.
+      throw BitstreamError(
+          "read packets are not supported on the load path; use "
+          "ConfigPort::readback_frames");
     }
     std::uint32_t count = h->word_count;
     ConfigReg reg = h->reg;
@@ -48,8 +50,9 @@ BitstreamReader::BitstreamReader(const Bitstream& bs) {
     if (h->type == 1 && reg == ConfigReg::FDRI && count == 0) {
       if (i >= w.size()) throw BitstreamError("truncated type 2 header");
       const auto h2 = decode_header(w[i], reg);
-      if (!h2 || h2->type != 2) {
-        throw BitstreamError("expected type 2 header after zero-count FDRI");
+      if (!h2 || h2->type != 2 || h2->op != PacketOp::Write) {
+        throw BitstreamError("expected type 2 write header after zero-count "
+                             "FDRI type 1 header");
       }
       ++i;
       count = h2->word_count;
@@ -96,9 +99,19 @@ std::vector<std::pair<std::uint32_t, std::size_t>> BitstreamReader::far_blocks(
     if (rw.reg == ConfigReg::FAR && !rw.values.empty()) {
       far = rw.values[0];
       have_far = true;
-    } else if (rw.reg == ConfigReg::FDRI && have_far && frame_words > 0) {
+    } else if (rw.reg == ConfigReg::FDRI && have_far && frame_words > 0 &&
+               !rw.values.empty()) {
+      if (rw.values.size() % frame_words != 0) {
+        std::ostringstream os;
+        os << "FDRI payload of " << rw.values.size()
+           << " words is not a whole number of " << frame_words
+           << "-word frames";
+        throw BitstreamError(os.str());
+      }
       const std::size_t frames = rw.values.size() / frame_words;
-      if (frames > 0) {
+      // frames == 1 is a pad-only packet: it flushes the pipeline and
+      // commits nothing, so it contributes no block.
+      if (frames > 1) {
         blocks.emplace_back(far, frames - 1);  // exclude the pad frame
       }
     }

@@ -36,7 +36,9 @@ class BitstreamReader {
 
   /// (FAR value, frame count excl. pad) pairs in stream order, derived from
   /// each FAR write followed by FDRI data. `frame_words` converts payload
-  /// words to frames.
+  /// words to frames. Throws BitstreamError on an FDRI payload that is not
+  /// a whole number of frames; pad-only packets (exactly one frame, all of
+  /// it pipeline flush) contribute no block.
   [[nodiscard]] std::vector<std::pair<std::uint32_t, std::size_t>> far_blocks(
       std::size_t frame_words) const;
 

@@ -33,6 +33,26 @@ void ConfigPort::reset_stats() {
   committed_frame_log_.clear();
 }
 
+void ConfigPort::abort() {
+  synced_ = false;
+  mode_ = Command::NONE;
+  expect_ = Expect::Header;
+  remaining_payload_ = 0;
+  fdri_active_ = false;
+  fdri_buffer_.clear();
+  // Addressing context must not leak into the next stream: a resynced
+  // follow-up stream would otherwise decode type-2 continuation headers
+  // against the failed stream's last register, and an FDRI write that
+  // omits a fresh FAR would auto-increment from the failed stream's frame
+  // cursor. (far_loaded_ alone is not enough — cur_reg_ is consulted
+  // before any register write happens.)
+  cur_reg_ = ConfigReg::CRC;
+  far_ = 0;
+  cur_frame_ = 0;
+  far_loaded_ = false;
+  crc_.reset();
+}
+
 void ConfigPort::load_word(std::uint32_t word) {
   try {
     load_word_impl(word);
@@ -41,14 +61,7 @@ void ConfigPort::load_word(std::uint32_t word) {
     // until the next sync word, exactly like the real part after a CRC
     // failure. Memory already written stays written, and a device that had
     // completed startup keeps operating.
-    synced_ = false;
-    mode_ = Command::NONE;
-    expect_ = Expect::Header;
-    remaining_payload_ = 0;
-    fdri_active_ = false;
-    fdri_buffer_.clear();
-    far_loaded_ = false;
-    crc_.reset();
+    abort();
     throw;
   }
 }

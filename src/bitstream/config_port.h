@@ -31,6 +31,15 @@ class ConfigPort {
   /// Full power-on reset: desync, clear all state (not the memory).
   void reset();
 
+  /// SelectMAP-style ABORT: drops the packet processor to the desynced
+  /// error state — mid-packet decode state, buffered FDRI data, the running
+  /// CRC and all addressing context (FAR, current frame, last register) are
+  /// discarded; committed frames and startup status survive. This is the
+  /// recovery handle a downloader uses before retrying after a corrupted or
+  /// truncated stream left the port mid-payload; the same drop happens
+  /// automatically when load_word throws.
+  void abort();
+
   /// Clocks one word into the port. Throws BitstreamError on protocol
   /// violations (bad header, CRC mismatch, wrong IDCODE, invalid FAR, ...).
   /// After an error the port drops to the desynced error state (like the

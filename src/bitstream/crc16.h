@@ -6,17 +6,95 @@
 // CRC register compares the written value against the accumulator (and
 // resets it on success). Polynomial: CRC-16/IBM, x^16 + x^15 + x^2 + 1
 // (0x8005), zero initial value.
+//
+// Crc16 is the table-driven byte-at-a-time implementation used on the hot
+// paths (every configuration word clocked through ConfigPort, every word
+// emitted by BitstreamWriter, and every verified-download attempt pays one
+// update per word). Crc16Serial is the bit-serial formulation straight from
+// the definition above; it exists as the cross-check reference — the test
+// suite asserts the two agree over random register-write streams.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace jpg {
+
+namespace detail {
+
+// Feeding a data bit b into the left-shifting register:
+//   crc' = (crc << 1) ^ ((b ^ crc[15]) ? 0x8005 : 0)
+// i.e. the input enters at the MSB end. Eight MSB-first bits at once give
+// the classic table step  crc' = (crc << 8) ^ T[(crc >> 8) ^ byte].
+// The stream feeds each data byte LSB-first, which is the same as feeding
+// its bit-reversal MSB-first, hence the companion reverse table.
+consteval std::array<std::uint16_t, 256> make_crc16_table() {
+  std::array<std::uint16_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t v = i << 8;
+    for (int b = 0; b < 8; ++b) {
+      v = (v & 0x8000u) ? (v << 1) ^ 0x8005u : v << 1;
+    }
+    t[i] = static_cast<std::uint16_t>(v);
+  }
+  return t;
+}
+
+consteval std::array<std::uint8_t, 256> make_rev8_table() {
+  std::array<std::uint8_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint8_t r = 0;
+    for (int b = 0; b < 8; ++b) {
+      r = static_cast<std::uint8_t>((r << 1) | ((i >> b) & 1u));
+    }
+    t[i] = r;
+  }
+  return t;
+}
+
+inline constexpr auto kCrc16Table = make_crc16_table();
+inline constexpr auto kRev8Table = make_rev8_table();
+
+}  // namespace detail
 
 class Crc16 {
  public:
   void reset() noexcept { crc_ = 0; }
 
-  /// Accumulates one register write.
+  /// Accumulates one register write: 32 data bits LSB-first, then the 5
+  /// register-address bits LSB-first.
+  void update(std::uint32_t reg_addr, std::uint32_t data) noexcept {
+    std::uint16_t c = crc_;
+    c = step_byte(c, static_cast<std::uint8_t>(data));
+    c = step_byte(c, static_cast<std::uint8_t>(data >> 8));
+    c = step_byte(c, static_cast<std::uint8_t>(data >> 16));
+    c = step_byte(c, static_cast<std::uint8_t>(data >> 24));
+    // The 5-bit address tail stays bit-serial; it is not byte-aligned.
+    for (int i = 0; i < 5; ++i) {
+      const std::uint32_t bit = (reg_addr >> i) & 1u;
+      const std::uint32_t x = bit ^ (static_cast<std::uint32_t>(c) >> 15);
+      c = static_cast<std::uint16_t>((c << 1) ^ (x ? 0x8005u : 0u));
+    }
+    crc_ = c;
+  }
+
+  [[nodiscard]] std::uint16_t value() const noexcept { return crc_; }
+
+ private:
+  static std::uint16_t step_byte(std::uint16_t c, std::uint8_t lsb_first) noexcept {
+    const std::uint8_t m = detail::kRev8Table[lsb_first];
+    return static_cast<std::uint16_t>(
+        (c << 8) ^ detail::kCrc16Table[((c >> 8) ^ m) & 0xFFu]);
+  }
+
+  std::uint16_t crc_ = 0;
+};
+
+/// Bit-serial reference implementation (the definition, one bit at a time).
+class Crc16Serial {
+ public:
+  void reset() noexcept { crc_ = 0; }
+
   void update(std::uint32_t reg_addr, std::uint32_t data) noexcept {
     for (int i = 0; i < 32; ++i) {
       feed_bit((data >> i) & 1u);

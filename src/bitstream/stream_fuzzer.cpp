@@ -1,0 +1,220 @@
+#include "bitstream/stream_fuzzer.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "bitstream/bitstream_reader.h"
+#include "bitstream/bitstream_writer.h"
+#include "bitstream/config_port.h"
+#include "support/rng.h"
+
+namespace jpg {
+
+namespace {
+
+void apply_mutation(std::vector<std::uint32_t>& w, MutationKind kind, Rng& rng,
+                    std::span<const Bitstream> corpus) {
+  if (w.empty()) return;
+  switch (kind) {
+    case MutationKind::BitFlip:
+      w[rng.uniform(w.size())] ^= 1u << rng.uniform(32);
+      return;
+    case MutationKind::MultiFlip: {
+      const int flips = 2 + static_cast<int>(rng.uniform(7));
+      for (int i = 0; i < flips; ++i) {
+        w[rng.uniform(w.size())] ^= 1u << rng.uniform(32);
+      }
+      return;
+    }
+    case MutationKind::WordRandom:
+      w[rng.uniform(w.size())] = static_cast<std::uint32_t>(rng.next());
+      return;
+    case MutationKind::HeaderGarbage: {
+      // A syntactically header-shaped word with random type/op/reg/count:
+      // exercises the decoder far more often than uniform garbage would.
+      const std::uint32_t type = static_cast<std::uint32_t>(rng.uniform(8));
+      const std::uint32_t op = static_cast<std::uint32_t>(rng.uniform(4));
+      const std::uint32_t reg = static_cast<std::uint32_t>(rng.uniform(32));
+      const std::uint32_t count = static_cast<std::uint32_t>(rng.uniform(2048));
+      w[rng.uniform(w.size())] = (type << 29) | (op << 27) | (reg << 13) | count;
+      return;
+    }
+    case MutationKind::Truncate:
+      w.resize(1 + rng.uniform(w.size()));
+      return;
+    case MutationKind::DropWord:
+      w.erase(w.begin() + static_cast<std::ptrdiff_t>(rng.uniform(w.size())));
+      return;
+    case MutationKind::DupWord: {
+      const std::size_t i = rng.uniform(w.size());
+      w.insert(w.begin() + static_cast<std::ptrdiff_t>(i), w[i]);
+      return;
+    }
+    case MutationKind::InsertWord:
+      w.insert(w.begin() + static_cast<std::ptrdiff_t>(rng.uniform(w.size() + 1)),
+               static_cast<std::uint32_t>(rng.next()));
+      return;
+    case MutationKind::Splice: {
+      const Bitstream& src = corpus[rng.uniform(corpus.size())];
+      if (src.words.empty()) return;
+      const std::size_t len = 1 + rng.uniform(std::min<std::size_t>(64, src.words.size()));
+      const std::size_t from = rng.uniform(src.words.size() - len + 1);
+      const std::size_t at = rng.uniform(w.size() + 1);
+      w.insert(w.begin() + static_cast<std::ptrdiff_t>(at),
+               src.words.begin() + static_cast<std::ptrdiff_t>(from),
+               src.words.begin() + static_cast<std::ptrdiff_t>(from + len));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view mutation_kind_name(MutationKind k) {
+  switch (k) {
+    case MutationKind::BitFlip: return "bit-flip";
+    case MutationKind::MultiFlip: return "multi-flip";
+    case MutationKind::WordRandom: return "word-random";
+    case MutationKind::HeaderGarbage: return "header-garbage";
+    case MutationKind::Truncate: return "truncate";
+    case MutationKind::DropWord: return "drop-word";
+    case MutationKind::DupWord: return "dup-word";
+    case MutationKind::InsertWord: return "insert-word";
+    case MutationKind::Splice: return "splice";
+  }
+  return "?";
+}
+
+std::string FuzzReport::summary() const {
+  std::ostringstream os;
+  os << "fuzzed " << iterations << " streams: port "
+     << port_rejections << " rejected / " << port_accepts
+     << " accepted, reader " << reader_rejections << " rejected / "
+     << reader_accepts << " accepted, " << desync_violations
+     << " desync violations, " << recovery_failures << " recovery failures\n";
+  os << "mutations:";
+  for (int k = 0; k < kNumMutationKinds; ++k) {
+    os << " " << mutation_kind_name(static_cast<MutationKind>(k)) << "="
+       << mutation_counts[static_cast<std::size_t>(k)];
+  }
+  return os.str();
+}
+
+FuzzReport fuzz_config_streams(const Device& dev, const Bitstream& full_base,
+                               std::span<const Bitstream> extra_corpus,
+                               const FuzzOptions& opts) {
+  JPG_REQUIRE(!full_base.words.empty(), "full base stream is empty");
+  const FrameMap& fm = dev.frames();
+  const std::size_t fw = fm.frame_words();
+
+  // The tool-side expectation of the plane after a full reload.
+  ConfigMemory base_plane(dev);
+  {
+    ConfigPort port(base_plane);
+    port.load(full_base);
+    JPG_REQUIRE(port.started(), "full base stream does not start the device");
+  }
+
+  // A small always-valid recovery partial: two patterned frames whose
+  // round-trip proves the port decodes and commits again after abuse.
+  const std::size_t rec_first = fm.frame_index(1, 3);
+  ConfigMemory rec_plane(dev);
+  for (std::size_t f = 0; f < 2; ++f) {
+    for (std::size_t w = 0; w < fw; ++w) {
+      rec_plane.frame(rec_first + f).set_word(
+          w, 0xA5000000u ^ (static_cast<std::uint32_t>(f) << 16) ^
+                 static_cast<std::uint32_t>(w));
+    }
+  }
+  Bitstream recovery;
+  {
+    BitstreamWriter w(dev);
+    w.begin();
+    w.write_cmd(Command::RCRC);
+    w.write_reg(ConfigReg::FLR, static_cast<std::uint32_t>(fw - 1));
+    w.write_reg(ConfigReg::IDCODE, dev.spec().idcode);
+    w.write_cmd(Command::WCFG);
+    w.write_reg(ConfigReg::FAR, fm.encode_far(fm.address_of_index(rec_first)));
+    w.write_frames(rec_plane, rec_first, 2);
+    w.write_crc();
+    w.write_cmd(Command::LFRM);
+    recovery = w.finish();
+  }
+  std::vector<std::uint32_t> rec_expect(2 * fw);
+  rec_plane.read_frame_words(rec_first, rec_expect.data());
+  rec_plane.read_frame_words(rec_first + 1, rec_expect.data() + fw);
+
+  // The corpus: the full stream, the recovery partial, plus the caller's.
+  std::vector<const Bitstream*> corpus_ptrs{&full_base, &recovery};
+  for (const Bitstream& bs : extra_corpus) corpus_ptrs.push_back(&bs);
+  std::vector<Bitstream> corpus;
+  corpus.reserve(corpus_ptrs.size());
+  for (const Bitstream* bs : corpus_ptrs) corpus.push_back(*bs);
+
+  Rng rng(opts.seed);
+  FuzzReport rep;
+  ConfigMemory mem(dev);
+  ConfigPort port(mem);
+  port.load(full_base);
+
+  for (int it = 0; it < opts.iterations; ++it) {
+    ++rep.iterations;
+    Bitstream mutated = corpus[rng.uniform(corpus.size())];
+    const int nmut =
+        1 + static_cast<int>(rng.uniform(
+                static_cast<std::uint64_t>(std::max(1, opts.max_mutations))));
+    for (int m = 0; m < nmut; ++m) {
+      const auto kind =
+          static_cast<MutationKind>(rng.uniform(kNumMutationKinds));
+      ++rep.mutation_counts[static_cast<std::size_t>(kind)];
+      apply_mutation(mutated.words, kind, rng, corpus);
+    }
+
+    // Device-side consumer. Only BitstreamError may escape the port; any
+    // other exception type propagates out of the harness as a finding.
+    bool threw = false;
+    try {
+      port.load(mutated);
+    } catch (const BitstreamError&) {
+      threw = true;
+    }
+    threw ? ++rep.port_rejections : ++rep.port_accepts;
+    if (threw && port.synced()) ++rep.desync_violations;
+
+    // Offline parser: same contract, plus far_blocks on accepted parses.
+    try {
+      const BitstreamReader reader(mutated);
+      (void)reader.far_blocks(fw);
+      (void)reader.idcode();
+      ++rep.reader_accepts;
+    } catch (const BitstreamError&) {
+      ++rep.reader_rejections;
+    }
+
+    // Recovery contract: whatever the mutated stream did, ABORT plus a
+    // valid stream must decode cleanly and land its frames.
+    try {
+      port.abort();
+      port.load(recovery);
+      if (port.readback_frames(rec_first, 2) != rec_expect) {
+        ++rep.recovery_failures;
+      }
+    } catch (const JpgError&) {
+      ++rep.recovery_failures;
+    }
+
+    if (opts.full_reload_every > 0 && (it + 1) % opts.full_reload_every == 0) {
+      try {
+        port.abort();
+        port.load(full_base);
+        if (mem != base_plane) ++rep.recovery_failures;
+      } catch (const JpgError&) {
+        ++rep.recovery_failures;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace jpg

@@ -69,6 +69,16 @@ void Jpg::download(const Bitstream& bs) {
   board_->send_config(bs.words);
 }
 
+DownloadReport Jpg::download_verified(const PartialResult& update,
+                                      const DownloadPolicy& policy) {
+  JPG_REQUIRE(connected(), "no XHWIF board connected");
+  VerifiedDownloader dl(*board_, *device_, policy);
+  // The tool's model of the board is the base design it was initialised
+  // from (option 2's premise); seed the downloader's mirror with it.
+  dl.assume_board_state(*base_);
+  return dl.download_partial(update.partial);
+}
+
 std::size_t Jpg::verify_via_readback(const PartialResult& update) {
   JPG_REQUIRE(connected(), "no XHWIF board connected");
   // Reconstruct the expected frame contents by replaying the partial
@@ -78,33 +88,18 @@ std::size_t Jpg::verify_via_readback(const PartialResult& update) {
     ConfigPort port(expected);
     port.load(update.partial);
   }
-  const FrameMap& fm = device_->frames();
-  const std::size_t fw = fm.frame_words();
+  const std::size_t fw = device_->frames().frame_words();
   // Mask file: the capture bits (minors 16/17, window bits 0..1 of every
   // row) hold live FF state after a CAPTURE and must not participate in
   // configuration comparison — exactly what readback mask files were for.
-  auto masked = [&](std::vector<std::uint32_t> words,
-                    std::size_t frame) {
-    const FrameAddress a = fm.address_of_index(frame);
-    if (a.block_type == 0 && (a.minor == 16 || a.minor == 17) &&
-        fm.column_kind(static_cast<int>(a.major)) == ColumnKind::Clb) {
-      BitVector bv(fm.frame_bits());
-      for (std::size_t w = 0; w < fw; ++w) bv.set_word(w, words[w]);
-      for (int r = 0; r < device_->rows(); ++r) {
-        bv.set(fm.row_bit_base(r) + 0, false);
-        bv.set(fm.row_bit_base(r) + 1, false);
-      }
-      for (std::size_t w = 0; w < fw; ++w) words[w] = bv.word(w);
-    }
-    return words;
-  };
   std::vector<std::uint32_t> buf(fw);
   std::size_t mismatches = 0;
   for (const std::size_t frame : update.frames) {
-    const auto words = masked(board_->readback(frame, 1), frame);
+    const auto words =
+        mask_capture_words(*device_, frame, board_->readback(frame, 1));
     JPG_ASSERT(words.size() == fw);
     expected.read_frame_words(frame, buf.data());
-    if (words != masked(buf, frame)) ++mismatches;
+    if (words != mask_capture_words(*device_, frame, buf)) ++mismatches;
   }
   JPG_INFO("readback verification: " << update.frames.size() << " frames, "
                                      << mismatches << " mismatches");

@@ -17,6 +17,7 @@
 #include "core/floorplan_view.h"
 #include "core/partial_gen.h"
 #include "core/xdl_to_cbits.h"
+#include "hwif/verified_downloader.h"
 #include "hwif/xhwif.h"
 
 namespace jpg {
@@ -62,6 +63,17 @@ class Jpg {
   void connect(Xhwif* board) { board_ = board; }
   [[nodiscard]] bool connected() const { return board_ != nullptr; }
   void download(const Bitstream& bs);
+
+  /// Fault-tolerant variant of download + verify_via_readback: sends the
+  /// update through a VerifiedDownloader seeded with the tool's base plane
+  /// (JPG's model: the board holds the base design; partial streams are
+  /// state-independent, so this also covers a board running another module
+  /// variant in the same region). The update is CRC-checked before the
+  /// first word is sent, readback-verified frame by frame, repaired under
+  /// the policy's retry budget, and rolled back to the base plane if it
+  /// will not converge. The tool's base configuration is not modified.
+  [[nodiscard]] DownloadReport download_verified(
+      const PartialResult& update, const DownloadPolicy& policy = {});
 
   /// Reads the update's frames back from the connected board and compares
   /// them against what the partial bitstream was supposed to install.

@@ -1,0 +1,116 @@
+#include "hwif/faulty_board.h"
+
+#include <sstream>
+
+#include "support/log.h"
+
+namespace jpg {
+
+FaultyBoard::FaultyBoard(Xhwif& inner, const FaultProfile& profile,
+                         std::uint64_t seed)
+    : inner_(&inner),
+      profile_(profile),
+      rng_(seed),
+      budget_left_(profile.fault_budget) {}
+
+std::string FaultyBoard::board_name() const {
+  return "faulty(" + inner_->board_name() + ")";
+}
+
+bool FaultyBoard::roll(double p) {
+  if (p <= 0) return false;
+  if (budget_left_ == 0) return false;
+  if (!rng_.chance(p)) return false;
+  if (budget_left_ > 0) --budget_left_;
+  return true;
+}
+
+void FaultyBoard::note(const std::string& what) {
+  fault_log_.push_back(what);
+  JPG_DEBUG("faulty board: " << what);
+}
+
+void FaultyBoard::send_config(std::span<const std::uint32_t> words) {
+  if (roll(profile_.send_failure)) {
+    ++counters_.send_failures;
+    note("transient send failure");
+    throw HwifError("transient send failure (injected)");
+  }
+
+  std::size_t limit = words.size();
+  if (roll(profile_.truncate) && limit > 0) {
+    ++counters_.truncations;
+    limit = rng_.uniform(limit);
+    std::ostringstream os;
+    os << "truncated send to " << limit << " of " << words.size() << " words";
+    note(os.str());
+  }
+
+  // The per-word faults mutate a copy of the wire traffic; the caller's
+  // stream is never touched (the tool would retry with the same buffer).
+  std::vector<std::uint32_t> wire;
+  wire.reserve(limit);
+  for (std::size_t i = 0; i < limit; ++i) {
+    std::uint32_t w = words[i];
+    if (roll(profile_.word_drop)) {
+      ++counters_.word_drops;
+      std::ostringstream os;
+      os << "dropped word " << i;
+      note(os.str());
+      continue;
+    }
+    if (roll(profile_.word_flip)) {
+      ++counters_.word_flips;
+      const auto bit = static_cast<std::uint32_t>(rng_.uniform(32));
+      w ^= 1u << bit;
+      std::ostringstream os;
+      os << "flipped bit " << bit << " of word " << i;
+      note(os.str());
+    }
+    wire.push_back(w);
+    if (roll(profile_.word_dup)) {
+      ++counters_.word_dups;
+      std::ostringstream os;
+      os << "duplicated word " << i;
+      note(os.str());
+      wire.push_back(w);
+    }
+  }
+  inner_->send_config(wire);
+}
+
+void FaultyBoard::abort_config() {
+  // The ABORT sequence is a few pin toggles, modelled as reliable.
+  inner_->abort_config();
+}
+
+std::vector<std::uint32_t> FaultyBoard::readback(std::size_t first,
+                                                 std::size_t nframes) {
+  if (roll(profile_.readback_failure)) {
+    ++counters_.readback_failures;
+    note("transient readback failure");
+    throw HwifError("transient readback failure (injected)");
+  }
+  std::vector<std::uint32_t> words = inner_->readback(first, nframes);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (roll(profile_.readback_flip)) {
+      ++counters_.readback_flips;
+      const auto bit = static_cast<std::uint32_t>(rng_.uniform(32));
+      words[i] ^= 1u << bit;
+      std::ostringstream os;
+      os << "flipped bit " << bit << " of readback word " << i;
+      note(os.str());
+    }
+  }
+  return words;
+}
+
+void FaultyBoard::capture_state() { inner_->capture_state(); }
+
+void FaultyBoard::step_clock(int cycles) { inner_->step_clock(cycles); }
+
+void FaultyBoard::set_pin(int pad, bool value) { inner_->set_pin(pad, value); }
+
+bool FaultyBoard::get_pin(int pad) { return inner_->get_pin(pad); }
+
+}  // namespace jpg

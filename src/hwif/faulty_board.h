@@ -1,0 +1,93 @@
+// FaultyBoard: an Xhwif decorator that injects configuration faults.
+//
+// Wraps any board and corrupts the traffic crossing the interface with a
+// seeded, reproducible fault model: per-word bit flips, dropped and
+// duplicated words, whole-send truncation, transient send/readback
+// failures, and bit flips in readback data. This is the adversary the
+// verified-download subsystem is tested against — the bitstream-tampering
+// threat model applied to the board link rather than the file.
+//
+// Faults are drawn from an explicit Rng so every campaign scenario replays
+// exactly from its seed, and an optional fault budget caps the total number
+// of injections: once spent, the board behaves perfectly, which is how
+// tests model "transient" trouble that a bounded retry must ride out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hwif/xhwif.h"
+#include "support/rng.h"
+
+namespace jpg {
+
+/// Per-event probabilities of each fault kind. All default to 0 (clean).
+struct FaultProfile {
+  double send_failure = 0;    ///< per send_config: throw before any word
+  double word_flip = 0;       ///< per sent word: flip one random bit
+  double word_drop = 0;       ///< per sent word: silently drop it
+  double word_dup = 0;        ///< per sent word: send it twice
+  double truncate = 0;        ///< per send_config: cut off at a random word
+  double readback_failure = 0;  ///< per readback: throw instead of answering
+  double readback_flip = 0;     ///< per readback word: flip one random bit
+  /// Total injections allowed; < 0 means unlimited. A bounded budget makes
+  /// every fault transient: once exhausted the board is fault-free.
+  int fault_budget = -1;
+};
+
+class FaultyBoard final : public Xhwif {
+ public:
+  struct Counters {
+    std::size_t send_failures = 0;
+    std::size_t word_flips = 0;
+    std::size_t word_drops = 0;
+    std::size_t word_dups = 0;
+    std::size_t truncations = 0;
+    std::size_t readback_failures = 0;
+    std::size_t readback_flips = 0;
+
+    [[nodiscard]] std::size_t total() const {
+      return send_failures + word_flips + word_drops + word_dups +
+             truncations + readback_failures + readback_flips;
+    }
+  };
+
+  /// `inner` must outlive the decorator.
+  FaultyBoard(Xhwif& inner, const FaultProfile& profile, std::uint64_t seed);
+
+  [[nodiscard]] std::string board_name() const override;
+  void send_config(std::span<const std::uint32_t> words) override;
+  void abort_config() override;
+  [[nodiscard]] bool config_done() override { return inner_->config_done(); }
+  [[nodiscard]] std::vector<std::uint32_t> readback(
+      std::size_t first, std::size_t nframes) override;
+  void capture_state() override;
+  void step_clock(int cycles) override;
+  void set_pin(int pad, bool value) override;
+  [[nodiscard]] bool get_pin(int pad) override;
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] std::size_t faults_injected() const {
+    return counters_.total();
+  }
+  /// One line per injected fault, in injection order.
+  [[nodiscard]] const std::vector<std::string>& fault_log() const {
+    return fault_log_;
+  }
+
+ private:
+  /// True (and spends one unit of budget) when a fault of probability `p`
+  /// fires.
+  bool roll(double p);
+  void note(const std::string& what);
+
+  Xhwif* inner_;
+  FaultProfile profile_;
+  Rng rng_;
+  int budget_left_;
+  Counters counters_;
+  std::vector<std::string> fault_log_;
+};
+
+}  // namespace jpg

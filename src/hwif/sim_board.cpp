@@ -17,6 +17,8 @@ void SimBoard::send_config(std::span<const std::uint32_t> words) {
   port_.load(words);
 }
 
+void SimBoard::abort_config() { port_.abort(); }
+
 std::vector<std::uint32_t> SimBoard::readback(std::size_t first,
                                               std::size_t nframes) {
   return port_.readback_frames(first, nframes);

@@ -31,6 +31,8 @@ class SimBoard final : public Xhwif {
   [[nodiscard]] std::string board_name() const override;
 
   void send_config(std::span<const std::uint32_t> words) override;
+  void abort_config() override;
+  [[nodiscard]] bool config_done() override { return port_.started(); }
   [[nodiscard]] std::vector<std::uint32_t> readback(
       std::size_t first, std::size_t nframes) override;
   void capture_state() override;

@@ -1,0 +1,298 @@
+#include "hwif/verified_downloader.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "bitstream/bitstream_reader.h"
+#include "bitstream/bitstream_writer.h"
+#include "bitstream/config_port.h"
+#include "support/bitvec.h"
+#include "support/log.h"
+
+namespace jpg {
+
+namespace {
+
+bool is_capture_frame(const FrameMap& fm, std::size_t frame) {
+  const FrameAddress a = fm.address_of_index(frame);
+  return a.block_type == 0 && (a.minor == 16 || a.minor == 17) &&
+         fm.column_kind(static_cast<int>(a.major)) == ColumnKind::Clb;
+}
+
+}  // namespace
+
+std::string_view download_status_name(DownloadStatus s) {
+  switch (s) {
+    case DownloadStatus::Success: return "success";
+    case DownloadStatus::RolledBack: return "rolled-back";
+    case DownloadStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
+std::string DownloadReport::summary() const {
+  std::ostringstream os;
+  os << "verified download: " << download_status_name(status) << " after "
+     << attempts << " attempt(s)";
+  if (rollback_attempts > 0) {
+    os << " + " << rollback_attempts << " rollback attempt(s)";
+  }
+  os << "; " << frames_touched << " frames touched, " << frames_verified
+     << " verified, " << frames_repaired << " repaired, " << faults_seen
+     << " faults seen";
+  if (!error.empty()) os << "; " << error;
+  return os.str();
+}
+
+std::vector<std::uint32_t> mask_capture_words(const Device& device,
+                                              std::size_t frame,
+                                              std::vector<std::uint32_t> words) {
+  const FrameMap& fm = device.frames();
+  if (!is_capture_frame(fm, frame)) return words;
+  const std::size_t fw = fm.frame_words();
+  JPG_ASSERT(words.size() == fw);
+  BitVector bv(fm.frame_bits());
+  for (std::size_t w = 0; w < fw; ++w) bv.set_word(w, words[w]);
+  for (int r = 0; r < device.rows(); ++r) {
+    bv.set(fm.row_bit_base(r) + 0, false);
+    bv.set(fm.row_bit_base(r) + 1, false);
+  }
+  for (std::size_t w = 0; w < fw; ++w) words[w] = bv.word(w);
+  return words;
+}
+
+VerifiedDownloader::VerifiedDownloader(Xhwif& board, const Device& device,
+                                       const DownloadPolicy& policy)
+    : board_(&board), device_(&device), policy_(policy) {
+  JPG_REQUIRE(policy.max_attempts > 0, "max_attempts must be positive");
+  JPG_REQUIRE(policy.rollback_max_attempts > 0,
+              "rollback_max_attempts must be positive");
+}
+
+void VerifiedDownloader::assume_board_state(const ConfigMemory& plane) {
+  JPG_REQUIRE(&plane.device() == device_,
+              "mirror plane targets a different device");
+  mirror_ = std::make_unique<ConfigMemory>(plane);
+}
+
+const ConfigMemory& VerifiedDownloader::mirror() const {
+  JPG_REQUIRE(mirror_ != nullptr, "no board mirror established");
+  return *mirror_;
+}
+
+std::vector<std::size_t> VerifiedDownloader::touched_frames(
+    const Bitstream& stream) const {
+  const FrameMap& fm = device_->frames();
+  const BitstreamReader reader(stream);
+  std::vector<std::size_t> frames;
+  for (const auto& [far, count] : reader.far_blocks(fm.frame_words())) {
+    const std::size_t first = fm.frame_index_of(fm.decode_far(far));
+    for (std::size_t i = 0; i < count; ++i) frames.push_back(first + i);
+  }
+  std::sort(frames.begin(), frames.end());
+  frames.erase(std::unique(frames.begin(), frames.end()), frames.end());
+  return frames;
+}
+
+Bitstream VerifiedDownloader::build_frames_stream(
+    const ConfigMemory& target, const std::vector<std::size_t>& frames,
+    bool ensure_started) const {
+  const FrameMap& fm = device_->frames();
+  BitstreamWriter w(*device_);
+  w.begin();
+  w.write_cmd(Command::RCRC);
+  w.write_reg(ConfigReg::FLR, static_cast<std::uint32_t>(fm.frame_words() - 1));
+  w.write_reg(ConfigReg::IDCODE, device_->spec().idcode);
+  if (!frames.empty()) {
+    w.write_cmd(Command::WCFG);
+    std::size_t i = 0;
+    while (i < frames.size()) {
+      std::size_t j = i + 1;
+      while (j < frames.size() && frames[j] == frames[j - 1] + 1) ++j;
+      w.write_reg(ConfigReg::FAR, fm.encode_far(fm.address_of_index(frames[i])));
+      w.write_frames(target, frames[i], j - i);
+      i = j;
+    }
+    w.write_crc();
+    w.write_cmd(Command::LFRM);
+  }
+  if (ensure_started) {
+    w.write_cmd(Command::START);
+    w.write_crc();
+  }
+  return w.finish();
+}
+
+std::vector<std::size_t> VerifiedDownloader::verify_against(
+    const ConfigMemory& target, const std::vector<std::size_t>& frames,
+    DownloadReport& rep) {
+  const FrameMap& fm = device_->frames();
+  const std::size_t fw = fm.frame_words();
+  std::vector<std::size_t> bad;
+  std::vector<std::uint32_t> expect(fw);
+  std::size_t i = 0;
+  while (i < frames.size()) {
+    std::size_t j = i + 1;
+    while (j < frames.size() && frames[j] == frames[j - 1] + 1) ++j;
+    const std::size_t first = frames[i];
+    const std::size_t count = j - i;
+    std::vector<std::uint32_t> got;
+    try {
+      got = board_->readback(first, count);
+    } catch (const JpgError& e) {
+      // A failed readback proves nothing about the run; treat every frame
+      // in it as suspect so the retry rewrites and re-verifies them.
+      ++rep.faults_seen;
+      rep.fault_log.push_back(std::string("readback: ") + e.what());
+      bad.insert(bad.end(),
+                 frames.begin() + static_cast<std::ptrdiff_t>(i),
+                 frames.begin() + static_cast<std::ptrdiff_t>(j));
+      i = j;
+      continue;
+    }
+    JPG_ASSERT(got.size() == count * fw);
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t frame = first + k;
+      ++rep.frames_verified;
+      target.read_frame_words(frame, expect.data());
+      const auto* rb = got.data() + k * fw;
+      if (policy_.mask_capture_bits && is_capture_frame(fm, frame)) {
+        const auto masked_rb = mask_capture_words(
+            *device_, frame, std::vector<std::uint32_t>(rb, rb + fw));
+        const auto masked_ex = mask_capture_words(*device_, frame, expect);
+        if (masked_rb != masked_ex) bad.push_back(frame);
+      } else if (!std::equal(rb, rb + fw, expect.begin())) {
+        bad.push_back(frame);
+      }
+    }
+    i = j;
+  }
+  return bad;
+}
+
+void VerifiedDownloader::backoff(int attempt) {
+  if (policy_.backoff_cycles <= 0) return;
+  const int shift = std::clamp(attempt - 2, 0, 16);
+  board_->step_clock(policy_.backoff_cycles << shift);
+}
+
+bool VerifiedDownloader::converge(Bitstream stream, const ConfigMemory& target,
+                                  std::vector<std::size_t> check, int budget,
+                                  bool ensure_started, int& attempts,
+                                  DownloadReport& rep) {
+  std::vector<std::size_t> sweep;
+  if (policy_.full_sweep) {
+    sweep.resize(device_->frames().num_frames());
+    std::iota(sweep.begin(), sweep.end(), 0);
+  }
+  for (int attempt = 1; attempt <= budget; ++attempt) {
+    ++attempts;
+    if (attempt > 1) backoff(attempt);
+    try {
+      // ABORT first: a previous stream cut off mid-payload left the port
+      // waiting for FDRI words that would otherwise swallow this stream.
+      board_->abort_config();
+      board_->send_config(stream.words);
+    } catch (const JpgError& e) {
+      ++rep.faults_seen;
+      rep.fault_log.push_back(std::string("send: ") + e.what());
+      // Fall through: readback decides how much of the stream landed.
+    }
+    std::vector<std::size_t> bad = verify_against(target, check, rep);
+    if (bad.empty() && policy_.full_sweep) {
+      bad = verify_against(target, sweep, rep);
+    }
+    if (bad.empty()) {
+      if (ensure_started && !board_->config_done()) {
+        // Every frame is right but DONE is low: the stream lost its START
+        // command (e.g. truncated after the last pad frame). Resend just
+        // the startup epilogue.
+        rep.fault_log.emplace_back(
+            "frames verified but DONE low; resending startup");
+        stream = build_frames_stream(target, {}, true);
+        check.clear();
+        continue;
+      }
+      return true;
+    }
+    rep.frames_repaired += bad.size();
+    stream = build_frames_stream(target, bad, ensure_started);
+    check = std::move(bad);
+  }
+  return false;
+}
+
+DownloadReport VerifiedDownloader::download_full(const Bitstream& full) {
+  DownloadReport rep;
+  auto plane = std::make_unique<ConfigMemory>(*device_);
+  std::vector<std::size_t> touched;
+  try {
+    ConfigPort port(*plane);
+    port.load(full);
+    if (!port.started()) {
+      throw BitstreamError("full bitstream does not start the device");
+    }
+    touched = touched_frames(full);
+  } catch (const JpgError& e) {
+    rep.error = std::string("stream rejected tool-side, nothing sent: ") +
+                e.what();
+    return rep;
+  }
+  rep.frames_touched = touched.size();
+  if (converge(full, *plane, std::move(touched), policy_.max_attempts,
+               /*ensure_started=*/true, rep.attempts, rep)) {
+    rep.status = DownloadStatus::Success;
+    mirror_ = std::move(plane);
+  } else {
+    rep.error = "full download did not converge within the attempt budget";
+  }
+  JPG_INFO(rep.summary());
+  return rep;
+}
+
+DownloadReport VerifiedDownloader::download_partial(const Bitstream& partial) {
+  JPG_REQUIRE(has_mirror(),
+              "no board mirror established; call download_full or "
+              "assume_board_state first");
+  DownloadReport rep;
+  ConfigMemory target = *mirror_;
+  std::vector<std::size_t> touched;
+  try {
+    ConfigPort port(target);
+    port.load(partial);
+    touched = touched_frames(partial);
+  } catch (const JpgError& e) {
+    rep.error = std::string("stream rejected tool-side, nothing sent: ") +
+                e.what();
+    return rep;
+  }
+  rep.frames_touched = touched.size();
+  if (converge(partial, target, touched, policy_.max_attempts,
+               /*ensure_started=*/false, rep.attempts, rep)) {
+    rep.status = DownloadStatus::Success;
+    *mirror_ = target;
+    JPG_INFO(rep.summary());
+    return rep;
+  }
+  if (policy_.rollback) {
+    Bitstream rb = build_frames_stream(*mirror_, touched, false);
+    if (converge(std::move(rb), *mirror_, touched,
+                 policy_.rollback_max_attempts, /*ensure_started=*/false,
+                 rep.rollback_attempts, rep)) {
+      rep.status = DownloadStatus::RolledBack;
+      rep.error = "update did not converge; device rolled back to the "
+                  "pre-update plane";
+      JPG_INFO(rep.summary());
+      return rep;
+    }
+    rep.error = "update did not converge and neither did the rollback; "
+                "board state unknown";
+  } else {
+    rep.error = "update did not converge and rollback is disabled";
+  }
+  JPG_INFO(rep.summary());
+  return rep;
+}
+
+}  // namespace jpg

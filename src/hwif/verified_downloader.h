@@ -1,0 +1,136 @@
+// VerifiedDownloader: fault-tolerant configuration over any XHWIF board.
+//
+// The paper's end-to-end claim is that a generated partial bitstream can be
+// written onto a live device; the fire-and-forget send_config path trusts
+// the link and the stream completely. This wrapper makes the download
+// *verified*: every stream is validated tool-side before a single word goes
+// out (framing + CRC replayed against a mirror of the board's plane), the
+// send is followed by a readback of exactly the frames the stream touches
+// (BitstreamReader::far_blocks) compared word-for-word against the intended
+// contents, and mismatched frames are rewritten by targeted repair streams
+// under a bounded retry budget. When the budget is spent the downloader
+// rolls the touched frames back to the pre-update plane, so the device is
+// always in one of exactly two states: the update applied and verified, or
+// the previous configuration — never half-written.
+//
+// The downloader keeps a tool-side mirror (the last plane it verified onto
+// the board); repair and rollback streams are generated from it, which is
+// what makes recovery possible without re-reading the whole device.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitstream/config_memory.h"
+#include "bitstream/packet.h"
+#include "hwif/xhwif.h"
+
+namespace jpg {
+
+struct DownloadPolicy {
+  /// Send attempts per download (the initial send plus targeted repairs).
+  int max_attempts = 4;
+  /// Send attempts for the rollback stream after the update is given up on.
+  int rollback_max_attempts = 4;
+  /// User-clock cycles stepped between attempts, doubling each retry
+  /// (link-level backoff; 0 disables clocking entirely).
+  int backoff_cycles = 0;
+  /// After the touched frames verify, read back the whole plane too: a
+  /// corrupted-but-valid FAR can land frames outside the touched set, and
+  /// only a sweep catches those strays.
+  bool full_sweep = true;
+  /// Roll the touched frames back to the mirror when the update fails.
+  bool rollback = true;
+  /// Zero FF capture bits before comparing (the readback-mask discipline);
+  /// live state captured into the plane is not a configuration mismatch.
+  bool mask_capture_bits = true;
+};
+
+enum class DownloadStatus {
+  Success,     ///< update applied; readback matches the intended plane
+  RolledBack,  ///< update abandoned; readback matches the pre-update plane
+  Failed,      ///< neither converged within its budget (board state unknown)
+};
+
+struct DownloadReport {
+  DownloadStatus status = DownloadStatus::Failed;
+  int attempts = 0;           ///< update sends, including repair streams
+  int rollback_attempts = 0;  ///< rollback sends
+  std::size_t frames_touched = 0;   ///< frames the stream writes
+  std::size_t frames_verified = 0;  ///< readback comparisons performed
+  std::size_t frames_repaired = 0;  ///< mismatches rewritten by repairs
+  std::size_t faults_seen = 0;      ///< send/readback exceptions caught
+  std::vector<std::string> fault_log;  ///< one line per caught fault
+  std::string error;  ///< why the download failed (Failed only)
+
+  [[nodiscard]] bool ok() const { return status == DownloadStatus::Success; }
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] std::string_view download_status_name(DownloadStatus s);
+
+/// Zeroes the FF capture bits of one frame's readback words when `frame`
+/// is a capture minor (CLB minors 16/17) — the readback-mask-file rule.
+[[nodiscard]] std::vector<std::uint32_t> mask_capture_words(
+    const Device& device, std::size_t frame, std::vector<std::uint32_t> words);
+
+class VerifiedDownloader {
+ public:
+  /// `board` and `device` must outlive the downloader.
+  VerifiedDownloader(Xhwif& board, const Device& device,
+                     const DownloadPolicy& policy = {});
+
+  /// Downloads a complete bitstream, establishing the mirror. Success
+  /// additionally requires the DONE pin — every frame can be correct while
+  /// a truncated stream dropped the START command.
+  DownloadReport download_full(const Bitstream& full);
+
+  /// Downloads a partial bitstream against the established mirror. The
+  /// stream is first replayed onto a copy of the mirror (tool-side framing
+  /// and CRC check — nothing is sent if it is malformed), then sent,
+  /// readback-verified, repaired, and on persistent failure rolled back.
+  DownloadReport download_partial(const Bitstream& partial);
+
+  /// Declares that the board already holds `plane` (a tool that loaded the
+  /// base design through other means seeds the mirror this way).
+  void assume_board_state(const ConfigMemory& plane);
+
+  [[nodiscard]] bool has_mirror() const { return mirror_ != nullptr; }
+  /// The last plane verified onto the board. Requires has_mirror().
+  [[nodiscard]] const ConfigMemory& mirror() const;
+
+ private:
+  /// Sorted, deduplicated linear frame indices the stream writes.
+  [[nodiscard]] std::vector<std::size_t> touched_frames(
+      const Bitstream& stream) const;
+
+  /// Emits a stream rewriting exactly `frames` (sorted) from `target`,
+  /// optionally ending with a START command (full-download repairs).
+  [[nodiscard]] Bitstream build_frames_stream(
+      const ConfigMemory& target, const std::vector<std::size_t>& frames,
+      bool ensure_started) const;
+
+  /// Reads back `frames` (sorted) and returns those differing from
+  /// `target`. A failed readback marks its whole run mismatched.
+  [[nodiscard]] std::vector<std::size_t> verify_against(
+      const ConfigMemory& target, const std::vector<std::size_t>& frames,
+      DownloadReport& rep);
+
+  /// Drives the board until `check` (and, under full_sweep, the whole
+  /// plane) reads back identical to `target`: abort, send, verify, then
+  /// repair mismatches with targeted streams. True on convergence.
+  bool converge(Bitstream stream, const ConfigMemory& target,
+                std::vector<std::size_t> check, int budget,
+                bool ensure_started, int& attempts, DownloadReport& rep);
+
+  void backoff(int attempt);
+
+  Xhwif* board_;
+  const Device* device_;
+  DownloadPolicy policy_;
+  std::unique_ptr<ConfigMemory> mirror_;
+};
+
+}  // namespace jpg

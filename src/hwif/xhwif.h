@@ -13,7 +13,17 @@
 #include <string>
 #include <vector>
 
+#include "support/error.h"
+
 namespace jpg {
+
+/// Transient board-communication failure (cable glitch, bus timeout, an
+/// injected fault). Unlike BitstreamError — the device rejecting a stream —
+/// a HwifError says nothing reached the device; retrying is reasonable.
+class HwifError : public JpgError {
+ public:
+  explicit HwifError(const std::string& what) : JpgError(what) {}
+};
 
 class Xhwif {
  public:
@@ -24,6 +34,19 @@ class Xhwif {
   /// Clocks configuration words into the device's configuration port.
   /// May be interleaved with step_clock (dynamic reconfiguration).
   virtual void send_config(std::span<const std::uint32_t> words) = 0;
+
+  /// Issues the SelectMAP-style ABORT sequence: the configuration port
+  /// drops any mid-packet state and desyncs, without disturbing committed
+  /// frames or a running device. A downloader issues this before every
+  /// (re)send so a previous stream that was cut off mid-payload cannot
+  /// swallow the next stream's words.
+  virtual void abort_config() = 0;
+
+  /// Samples the DONE pin: true once the device has completed startup.
+  /// A verified downloader checks this after a full-device download — a
+  /// stream cut off after its last frame but before the START command
+  /// leaves every frame correct yet the device unconfigured.
+  [[nodiscard]] virtual bool config_done() = 0;
 
   /// Reads back `nframes` frames starting at linear frame index `first`.
   [[nodiscard]] virtual std::vector<std::uint32_t> readback(

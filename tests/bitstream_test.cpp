@@ -273,6 +273,158 @@ TEST(BitstreamReader, ParsesBitgenOutput) {
   EXPECT_FALSE(reader.summarize().empty());
 }
 
+TEST(Crc16, TableMatchesBitSerialReference) {
+  // The table-driven fast path and the bit-serial definition must agree on
+  // arbitrary register-write streams, including across resets.
+  Rng rng(0xC4C1ull);
+  Crc16 fast;
+  Crc16Serial ref;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.uniform(97) == 0) {
+      fast.reset();
+      ref.reset();
+    }
+    const auto reg = static_cast<std::uint32_t>(rng.uniform(32));
+    const auto data = static_cast<std::uint32_t>(rng.next());
+    fast.update(reg, data);
+    ref.update(reg, data);
+    ASSERT_EQ(fast.value(), ref.value()) << "step " << i;
+  }
+}
+
+TEST(BitstreamReader, FarBlocksRejectsMisalignedPayload) {
+  // A ragged FDRI payload used to be silently rounded down, undercounting
+  // the frames a partial touches — the verify path would then skip frames
+  // the stream actually wrote.
+  const Device& dev = Device::get("XCV50");
+  const std::size_t fw = dev.frames().frame_words();
+  BitstreamWriter w(dev);
+  w.begin();
+  w.write_cmd(Command::RCRC);
+  w.write_reg(ConfigReg::FAR, dev.frames().encode_far({0, 1, 0}));
+  std::vector<std::uint32_t> ragged(fw * 2 + 3, 0);
+  w.write_fdri(ragged);
+  const BitstreamReader reader(w.finish());
+  EXPECT_THROW((void)reader.far_blocks(fw), BitstreamError);
+}
+
+TEST(BitstreamReader, FarBlocksSkipsPadOnlyPackets) {
+  // An FDRI packet holding exactly one frame is all pad: it flushes the
+  // pipeline and commits nothing, so it must not surface as a bogus
+  // zero-frame (previously: huge, wrapped-around) block.
+  const Device& dev = Device::get("XCV50");
+  const FrameMap& fm = dev.frames();
+  const std::size_t fw = fm.frame_words();
+  ConfigMemory payload(dev);
+  const std::size_t base = fm.frame_index(2, 1);
+
+  BitstreamWriter w(dev);
+  w.begin();
+  w.write_cmd(Command::RCRC);
+  w.write_reg(ConfigReg::FAR, fm.encode_far(fm.address_of_index(base)));
+  std::vector<std::uint32_t> pad_only(fw, 0);
+  w.write_fdri(pad_only);  // 1 frame: pad, nothing committed
+  w.write_reg(ConfigReg::FAR, fm.encode_far(fm.address_of_index(base + 4)));
+  w.write_frames(payload, base + 4, 2);  // 2 frames + pad
+  const BitstreamReader reader(w.finish());
+
+  const auto blocks = reader.far_blocks(fw);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].first, fm.encode_far(fm.address_of_index(base + 4)));
+  EXPECT_EQ(blocks[0].second, 2u);
+}
+
+TEST(ReaderPortConformance, Type2ContinuationRequiresWriteOp) {
+  // Both consumers must rule on the same malformed framing the same way: a
+  // zero-count FDRI announcement continued by a type-2 packet whose op is
+  // not Write is a protocol error for the port AND the offline reader.
+  Bitstream bad;
+  bad.words = {kDummyWord, kSyncWord,
+               encode_type1(PacketOp::Write, ConfigReg::FDRI, 0),
+               encode_type2(PacketOp::Read, 4), 0, 0, 0, 0};
+
+  const Device& dev = Device::get("XCV50");
+  ConfigMemory mem(dev);
+  ConfigPort port(mem);
+  std::string port_err;
+  try {
+    port.load(bad);
+  } catch (const BitstreamError& e) {
+    port_err = e.what();
+  }
+  std::string reader_err;
+  try {
+    const BitstreamReader reader(bad);
+  } catch (const BitstreamError& e) {
+    reader_err = e.what();
+  }
+  EXPECT_FALSE(port_err.empty());
+  EXPECT_EQ(port_err, reader_err);
+}
+
+TEST(ReaderPortConformance, Type2WriteContinuationAcceptedByBoth) {
+  // The well-formed counterpart: a payload large enough to force the
+  // type 1 zero-count + type 2 encoding must decode on both consumers and
+  // yield the same frame accounting.
+  const Device& dev = Device::get("XCV50");
+  const FrameMap& fm = dev.frames();
+  const std::size_t fw = fm.frame_words();
+  // > 2047 words of FDRI forces the type-2 path in the writer.
+  const std::size_t count = 2048 / fw + 2;
+  ConfigMemory payload(dev);
+  const std::size_t base = fm.frame_index(1, 0);
+
+  BitstreamWriter w(dev);
+  w.begin();
+  w.write_cmd(Command::RCRC);
+  w.write_reg(ConfigReg::FLR, static_cast<std::uint32_t>(fw - 1));
+  w.write_reg(ConfigReg::IDCODE, dev.spec().idcode);
+  w.write_cmd(Command::WCFG);
+  w.write_reg(ConfigReg::FAR, fm.encode_far(fm.address_of_index(base)));
+  w.write_frames(payload, base, count);
+  w.write_crc();
+  w.write_cmd(Command::LFRM);
+  const Bitstream bs = w.finish();
+
+  ConfigMemory mem(dev);
+  ConfigPort port(mem);
+  EXPECT_NO_THROW(port.load(bs));
+  EXPECT_EQ(port.frames_committed(), count);
+
+  const BitstreamReader reader(bs);
+  const auto blocks = reader.far_blocks(fw);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].second, count);
+}
+
+TEST(ConfigPort, AbortClearsAddressingContext) {
+  // An explicit ABORT mid-session must forget the loaded FAR: an FDRI
+  // write in the next session without its own FAR is a protocol error,
+  // exactly as on a fresh port.
+  const Device& dev = Device::get("XCV50");
+  const FrameMap& fm = dev.frames();
+  const std::size_t fw = fm.frame_words();
+
+  ConfigMemory mem(dev);
+  ConfigPort port(mem);
+  BitstreamWriter wa(dev);
+  wa.begin();
+  wa.write_cmd(Command::RCRC);
+  wa.write_cmd(Command::WCFG);
+  wa.write_reg(ConfigReg::FAR, fm.encode_far({0, 5, 10}));
+  port.load(wa.stream());  // mid-session: FAR loaded, no DESYNC yet
+  port.abort();
+
+  BitstreamWriter wb(dev);
+  wb.begin();
+  wb.write_cmd(Command::RCRC);
+  wb.write_cmd(Command::WCFG);
+  std::vector<std::uint32_t> frames(fw * 2, 0);
+  wb.write_fdri(frames);
+  EXPECT_THROW(port.load(wb.finish()), BitstreamError);
+  EXPECT_EQ(port.frames_committed(), 0u);
+}
+
 TEST(BitstreamReader, RejectsTruncation) {
   const Device& dev = Device::get("XCV50");
   ConfigMemory mem(dev);

@@ -156,6 +156,27 @@ TEST_F(CliTest, ProjectWorkflow) {
   EXPECT_TRUE(fs::exists(outdir + "/nrz_v2.pbit"));
 }
 
+TEST_F(CliTest, FuzzcfgRunsCleanAndIsSeedStable) {
+  ASSERT_EQ(run("fuzzcfg --iterations 150 --seed 9"), 0);
+  const std::string first = output();
+  EXPECT_NE(first.find("verdict       : clean"), std::string::npos);
+  EXPECT_NE(first.find("desync violations"), std::string::npos);
+  ASSERT_EQ(run("fuzzcfg --iterations 150 --seed 9"), 0);
+  EXPECT_EQ(output(), first);  // same seed, same campaign
+}
+
+TEST_F(CliTest, DownloadVerifiedOverFaultyLink) {
+  ASSERT_EQ(run("partial " + path("base.bit") + " " + path("mod.xdl") + " " +
+                path("mod.ucf") + " -o " + path("update.pbit")),
+            0);
+  ASSERT_EQ(run("download " + path("base.bit") + " " + path("update.pbit") +
+                " --trunc 0.9 --budget 2 --attempts 5 --seed 4"),
+            0);
+  const std::string out = output();
+  EXPECT_NE(out.find("success"), std::string::npos);
+  EXPECT_NE(out.find("board faults"), std::string::npos);
+}
+
 TEST_F(CliTest, ErrorsAreReported) {
   EXPECT_NE(run("info /no/such/file.bit"), 0);
   EXPECT_NE(output().find("error"), std::string::npos);

@@ -137,6 +137,66 @@ TEST_F(SimBoardTest, PinStateSurvivesReload) {
   EXPECT_FALSE(board.get_pin(pads.at("p")));
 }
 
+TEST_F(SimBoardTest, PinsReassertAcrossCircuitRebuilds) {
+  // Regression: a pin driven before a reconfiguration must still be driven
+  // after the simulator rebuilds its circuit — including across reloads
+  // with *different* designs, where the rebuild replaces every IOB.
+  const BaseFlowResult flow = run_base_flow(*dev_, netlib::make_parity(3), {});
+  ConfigMemory mem(*dev_);
+  CBits cb(mem);
+  flow.design->apply(cb);
+  const Bitstream parity_bit = generate_full_bitstream(mem);
+  std::map<std::string, int> pads;
+  for (std::size_t i = 0; i < flow.design->iob_cells.size(); ++i) {
+    pads[flow.design->netlist().cell(flow.design->iob_cells[i]).port] =
+        dev_->pad_number(flow.design->iob_sites[i]);
+  }
+
+  SimBoard board(*dev_);
+  board.send_config(parity_bit.words);
+  board.set_pin(pads.at("x0"), true);
+  board.set_pin(pads.at("x2"), true);
+  EXPECT_FALSE(board.get_pin(pads.at("p")));  // parity of 101 = 0
+  const int r1 = board.rebuilds();
+
+  board.send_config(bit_.words);         // counter design: full rebuild
+  board.step_clock(1);
+  board.send_config(parity_bit.words);   // back to the parity design
+  EXPECT_GT(board.rebuilds(), r1);
+  // The externally driven pins survived both rebuilds.
+  EXPECT_FALSE(board.get_pin(pads.at("p")));
+  board.set_pin(pads.at("x1"), true);
+  EXPECT_TRUE(board.get_pin(pads.at("p")));  // parity of 111 = 1
+}
+
+TEST_F(SimBoardTest, ConfigDoneTracksStartup) {
+  SimBoard board(*dev_);
+  EXPECT_FALSE(board.config_done());
+  board.send_config(bit_.words);
+  EXPECT_TRUE(board.config_done());
+  // ABORT drops decode state but not the started configuration.
+  board.abort_config();
+  EXPECT_TRUE(board.config_done());
+}
+
+TEST_F(SimBoardTest, AbortConfigUnsticksTruncatedStream) {
+  SimBoard board(*dev_);
+  board.send_config(bit_.words);
+  // A stream cut mid-FDRI leaves the port waiting for payload words; the
+  // board accepts it without protest (nothing is wrong *yet*).
+  std::vector<std::uint32_t> cut(bit_.words.begin(),
+                                 bit_.words.begin() +
+                                     static_cast<std::ptrdiff_t>(
+                                         bit_.words.size() / 2));
+  board.send_config(cut);
+  // ABORT, then a clean reload configures the counter as usual.
+  board.abort_config();
+  board.send_config(bit_.words);
+  EXPECT_TRUE(board.config_done());
+  board.step_clock(1);
+  EXPECT_TRUE(board.get_pin(pads_.at("q0")));
+}
+
 TEST(Xhwif, PolymorphicUse) {
   const Device& dev = Device::get("XCV50");
   SimBoard board(dev);

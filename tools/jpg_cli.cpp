@@ -16,6 +16,12 @@
 //                                                run the P&R flow on a
 //                                                netlib design; the printed
 //                                                digest is thread-invariant
+//   jpg_cli fuzzcfg [--iterations N] [--seed S] [--device PART]
+//                                                malformed-bitstream fuzz of
+//                                                the configuration decoders
+//   jpg_cli download <base.bit> <partial.pbit> [--flip P] [--drop P] ...
+//                                                verified download over a
+//                                                fault-injecting sim board
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -24,9 +30,13 @@
 
 #include "bitstream/bitgen.h"
 #include "bitstream/bitstream_reader.h"
+#include "bitstream/bitstream_writer.h"
+#include "bitstream/stream_fuzzer.h"
 #include "core/jpg.h"
 #include "core/project.h"
+#include "hwif/faulty_board.h"
 #include "hwif/sim_board.h"
+#include "hwif/verified_downloader.h"
 #include "netlib/generators.h"
 #include "pnr/flow.h"
 #include "ucf/ucf_parser.h"
@@ -307,11 +317,123 @@ int cmd_pnr(int argc, char** argv) {
   return 0;
 }
 
+int cmd_fuzzcfg(int argc, char** argv) {
+  FuzzOptions opts;
+  std::string part = "XCV50";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
+      opts.iterations = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--device") == 0 && i + 1 < argc) {
+      part = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-mutations") == 0 && i + 1 < argc) {
+      opts.max_mutations = std::atoi(argv[++i]);
+    } else {
+      throw JpgError(
+          "usage: jpg_cli fuzzcfg [--iterations N] [--seed S] "
+          "[--device PART] [--max-mutations M]");
+    }
+  }
+  const Device& dev = Device::get(part);
+  const FrameMap& fm = dev.frames();
+  const std::size_t fw = fm.frame_words();
+
+  // Self-contained fixtures: a patterned full plane plus a small partial,
+  // so the corpus holds both stream shapes the decoders must survive.
+  ConfigMemory plane(dev);
+  for (std::size_t f = 0; f < fm.num_frames(); f += 7) {
+    for (std::size_t w = 0; w < fw; w += 3) {
+      plane.frame(f).set_word(w, 0xC3000000u ^
+                                     (static_cast<std::uint32_t>(f) << 8) ^
+                                     static_cast<std::uint32_t>(w));
+    }
+  }
+  const Bitstream full = generate_full_bitstream(plane);
+  Bitstream partial;
+  {
+    BitstreamWriter w(dev);
+    w.begin();
+    w.write_cmd(Command::RCRC);
+    w.write_reg(ConfigReg::FLR, static_cast<std::uint32_t>(fw - 1));
+    w.write_reg(ConfigReg::IDCODE, dev.spec().idcode);
+    w.write_cmd(Command::WCFG);
+    w.write_reg(ConfigReg::FAR, fm.encode_far(fm.address_of_index(2)));
+    w.write_frames(plane, 2, 3);
+    w.write_crc();
+    w.write_cmd(Command::LFRM);
+    partial = w.finish();
+  }
+
+  const FuzzReport rep =
+      fuzz_config_streams(dev, full, std::span(&partial, 1), opts);
+  std::printf("%s\n", rep.summary().c_str());
+  std::printf("verdict       : %s\n", rep.clean() ? "clean" : "FINDINGS");
+  return rep.clean() ? 0 : 1;
+}
+
+int cmd_download(int argc, char** argv) {
+  FaultProfile profile;
+  DownloadPolicy policy;
+  std::uint64_t seed = 1;
+  std::vector<std::string> pos;
+  for (int i = 0; i < argc; ++i) {
+    auto num = [&](double& out) {
+      if (i + 1 >= argc) throw JpgError("missing value for " +
+                                        std::string(argv[i]));
+      out = std::atof(argv[++i]);
+    };
+    if (std::strcmp(argv[i], "--flip") == 0) num(profile.word_flip);
+    else if (std::strcmp(argv[i], "--drop") == 0) num(profile.word_drop);
+    else if (std::strcmp(argv[i], "--dup") == 0) num(profile.word_dup);
+    else if (std::strcmp(argv[i], "--trunc") == 0) num(profile.truncate);
+    else if (std::strcmp(argv[i], "--rb-flip") == 0) num(profile.readback_flip);
+    else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc)
+      profile.fault_budget = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--attempts") == 0 && i + 1 < argc)
+      policy.max_attempts = std::atoi(argv[++i]);
+    else pos.emplace_back(argv[i]);
+  }
+  if (pos.size() != 2) {
+    throw JpgError(
+        "usage: jpg_cli download <base.bit> <partial.pbit> [--flip P] "
+        "[--drop P] [--dup P] [--trunc P] [--rb-flip P] [--seed S] "
+        "[--budget N] [--attempts N]");
+  }
+  const Bitstream base = Bitstream::load(pos[0]);
+  const Bitstream partial = Bitstream::load(pos[1]);
+  const Device& dev = device_for_bitstream(base);
+
+  // Bring the simulated board up with the base design over a clean link,
+  // then run the partial through the verified downloader over the faulty
+  // one — the scenario of paper option 2 with an unreliable cable.
+  SimBoard board(dev);
+  board.send_config(base.words);
+  FaultyBoard faulty(board, profile, seed);
+  VerifiedDownloader dl(faulty, dev, policy);
+  ConfigMemory base_plane(dev);
+  {
+    ConfigPort port(base_plane);
+    port.load(base);
+  }
+  dl.assume_board_state(base_plane);
+  const DownloadReport rep = dl.download_partial(partial);
+  std::printf("%s\n", rep.summary().c_str());
+  for (const std::string& line : rep.fault_log) {
+    std::printf("  fault       : %s\n", line.c_str());
+  }
+  std::printf("board faults  : %zu injected\n", faulty.faults_injected());
+  return rep.status == DownloadStatus::Failed ? 1 : 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "jpg_cli — partial bitstream generation (jpg-cpp)\n"
                "commands: info summarize partial apply floorplan verify\n"
-               "          project-new project-add project-build pnr\n");
+               "          project-new project-add project-build pnr\n"
+               "          fuzzcfg download\n");
   return 2;
 }
 
@@ -335,6 +457,8 @@ int main(int argc, char** argv) {
     if (cmd == "project-add") return cmd_project_add(argc, argv);
     if (cmd == "project-build") return cmd_project_build(argc, argv);
     if (cmd == "pnr") return cmd_pnr(argc, argv);
+    if (cmd == "fuzzcfg") return cmd_fuzzcfg(argc, argv);
+    if (cmd == "download") return cmd_download(argc, argv);
     return usage();
   } catch (const jpg::JpgError& e) {
     std::fprintf(stderr, "jpg_cli %s: error: %s\n", cmd.c_str(), e.what());
