@@ -296,6 +296,7 @@ int main(int argc, char** argv) {
   jpg::print_ablation();
   jpg::benchutil::JsonReport report;
   jpg::bench_fastpath(report);
+  jpg::benchutil::add_telemetry_section(report);
   report.write_file("BENCH_partial_gen.json");
   return 0;
 }

@@ -162,6 +162,7 @@ void print_parallel_series() {
            std::to_string(res.route_stats.batches), fmt(speedup) + "x"});
   }
   t.print("CL-PNR: XCV300 route phase, batched router vs seed reference");
+  benchutil::add_telemetry_section(report);
   report.write_file("BENCH_pnr.json");
 }
 

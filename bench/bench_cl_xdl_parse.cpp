@@ -237,6 +237,7 @@ int main(int argc, char** argv) {
   jpg::benchutil::JsonReport report;
   jpg::print_lexer_series(report);
   jpg::print_parse_series(report);
+  jpg::benchutil::add_telemetry_section(report);
   report.write_file("BENCH_xdl_parse.json");
   return 0;
 }

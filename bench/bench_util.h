@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/telemetry/telemetry.h"
+
 namespace jpg::benchutil {
 
 class Stopwatch {
@@ -112,6 +114,22 @@ class JsonReport {
 
   std::vector<std::pair<std::string, Section>> sections_;
 };
+
+/// Folds the process-wide telemetry snapshot into a "telemetry" section of
+/// the report: a build-mode flag plus every counter the run populated.
+/// With JPG_TELEMETRY=OFF the section records enabled=0 and nothing else,
+/// so the driver can tell an uninstrumented run from an idle one.
+inline void add_telemetry_section(JsonReport& report) {
+  report.set("telemetry", "enabled",
+             static_cast<double>(JPG_TELEMETRY_ENABLED));
+#if JPG_TELEMETRY_ENABLED
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::global().snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    report.set("telemetry", name, static_cast<double>(value));
+  }
+#endif
+}
 
 inline std::string fmt(double v, int prec = 1) {
   char buf[64];

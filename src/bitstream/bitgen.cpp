@@ -2,11 +2,14 @@
 
 #include "bitstream/bitstream_reader.h"
 #include "support/error.h"
+#include "support/telemetry/telemetry.h"
 
 namespace jpg {
 
 Bitstream generate_full_bitstream(const ConfigMemory& mem,
                                   const BitgenOptions& opts) {
+  JPG_SPAN("bitgen.full");
+  JPG_COUNT("bitgen.full_streams", 1);
   const Device& dev = mem.device();
   const FrameMap& fm = dev.frames();
 

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "support/error.h"
+#include "support/telemetry/telemetry.h"
 
 namespace jpg {
 
@@ -34,6 +35,7 @@ void ConfigPort::reset_stats() {
 }
 
 void ConfigPort::abort() {
+  JPG_COUNT("port.aborts", 1);
   synced_ = false;
   mode_ = Command::NONE;
   expect_ = Expect::Header;
@@ -146,8 +148,10 @@ void ConfigPort::load_word_impl(std::uint32_t word) {
 
 void ConfigPort::handle_reg_write(ConfigReg reg, std::uint32_t value) {
   if (reg == ConfigReg::CRC) {
+    JPG_COUNT("port.crc_checks", 1);
     const std::uint16_t expected = crc_.value();
     if (static_cast<std::uint16_t>(value) != expected) {
+      JPG_COUNT("port.crc_failures", 1);
       std::ostringstream os;
       os << "CRC mismatch: stream says 0x" << std::hex << value
          << ", accumulated 0x" << expected;
@@ -225,6 +229,7 @@ void ConfigPort::handle_fdri_payload_complete() {
   if (nframes == 0) return;
   // The final frame of every FDRI packet is the pipeline-flush pad frame.
   const std::size_t commit = nframes - 1;
+  JPG_COUNT("port.frames_committed", commit);
   for (std::size_t i = 0; i < commit; ++i) {
     if (cur_frame_ >= fm.num_frames()) {
       throw BitstreamError("FDRI write ran past the last frame");
@@ -272,6 +277,7 @@ std::vector<std::uint32_t> ConfigPort::readback_frames(std::size_t first,
   JPG_REQUIRE(first + count <= fm.num_frames(), "readback range out of bounds");
   const std::size_t fw = fm.frame_words();
   std::vector<std::uint32_t> out(count * fw);
+  JPG_COUNT("port.readback_words", out.size());
   for (std::size_t i = 0; i < count; ++i) {
     mem_->read_frame_words(first + i, out.data() + i * fw);
   }

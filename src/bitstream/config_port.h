@@ -21,6 +21,7 @@
 #include "bitstream/config_memory.h"
 #include "bitstream/crc16.h"
 #include "bitstream/packet.h"
+#include "support/telemetry/telemetry.h"
 
 namespace jpg {
 
@@ -48,6 +49,7 @@ class ConfigPort {
   void load_word(std::uint32_t word);
 
   void load(std::span<const std::uint32_t> words) {
+    JPG_COUNT("port.words_loaded", words.size());
     for (const std::uint32_t w : words) load_word(w);
   }
   void load(const Bitstream& bs) { load(bs.words); }

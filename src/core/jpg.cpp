@@ -3,6 +3,7 @@
 #include "bitstream/bitgen.h"
 #include "bitstream/config_port.h"
 #include "support/log.h"
+#include "support/telemetry/telemetry.h"
 
 namespace jpg {
 
@@ -23,6 +24,7 @@ Jpg::Jpg(const Bitstream& base_bitstream)
 Jpg::PartialResult Jpg::generate_partial(const XdlDesign& module_xdl,
                                          const UcfData& ucf,
                                          const PartialGenOptions& opts) {
+  JPG_SPAN("jpg.generate_partial");
   // The paper's pipeline: parse XDL -> make CBits calls on a scratch plane.
   ConfigMemory scratch(*device_);
   const XdlBindResult bound = bind_xdl_module(module_xdl, ucf, scratch);

@@ -5,6 +5,7 @@
 
 #include "support/error.h"
 #include "support/log.h"
+#include "support/telemetry/telemetry.h"
 #include "support/thread_pool.h"
 
 namespace jpg {
@@ -90,6 +91,7 @@ FrameOverlay PartialBitstreamGenerator::compose_overlay(
   const std::size_t win_lo = window_base(fm, region);
   const std::size_t win_bits = window_bits(region);
   FrameOverlay overlay(*base_);
+  JPG_TELEM(std::uint64_t telem_frames = 0;)
   for (const int major : region.clb_majors(*device_)) {
     for (int minor = 0; minor < fm.frames_in_major(major); ++minor) {
       const std::size_t idx = fm.frame_index(major, minor);
@@ -97,8 +99,11 @@ FrameOverlay PartialBitstreamGenerator::compose_overlay(
       // base content, so rewriting the frame is non-disruptive.
       overlay.mutable_frame(idx).copy_range(module_config.frame(idx), win_lo,
                                             win_bits);
+      JPG_TELEM(++telem_frames;)
     }
   }
+  JPG_COUNT("pgen.frames_composed", telem_frames);
+  JPG_COUNT("pgen.words_blitted", telem_frames * ((win_bits + 31) / 32));
   return overlay;
 }
 
@@ -216,6 +221,8 @@ PartialGenResult PartialBitstreamGenerator::generate_uncached(
 PartialGenResult PartialBitstreamGenerator::generate(
     const ConfigMemory& module_config, const Region& region,
     const PartialGenOptions& opts) const {
+  JPG_SPAN("pgen.generate");
+  const std::uint64_t telem_t0 = telemetry::now_ns();
   check_update(module_config, region);
 
   CacheKey key;
@@ -229,10 +236,17 @@ PartialGenResult PartialBitstreamGenerator::generate(
                    content_hash(module_config, region)};
     const std::lock_guard<std::mutex> lock(cache_mutex_);
     const auto it = cache_index_.find(key);
+    ++cache_lookups_;
     if (it != cache_index_.end()) {
       cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
       ++cache_hits_;
+      JPG_COUNT("pgen.cache.hits", 1);
       PartialGenResult result = it->second->second;
+      result.telemetry = telemetry::StageSnapshot{};
+      result.telemetry.duration_ns = telemetry::now_ns() - telem_t0;
+      result.telemetry.set("cache_hit", 1);
+      result.telemetry.set("frames", result.frames.size());
+      result.telemetry.set("far_blocks", result.far_blocks);
       JPG_INFO("partial bitstream for " << region.to_string() << ": "
                                         << result.frames.size()
                                         << " frames (cached), "
@@ -241,9 +255,15 @@ PartialGenResult PartialBitstreamGenerator::generate(
       return result;
     }
     ++cache_misses_;
+    JPG_COUNT("pgen.cache.misses", 1);
   }
 
   PartialGenResult result = generate_uncached(module_config, region, opts);
+  result.telemetry.duration_ns = telemetry::now_ns() - telem_t0;
+  result.telemetry.set("cache_hit", 0);
+  result.telemetry.set("frames", result.frames.size());
+  result.telemetry.set("far_blocks", result.far_blocks);
+  JPG_COUNT("pgen.generations", 1);
   JPG_INFO("partial bitstream for " << region.to_string() << ": "
                                     << result.frames.size() << " frames in "
                                     << result.far_blocks << " blocks, "
@@ -262,6 +282,8 @@ PartialGenResult PartialBitstreamGenerator::generate(
       while (cache_lru_.size() > cache_capacity_) {
         cache_index_.erase(cache_lru_.back().first);
         cache_lru_.pop_back();
+        ++cache_evictions_;
+        JPG_COUNT("pgen.cache.evictions", 1);
       }
     }
   }
@@ -270,6 +292,9 @@ PartialGenResult PartialBitstreamGenerator::generate(
 
 std::vector<PartialGenResult> PartialBitstreamGenerator::generate_batch(
     std::span<const RegionUpdate> updates) const {
+  JPG_SPAN("pgen.generate_batch");
+  JPG_COUNT("pgen.batches", 1);
+  JPG_HIST("pgen.batch_fanout", updates.size());
   // Validate everything up front: each update alone, then major
   // disjointness across the batch — disjoint majors mean disjoint frame
   // sets, which is what makes the fan-out embarrassingly parallel.
@@ -342,6 +367,8 @@ void PartialBitstreamGenerator::set_cache_capacity(std::size_t capacity) {
   while (cache_lru_.size() > cache_capacity_) {
     cache_index_.erase(cache_lru_.back().first);
     cache_lru_.pop_back();
+    ++cache_evictions_;
+    JPG_COUNT("pgen.cache.evictions", 1);
   }
 }
 
@@ -349,14 +376,17 @@ void PartialBitstreamGenerator::clear_cache() {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   cache_lru_.clear();
   cache_index_.clear();
+  cache_lookups_ = 0;
   cache_hits_ = 0;
   cache_misses_ = 0;
+  cache_evictions_ = 0;
 }
 
 PbitCacheStats PartialBitstreamGenerator::cache_stats() const {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
-  return PbitCacheStats{cache_hits_, cache_misses_, cache_lru_.size(),
-                        cache_capacity_};
+  return PbitCacheStats{cache_lookups_,    cache_hits_,
+                        cache_misses_,     cache_evictions_,
+                        cache_lru_.size(), cache_capacity_};
 }
 
 }  // namespace jpg

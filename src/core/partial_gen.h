@@ -27,6 +27,7 @@
 #include "bitstream/config_memory.h"
 #include "bitstream/frame_overlay.h"
 #include "device/region.h"
+#include "support/telemetry/telemetry.h"
 
 namespace jpg {
 
@@ -49,6 +50,9 @@ struct PartialGenResult {
   Bitstream bitstream;
   std::vector<std::size_t> frames;  ///< linear frame indices written
   std::size_t far_blocks = 0;       ///< contiguous FAR/FDRI runs emitted
+  /// Wall time plus this call's own tallies (frames, far_blocks,
+  /// cache_hit); filled by generate(), reset on every cache hit.
+  telemetry::StageSnapshot telemetry;
 };
 
 /// One independent region update for generate_batch.
@@ -58,16 +62,21 @@ struct RegionUpdate {
   PartialGenOptions opts;
 };
 
+/// Coherent snapshot of the pbit cache: every field is read under the one
+/// cache mutex, in the same critical section that mutates them, so
+/// `hits + misses == lookups` holds in any snapshot regardless of how many
+/// generate()/generate_batch() calls are in flight.
 struct PbitCacheStats {
+  std::size_t lookups = 0;  ///< cache consultations (hits + misses)
   std::size_t hits = 0;
   std::size_t misses = 0;
+  std::size_t evictions = 0;  ///< LRU entries dropped (capacity pressure)
   std::size_t entries = 0;
   std::size_t capacity = 0;
 
   [[nodiscard]] double hit_rate() const {
-    const std::size_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) /
-                                  static_cast<double>(total);
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(lookups);
   }
 };
 
@@ -184,8 +193,10 @@ class PartialBitstreamGenerator {
   mutable std::unordered_map<CacheKey, std::list<CacheEntry>::iterator,
                              CacheKeyHash>
       cache_index_;
+  mutable std::size_t cache_lookups_ = 0;
   mutable std::size_t cache_hits_ = 0;
   mutable std::size_t cache_misses_ = 0;
+  mutable std::size_t cache_evictions_ = 0;
   std::size_t cache_capacity_ = kDefaultCacheCapacity;
 };
 

@@ -9,6 +9,7 @@
 #include "bitstream/config_port.h"
 #include "support/bitvec.h"
 #include "support/log.h"
+#include "support/telemetry/telemetry.h"
 
 namespace jpg {
 
@@ -140,6 +141,8 @@ std::vector<std::size_t> VerifiedDownloader::verify_against(
     std::vector<std::uint32_t> got;
     try {
       got = board_->readback(first, count);
+      readback_words_ += got.size();
+      JPG_COUNT("dl.readback_words", got.size());
     } catch (const JpgError& e) {
       // A failed readback proves nothing about the run; treat every frame
       // in it as suspect so the retry rewrites and re-verifies them.
@@ -193,7 +196,10 @@ bool VerifiedDownloader::converge(Bitstream stream, const ConfigMemory& target,
       // ABORT first: a previous stream cut off mid-payload left the port
       // waiting for FDRI words that would otherwise swallow this stream.
       board_->abort_config();
+      ++aborts_;
       board_->send_config(stream.words);
+      words_sent_ += stream.words.size();
+      JPG_COUNT("dl.words_sent", stream.words.size());
     } catch (const JpgError& e) {
       ++rep.faults_seen;
       rep.fault_log.push_back(std::string("send: ") + e.what());
@@ -217,13 +223,28 @@ bool VerifiedDownloader::converge(Bitstream stream, const ConfigMemory& target,
       return true;
     }
     rep.frames_repaired += bad.size();
+    ++repair_rounds_;
+    JPG_COUNT("dl.repair_rounds", 1);
     stream = build_frames_stream(target, bad, ensure_started);
     check = std::move(bad);
   }
   return false;
 }
 
+void VerifiedDownloader::finish_report(DownloadReport& rep,
+                                       std::uint64_t t0_ns) const {
+  rep.telemetry.duration_ns = telemetry::now_ns() - t0_ns;
+  rep.telemetry.set("words_sent", words_sent_);
+  rep.telemetry.set("readback_words", readback_words_);
+  rep.telemetry.set("repair_rounds", repair_rounds_);
+  rep.telemetry.set("aborts", aborts_);
+}
+
 DownloadReport VerifiedDownloader::download_full(const Bitstream& full) {
+  JPG_SPAN("dl.download_full");
+  JPG_COUNT("dl.downloads", 1);
+  const std::uint64_t telem_t0 = telemetry::now_ns();
+  words_sent_ = readback_words_ = repair_rounds_ = aborts_ = 0;
   DownloadReport rep;
   auto plane = std::make_unique<ConfigMemory>(*device_);
   std::vector<std::size_t> touched;
@@ -237,6 +258,7 @@ DownloadReport VerifiedDownloader::download_full(const Bitstream& full) {
   } catch (const JpgError& e) {
     rep.error = std::string("stream rejected tool-side, nothing sent: ") +
                 e.what();
+    finish_report(rep, telem_t0);
     return rep;
   }
   rep.frames_touched = touched.size();
@@ -247,11 +269,16 @@ DownloadReport VerifiedDownloader::download_full(const Bitstream& full) {
   } else {
     rep.error = "full download did not converge within the attempt budget";
   }
+  finish_report(rep, telem_t0);
   JPG_INFO(rep.summary());
   return rep;
 }
 
 DownloadReport VerifiedDownloader::download_partial(const Bitstream& partial) {
+  JPG_SPAN("dl.download_partial");
+  JPG_COUNT("dl.downloads", 1);
+  const std::uint64_t telem_t0 = telemetry::now_ns();
+  words_sent_ = readback_words_ = repair_rounds_ = aborts_ = 0;
   JPG_REQUIRE(has_mirror(),
               "no board mirror established; call download_full or "
               "assume_board_state first");
@@ -265,6 +292,7 @@ DownloadReport VerifiedDownloader::download_partial(const Bitstream& partial) {
   } catch (const JpgError& e) {
     rep.error = std::string("stream rejected tool-side, nothing sent: ") +
                 e.what();
+    finish_report(rep, telem_t0);
     return rep;
   }
   rep.frames_touched = touched.size();
@@ -272,6 +300,7 @@ DownloadReport VerifiedDownloader::download_partial(const Bitstream& partial) {
                /*ensure_started=*/false, rep.attempts, rep)) {
     rep.status = DownloadStatus::Success;
     *mirror_ = target;
+    finish_report(rep, telem_t0);
     JPG_INFO(rep.summary());
     return rep;
   }
@@ -283,6 +312,7 @@ DownloadReport VerifiedDownloader::download_partial(const Bitstream& partial) {
       rep.status = DownloadStatus::RolledBack;
       rep.error = "update did not converge; device rolled back to the "
                   "pre-update plane";
+      finish_report(rep, telem_t0);
       JPG_INFO(rep.summary());
       return rep;
     }
@@ -291,6 +321,7 @@ DownloadReport VerifiedDownloader::download_partial(const Bitstream& partial) {
   } else {
     rep.error = "update did not converge and rollback is disabled";
   }
+  finish_report(rep, telem_t0);
   JPG_INFO(rep.summary());
   return rep;
 }

@@ -26,6 +26,7 @@
 #include "bitstream/config_memory.h"
 #include "bitstream/packet.h"
 #include "hwif/xhwif.h"
+#include "support/telemetry/telemetry.h"
 
 namespace jpg {
 
@@ -64,6 +65,9 @@ struct DownloadReport {
   std::size_t faults_seen = 0;      ///< send/readback exceptions caught
   std::vector<std::string> fault_log;  ///< one line per caught fault
   std::string error;  ///< why the download failed (Failed only)
+  /// Wall time plus this download's own tallies (words_sent,
+  /// readback_words, repair_rounds, aborts).
+  telemetry::StageSnapshot telemetry;
 
   [[nodiscard]] bool ok() const { return status == DownloadStatus::Success; }
   [[nodiscard]] std::string summary() const;
@@ -127,10 +131,21 @@ class VerifiedDownloader {
 
   void backoff(int attempt);
 
+  /// Fills rep.telemetry from the per-download tallies accumulated by
+  /// converge() (words sent, readback words, repair rounds, aborts).
+  void finish_report(DownloadReport& rep, std::uint64_t t0_ns) const;
+
   Xhwif* board_;
   const Device* device_;
   DownloadPolicy policy_;
   std::unique_ptr<ConfigMemory> mirror_;
+
+  // Per-download tallies (reset at the top of download_full/download_partial;
+  // the downloader is single-threaded per instance, so plain integers do).
+  mutable std::uint64_t words_sent_ = 0;
+  mutable std::uint64_t readback_words_ = 0;
+  mutable std::uint64_t repair_rounds_ = 0;
+  mutable std::uint64_t aborts_ = 0;
 };
 
 }  // namespace jpg

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "support/log.h"
+#include "support/telemetry/telemetry.h"
 
 namespace jpg {
 
@@ -92,6 +93,7 @@ BaseFlowResult run_base_flow(const Device& device, const Netlist& base,
                              const std::vector<PartitionSpec>& partitions,
                              const FlowOptions& opt,
                              const PlacementConstraints& extra_constraints) {
+  JPG_SPAN("flow.base");
   // --- Validate the floorplan --------------------------------------------------
   auto in_any_region = [&](int col) {
     for (const PartitionSpec& p : partitions) {
@@ -311,6 +313,7 @@ BaseFlowResult run_base_flow(const Device& device, const Netlist& base,
 ModuleFlowResult run_module_flow(const Device& device, const Netlist& module,
                                  const PartitionInterface& iface,
                                  const FlowOptions& opt) {
+  JPG_SPAN("flow.module");
   ModuleFlowResult result;
   result.design = std::make_unique<PlacedDesign>(device, module);
   PlacedDesign& d = *result.design;

@@ -1,5 +1,7 @@
 #include "pnr/packer.h"
 
+#include "support/telemetry/telemetry.h"
+
 #include <map>
 #include <sstream>
 
@@ -29,6 +31,7 @@ std::uint16_t fold_lut_input(std::uint16_t init, int pin, bool value) {
 }  // namespace
 
 PackStats pack_design(PlacedDesign& design) {
+  JPG_SPAN("pnr.pack");
   Netlist& nl = design.netlist_mut();
   require_drc_clean(nl);
   PackStats stats;
@@ -126,6 +129,8 @@ PackStats pack_design(PlacedDesign& design) {
        << capacity;
     throw DeviceError(os.str());
   }
+  JPG_COUNT("pnr.pack.runs", 1);
+  JPG_COUNT("pnr.pack.slices", stats.slices);
   return stats;
 }
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/log.h"
+#include "support/telemetry/telemetry.h"
 
 namespace jpg {
 
@@ -570,10 +571,15 @@ PlaceStats Annealer::run() {
 PlaceStats place_design(PlacedDesign& design,
                         const PlacementConstraints& constraints,
                         const PlacerOptions& options) {
+  JPG_SPAN("pnr.place");
   JPG_REQUIRE(!design.slices.empty() || design.netlist().num_cells() > 0,
               "placing an unpacked design");
   Annealer annealer(design, constraints, options);
-  return annealer.run();
+  PlaceStats stats = annealer.run();
+  JPG_COUNT("pnr.place.runs", 1);
+  JPG_COUNT("pnr.place.moves", stats.moves);
+  JPG_COUNT("pnr.place.accepted", stats.accepted);
+  return stats;
 }
 
 }  // namespace jpg

@@ -256,6 +256,8 @@ class PathFinder {
   double pres_fac_ = 1.0;
 
   std::vector<NetBBox> bbox_;  ///< parallel to nets_
+  /// A* heap pops over every search (relaxed; flushed once per net search).
+  JPG_TELEM(mutable std::atomic<std::uint64_t> astar_pops_{0};)
 
   // Per-net routing state.
   struct NetRoute {
@@ -419,6 +421,7 @@ void PathFinder::rip_up(std::size_t net_idx) {
 constexpr int kSearchMargin = kHexSpan;
 
 void PathFinder::route_net(std::size_t net_idx, RouterScratch& s) {
+  JPG_TELEM(std::uint64_t telem_pops = 0;)
   const NetToRoute& net = nets_[net_idx];
   NetRoute& out = result_[net_idx];
   const Device& dev = g_.device();
@@ -490,6 +493,7 @@ void PathFinder::route_net(std::size_t net_idx, RouterScratch& s) {
         const auto [est, node] = s.heap.front();
         std::pop_heap(s.heap.begin(), s.heap.end(), std::greater<>());
         s.heap.pop_back();
+        JPG_TELEM(++telem_pops;)
         if (s.stamp[node] != s.cur_stamp) continue;
         if (est > s.cost[node] + heur(node) + 1e-9) continue;  // stale
         if (node == sink) return true;
@@ -546,6 +550,8 @@ void PathFinder::route_net(std::size_t net_idx, RouterScratch& s) {
       node = from;
     }
   }
+  JPG_TELEM(astar_pops_.fetch_add(telem_pops, std::memory_order_relaxed);)
+  JPG_COUNT("pnr.route.astar_pops", telem_pops);
 }
 
 std::vector<RoutedNet> PathFinder::assemble(RouteStats* stats, int iterations,
@@ -582,6 +588,8 @@ std::vector<RoutedNet> PathFinder::assemble(RouteStats* stats, int iterations,
 }
 
 std::vector<RoutedNet> PathFinder::run(RouteStats* stats) {
+  JPG_SPAN("pnr.route");
+  const std::uint64_t telem_t0 = telemetry::now_ns();
   build_permissions();
   const std::size_t n = g_.num_nodes();
   occupancy_.assign(n, 0);
@@ -624,6 +632,7 @@ std::vector<RoutedNet> PathFinder::run(RouteStats* stats) {
     make_batches(work, batches);
     batch_count += batches.size();
     reroutes += work.size();
+    JPG_TELEM(for (const auto& b : batches) JPG_HIST("pnr.route.batch_size", b.size());)
 
     overused_nodes.clear();
     for (const auto& batch : batches) {
@@ -651,6 +660,7 @@ std::vector<RoutedNet> PathFinder::run(RouteStats* stats) {
     }
 
     // Check for congestion.
+    JPG_HIST("pnr.route.overuse", overused_nodes.size());
     for (const std::size_t node : overused_nodes) {
       history_[node] +=
           opt_.hist_fac * static_cast<double>(occupancy_[node] - 1);
@@ -663,7 +673,19 @@ std::vector<RoutedNet> PathFinder::run(RouteStats* stats) {
     }
   }
 
-  return assemble(stats, iter, batch_count, reroutes);
+  std::vector<RoutedNet> routed = assemble(stats, iter, batch_count, reroutes);
+  if (stats != nullptr) {
+    stats->telemetry.duration_ns = telemetry::now_ns() - telem_t0;
+    stats->telemetry.set("iterations", static_cast<std::uint64_t>(iter));
+    stats->telemetry.set("batches", batch_count);
+    stats->telemetry.set("nets_rerouted", reroutes);
+    JPG_TELEM(stats->telemetry.set(
+        "astar_pops", astar_pops_.load(std::memory_order_relaxed));)
+  }
+  JPG_COUNT("pnr.route.runs", 1);
+  JPG_COUNT("pnr.route.iterations", static_cast<std::uint64_t>(iter));
+  JPG_COUNT("pnr.route.nets_rerouted", reroutes);
+  return routed;
 }
 
 // --- Seed-algorithm reference (bench baseline) -------------------------------

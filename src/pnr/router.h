@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "pnr/placed_design.h"
+#include "support/telemetry/telemetry.h"
 
 namespace jpg {
 
@@ -120,6 +121,9 @@ struct RouteStats {
   std::size_t total_pips = 0;
   std::size_t batches = 0;        ///< conflict-free batches executed
   std::size_t nets_rerouted = 0;  ///< (re)route invocations over all iterations
+  /// Wall time plus this pass's own counters (iterations, batches,
+  /// rerouted nets; A* heap pops when compiled with JPG_TELEMETRY).
+  telemetry::StageSnapshot telemetry;
 };
 
 /// Routes all nets; throws DeviceError when a sink is unreachable or

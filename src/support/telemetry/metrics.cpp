@@ -1,0 +1,206 @@
+#include "support/telemetry/telemetry.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "support/error.h"
+
+namespace jpg::telemetry {
+
+std::uint64_t now_ns() noexcept {
+  // Offset from a fixed process-local epoch so trace timestamps start near
+  // zero (chrome://tracing renders absolute steady-clock values poorly).
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+std::uint32_t thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  static thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::uint64_t HistogramSnapshot::percentile_edge(double p) const {
+  if (count == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      p * static_cast<double>(count) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= target) return Histogram::bucket_edge(b);
+  }
+  return Histogram::bucket_edge(buckets.size() - 1);
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out;
+  out.reserve(1024);
+  char buf[64];
+  auto u64 = [&](std::uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  };
+  out += "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + counters[i].first + "\": ";
+    u64(counters[i].second);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + gauges[i].first + "\": ";
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(gauges[i].second));
+    out += buf;
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + h.name + "\": {\"count\": ";
+    u64(h.count);
+    out += ", \"sum\": ";
+    u64(h.sum);
+    std::snprintf(buf, sizeof(buf), ", \"mean\": %.2f", h.mean());
+    out += buf;
+    out += ", \"p50_le\": ";
+    u64(h.percentile_edge(0.50));
+    out += ", \"p99_le\": ";
+    u64(h.percentile_edge(0.99));
+    // Trailing zero buckets are elided; bucket b spans values of bit
+    // width b (0, 1, 2..3, 4..7, ...).
+    std::size_t last = h.buckets.size();
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < last; ++b) {
+      if (b != 0) out += ", ";
+      u64(h.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked: instrumented code may run during static destruction.
+  static MetricsRegistry* const g = new MetricsRegistry();
+  return *g;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.count(std::string(name)) != 0 ||
+      histograms_.count(std::string(name)) != 0) {
+    throw JpgError("metric '" + std::string(name) +
+                   "' already registered with a different kind");
+  }
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(std::string(name)) != 0 ||
+      histograms_.count(std::string(name)) != 0) {
+    throw JpgError("metric '" + std::string(name) +
+                   "' already registered with a different kind");
+  }
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(std::string(name)) != 0 ||
+      gauges_.count(std::string(name)) != 0) {
+    throw JpgError("metric '" + std::string(name) +
+                   "' already registered with a different kind");
+  }
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      hs.buckets[b] = h->bucket(b);
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  const std::string doc = snapshot().to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "telemetry: cannot write metrics to %s\n",
+                 path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "telemetry: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace jpg::telemetry

@@ -1,0 +1,364 @@
+// Flow-wide telemetry: a process-global MetricsRegistry (sharded counters,
+// gauges, fixed-bucket histograms) plus RAII TraceSpans recording into
+// lock-free per-thread rings, exportable as a metrics JSON document and as
+// Chrome trace-event format (load the file in chrome://tracing or Perfetto).
+//
+// Design rules (docs/OBSERVABILITY.md has the full catalogue):
+//  * Instrumentation sites go through the JPG_COUNT / JPG_GAUGE_* /
+//    JPG_HIST / JPG_SPAN / JPG_TELEM macros below. With the CMake option
+//    JPG_TELEMETRY=OFF every macro expands to nothing, so the instrumented
+//    hot paths compile back to their uninstrumented form — the classes stay
+//    available (the CLI flags still parse; snapshots are just empty).
+//  * Counters are monotonic and sharded across cache lines: a hot-path
+//    add() is one relaxed fetch_add on a (mostly) thread-private line.
+//    Hot inner loops accumulate locally and flush once per unit of work
+//    (per net search, per frame, per stream) — never per element.
+//  * snapshot() returns a coherent view: the name set and every value are
+//    collected under the registry mutex; counter values are sums over
+//    shards of monotonic atomics, so a snapshot never goes backwards.
+//  * Tracing is off by default; TraceSpan checks one relaxed atomic and
+//    records nothing when disabled. Span names must be string literals
+//    (the event stores the pointer, not a copy).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#ifndef JPG_TELEMETRY_ENABLED
+#define JPG_TELEMETRY_ENABLED 1
+#endif
+
+namespace jpg::telemetry {
+
+/// Nanoseconds since an arbitrary process-local epoch (steady clock).
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+/// Small dense id of the calling thread (registration order, not OS tid).
+[[nodiscard]] std::uint32_t thread_id() noexcept;
+
+// --- Metric primitives -------------------------------------------------------
+
+/// Monotonic counter, sharded to keep concurrent add()s off one cache line.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t delta = 1) noexcept {
+    shards_[thread_id() % kShards].v.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() noexcept {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-value gauge (signed: queue depths go up and down).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram over non-negative integers with power-of-two
+/// bucket edges: bucket b counts values whose bit width is b, i.e. value 0
+/// lands in bucket 0, 1 in bucket 1, 2..3 in bucket 2, 4..7 in bucket 3...
+/// Cheap (no per-instance configuration), monotonic, and wide enough for
+/// nanosecond latencies and element counts alike.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) noexcept {
+    std::size_t b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  /// Inclusive upper edge of bucket `b` (the largest value it can hold).
+  [[nodiscard]] static std::uint64_t bucket_edge(std::size_t b) noexcept {
+    return b == 0 ? 0 : (b >= 64 ? ~0ull : (1ull << b) - 1);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// --- Snapshots ---------------------------------------------------------------
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bucket edge below which at least `p` (0..1) of samples fall.
+  [[nodiscard]] std::uint64_t percentile_edge(double p) const;
+};
+
+/// Point-in-time view of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Value of a counter, 0 when absent.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] const HistogramSnapshot* histogram(std::string_view name) const;
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// The metrics JSON document: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{count,sum,mean,buckets:[...]}}}.
+  [[nodiscard]] std::string to_json() const;
+};
+
+// --- Registry ----------------------------------------------------------------
+
+class MetricsRegistry {
+ public:
+  /// Process-wide registry (leaked singleton: usable from any static-
+  /// destruction context).
+  static MetricsRegistry& global();
+
+  /// Registration is idempotent; returned references stay valid for the
+  /// registry's lifetime. Registering one name as two different kinds
+  /// throws JpgError.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric (names stay registered). Tests and the CLI call
+  /// this quiescently; concurrent writers may leak a few counts into the
+  /// fresh epoch, which monotonicity tolerates.
+  void reset();
+
+  /// Serialises snapshot() to `path`; false (stderr note) on I/O error.
+  bool write_json(const std::string& path) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// --- Stage snapshots (attached to flow results) ------------------------------
+
+/// A tiny per-operation telemetry record carried on RouteStats,
+/// PartialGenResult and DownloadReport: wall time plus the stage's own
+/// counters, tallied locally by the producing operation (so concurrent
+/// operations never cross-contaminate each other's numbers the way global
+/// counter deltas would). Empty when JPG_TELEMETRY=OFF.
+struct StageSnapshot {
+  std::uint64_t duration_ns = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  void set(std::string name, std::uint64_t v) {
+    counters.emplace_back(std::move(name), v);
+  }
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const {
+    for (const auto& [n, v] : counters) {
+      if (n == name) return v;
+    }
+    return 0;
+  }
+  [[nodiscard]] bool empty() const {
+    return duration_ns == 0 && counters.empty();
+  }
+};
+
+// --- Tracing -----------------------------------------------------------------
+
+/// One completed span. `name` must point at a string literal.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint32_t tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// Process-wide trace sink: every thread records into its own fixed-size
+/// ring (single writer, no locks on the record path; the newest events win
+/// when a ring wraps). Rings of exited threads are retired into the sink
+/// under the registry mutex, so no event is lost across thread lifetimes.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kRingCapacity = 1 << 14;  ///< events per thread
+
+  static TraceBuffer& global();
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records into the calling thread's ring. Callers check enabled() first
+  /// (TraceSpan does); recording while disabled still works.
+  void record(const TraceEvent& e);
+
+  /// Copies out every buffered event, sorted by start time. Intended at
+  /// flow boundaries (CLI exit, bench end) when recorders are idle; an
+  /// event being recorded concurrently may be missed or torn — never UB on
+  /// the name pointer, which is a literal.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Events dropped to ring wrap-around since the last clear().
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  void clear();
+
+  /// Writes events() as a Chrome trace-event JSON document
+  /// ({"traceEvents":[{"name",...,"ph":"X","ts","dur","pid","tid"},...]}).
+  /// False (stderr note) on I/O error.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct Ring;
+  friend struct ThreadRingOwner;
+
+  TraceBuffer() = default;
+  Ring& local_ring();
+  void retire(Ring& ring);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Ring>> rings_;     ///< live threads
+  std::vector<TraceEvent> retired_;              ///< from exited threads
+  std::uint64_t retired_dropped_ = 0;
+};
+
+/// RAII span: records [construction, destruction) into the trace buffer
+/// when tracing is enabled. `name` must be a string literal.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept {
+    if (TraceBuffer::global().enabled()) {
+      name_ = name;
+      start_ = now_ns();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceBuffer::global().record(
+          {name_, thread_id(), start_, now_ns() - start_});
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace jpg::telemetry
+
+// --- Instrumentation macros --------------------------------------------------
+//
+// All hot-path instrumentation goes through these, so JPG_TELEMETRY=OFF
+// restores the uninstrumented code exactly. The static local reference
+// makes the registry lookup a one-time cost per site.
+
+#if JPG_TELEMETRY_ENABLED
+
+#define JPG_TELEM(...) __VA_ARGS__
+#define JPG_COUNT(metric, delta)                                        \
+  do {                                                                  \
+    static ::jpg::telemetry::Counter& jpg_telem_c =                     \
+        ::jpg::telemetry::MetricsRegistry::global().counter(metric);    \
+    jpg_telem_c.add(delta);                                             \
+  } while (0)
+#define JPG_GAUGE_SET(metric, v)                                        \
+  do {                                                                  \
+    static ::jpg::telemetry::Gauge& jpg_telem_g =                       \
+        ::jpg::telemetry::MetricsRegistry::global().gauge(metric);      \
+    jpg_telem_g.set(v);                                                 \
+  } while (0)
+#define JPG_GAUGE_ADD(metric, d)                                        \
+  do {                                                                  \
+    static ::jpg::telemetry::Gauge& jpg_telem_g =                       \
+        ::jpg::telemetry::MetricsRegistry::global().gauge(metric);      \
+    jpg_telem_g.add(d);                                                 \
+  } while (0)
+#define JPG_HIST(metric, v)                                             \
+  do {                                                                  \
+    static ::jpg::telemetry::Histogram& jpg_telem_h =                   \
+        ::jpg::telemetry::MetricsRegistry::global().histogram(metric);  \
+    jpg_telem_h.record(v);                                              \
+  } while (0)
+#define JPG_TELEM_CONCAT_IMPL(a, b) a##b
+#define JPG_TELEM_CONCAT(a, b) JPG_TELEM_CONCAT_IMPL(a, b)
+#define JPG_SPAN(name) \
+  ::jpg::telemetry::TraceSpan JPG_TELEM_CONCAT(jpg_telem_span_, __LINE__)(name)
+
+#else  // JPG_TELEMETRY_ENABLED
+
+#define JPG_TELEM(...)
+#define JPG_COUNT(metric, delta) ((void)0)
+#define JPG_GAUGE_SET(metric, v) ((void)0)
+#define JPG_GAUGE_ADD(metric, d) ((void)0)
+#define JPG_HIST(metric, v) ((void)0)
+#define JPG_SPAN(name) ((void)0)
+
+#endif  // JPG_TELEMETRY_ENABLED

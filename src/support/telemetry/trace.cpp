@@ -1,0 +1,142 @@
+#include "support/telemetry/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace jpg::telemetry {
+
+/// Single-writer ring: only the owning thread stores events and bumps
+/// `head` (release); readers load `head` (acquire) and copy the filled
+/// suffix. A reader racing a wrap may observe a slot mid-overwrite — the
+/// drain API is documented for quiescent boundaries, and every field is a
+/// trivially-copyable scalar, so a torn read yields a garbled event, not
+/// UB. `base` marks events logically discarded by clear(); it is only
+/// touched under the buffer mutex, which every reader holds.
+struct TraceBuffer::Ring {
+  std::array<TraceEvent, kRingCapacity> ev;
+  std::atomic<std::uint64_t> head{0};
+  std::uint64_t base = 0;  ///< events cleared/retired from this ring
+  std::uint32_t tid = 0;
+
+  void push(const TraceEvent& e) noexcept {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    ev[h % kRingCapacity] = e;
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  /// Appends the live events ([base, head), minus wrap losses) to `out`;
+  /// adds the wrap losses to `dropped`.
+  void copy_to(std::vector<TraceEvent>& out, std::uint64_t& dropped) const {
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    const std::uint64_t oldest = h > kRingCapacity ? h - kRingCapacity : 0;
+    const std::uint64_t lo = std::max(base, oldest);
+    if (oldest > base) dropped += oldest - base;
+    for (std::uint64_t i = lo; i < h; ++i) {
+      out.push_back(ev[i % kRingCapacity]);
+    }
+  }
+};
+
+/// Registers the thread's ring on first record and retires it (moving the
+/// buffered events into the sink) when the thread exits. Namespace-scope
+/// (not anonymous) so the friend declaration in TraceBuffer names it.
+struct ThreadRingOwner {
+  std::shared_ptr<TraceBuffer::Ring> ring;
+  ~ThreadRingOwner() {
+    if (ring) TraceBuffer::global().retire(*ring);
+  }
+};
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer* const g = new TraceBuffer();
+  return *g;
+}
+
+TraceBuffer::Ring& TraceBuffer::local_ring() {
+  static thread_local ThreadRingOwner owner;
+  if (!owner.ring) {
+    owner.ring = std::make_shared<Ring>();
+    owner.ring->tid = thread_id();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    rings_.push_back(owner.ring);
+  }
+  return *owner.ring;
+}
+
+void TraceBuffer::record(const TraceEvent& e) { local_ring().push(e); }
+
+void TraceBuffer::retire(Ring& ring) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring.copy_to(retired_, retired_dropped_);
+  for (auto it = rings_.begin(); it != rings_.end(); ++it) {
+    if (it->get() == &ring) {
+      rings_.erase(it);
+      break;
+    }
+  }
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::vector<TraceEvent> out;
+  std::uint64_t dropped = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = retired_;
+    for (const auto& r : rings_) r->copy_to(out, dropped);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.tid < b.tid;
+            });
+  return out;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t dropped = retired_dropped_;
+  for (const auto& r : rings_) {
+    const std::uint64_t h = r->head.load(std::memory_order_acquire);
+    const std::uint64_t oldest = h > kRingCapacity ? h - kRingCapacity : 0;
+    if (oldest > r->base) dropped += oldest - r->base;
+  }
+  return dropped;
+}
+
+void TraceBuffer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  retired_.clear();
+  retired_dropped_ = 0;
+  // Live rings stay registered (single-writer discipline forbids resetting
+  // their heads from here); marking `base` at the current head discards
+  // everything recorded so far.
+  for (const auto& r : rings_) {
+    r->base = r->head.load(std::memory_order_acquire);
+  }
+}
+
+bool TraceBuffer::write_chrome_trace(const std::string& path) const {
+  const std::vector<TraceEvent> evs = events();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "telemetry: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+  bool first = true;
+  for (const TraceEvent& e : evs) {
+    if (e.name == nullptr) continue;  // torn slot from a racing wrap
+    std::fprintf(f,
+                 "%s\n{\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
+                 "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}",
+                 first ? "" : ",", e.name, e.tid,
+                 static_cast<double>(e.start_ns) / 1e3,
+                 static_cast<double>(e.dur_ns) / 1e3);
+    first = false;
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace jpg::telemetry

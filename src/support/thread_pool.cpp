@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "support/error.h"
+#include "support/telemetry/telemetry.h"
 
 namespace jpg {
 
@@ -40,8 +41,12 @@ void ThreadPool::worker_loop() {
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      JPG_GAUGE_SET("pool.queue_depth", tasks_.size());
     }
+    JPG_TELEM(const std::uint64_t telem_t0 = telemetry::now_ns();)
     task();
+    JPG_COUNT("pool.tasks", 1);
+    JPG_HIST("pool.task_ns", telemetry::now_ns() - telem_t0);
   }
 }
 
@@ -95,11 +100,21 @@ void ThreadPool::parallel_for(std::size_t n,
   ctx->body = &body;  // the caller outlives every *iteration* (see wait)
 
   const std::size_t chunks = std::min(n, workers_.size());
+  JPG_COUNT("pool.parallel_fors", 1);
+  JPG_HIST("pool.parallel_for_n", n);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    JPG_TELEM(const std::uint64_t telem_enq = telemetry::now_ns();)
     for (std::size_t c = 0; c < chunks; ++c) {
+      JPG_TELEM(tasks_.emplace([ctx, telem_enq] {
+        JPG_HIST("pool.queue_wait_ns", telemetry::now_ns() - telem_enq);
+        ctx->run();
+      });)
+#if !JPG_TELEMETRY_ENABLED
       tasks_.emplace([ctx] { ctx->run(); });
+#endif
     }
+    JPG_GAUGE_SET("pool.queue_depth", tasks_.size());
   }
   cv_.notify_all();
   // The caller participates too, so the pool can never deadlock on nested use.

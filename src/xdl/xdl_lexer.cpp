@@ -1,5 +1,7 @@
 #include "xdl/xdl_lexer.h"
 
+#include "support/telemetry/telemetry.h"
+
 namespace jpg {
 
 XdlLexer::XdlLexer(std::string_view text, std::string filename)
@@ -13,6 +15,8 @@ XdlLexer::XdlLexer(std::string&& text, std::string filename)
 }
 
 void XdlLexer::lex(std::string_view text) {
+  JPG_SPAN("xdl.lex");
+  JPG_TELEM(const std::uint64_t telem_t0 = telemetry::now_ns();)
   // One token per handful of source bytes is typical for XDL; reserving up
   // front avoids the vector's doubling copies on multi-megabyte designs.
   tokens_.reserve(text.size() / 8 + 4);
@@ -85,6 +89,9 @@ void XdlLexer::lex(std::string_view text) {
         {XdlToken::Kind::Word, text.substr(start, i - start), line});
   }
   tokens_.push_back({XdlToken::Kind::End, {}, line});
+  JPG_COUNT("xdl.lex.bytes", text.size());
+  JPG_COUNT("xdl.lex.tokens", tokens_.size());
+  JPG_HIST("xdl.lex.ns", telemetry::now_ns() - telem_t0);
 }
 
 }  // namespace jpg

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/string_util.h"
+#include "support/telemetry/telemetry.h"
 #include "xdl/lut_equation.h"
 #include "xdl/xdl_lexer.h"
 
@@ -239,7 +240,14 @@ std::string cfg_value(const XdlInstance& inst, const std::string& key) {
 }  // namespace
 
 XdlDesign parse_xdl(std::string_view text, const std::string& filename) {
-  return Parser(text, filename).parse();
+  JPG_SPAN("xdl.parse");
+  JPG_TELEM(const std::uint64_t telem_t0 = telemetry::now_ns();)
+  XdlDesign design = Parser(text, filename).parse();
+  JPG_COUNT("xdl.parse.designs", 1);
+  JPG_COUNT("xdl.parse.instances", design.instances.size());
+  JPG_COUNT("xdl.parse.nets", design.nets.size());
+  JPG_HIST("xdl.parse.ns", telemetry::now_ns() - telem_t0);
+  return design;
 }
 
 std::unique_ptr<PlacedDesign> placed_design_from_xdl(const XdlDesign& xdl) {

@@ -6,10 +6,14 @@
 #include <filesystem>
 #include <fstream>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "bitstream/bitgen.h"
 #include "bitstream/config_port.h"
 #include "netlib/generators.h"
 #include "pnr/flow.h"
+#include "support/telemetry/telemetry.h"
 #include "ucf/ucf_parser.h"
 #include "xdl/xdl_writer.h"
 
@@ -25,7 +29,10 @@ namespace fs = std::filesystem;
 class CliTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dir_ = new fs::path(fs::path(::testing::TempDir()) / "jpg_cli_test");
+    // Unique per process: ctest runs each case as its own process, all in
+    // parallel, so a shared fixture directory races with itself.
+    dir_ = new fs::path(fs::path(::testing::TempDir()) /
+                        ("jpg_cli_test_" + std::to_string(getpid())));
     fs::create_directories(*dir_);
 
     const Device& dev = Device::get("XCV50");
@@ -60,6 +67,8 @@ class CliTest : public ::testing::Test {
   }
 
   static void TearDownTestSuite() {
+    std::error_code ec;
+    fs::remove_all(*dir_, ec);
     delete dir_;
     dir_ = nullptr;
   }
@@ -78,6 +87,18 @@ class CliTest : public ::testing::Test {
 
   static std::string path(const std::string& name) {
     return (*dir_ / name).string();
+  }
+
+  /// The child's real exit code (run() returns the raw wait status).
+  static int exit_code(const std::string& args) {
+    const int status = run(args);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  static std::string slurp(const std::string& file) {
+    std::ifstream in(file);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
   }
 
   static fs::path* dir_;
@@ -175,6 +196,57 @@ TEST_F(CliTest, DownloadVerifiedOverFaultyLink) {
   const std::string out = output();
   EXPECT_NE(out.find("success"), std::string::npos);
   EXPECT_NE(out.find("board faults"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsEmitsMetricsAndChromeTrace) {
+  ASSERT_EQ(run("stats --seed 5 --metrics " + path("m.json") + " --trace " +
+                path("t.json")),
+            0);
+  const std::string out = output();
+  EXPECT_NE(out.find("cache_hit="), std::string::npos);
+  EXPECT_NE(out.find("\"counters\""), std::string::npos);
+
+  // The metrics file is a complete snapshot document...
+  const std::string metrics = slurp(path("m.json"));
+  EXPECT_NE(metrics.find("\"counters\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"histograms\""), std::string::npos);
+  // ...and the trace file is Chrome trace-event JSON.
+  const std::string trace = slurp(path("t.json"));
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+#if JPG_TELEMETRY_ENABLED
+  // With telemetry compiled in, the stats flow must have populated the
+  // cross-stage counters and the named spans.
+  for (const char* name :
+       {"pgen.cache.hits", "pgen.cache.misses", "pnr.route.astar_pops",
+        "dl.downloads", "dl.words_sent", "port.frames_committed"}) {
+    EXPECT_NE(metrics.find(name), std::string::npos) << name;
+  }
+  for (const char* span : {"flow.base", "pnr.route", "pgen.generate",
+                           "bitgen.full", "dl.download_partial"}) {
+    EXPECT_NE(trace.find(span), std::string::npos) << span;
+  }
+#endif
+}
+
+TEST_F(CliTest, MetricsFlagWorksOnAnyCommand) {
+  ASSERT_EQ(exit_code("info " + path("base.bit") + " --metrics " +
+                      path("info_m.json")),
+            0);
+  EXPECT_NE(slurp(path("info_m.json")).find("\"counters\""),
+            std::string::npos);
+}
+
+TEST_F(CliTest, UnwritableMetricsOrTracePathExitsThree) {
+  // The command itself succeeds; the failed export is its own error class.
+  EXPECT_EQ(exit_code("info " + path("base.bit") +
+                      " --metrics /nonexistent-dir/m.json"),
+            3);
+  EXPECT_NE(output().find("cannot write metrics"), std::string::npos);
+  EXPECT_EQ(exit_code("info " + path("base.bit") +
+                      " --trace /nonexistent-dir/t.json"),
+            3);
+  EXPECT_NE(output().find("cannot write trace"), std::string::npos);
 }
 
 TEST_F(CliTest, ErrorsAreReported) {

@@ -3,6 +3,9 @@
 // and the non-disruptiveness property at the bit level.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "bitstream/bitstream_reader.h"
 #include "bitstream/config_port.h"
 #include "core/partial_gen.h"
@@ -399,6 +402,42 @@ TEST_F(PartialGenTest, CacheEvictsLeastRecentlyUsed) {
   EXPECT_EQ(stats.hits, 0u);
   EXPECT_EQ(stats.entries, 1u);
   EXPECT_EQ(stats.capacity, 1u);
+}
+
+TEST_F(PartialGenTest, CacheStatsSnapshotIsCoherentUnderLoad) {
+  // All four tallies are mutated inside the same critical section, so a
+  // snapshot taken at *any* instant — here from a sampler thread racing
+  // eight generator threads through a capacity-2 cache — must satisfy
+  // hits + misses == lookups and entries <= capacity. A torn snapshot
+  // (counters read outside the lock, or mutated in separate sections)
+  // makes this fail within a handful of samples.
+  const Region region{0, 5, dev_->rows() - 1, 8};
+  const PartialBitstreamGenerator gen(*base_, /*cache_capacity=*/2);
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const PbitCacheStats s = gen.cache_stats();
+      if (s.hits + s.misses != s.lookups || s.entries > s.capacity) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  ThreadPool pool(4);
+  pool.parallel_for(64, [&](std::size_t i) {
+    PartialGenOptions opts;
+    opts.include_crc = (i % 3 != 0);
+    opts.diff_only = (i % 3 == 2);  // three distinct keys -> steady eviction
+    (void)gen.generate(*module_, region, opts);
+  });
+  done.store(true, std::memory_order_release);
+  sampler.join();
+  EXPECT_EQ(violations.load(), 0);
+  const PbitCacheStats stats = gen.cache_stats();
+  EXPECT_EQ(stats.lookups, 64u);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.entries, stats.capacity);
 }
 
 }  // namespace

@@ -1,0 +1,248 @@
+// Tests of the telemetry subsystem: metric primitives, registry snapshot
+// coherence, stage snapshots, the trace buffer and both export formats.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "support/error.h"
+#include "support/telemetry/telemetry.h"
+
+namespace jpg::telemetry {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(Counter, AddValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ShardedAddsSumExactly) {
+  // The whole point of sharding: concurrent adds from many threads must
+  // still sum to the exact total.
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Gauge, SetAddValue) {
+  Gauge g;
+  g.set(7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, BucketEdgesArePowersOfTwo) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_edge(0), 0u);
+  EXPECT_EQ(Histogram::bucket_edge(1), 1u);
+  EXPECT_EQ(Histogram::bucket_edge(2), 3u);
+  EXPECT_EQ(Histogram::bucket_edge(3), 7u);
+  // Every value lands in the bucket whose edge bounds it.
+  for (std::uint64_t v : {0ull, 1ull, 5ull, 1000ull, 123456789ull}) {
+    EXPECT_LE(v, Histogram::bucket_edge(Histogram::bucket_of(v)));
+  }
+  // Huge values clamp into the last bucket instead of overflowing.
+  EXPECT_EQ(Histogram::bucket_of(~0ull), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, RecordAndPercentiles) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(3);    // bucket 2, edge 3
+  for (int i = 0; i < 10; ++i) h.record(100);  // bucket 7, edge 127
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 90u * 3 + 10u * 100);
+
+  HistogramSnapshot snap;
+  snap.count = h.count();
+  snap.sum = h.sum();
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    snap.buckets[b] = h.bucket(b);
+  }
+  EXPECT_DOUBLE_EQ(snap.mean(), (90.0 * 3 + 10.0 * 100) / 100.0);
+  EXPECT_EQ(snap.percentile_edge(0.5), 3u);
+  EXPECT_EQ(snap.percentile_edge(0.99), 127u);
+}
+
+TEST(Registry, RegistrationIsIdempotent) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("test.reg.idem");
+  Counter& b = reg.counter("test.reg.idem");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Registry, KindCollisionThrows) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("test.reg.kind");
+  EXPECT_THROW(reg.gauge("test.reg.kind"), JpgError);
+  EXPECT_THROW(reg.histogram("test.reg.kind"), JpgError);
+}
+
+TEST(Registry, SnapshotIsSortedAndQueryable) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("test.snap.b").add(2);
+  reg.counter("test.snap.a").add(1);
+  reg.gauge("test.snap.g").set(-5);
+  reg.histogram("test.snap.h").record(9);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("test.snap.a"), 1u);
+  EXPECT_EQ(snap.counter("test.snap.b"), 2u);
+  EXPECT_EQ(snap.counter("test.snap.nothere"), 0u);
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+  ASSERT_NE(snap.histogram("test.snap.h"), nullptr);
+  EXPECT_EQ(snap.histogram("test.snap.h")->count, 1u);
+  EXPECT_EQ(snap.histogram("test.snap.nothere"), nullptr);
+}
+
+TEST(Registry, JsonDocumentShape) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("test.json.c").add(3);
+  reg.histogram("test.json.h").record(5);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.c\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.h\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50_le\""), std::string::npos);
+}
+
+TEST(Registry, WriteJsonFailsOnBadPath) {
+  EXPECT_FALSE(
+      MetricsRegistry::global().write_json("/nonexistent-dir/metrics.json"));
+  const fs::path out = fs::path(::testing::TempDir()) / "metrics_ok.json";
+  EXPECT_TRUE(MetricsRegistry::global().write_json(out.string()));
+  EXPECT_NE(slurp(out).find("\"counters\""), std::string::npos);
+}
+
+TEST(StageSnapshotTest, SetCounterEmpty) {
+  StageSnapshot s;
+  EXPECT_TRUE(s.empty());
+  s.duration_ns = 5;
+  s.set("frames", 12);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.counter("frames"), 12u);
+  EXPECT_EQ(s.counter("absent"), 0u);
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  TraceBuffer& tb = TraceBuffer::global();
+  tb.set_enabled(false);
+  tb.clear();
+  { TraceSpan span("test.disabled"); }
+  for (const TraceEvent& e : tb.events()) {
+    EXPECT_STRNE(e.name, "test.disabled");
+  }
+}
+
+TEST(Trace, SpansRecordWhenEnabledAndClearDrops) {
+  TraceBuffer& tb = TraceBuffer::global();
+  tb.clear();
+  tb.set_enabled(true);
+  {
+    TraceSpan outer("test.outer");
+    TraceSpan inner("test.inner");
+  }
+  tb.set_enabled(false);
+  const auto evs = tb.events();
+  int seen = 0;
+  for (const TraceEvent& e : evs) {
+    if (std::string_view(e.name) == "test.outer" ||
+        std::string_view(e.name) == "test.inner") {
+      ++seen;
+      EXPECT_EQ(e.tid, thread_id());
+    }
+  }
+  EXPECT_EQ(seen, 2);
+  // Events are sorted by start time.
+  for (std::size_t i = 1; i < evs.size(); ++i) {
+    EXPECT_LE(evs[i - 1].start_ns, evs[i].start_ns);
+  }
+  tb.clear();
+  for (const TraceEvent& e : tb.events()) {
+    EXPECT_STRNE(e.name, "test.outer");
+  }
+}
+
+TEST(Trace, EventsFromExitedThreadsAreRetained) {
+  TraceBuffer& tb = TraceBuffer::global();
+  tb.clear();
+  tb.set_enabled(true);
+  std::thread([] { TraceSpan span("test.worker"); }).join();
+  tb.set_enabled(false);
+  bool found = false;
+  for (const TraceEvent& e : tb.events()) {
+    if (std::string_view(e.name) == "test.worker") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trace, ChromeTraceExport) {
+  TraceBuffer& tb = TraceBuffer::global();
+  tb.clear();
+  tb.set_enabled(true);
+  { TraceSpan span("test.chrome"); }
+  tb.set_enabled(false);
+
+  EXPECT_FALSE(tb.write_chrome_trace("/nonexistent-dir/trace.json"));
+  const fs::path out = fs::path(::testing::TempDir()) / "trace.json";
+  ASSERT_TRUE(tb.write_chrome_trace(out.string()));
+  const std::string json = slurp(out);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.chrome\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);
+}
+
+TEST(Macros, CountHistGaugeFeedTheGlobalRegistry) {
+  // Whatever the build mode, the macros must compile; with telemetry ON
+  // they must land in the global registry.
+  JPG_COUNT("test.macro.count", 2);
+  JPG_COUNT("test.macro.count", 3);
+  JPG_GAUGE_SET("test.macro.gauge", 17);
+  JPG_HIST("test.macro.hist", 6);
+  JPG_TELEM(const std::uint64_t before = now_ns();)
+#if JPG_TELEMETRY_ENABLED
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counter("test.macro.count"), 5u);
+  ASSERT_NE(snap.histogram("test.macro.hist"), nullptr);
+  EXPECT_GE(now_ns(), before);
+#endif
+}
+
+}  // namespace
+}  // namespace jpg::telemetry

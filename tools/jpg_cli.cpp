@@ -22,6 +22,17 @@
 //   jpg_cli download <base.bit> <partial.pbit> [--flip P] [--drop P] ...
 //                                                verified download over a
 //                                                fault-injecting sim board
+//   jpg_cli stats [--part PART] [--seed S]       run a self-contained mini
+//                                                flow (PnR, partial gen with
+//                                                a cache hit, verified
+//                                                download) and print the
+//                                                metrics snapshot
+//
+// Global flags (any command):
+//   --metrics <file>   write the process metrics snapshot as JSON on exit
+//   --trace <file>     record trace spans, write Chrome trace JSON on exit
+// An unwritable --metrics/--trace path exits with status 3 (the command's
+// own work has already happened at that point and is reported first).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -38,6 +49,7 @@
 #include "hwif/sim_board.h"
 #include "hwif/verified_downloader.h"
 #include "netlib/generators.h"
+#include "support/telemetry/telemetry.h"
 #include "pnr/flow.h"
 #include "ucf/ucf_parser.h"
 
@@ -428,13 +440,91 @@ int cmd_download(int argc, char** argv) {
   return rep.status == DownloadStatus::Failed ? 1 : 0;
 }
 
+int cmd_stats(int argc, char** argv) {
+  std::string part = "XCV50";
+  std::uint64_t seed = 1;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--part") == 0 && i + 1 < argc) {
+      part = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      throw JpgError("usage: jpg_cli stats [--part PART] [--seed S]");
+    }
+  }
+  const Device& dev = Device::get(part);
+
+  // A representative run through every instrumented subsystem: P&R a small
+  // design, generate a partial twice (miss then cache hit), then push it
+  // through the verified downloader over a simulated board.
+  FlowOptions fopt;
+  fopt.seed = seed;
+  const BaseFlowResult flow =
+      run_base_flow(dev, netlib::make_counter(4), {}, fopt);
+  std::printf("pnr           : %zu slices, %d route iterations\n",
+              flow.pack_stats.slices, flow.route_stats.iterations);
+
+  ConfigMemory base_plane(dev);
+  const Bitstream full = generate_full_bitstream(base_plane);
+  const Region region{0, 6, dev.rows() - 1, 9};
+  ConfigMemory module_plane(dev);
+  for (const int major : region.clb_majors(dev)) {
+    const std::size_t idx = dev.frames().frame_index(major, 0);
+    module_plane.frame(idx).set_word(1, 0xA5A5A5A5u);
+  }
+  PartialBitstreamGenerator gen(base_plane);
+  const PartialGenResult miss = gen.generate(module_plane, region);
+  const PartialGenResult hit = gen.generate(module_plane, region);
+  std::printf("partial gen   : %zu frames, %zu bytes (second call cache_hit="
+              "%llu)\n",
+              miss.frames.size(), miss.bitstream.size_bytes(),
+              static_cast<unsigned long long>(hit.telemetry.counter(
+                  "cache_hit")));
+
+  SimBoard board(dev);
+  VerifiedDownloader dl(board, dev);
+  const DownloadReport full_rep = dl.download_full(full);
+  const DownloadReport part_rep = dl.download_partial(miss.bitstream);
+  std::printf("download      : full %s, partial %s\n",
+              std::string(download_status_name(full_rep.status)).c_str(),
+              std::string(download_status_name(part_rep.status)).c_str());
+
+  std::printf("%s\n",
+              telemetry::MetricsRegistry::global().snapshot().to_json().c_str());
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "jpg_cli — partial bitstream generation (jpg-cpp)\n"
                "commands: info summarize partial apply floorplan verify\n"
                "          project-new project-add project-build pnr\n"
-               "          fuzzcfg download\n");
+               "          fuzzcfg download stats\n"
+               "global flags: [--metrics <file>] [--trace <file>]\n");
   return 2;
+}
+
+}  // namespace
+}  // namespace jpg::cli
+
+namespace jpg::cli {
+namespace {
+
+int dispatch(const std::string& cmd, int argc, char** argv) {
+  if (cmd == "info") return cmd_info(argc, argv);
+  if (cmd == "summarize") return cmd_summarize(argc, argv);
+  if (cmd == "partial") return cmd_partial(argc, argv);
+  if (cmd == "apply") return cmd_apply(argc, argv);
+  if (cmd == "floorplan") return cmd_floorplan(argc, argv);
+  if (cmd == "verify") return cmd_verify(argc, argv);
+  if (cmd == "project-new") return cmd_project_new(argc, argv);
+  if (cmd == "project-add") return cmd_project_add(argc, argv);
+  if (cmd == "project-build") return cmd_project_build(argc, argv);
+  if (cmd == "pnr") return cmd_pnr(argc, argv);
+  if (cmd == "fuzzcfg") return cmd_fuzzcfg(argc, argv);
+  if (cmd == "download") return cmd_download(argc, argv);
+  if (cmd == "stats") return cmd_stats(argc, argv);
+  return usage();
 }
 
 }  // namespace
@@ -443,25 +533,44 @@ int usage() {
 int main(int argc, char** argv) {
   using namespace jpg::cli;
   if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  argc -= 2;
-  argv += 2;
+
+  // Strip the global telemetry flags wherever they appear, so every command
+  // composes with them: jpg_cli partial ... --metrics run.json --trace t.json
+  std::string metrics_path;
+  std::string trace_path;
+  std::vector<char*> rest;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (rest.empty()) return usage();
+  const std::string cmd = rest[0];
+  if (!trace_path.empty()) {
+    jpg::telemetry::TraceBuffer::global().set_enabled(true);
+  }
+
+  int rc;
   try {
-    if (cmd == "info") return cmd_info(argc, argv);
-    if (cmd == "summarize") return cmd_summarize(argc, argv);
-    if (cmd == "partial") return cmd_partial(argc, argv);
-    if (cmd == "apply") return cmd_apply(argc, argv);
-    if (cmd == "floorplan") return cmd_floorplan(argc, argv);
-    if (cmd == "verify") return cmd_verify(argc, argv);
-    if (cmd == "project-new") return cmd_project_new(argc, argv);
-    if (cmd == "project-add") return cmd_project_add(argc, argv);
-    if (cmd == "project-build") return cmd_project_build(argc, argv);
-    if (cmd == "pnr") return cmd_pnr(argc, argv);
-    if (cmd == "fuzzcfg") return cmd_fuzzcfg(argc, argv);
-    if (cmd == "download") return cmd_download(argc, argv);
-    return usage();
+    rc = dispatch(cmd, static_cast<int>(rest.size()) - 1, rest.data() + 1);
   } catch (const jpg::JpgError& e) {
     std::fprintf(stderr, "jpg_cli %s: error: %s\n", cmd.c_str(), e.what());
-    return 1;
+    rc = 1;
   }
+
+  // Telemetry export happens after the command (success or not); a path we
+  // cannot write is its own failure class so scripts can tell it apart.
+  if (!metrics_path.empty() &&
+      !jpg::telemetry::MetricsRegistry::global().write_json(metrics_path)) {
+    return 3;
+  }
+  if (!trace_path.empty() &&
+      !jpg::telemetry::TraceBuffer::global().write_chrome_trace(trace_path)) {
+    return 3;
+  }
+  return rc;
 }
