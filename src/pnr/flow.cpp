@@ -47,12 +47,36 @@ std::size_t crossing_node(const Device& dev, const Region& reg,
   return dev.fabric().tile_wire_node(b.row, col, single_local(Dir::E, b.k));
 }
 
+/// Each crossing carries exactly one net. A net bound to two interface
+/// ports of the same partition cannot be honoured: the crossing maps are
+/// keyed by net, so one of the two allocated crossings would be left
+/// silently unrouted and the static fabric would listen on the wrong wire
+/// after a variant swap (the merged base netlist cannot tell the ports
+/// apart). Reject such interfaces outright.
+void require_dedicated_nets(
+    const std::vector<std::pair<std::string, NetId>>& ports,
+    const std::string& partition, const char* direction) {
+  std::map<NetId, std::string> seen;
+  for (const auto& [port, net] : ports) {
+    const auto [it, inserted] = seen.emplace(net, port);
+    if (!inserted) {
+      std::ostringstream os;
+      os << "partition " << partition << ": " << direction << " ports '"
+         << it->second << "' and '" << port << "' share net " << net
+         << "; each boundary crossing needs a dedicated net";
+      throw JpgError(os.str());
+    }
+  }
+}
+
 /// Allocates boundary crossings for a partition: ports sorted by name,
 /// distributed down the rows first, then across single indices.
 std::vector<PortBinding> allocate_bindings(
     const Region& reg, std::vector<std::pair<std::string, NetId>> inputs,
     std::vector<std::pair<std::string, NetId>> outputs,
     const std::string& partition) {
+  require_dedicated_nets(inputs, partition, "input");
+  require_dedicated_nets(outputs, partition, "output");
   std::vector<PortBinding> bindings;
   const int height = reg.height();
   auto alloc = [&](std::vector<std::pair<std::string, NetId>>& ports,

@@ -68,6 +68,22 @@ class Rng {
   /// Forks an independent stream (for per-thread determinism).
   Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }
 
+  /// Derives the `stream`-th independent child generator *without* consuming
+  /// parent state: split(i) returns the same child no matter how many other
+  /// streams were split off before or after, which is what parallel sweep
+  /// shards need to draw uncorrelated sequences in any execution order. The
+  /// child is seeded through a SplitMix64 finalizer over the parent state
+  /// mixed with the golden-ratio-scrambled stream index (and Rng's own
+  /// constructor runs a second expansion pass on top).
+  [[nodiscard]] Rng split(std::uint64_t stream) const {
+    std::uint64_t x = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^
+                      rotl(s_[3], 43);
+    x ^= 0xa0761d6478bd642full + stream * 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return Rng(x ^ (x >> 31));
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

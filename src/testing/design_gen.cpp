@@ -1,0 +1,434 @@
+#include "testing/design_gen.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "device/device.h"
+#include "support/error.h"
+
+namespace jpg::testing {
+namespace {
+
+/// Picks a fan-in net: with `reuse_bias` from the most recent nets (deeper,
+/// narrower cones), otherwise uniformly from the whole pool (wider fan-out).
+NetId pick_net(const std::vector<NetId>& pool, Rng& rng, double reuse_bias) {
+  JPG_ASSERT(!pool.empty());
+  if (rng.chance(reuse_bias)) {
+    const std::size_t window = std::min<std::size_t>(4, pool.size());
+    return pool[pool.size() - 1 - rng.uniform(window)];
+  }
+  return pool[rng.uniform(pool.size())];
+}
+
+/// Builds a random LUT4/DFF DAG with the given external ports. Validity by
+/// construction: fan-in is drawn only from already-driven nets (no
+/// combinational cycles, no undriven sinks), every in-port is consumed, and
+/// every out-port is driven by a Lut4/Dff (never a raw Ibuf pass-through,
+/// which the module flow's crossing discipline does not support).
+/// `distinct_outputs` forces a dedicated driver net per out-port — required
+/// for module netlists, whose out-ports become boundary crossings (the base
+/// flow rejects a net bound to two crossings); static netlists may share.
+Netlist random_dag(const std::string& name, int n_cells,
+                   const std::vector<std::string>& in_ports,
+                   const std::vector<std::string>& out_ports,
+                   const RandomDesignSpec& spec, Rng& rng,
+                   bool distinct_outputs,
+                   std::size_t* upstream_watermark = nullptr) {
+  Netlist nl(name);
+  std::vector<NetId> pool;       // every driven net
+  std::vector<NetId> logic_out;  // nets driven by Lut4/Dff only
+
+  std::vector<NetId> in_nets;
+  for (const std::string& p : in_ports) {
+    const NetId n = nl.add_net("n_" + p);
+    nl.add_ibuf("ib_" + p, p, n);
+    in_nets.push_back(n);
+    pool.push_back(n);
+  }
+  if (in_ports.empty()) {
+    // Self-sustaining seed (a toggler) so sequential-only designs have a
+    // driven net to grow from.
+    const NetId q = nl.add_net("seed_q");
+    const NetId d = nl.add_net("seed_d");
+    nl.add_dff("seed_ff", d, q, rng.chance(spec.ff_init_one));
+    nl.add_lut("seed_inv", 0x5555, {q, kNullNet, kNullNet, kNullNet}, d);
+    pool.push_back(q);
+    pool.push_back(d);
+    logic_out.push_back(q);
+    logic_out.push_back(d);
+  }
+
+  n_cells = std::max<int>(n_cells, static_cast<int>(in_ports.size()));
+  n_cells = std::max(n_cells, 1);
+  for (int i = 0; i < n_cells; ++i) {
+    // The first cells each consume one in-port so no interface input is
+    // left dangling (the flow requires every bound port to exist and the
+    // oracle wants input sensitivity).
+    const bool force_input = i < static_cast<int>(in_nets.size());
+    const NetId forced = force_input ? in_nets[i] : kNullNet;
+    const bool is_ff = !force_input && rng.chance(spec.ff_fraction) &&
+                       !logic_out.empty();
+    const NetId out = nl.add_net("w" + std::to_string(i));
+    if (is_ff) {
+      nl.add_dff("c" + std::to_string(i), pick_net(pool, rng, spec.reuse_bias),
+                 out, rng.chance(spec.ff_init_one));
+    } else {
+      const int fanin = 1 + static_cast<int>(rng.uniform(4));
+      std::array<NetId, 4> in = {kNullNet, kNullNet, kNullNet, kNullNet};
+      int pin = 0;
+      if (forced != kNullNet) in[pin++] = forced;
+      // Bounded dup-rejection: a small pool may hold fewer distinct nets
+      // than the drawn fan-in, so give up after a fixed number of tries
+      // rather than demanding `fanin` distinct pins.
+      for (int tries = 0; pin < fanin && tries < 16; ++tries) {
+        const NetId cand = pick_net(pool, rng, spec.reuse_bias);
+        bool dup = false;
+        for (int k = 0; k < pin; ++k) dup |= in[k] == cand;
+        if (!dup) in[pin++] = cand;
+      }
+      nl.add_lut("c" + std::to_string(i),
+                 static_cast<std::uint16_t>(rng.next() & 0xFFFF), in, out);
+    }
+    pool.push_back(out);
+    logic_out.push_back(out);
+    if (upstream_watermark != nullptr &&
+        i + 1 == (n_cells + 1) / 2) {
+      *upstream_watermark = nl.num_cells();
+    }
+  }
+
+  // Out-ports sample the logic, biased towards late (deep) nets. With
+  // `distinct_outputs`, sampling is without replacement: a boundary
+  // crossing carries exactly one net, so two ports of one module must
+  // never share a driver (the base flow rejects such interfaces).
+  std::vector<NetId> candidates = logic_out;
+  for (const std::string& p : out_ports) {
+    JPG_REQUIRE(!candidates.empty(), "more out-ports than logic nets");
+    const std::size_t window = std::max<std::size_t>(1, candidates.size() / 2);
+    const std::size_t idx = candidates.size() - 1 - rng.uniform(window);
+    const NetId n = candidates[idx];
+    if (distinct_outputs) {
+      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    nl.add_obuf("ob_" + p, p, n);
+  }
+  return nl;
+}
+
+/// Allocates `count` disjoint full-height regions of `width` columns inside
+/// the static margins, distributing the slack randomly between them.
+std::vector<Region> allocate_regions(const Device& dev, int count, int width,
+                                     Rng& rng) {
+  std::vector<Region> regions;
+  if (count == 0) return regions;
+  const int gap = 2;  // static columns between regions (crossings + margin)
+  const int usable = dev.cols() - 2;
+  int need = count * width + (count - 1) * gap;
+  JPG_REQUIRE(need <= usable, "regions do not fit the device");
+  int slack = usable - need;
+  int col = 1;
+  for (int i = 0; i < count; ++i) {
+    const int pad = slack > 0 ? static_cast<int>(rng.uniform(
+                                    static_cast<std::uint64_t>(slack) + 1))
+                              : 0;
+    col += pad;
+    slack -= pad;
+    regions.push_back(Region{0, col, dev.rows() - 1, col + width - 1});
+    col += width + gap;
+  }
+  return regions;
+}
+
+}  // namespace
+
+std::string RandomDesignSpec::to_string() const {
+  std::ostringstream os;
+  os << "part=" << part << " static_cells=" << static_cells
+     << " static_inputs=" << static_inputs
+     << " static_outputs=" << static_outputs
+     << " num_partitions=" << num_partitions
+     << " variants_per_partition=" << variants_per_partition
+     << " module_cells=" << module_cells
+     << " module_inputs=" << module_inputs
+     << " module_outputs=" << module_outputs
+     << " region_width=" << region_width << " ff_fraction=" << ff_fraction
+     << " reuse_bias=" << reuse_bias << " ff_init_one=" << ff_init_one
+     << " static_feed_fraction=" << static_feed_fraction
+     << " observe_fraction=" << observe_fraction;
+  return os.str();
+}
+
+std::size_t GeneratedDesign::total_cells() const {
+  std::size_t n = static_nl.num_cells();
+  for (const GeneratedPartition& p : partitions) {
+    for (const Netlist& v : p.variants) n += v.num_cells();
+  }
+  return n;
+}
+
+GeneratedDesign generate_design(const RandomDesignSpec& spec,
+                                std::uint64_t seed) {
+  const Device& dev = Device::get(spec.part);
+  GeneratedDesign design;
+  design.part = spec.part;
+  design.seed = seed;
+  design.spec = spec;
+  Rng rng = Rng(seed).split(0x9e57);
+
+  // --- Static logic ----------------------------------------------------------
+  std::vector<std::string> s_in, s_out;
+  for (int i = 0; i < spec.static_inputs; ++i) {
+    s_in.push_back("s_i" + std::to_string(i));
+  }
+  for (int i = 0; i < spec.static_outputs; ++i) {
+    s_out.push_back("s_o" + std::to_string(i));
+  }
+  design.static_nl = random_dag("static", spec.static_cells, s_in, s_out, spec,
+                                rng, /*distinct_outputs=*/false,
+                                &design.static_upstream_cells);
+
+  // --- Partitions ------------------------------------------------------------
+  const std::vector<Region> regions =
+      allocate_regions(dev, spec.num_partitions, spec.region_width, rng);
+
+  // Static cells eligible to drive module inputs: upstream Lut4/Dff only
+  // (the downstream half may consume module outputs, so keeping drivers
+  // upstream makes the assembled combinational graph acyclic by
+  // construction). Each cell drives at most one module input, because a
+  // cell has exactly one output net.
+  std::vector<std::string> feed_candidates;
+  for (CellId id = 0; id < design.static_upstream_cells; ++id) {
+    const Cell& c = design.static_nl.cell(id);
+    if (c.kind == CellKind::Lut4 || c.kind == CellKind::Dff) {
+      feed_candidates.push_back(c.name);
+    }
+  }
+
+  for (int pi = 0; pi < spec.num_partitions; ++pi) {
+    GeneratedPartition part;
+    part.name = "u" + std::to_string(pi + 1);
+    part.region = regions[static_cast<std::size_t>(pi)];
+    for (int i = 0; i < std::max(1, spec.module_inputs); ++i) {
+      part.in_ports.push_back(part.name + "_i" + std::to_string(i));
+    }
+    for (int i = 0; i < std::max(1, spec.module_outputs); ++i) {
+      part.out_ports.push_back(part.name + "_o" + std::to_string(i));
+    }
+    for (std::size_t i = 0; i < part.in_ports.size(); ++i) {
+      std::string driver;
+      if (!feed_candidates.empty() && rng.chance(spec.static_feed_fraction)) {
+        const std::size_t k = rng.uniform(feed_candidates.size());
+        driver = feed_candidates[k];
+        feed_candidates.erase(feed_candidates.begin() +
+                              static_cast<std::ptrdiff_t>(k));
+      }
+      part.input_driver_cell.push_back(driver);
+    }
+    for (int v = 0; v < std::max(1, spec.variants_per_partition); ++v) {
+      part.variants.push_back(random_dag(part.name + "_v" + std::to_string(v),
+                                         spec.module_cells, part.in_ports,
+                                         part.out_ports, spec, rng,
+                                         /*distinct_outputs=*/true));
+    }
+    design.partitions.push_back(std::move(part));
+  }
+
+  // --- Output couplings ------------------------------------------------------
+  // Downstream static LUTs with free pins may additionally consume module
+  // outputs; each (cell, pin) is used at most once.
+  std::vector<std::pair<std::string, int>> free_pins;
+  for (CellId id = static_cast<CellId>(design.static_upstream_cells);
+       id < design.static_nl.num_cells(); ++id) {
+    const Cell& c = design.static_nl.cell(id);
+    if (c.kind != CellKind::Lut4) continue;
+    for (int pin = 0; pin < 4; ++pin) {
+      if (c.in[static_cast<std::size_t>(pin)] == kNullNet) {
+        free_pins.emplace_back(c.name, pin);
+      }
+    }
+  }
+  for (int pi = 0; pi < spec.num_partitions; ++pi) {
+    const GeneratedPartition& part = design.partitions[static_cast<std::size_t>(pi)];
+    for (std::size_t oi = 0; oi < part.out_ports.size(); ++oi) {
+      if (free_pins.empty() || !rng.chance(spec.observe_fraction)) continue;
+      const std::size_t k = rng.uniform(free_pins.size());
+      design.couplings.push_back(OutputCoupling{
+          pi, static_cast<int>(oi), free_pins[k].first, free_pins[k].second});
+      free_pins.erase(free_pins.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+  }
+  return design;
+}
+
+AssembledTop assemble_top(const GeneratedDesign& design,
+                          const std::vector<std::size_t>& choice) {
+  JPG_REQUIRE(choice.empty() || choice.size() == design.partitions.size(),
+              "variant choice size mismatch");
+  AssembledTop at;
+  Netlist& top = at.top;
+
+  // 1. Merge the chosen variant of every partition.
+  std::vector<Netlist::MergeResult> merged;
+  for (std::size_t pi = 0; pi < design.partitions.size(); ++pi) {
+    const GeneratedPartition& p = design.partitions[pi];
+    const std::size_t v = choice.empty() ? 0 : choice[pi];
+    JPG_REQUIRE(v < p.variants.size(), "variant index out of range");
+    merged.push_back(top.merge_module(p.variants[v], p.name));
+  }
+  auto merged_input_net = [&](std::size_t pi, const std::string& port) {
+    for (const auto& [name, net] : merged[pi].inputs) {
+      if (name == port) return net;
+    }
+    throw JpgError("merged module lost input port " + port);
+  };
+  auto merged_output_net = [&](std::size_t pi, const std::string& port) {
+    for (const auto& [name, net] : merged[pi].outputs) {
+      if (name == port) return net;
+    }
+    throw JpgError("merged module lost output port " + port);
+  };
+
+  // 2. Inline static logic. A static cell designated as a module-input
+  // driver has its output net aliased to the merged input net; coupled LUTs
+  // pick up module output nets on their free pins.
+  const Netlist& snl = design.static_nl;
+  std::vector<NetId> net_map(snl.num_nets(), kNullNet);
+  for (std::size_t pi = 0; pi < design.partitions.size(); ++pi) {
+    const GeneratedPartition& p = design.partitions[pi];
+    for (std::size_t i = 0; i < p.in_ports.size(); ++i) {
+      if (p.input_driver_cell[i].empty()) continue;
+      const auto cell = snl.find_cell(p.input_driver_cell[i]);
+      JPG_REQUIRE(cell.has_value(),
+                  "input driver cell " + p.input_driver_cell[i] + " missing");
+      const NetId out = snl.cell(*cell).out;
+      JPG_REQUIRE(out != kNullNet, "input driver cell has no output");
+      net_map[out] = merged_input_net(pi, p.in_ports[i]);
+    }
+  }
+  auto map_net = [&](NetId id) {
+    if (id == kNullNet) return kNullNet;
+    if (net_map[id] == kNullNet) {
+      net_map[id] = top.add_net("s/" + snl.net(id).name);
+    }
+    return net_map[id];
+  };
+  for (CellId id = 0; id < snl.num_cells(); ++id) {
+    const Cell& c = snl.cell(id);
+    switch (c.kind) {
+      case CellKind::Ibuf:
+        top.add_ibuf("s/" + c.name, c.port, map_net(c.out));
+        break;
+      case CellKind::Obuf:
+        top.add_obuf("s/" + c.name, c.port, map_net(c.in[0]));
+        break;
+      case CellKind::Dff:
+        top.add_dff("s/" + c.name, map_net(c.in[0]), map_net(c.out),
+                    c.ff_init);
+        break;
+      case CellKind::Lut4: {
+        std::array<NetId, 4> in = {map_net(c.in[0]), map_net(c.in[1]),
+                                   map_net(c.in[2]), map_net(c.in[3])};
+        for (const OutputCoupling& oc : design.couplings) {
+          if (oc.static_cell != c.name) continue;
+          in[static_cast<std::size_t>(oc.pin)] = merged_output_net(
+              static_cast<std::size_t>(oc.partition),
+              design.partitions[static_cast<std::size_t>(oc.partition)]
+                  .out_ports[static_cast<std::size_t>(oc.out_port)]);
+        }
+        top.add_lut("s/" + c.name, c.lut_init, in, map_net(c.out));
+        break;
+      }
+      case CellKind::Gnd:
+      case CellKind::Vcc:
+        top.add_const("s/" + c.name, c.kind == CellKind::Vcc, map_net(c.out));
+        break;
+    }
+  }
+
+  // 3. Pads for pad-driven module inputs and for every module output, plus
+  // the flow's partition specs.
+  for (std::size_t pi = 0; pi < design.partitions.size(); ++pi) {
+    const GeneratedPartition& p = design.partitions[pi];
+    PartitionSpec spec;
+    spec.name = p.name;
+    spec.region = p.region;
+    for (std::size_t i = 0; i < p.in_ports.size(); ++i) {
+      const NetId net = merged_input_net(pi, p.in_ports[i]);
+      if (p.input_driver_cell[i].empty()) {
+        top.add_ibuf("ib_" + p.in_ports[i], p.in_ports[i], net);
+      }
+      spec.input_ports.emplace_back(p.in_ports[i], net);
+    }
+    for (const std::string& port : p.out_ports) {
+      const NetId net = merged_output_net(pi, port);
+      top.add_obuf("ob_" + port, port, net);
+      spec.output_ports.emplace_back(port, net);
+    }
+    at.flow_partitions.push_back(std::move(spec));
+  }
+  return at;
+}
+
+RandomDesignSpec sample_spec(const std::string& part, Rng& rng) {
+  const Device& dev = Device::get(part);
+  RandomDesignSpec spec;
+  spec.part = part;
+  // Scale targets with the device, keeping P&R comfortably feasible so
+  // sweeps measure flow *correctness*, not placement capacity.
+  const int scale = std::max(1, dev.cols() / 24);
+  spec.static_cells = 2 + static_cast<int>(rng.uniform(9ull * scale));
+  spec.static_inputs = 1 + static_cast<int>(rng.uniform(3));
+  spec.static_outputs = 1 + static_cast<int>(rng.uniform(3));
+  spec.num_partitions =
+      static_cast<int>(rng.uniform(dev.cols() >= 30 ? 4 : 3));
+  spec.variants_per_partition = 1 + static_cast<int>(rng.uniform(3));
+  spec.module_cells = 2 + static_cast<int>(rng.uniform(8));
+  spec.module_inputs = 1 + static_cast<int>(rng.uniform(3));
+  spec.module_outputs = 1 + static_cast<int>(rng.uniform(2));
+  spec.region_width = 2 + static_cast<int>(rng.uniform(3));
+  spec.ff_fraction = 0.15 + 0.35 * rng.unit();
+  spec.reuse_bias = 0.3 + 0.5 * rng.unit();
+  spec.ff_init_one = 0.4 * rng.unit();
+  spec.static_feed_fraction = 0.5 * rng.unit();
+  spec.observe_fraction = 0.5 * rng.unit();
+  return spec;
+}
+
+GeneratedDesign generate_sampled(const std::string& part,
+                                 std::uint64_t raw_seed) {
+  Rng rng(raw_seed);
+  const RandomDesignSpec spec = sample_spec(part, rng);
+  GeneratedDesign design = generate_design(spec, rng.next());
+  design.seed = raw_seed;  // replayable through generate_sampled
+  design.sampled = true;
+  return design;
+}
+
+std::string dump_netlist(const Netlist& nl) {
+  std::ostringstream os;
+  os << "netlist " << nl.name() << ": " << nl.num_cells() << " cells, "
+     << nl.num_nets() << " nets\n";
+  auto net_name = [&](NetId id) {
+    return id == kNullNet ? std::string("-") : nl.net(id).name;
+  };
+  for (const Cell& c : nl.cells()) {
+    os << "  " << cell_kind_name(c.kind) << " " << c.name;
+    if (!c.partition.empty()) os << " part=" << c.partition;
+    if (c.kind == CellKind::Lut4) {
+      os << " init=0x" << std::hex << c.lut_init << std::dec;
+    }
+    if (c.kind == CellKind::Dff) os << " init=" << (c.ff_init ? 1 : 0);
+    if (!c.port.empty()) os << " port=" << c.port;
+    os << " in=[";
+    for (int i = 0; i < c.num_inputs(); ++i) {
+      os << (i != 0 ? "," : "") << net_name(c.in[static_cast<std::size_t>(i)]);
+    }
+    os << "]";
+    if (c.has_output()) os << " out=" << net_name(c.out);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace jpg::testing

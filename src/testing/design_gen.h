@@ -1,0 +1,132 @@
+// Random design generator for property-based differential testing.
+//
+// Produces *valid* technology-mapped designs — random LUT4/DFF DAGs with
+// parameterised cell count, fan-in distribution, sequential depth and pad
+// budget, partitioned into swap-able full-height area groups — through the
+// same netlist::Netlist API the netlib modules use, so a generated design
+// can ride the entire implementation flow (pack/place/route → XDL → BitGen
+// → ConfigPort → extractor → simulation) unmodified.
+//
+// Determinism contract: a design is a pure function of (spec, seed), and a
+// sampled design is a pure function of (part, raw_seed). Sweeps derive
+// per-design seeds through Rng::split(), so any design in any shard is
+// reproducible standalone from one 64-bit number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/region.h"
+#include "netlist/netlist.h"
+#include "pnr/flow.h"
+#include "support/rng.h"
+
+namespace jpg::testing {
+
+/// Shape parameters of one random design. All counts are targets; the
+/// generator clamps to what the named device can hold.
+struct RandomDesignSpec {
+  std::string part = "XCV50";
+
+  // Static (non-reconfigurable) logic.
+  int static_cells = 8;    ///< LUT+DFF target, excluding pad buffers
+  int static_inputs = 2;   ///< pads driving static logic
+  int static_outputs = 2;  ///< pads observing static logic
+
+  // Reconfigurable partitions.
+  int num_partitions = 1;          ///< 0 = plain full-device design
+  int variants_per_partition = 2;  ///< module pool size (>= 1)
+  int module_cells = 6;            ///< LUT+DFF target per variant
+  int module_inputs = 2;           ///< interface in-ports per partition
+  int module_outputs = 1;          ///< interface out-ports per partition
+  int region_width = 3;            ///< columns per partition region
+
+  // Distribution knobs.
+  double ff_fraction = 0.3;   ///< probability a generated cell is a DFF
+  double reuse_bias = 0.5;    ///< fan-in locality: recent nets vs uniform
+  double ff_init_one = 0.25;  ///< probability a DFF inits to 1
+  /// Probability a module input is driven by static logic instead of a pad
+  /// (exercises input boundary crossings fed from the static partition).
+  double static_feed_fraction = 0.3;
+  /// Probability a module output also fans out into a static LUT (exercises
+  /// output crossings with static sinks beyond the observing pad).
+  double observe_fraction = 0.3;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One reconfigurable partition: a fixed interface plus a pool of variant
+/// implementations (variant 0 is the one built into the base design).
+struct GeneratedPartition {
+  std::string name;  ///< "u1", "u2", ...
+  Region region;
+  std::vector<std::string> in_ports;   ///< globally unique ("u1_i0", ...)
+  std::vector<std::string> out_ports;  ///< globally unique ("u1_o0", ...)
+  /// Per in-port driver: empty = dedicated pad; otherwise the name of the
+  /// static cell whose output drives the port.
+  std::vector<std::string> input_driver_cell;
+  std::vector<Netlist> variants;  ///< all implement exactly the same ports
+};
+
+/// A static-logic sink for a module output (extra fan-out beyond the pad).
+struct OutputCoupling {
+  int partition = 0;        ///< index into GeneratedDesign::partitions
+  int out_port = 0;         ///< index into that partition's out_ports
+  std::string static_cell;  ///< LUT in the static netlist
+  int pin = 0;              ///< input pin rewired to the module output net
+};
+
+/// A complete generated design: standalone building blocks plus the
+/// deterministic assembly recipe. The same blocks assemble into the base
+/// top (all variants 0) and into every golden reference top (any variant
+/// choice), which is what the differential oracle compares against.
+struct GeneratedDesign {
+  std::string part = "XCV50";
+  std::uint64_t seed = 0;  ///< raw seed the design was generated from
+  /// true: `seed` replays through generate_sampled(part, seed); false: it is
+  /// a generate_design(spec, seed) seed for the recorded spec.
+  bool sampled = false;
+  RandomDesignSpec spec;
+  /// Standalone static logic. Ports "s_i<k>" / "s_o<k>"; cells whose index
+  /// is < static_upstream_cells may drive module inputs (assembly keeps the
+  /// combinational graph acyclic by construction).
+  Netlist static_nl{"static"};
+  std::size_t static_upstream_cells = 0;
+  std::vector<GeneratedPartition> partitions;
+  std::vector<OutputCoupling> couplings;
+
+  [[nodiscard]] std::size_t total_cells() const;
+};
+
+/// The assembled top for one variant choice, plus the partition specs the
+/// base flow consumes (only meaningful for the all-zero choice).
+struct AssembledTop {
+  Netlist top{"top"};
+  std::vector<PartitionSpec> flow_partitions;
+};
+
+/// Deterministically assembles static logic + the chosen variant of every
+/// partition into one top-level netlist. `choice` must have one index per
+/// partition (or be empty = all variant 0).
+[[nodiscard]] AssembledTop assemble_top(const GeneratedDesign& design,
+                                        const std::vector<std::size_t>& choice = {});
+
+/// Generates a design from an explicit spec. Pure function of (spec, seed).
+[[nodiscard]] GeneratedDesign generate_design(const RandomDesignSpec& spec,
+                                              std::uint64_t seed);
+
+/// Samples a spec appropriate for `part` from the rng (used by sweeps for
+/// shape diversity; bigger parts draw bigger designs).
+[[nodiscard]] RandomDesignSpec sample_spec(const std::string& part, Rng& rng);
+
+/// Sweep entry point: sample a spec and generate the design, all from one
+/// 64-bit seed. Pure function of (part, raw_seed).
+[[nodiscard]] GeneratedDesign generate_sampled(const std::string& part,
+                                               std::uint64_t raw_seed);
+
+/// Human-readable netlist dump (stable ordering) for repro files and for
+/// comparing generator determinism in tests.
+[[nodiscard]] std::string dump_netlist(const Netlist& nl);
+
+}  // namespace jpg::testing

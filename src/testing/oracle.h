@@ -1,0 +1,77 @@
+// Differential oracle: drives a generated design through the full JPG stack
+// and asserts the repo's headline invariants as machine-checkable properties.
+//
+// Property chain (each name is what a failure reports, in check order):
+//   drc                      assembled tops pass netlist DRC
+//   implement_base           phase-1 flow succeeds (congestion => Infeasible)
+//   xdl_roundtrip_base       XDL write -> re-parse -> write is a fixpoint and
+//                            the re-parsed design configures identical frames
+//   bitgen_roundtrip         BitGen stream loaded through ConfigPort rebuilds
+//                            the exact configuration plane
+//   extract_sim_base         extracted circuit simulates cycle-for-cycle like
+//                            the golden NetlistSim of the source netlist
+//   module_flow/<u>          phase-2 flow succeeds per variant
+//   xdl_roundtrip_module/<u> module XDL round-trips
+//   partial_scoped/<u>       partial frames stay inside the region's columns
+//   partial_swap_sim/<u>     base + partial load simulates like the golden
+//                            netlist with that variant substituted
+//   partial_equals_full/<u>  port-loaded plane == frame-level compose() of
+//                            module over base (the full-reconfig reference)
+//   swap_order_independent   with >= 2 partitions: final plane is identical
+//                            regardless of partial load order
+//   dynamic_state            SimBoard swap preserves static FF state and the
+//                            post-swap board tracks the golden model
+//   fault_download           (optional tier) download_verified through a
+//                            budgeted FaultyBoard converges to the update
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "testing/design_gen.h"
+
+namespace jpg::testing {
+
+enum class OracleStatus {
+  Pass,        ///< every applicable property held
+  Fail,        ///< a property was violated — a real bug (or generator bug)
+  Infeasible,  ///< P&R could not place/route the design (not a correctness
+               ///< verdict; sweeps count these separately)
+};
+
+[[nodiscard]] std::string_view oracle_status_name(OracleStatus s);
+
+struct OracleOptions {
+  int cycles = 24;  ///< simulated cycles per trace comparison
+  std::uint64_t flow_seed = 1;       ///< P&R seed (annealer/router)
+  std::uint64_t stimulus_seed = 5;   ///< random input stimulus
+  bool check_xdl = true;             ///< XDL round-trip properties
+  bool check_partial = true;         ///< partial-swap property family
+  bool check_dynamic_state = true;   ///< SimBoard state-preservation property
+  /// Fault-injected tier: replays the first variant swap through a
+  /// FaultyBoard + VerifiedDownloader and requires convergence.
+  bool fault_tier = false;
+  std::uint64_t fault_seed = 7;
+};
+
+struct OracleResult {
+  OracleStatus status = OracleStatus::Pass;
+  std::string property;  ///< first failing property ("" on Pass)
+  std::string detail;    ///< diagnostic for the failure / infeasibility
+  std::size_t properties_checked = 0;
+  /// Base-design XDL (filled once implement_base succeeds) — the artifact
+  /// repro files embed so a failure is inspectable without re-running P&R.
+  std::string base_xdl;
+
+  [[nodiscard]] bool ok() const { return status == OracleStatus::Pass; }
+};
+
+/// Runs the full property chain. Deterministic: same design + options =>
+/// same result. Never throws; internal errors become Fail verdicts.
+[[nodiscard]] OracleResult run_oracle(const GeneratedDesign& design,
+                                      const OracleOptions& opt = {});
+
+/// Oracle closure type the shrinker minimises against.
+using OracleFn = std::function<OracleResult(const GeneratedDesign&)>;
+
+}  // namespace jpg::testing

@@ -1,0 +1,338 @@
+#include "testing/shrinker.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace jpg::testing {
+namespace {
+
+/// Rebuilds a netlist with `drop` cells removed and `stub` logic cells
+/// replaced by constant-0 LUTs (all inputs unconnected — unconnected LUT
+/// inputs read 0, and the driver stays a Lut4, which keeps Obuf sinks
+/// DRC-legal). Nets are re-created lazily, so nets all of whose users
+/// disappeared vanish with them.
+Netlist rebuild_netlist(const Netlist& src, const std::set<std::string>& stub,
+                        const std::set<std::string>& drop) {
+  Netlist out(src.name());
+  std::vector<NetId> map(src.num_nets(), kNullNet);
+  auto mn = [&](NetId id) {
+    if (id == kNullNet) return kNullNet;
+    if (map[id] == kNullNet) map[id] = out.add_net(src.net(id).name);
+    return map[id];
+  };
+  for (const Cell& c : src.cells()) {
+    if (drop.contains(c.name)) continue;
+    if (stub.contains(c.name)) {
+      out.add_lut(c.name, 0, {kNullNet, kNullNet, kNullNet, kNullNet},
+                  mn(c.out), c.partition);
+      continue;
+    }
+    switch (c.kind) {
+      case CellKind::Lut4:
+        out.add_lut(c.name, c.lut_init,
+                    {mn(c.in[0]), mn(c.in[1]), mn(c.in[2]), mn(c.in[3])},
+                    mn(c.out), c.partition);
+        break;
+      case CellKind::Dff:
+        out.add_dff(c.name, mn(c.in[0]), mn(c.out), c.ff_init, c.partition);
+        break;
+      case CellKind::Ibuf:
+        out.add_ibuf(c.name, c.port, mn(c.out), c.partition);
+        break;
+      case CellKind::Obuf:
+        out.add_obuf(c.name, c.port, mn(c.in[0]), c.partition);
+        break;
+      case CellKind::Gnd:
+      case CellKind::Vcc:
+        out.add_const(c.name, c.kind == CellKind::Vcc, mn(c.out), c.partition);
+        break;
+    }
+  }
+  return out;
+}
+
+/// Iteratively removes cells whose output drives nothing. `protect` names
+/// survive regardless; with `keep_ports` Ibufs survive too (module variants
+/// must keep their full interface).
+Netlist strip_dead(Netlist nl, const std::set<std::string>& protect,
+                   bool keep_ports) {
+  for (;;) {
+    std::set<std::string> drop;
+    for (const Cell& c : nl.cells()) {
+      if (!c.has_output() || protect.contains(c.name)) continue;
+      if (keep_ports && c.kind == CellKind::Ibuf) continue;
+      if (c.out == kNullNet || nl.net(c.out).sinks.empty()) {
+        drop.insert(c.name);
+      }
+    }
+    if (drop.empty()) return nl;
+    nl = rebuild_netlist(nl, {}, drop);
+  }
+}
+
+/// Names the shrinker must not remove from the static netlist: designated
+/// module-input drivers (assemble_top requires them to exist).
+std::set<std::string> protected_static_cells(const GeneratedDesign& d) {
+  std::set<std::string> protect;
+  for (const GeneratedPartition& p : d.partitions) {
+    for (const std::string& drv : p.input_driver_cell) {
+      if (!drv.empty()) protect.insert(drv);
+    }
+  }
+  return protect;
+}
+
+/// One candidate reduction: a label plus the reduced design.
+struct Candidate {
+  std::string label;
+  GeneratedDesign reduced;
+};
+
+/// Enumerates every applicable single-step reduction of `d`, coarse first
+/// (whole partitions) to fine (individual cell stubs), so the greedy loop
+/// takes the biggest bites early.
+std::vector<Candidate> candidates(const GeneratedDesign& d) {
+  std::vector<Candidate> out;
+
+  // Drop a whole partition (couplings re-indexed).
+  for (std::size_t pi = 0; pi < d.partitions.size(); ++pi) {
+    GeneratedDesign r = d;
+    r.partitions.erase(r.partitions.begin() + static_cast<std::ptrdiff_t>(pi));
+    std::vector<OutputCoupling> kept;
+    for (OutputCoupling oc : r.couplings) {
+      if (oc.partition == static_cast<int>(pi)) continue;
+      if (oc.partition > static_cast<int>(pi)) --oc.partition;
+      kept.push_back(oc);
+    }
+    r.couplings = std::move(kept);
+    out.push_back({"drop partition " + d.partitions[pi].name, std::move(r)});
+  }
+
+  // Drop a variant (at least one must remain).
+  for (std::size_t pi = 0; pi < d.partitions.size(); ++pi) {
+    const GeneratedPartition& p = d.partitions[pi];
+    if (p.variants.size() < 2) continue;
+    for (std::size_t v = p.variants.size(); v-- > 0;) {
+      GeneratedDesign r = d;
+      auto& vars = r.partitions[pi].variants;
+      vars.erase(vars.begin() + static_cast<std::ptrdiff_t>(v));
+      out.push_back({"drop " + p.name + " variant " + std::to_string(v),
+                     std::move(r)});
+    }
+  }
+
+  // Drop an output coupling.
+  for (std::size_t ci = 0; ci < d.couplings.size(); ++ci) {
+    GeneratedDesign r = d;
+    r.couplings.erase(r.couplings.begin() + static_cast<std::ptrdiff_t>(ci));
+    out.push_back({"drop coupling into " + d.couplings[ci].static_cell,
+                   std::move(r)});
+  }
+
+  // Re-route a static-fed module input to a dedicated pad.
+  for (std::size_t pi = 0; pi < d.partitions.size(); ++pi) {
+    const GeneratedPartition& p = d.partitions[pi];
+    for (std::size_t i = 0; i < p.input_driver_cell.size(); ++i) {
+      if (p.input_driver_cell[i].empty()) continue;
+      GeneratedDesign r = d;
+      r.partitions[pi].input_driver_cell[i].clear();
+      out.push_back({"pad-feed " + p.in_ports[i], std::move(r)});
+    }
+  }
+
+  const std::set<std::string> protect = protected_static_cells(d);
+
+  // Drop a static output pad.
+  for (const Cell& c : d.static_nl.cells()) {
+    if (c.kind != CellKind::Obuf) continue;
+    GeneratedDesign r = d;
+    r.static_nl = rebuild_netlist(d.static_nl, {}, {c.name});
+    out.push_back({"drop static pad " + c.port, std::move(r)});
+  }
+
+  // Strip dead logic everywhere (one candidate — cheap, big payoff after
+  // stubs have landed).
+  {
+    GeneratedDesign r = d;
+    bool changed = false;
+    Netlist s = strip_dead(d.static_nl, protect, /*keep_ports=*/false);
+    if (s.num_cells() != d.static_nl.num_cells()) changed = true;
+    r.static_nl = std::move(s);
+    for (auto& p : r.partitions) {
+      for (auto& v : p.variants) {
+        Netlist sv = strip_dead(v, {}, /*keep_ports=*/true);
+        if (sv.num_cells() != v.num_cells()) changed = true;
+        v = std::move(sv);
+      }
+    }
+    if (changed) out.push_back({"strip dead logic", std::move(r)});
+  }
+
+  // Stub module logic cells to constant-0 LUTs.
+  for (std::size_t pi = 0; pi < d.partitions.size(); ++pi) {
+    const GeneratedPartition& p = d.partitions[pi];
+    for (std::size_t v = 0; v < p.variants.size(); ++v) {
+      for (const Cell& c : p.variants[v].cells()) {
+        if (c.kind != CellKind::Lut4 && c.kind != CellKind::Dff) continue;
+        if (c.kind == CellKind::Lut4 && c.lut_init == 0 &&
+            c.in[0] == kNullNet && c.in[1] == kNullNet &&
+            c.in[2] == kNullNet && c.in[3] == kNullNet) {
+          continue;  // already a stub
+        }
+        GeneratedDesign r = d;
+        r.partitions[pi].variants[v] =
+            rebuild_netlist(p.variants[v], {c.name}, {});
+        out.push_back({"stub " + p.name + "_v" + std::to_string(v) + "/" +
+                           c.name,
+                       std::move(r)});
+      }
+    }
+  }
+
+  // Stub static logic cells (Ibufs too — their port simply disappears).
+  for (const Cell& c : d.static_nl.cells()) {
+    if (c.kind != CellKind::Lut4 && c.kind != CellKind::Dff &&
+        c.kind != CellKind::Ibuf) {
+      continue;
+    }
+    if (c.kind == CellKind::Lut4 && c.lut_init == 0 && c.in[0] == kNullNet &&
+        c.in[1] == kNullNet && c.in[2] == kNullNet && c.in[3] == kNullNet) {
+      continue;
+    }
+    GeneratedDesign r = d;
+    r.static_nl = rebuild_netlist(d.static_nl, {c.name}, {});
+    out.push_back({"stub static/" + c.name, std::move(r)});
+  }
+
+  return out;
+}
+
+/// Property name without the per-variant suffix ("partial_swap_sim/u1_v1"
+/// -> "partial_swap_sim"): reductions may renumber partitions and variants,
+/// but must keep failing the *same kind* of property — otherwise the
+/// shrinker happily walks to a degenerate design failing something trivial
+/// (e.g. an empty netlist rejected by the flow).
+std::string property_family(const std::string& property) {
+  return property.substr(0, property.find('/'));
+}
+
+std::string sanitise(std::string s) {
+  for (char& c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+          c == '-')) {
+      c = '_';
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+ShrinkReport shrink_design(const GeneratedDesign& start, const OracleFn& oracle,
+                           const ShrinkOptions& opt) {
+  ShrinkReport rep;
+  rep.minimised = start;
+  rep.cells_before = start.total_cells();
+  rep.failure = oracle(start);
+  ++rep.oracle_runs;
+  JPG_REQUIRE(rep.failure.status == OracleStatus::Fail,
+              "shrink_design requires a design the oracle rejects");
+
+  const std::string family = property_family(rep.failure.property);
+  bool progressed = true;
+  while (progressed && rep.oracle_runs < opt.max_oracle_runs) {
+    progressed = false;
+    for (Candidate& cand : candidates(rep.minimised)) {
+      if (rep.oracle_runs >= opt.max_oracle_runs) break;
+      OracleResult verdict = oracle(cand.reduced);
+      ++rep.oracle_runs;
+      if (verdict.status != OracleStatus::Fail) continue;
+      if (property_family(verdict.property) != family) continue;
+      rep.minimised = std::move(cand.reduced);
+      rep.failure = std::move(verdict);
+      rep.steps.push_back(cand.label);
+      progressed = true;
+      break;  // restart candidate enumeration on the reduced design
+    }
+  }
+  rep.cells_after = rep.minimised.total_cells();
+  return rep;
+}
+
+std::string render_repro(const GeneratedDesign& design,
+                         const OracleResult& failure,
+                         std::size_t cells_before) {
+  std::ostringstream os;
+  os << "# jpg proptest repro — replay: jpg_cli proptest --device "
+     << design.part << " --raw-seed " << design.seed << "\n";
+  os << "part: " << design.part << "\n";
+  os << "raw_seed: " << design.seed << "\n";
+  os << "mode: " << (design.sampled ? "sampled" : "spec") << "\n";
+  os << "property: " << failure.property << "\n";
+  os << "detail: " << failure.detail << "\n";
+  os << "spec: " << design.spec.to_string() << "\n";
+  os << "cells_original: " << cells_before << "\n";
+  os << "cells_minimised: " << design.total_cells() << "\n";
+  os << "--- minimised static netlist ---\n" << dump_netlist(design.static_nl);
+  for (const GeneratedPartition& p : design.partitions) {
+    os << "--- partition " << p.name << " region " << p.region.to_string()
+       << " ---\n";
+    for (const Netlist& v : p.variants) {
+      os << dump_netlist(v);
+    }
+  }
+  if (!failure.base_xdl.empty()) {
+    os << "--- minimised base xdl ---\n" << failure.base_xdl;
+  }
+  return os.str();
+}
+
+std::string write_repro(const std::string& dir, const GeneratedDesign& design,
+                        const OracleResult& failure,
+                        std::size_t cells_before) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/repro_" + design.part + "_" +
+                           std::to_string(design.seed) + "_" +
+                           sanitise(failure.property) + ".repro";
+  std::ofstream out(path);
+  if (!out) throw JpgError("cannot write repro file " + path);
+  out << render_repro(design, failure, cells_before);
+  return path;
+}
+
+ReproHeader parse_repro_header(const std::string& text) {
+  ReproHeader h;
+  bool have_part = false, have_seed = false;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto take = [&](std::string_view key) -> std::optional<std::string> {
+      if (line.rfind(key, 0) != 0) return std::nullopt;
+      return line.substr(key.size());
+    };
+    if (const auto v = take("part: ")) {
+      h.part = *v;
+      have_part = true;
+    } else if (const auto v2 = take("raw_seed: ")) {
+      h.raw_seed = std::stoull(*v2);
+      have_seed = true;
+    } else if (const auto v3 = take("mode: ")) {
+      h.sampled = *v3 == "sampled";
+    } else if (const auto v4 = take("property: ")) {
+      h.property = *v4;
+    } else if (line.rfind("---", 0) == 0) {
+      break;  // header ends at the first section marker
+    }
+  }
+  JPG_REQUIRE(have_part && have_seed, "malformed repro header");
+  return h;
+}
+
+}  // namespace jpg::testing

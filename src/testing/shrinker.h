@@ -1,0 +1,60 @@
+// Greedy delta-debugging shrinker for failing generated designs.
+//
+// Given a design the oracle rejects, repeatedly tries structure-preserving
+// reductions — drop a partition, a variant, a coupling or a static pad;
+// re-route a static-fed module input to a pad; stub logic cells down to
+// constant-0 LUTs; strip dead logic — keeping any reduction after which the
+// oracle still *fails* (Pass and Infeasible both revert). The result is a
+// locally minimal failing design plus a self-contained textual repro that
+// records the original seed, the failing property, the minimised netlists
+// and the minimised base-design XDL.
+#pragma once
+
+#include <string>
+
+#include "testing/oracle.h"
+
+namespace jpg::testing {
+
+struct ShrinkOptions {
+  /// Hard cap on oracle invocations (each candidate reduction costs one).
+  std::size_t max_oracle_runs = 200;
+};
+
+struct ShrinkReport {
+  GeneratedDesign minimised;
+  OracleResult failure;  ///< the oracle's verdict on the minimised design
+  std::size_t oracle_runs = 0;
+  std::size_t cells_before = 0;
+  std::size_t cells_after = 0;
+  std::vector<std::string> steps;  ///< applied reductions, in order
+};
+
+/// Minimises `start` (which must fail under `oracle`) greedily to a local
+/// fixpoint or until the run budget is spent. Deterministic.
+[[nodiscard]] ShrinkReport shrink_design(const GeneratedDesign& start,
+                                         const OracleFn& oracle,
+                                         const ShrinkOptions& opt = {});
+
+/// Renders the self-contained repro text for a (minimised) failing design.
+[[nodiscard]] std::string render_repro(const GeneratedDesign& design,
+                                       const OracleResult& failure,
+                                       std::size_t cells_before);
+
+/// Writes the repro under `dir` (created if missing) and returns its path.
+/// File name: repro_<part>_<seed>_<property>.repro.
+std::string write_repro(const std::string& dir, const GeneratedDesign& design,
+                        const OracleResult& failure, std::size_t cells_before);
+
+/// Parsed header of a repro file (the machine-replayable part).
+struct ReproHeader {
+  std::string part;
+  std::uint64_t raw_seed = 0;
+  bool sampled = false;  ///< true: generate_sampled(part, raw_seed)
+  std::string property;
+};
+
+/// Parses the header lines of repro text; throws JpgError on malformed input.
+[[nodiscard]] ReproHeader parse_repro_header(const std::string& text);
+
+}  // namespace jpg::testing

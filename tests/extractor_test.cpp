@@ -224,6 +224,55 @@ TEST_F(HandBuiltCircuit, DetectsRoutingCycle) {
   EXPECT_THROW(extract_circuit(mem_), ExtractError);
 }
 
+/// Asserts that extraction throws an ExtractError whose message contains
+/// `needle` — the error family matters, not just "something threw".
+void expect_extract_error(const ConfigMemory& mem, const std::string& needle) {
+  try {
+    extract_circuit(mem);
+    FAIL() << "expected ExtractError containing '" << needle << "'";
+  } catch (const ExtractError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+TEST_F(HandBuiltCircuit, DetectsMultiplyDrivenLongLine) {
+  // Long lines have exactly one driver mux active along their span; claim
+  // LH0 on row 2 from two different tiles and dismount it onto a consumed
+  // westbound route so the trace reaches it.
+  cb_.set_pip({2, 4}, "OUT0", "LH0");
+  cb_.set_pip({2, 6}, "OUT0", "LH0");
+  cb_.set_pip({2, 2}, "LH0", "W0");
+  cb_.set_pip({2, 1}, "EIN0", "W0");
+  cb_.set_pip({2, 0}, "EIN0", "W0");
+  cb_.set_iob_flag({Side::Left, 2, 0}, IobField::IsOutput, true);
+  cb_.set_iob_omux({Side::Left, 2, 0}, 1);
+  expect_extract_error(mem_, "multiple drivers");
+}
+
+TEST_F(HandBuiltCircuit, DetectsFfWithoutClockOnBareSlice) {
+  // A used FF with nothing else configured: the clock check must fire
+  // before any input tracing is attempted.
+  cb_.set_field({4, 4, 0}, SliceField::FfxUsed, true);
+  expect_extract_error(mem_, "has no clock routed");
+}
+
+TEST_F(HandBuiltCircuit, DetectsImuxToUnconnectableEdgeSource) {
+  // Left/right edge singles substitute IOB pad-out wires, but the top and
+  // bottom rows have no such aliasing: a north-arriving single selected at
+  // row 0 is decodable yet resolves off the fabric. S0_F1's mux is
+  // guaranteed one arriving single per direction (NIN2 for pin counter 0).
+  const SliceSite s{0, 0, 0};
+  cb_.set_lut(s, LutSel::F, 0x5555);  // depends on A1 -> F1 gets traced
+  cb_.set_field(s, SliceField::XUsed, true);
+  cb_.set_pip({0, 0}, "NIN2", "S0_F1");
+  cb_.set_pip({0, 0}, "S0_X", "OUT1");
+  cb_.set_pip({0, 0}, "OUT1", "W0");
+  cb_.set_iob_flag({Side::Left, 0, 0}, IobField::IsOutput, true);
+  cb_.set_iob_omux({Side::Left, 0, 0}, 1);
+  expect_extract_error(mem_, "unconnectable");
+}
+
 TEST(Extractor, EmptyDeviceYieldsEmptyCircuit) {
   const Device& dev = Device::get("XCV50");
   const ConfigMemory mem(dev);

@@ -89,6 +89,35 @@ TEST(FlowValidation, RejectsDuplicateAndUnknownPartitions) {
   EXPECT_THROW((void)run_base_flow(dev, f.top, {other}), JpgError);
 }
 
+TEST(FlowValidation, RejectsTwoPortsSharingOneNet) {
+  // Regression (found by the property sweep, raw seed 17886093620855501502):
+  // a net bound to two interface ports of one partition used to be silently
+  // collapsed onto a single boundary crossing, so the static fabric listened
+  // on the wrong wire once a variant drove the ports from different nets.
+  // The flow must reject the ambiguous interface instead.
+  const Device& dev = Device::get("XCV50");
+  Netlist top("t");
+  const NetId q = top.add_net("q");
+  const NetId d = top.add_net("d");
+  top.add_lut("inv", netlib::lut_not1(), {q, kNullNet, kNullNet, kNullNet}, d,
+              "u1");
+  top.add_dff("ff", d, q, false, "u1");
+  top.add_obuf("ob0", "o0", q);
+  top.add_obuf("ob1", "o1", q);
+  PartitionSpec spec;
+  spec.name = "u1";
+  spec.region = Region{0, 6, dev.rows() - 1, 8};
+  spec.output_ports.emplace_back("o0", q);
+  spec.output_ports.emplace_back("o1", q);
+  try {
+    (void)run_base_flow(dev, top, {spec});
+    FAIL() << "expected JpgError for a shared-net interface";
+  } catch (const JpgError& e) {
+    EXPECT_NE(std::string(e.what()).find("share net"), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
 TEST(FlowValidation, RejectsCrossingOverflow) {
   // A one-column region on a 16-row device offers 16*8 = 128 crossings per
   // direction; 129 outputs must be rejected up front.

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Build-and-test matrix for local pre-merge checking and for the nightly
+# job. Four configurations:
+#
+#   release    default flags, full fast tier          (the tier-1 gate)
+#   asan       JPG_SANITIZE=address, fast + fuzz      (memory bugs)
+#   tsan       JPG_SANITIZE=thread, tsan-labelled     (threaded router)
+#   telemoff   JPG_TELEMETRY=OFF, fast tier           (counters compile out)
+#
+# Usage:
+#   tools/run_checks.sh            # the full matrix
+#   tools/run_checks.sh release    # one configuration
+#   NIGHTLY=1 tools/run_checks.sh release
+#                                  # additionally run the >=10k-design
+#                                  # property sweep (ctest -C nightly)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+CONFIGS=("${@:-release asan tsan telemoff}")
+# Re-split in case the default string was taken as one word.
+read -r -a CONFIGS <<< "${CONFIGS[*]}"
+
+run_one() {
+  local name=$1 build_dir=$2
+  shift 2
+  echo "=== [$name] configure: $* ==="
+  cmake -B "$build_dir" -S . "$@" > /dev/null
+  cmake --build "$build_dir" -j "$JOBS"
+  case "$name" in
+    asan)
+      (cd "$build_dir" && ctest --output-on-failure -j "$JOBS" -L 'fast|fuzz')
+      ;;
+    tsan)
+      (cd "$build_dir" && ctest --output-on-failure -j "$JOBS" -L tsan)
+      ;;
+    *)
+      (cd "$build_dir" && ctest --output-on-failure -j "$JOBS" -L fast)
+      ;;
+  esac
+  if [[ "${NIGHTLY:-0}" == "1" && "$name" == "release" ]]; then
+    echo "=== [$name] nightly property sweep (>=10000 designs) ==="
+    (cd "$build_dir" && ctest --output-on-failure -j "$JOBS" -C nightly -L nightly)
+  fi
+}
+
+for cfg in "${CONFIGS[@]}"; do
+  case "$cfg" in
+    release)  run_one release  build       -DCMAKE_BUILD_TYPE=Release ;;
+    asan)     run_one asan     build-asan  -DCMAKE_BUILD_TYPE=Release -DJPG_SANITIZE=address ;;
+    tsan)     run_one tsan     build-tsan  -DCMAKE_BUILD_TYPE=Release -DJPG_SANITIZE=thread ;;
+    telemoff) run_one telemoff build-off   -DCMAKE_BUILD_TYPE=Release -DJPG_TELEMETRY=OFF ;;
+    *) echo "unknown config '$cfg' (release|asan|tsan|telemoff)" >&2; exit 2 ;;
+  esac
+done
+echo "=== all checks passed: ${CONFIGS[*]} ==="
