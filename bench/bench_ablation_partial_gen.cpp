@@ -188,7 +188,8 @@ PartialGenResult seed_generate(const PartialBitstreamGenerator& gen,
 }
 
 template <typename F>
-double ns_per_call(F&& f, int min_iters = 8, double min_seconds = 0.2) {
+double ns_per_call(F&& f, int min_iters = benchutil::smoke_mode() ? 2 : 8,
+                   double min_seconds = benchutil::smoke_mode() ? 0.02 : 0.2) {
   f();  // warm up allocators and caches
   int iters = 0;
   benchutil::Stopwatch sw;
@@ -202,7 +203,11 @@ double ns_per_call(F&& f, int min_iters = 8, double min_seconds = 0.2) {
 void bench_fastpath(benchutil::JsonReport& report) {
   using benchutil::fmt;
   benchutil::Table t({"device", "path", "ns/frame", "bytes", "vs seed"});
-  for (const char* part : {"XCV50", "XCV300"}) {
+  const std::vector<const char*> parts =
+      benchutil::smoke_mode()
+          ? std::vector<const char*>{"XCV50"}
+          : std::vector<const char*>{"XCV50", "XCV300", "XCV800", "XCV1000"};
+  for (const char* part : parts) {
     const Device& dev = Device::get(part);
     const ConfigMemory base = noise_plane(dev, 1);
     // A module pool cycling through one region — the Figure-1 serving
@@ -272,6 +277,31 @@ void bench_fastpath(benchutil::JsonReport& report) {
             batch_gen.generate(*u.module_config, u.region, u.opts).far_blocks);
       }
     });
+    // Audit pass before timing: an explicitly sized batch must report
+    // exactly the requested pool width — a silent fall-back to an inline
+    // loop is the bug this PR fixes, so the bench hard-fails on it.
+    // `workers_used` is the observed fan-out (pool workers + the calling
+    // thread); on a single-core host it is honestly 1.
+    constexpr std::size_t kReqThreads = 4;
+    std::size_t workers_used = 0;
+    for (const PartialGenResult& r : batch_gen.generate_batch(updates,
+                                                              kReqThreads)) {
+      if (r.pool_threads != kReqThreads) {
+        std::fprintf(stderr,
+                     "FATAL: generate_batch(threads=%zu) reported "
+                     "pool_threads=%zu\n",
+                     kReqThreads, r.pool_threads);
+        std::abort();
+      }
+      if (r.workers_used < 1 || r.workers_used > kReqThreads + 1) {
+        std::fprintf(stderr,
+                     "FATAL: generate_batch(threads=%zu) reported "
+                     "workers_used=%zu\n",
+                     kReqThreads, r.workers_used);
+        std::abort();
+      }
+      workers_used = r.workers_used;
+    }
     const double par_ns = ns_per_call([&] {
       benchmark::DoNotOptimize(batch_gen.generate_batch(updates).size());
     });
@@ -283,6 +313,11 @@ void bench_fastpath(benchutil::JsonReport& report) {
     // ~1x on a single-core host: parallel_for degrades to an inline loop.
     report.set(part, "pool_threads",
                static_cast<double>(ThreadPool::global().size()));
+    report.set(part, "requested_pool_threads",
+               static_cast<double>(kReqThreads));
+    report.set(part, "workers_used", static_cast<double>(workers_used));
+    report.set(part, "host_cpus",
+               static_cast<double>(benchutil::host_cpus()));
   }
   t.print("ABLATION: fast path (overlay compose, pbit cache, batch)");
 }
@@ -292,8 +327,10 @@ void bench_fastpath(benchutil::JsonReport& report) {
 
 int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  jpg::print_ablation();
+  if (!jpg::benchutil::smoke_mode()) {
+    ::benchmark::RunSpecifiedBenchmarks();
+    jpg::print_ablation();
+  }
   jpg::benchutil::JsonReport report;
   jpg::bench_fastpath(report);
   jpg::benchutil::add_telemetry_section(report);

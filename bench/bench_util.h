@@ -6,13 +6,32 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "support/telemetry/telemetry.h"
 
 namespace jpg::benchutil {
+
+/// JPG_BENCH_SMOKE=1 switches a bench binary to a reduced matrix (small
+/// devices, one repeat, short timing windows) that still writes the same
+/// BENCH_*.json shape, so CI can validate the reports in seconds instead of
+/// minutes (tools/run_checks.sh bench mode).
+inline bool smoke_mode() {
+  const char* v = std::getenv("JPG_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Logical CPUs visible to this process (>= 1). Recorded in the reports so
+/// the driver can tell "no speedup because the code doesn't scale" from
+/// "no speedup because the host has one core".
+inline std::size_t host_cpus() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
 
 class Stopwatch {
  public:

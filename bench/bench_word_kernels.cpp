@@ -1,0 +1,114 @@
+// WORD KERNELS — the BitVector bulk operations under the partial generator's
+// warm path (DESIGN.md §5a/§5c): in-place and relocating copy_range,
+// diff_in_range and popcount, measured on real frame geometries from XCV50
+// up to XCV1000. The kernels are shared-middle word blits (memcpy, 8-wide
+// XOR-OR reduction, 64-bit popcount) with masked edges and a funnel-shift
+// fallback for misaligned relocation; this bench quantifies each path and
+// writes BENCH_word_kernels.json for the driver to scrape.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "device/device.h"
+#include "support/bitvec.h"
+#include "support/rng.h"
+
+namespace jpg {
+namespace {
+
+BitVector noise_frame(std::size_t nbits, std::uint64_t seed) {
+  BitVector v(nbits);
+  Rng rng(seed);
+  for (std::size_t w = 0; w < v.num_words(); ++w) {
+    v.set_word(w, static_cast<std::uint32_t>(rng.next()));
+  }
+  return v;
+}
+
+template <typename F>
+double ns_per_call(F&& f) {
+  const int min_iters = benchutil::smoke_mode() ? 64 : 512;
+  const double min_seconds = benchutil::smoke_mode() ? 0.01 : 0.1;
+  f();  // warm up
+  int iters = 0;
+  benchutil::Stopwatch sw;
+  do {
+    f();
+    ++iters;
+  } while (iters < min_iters || sw.seconds() < min_seconds);
+  return sw.seconds() * 1e9 / iters;
+}
+
+void bench_kernels() {
+  using benchutil::fmt;
+  const std::vector<const char*> parts =
+      benchutil::smoke_mode()
+          ? std::vector<const char*>{"XCV50"}
+          : std::vector<const char*>{"XCV50", "XCV300", "XCV800", "XCV1000"};
+
+  benchutil::JsonReport report;
+  benchutil::Table t({"device", "frame bits", "kernel", "ns/frame", "GB/s"});
+  for (const char* part : parts) {
+    const Device& dev = Device::get(part);
+    const std::size_t nbits = dev.frames().frame_words() * 32;
+    const double gb = static_cast<double>(nbits) / 8.0;  // bytes per call
+    const BitVector src = noise_frame(nbits, 1);
+    const BitVector other = noise_frame(nbits, 2);
+    BitVector dst = noise_frame(nbits, 3);
+
+    // The partial generator's row-window blit: skip a few bits of header,
+    // copy the body. Offsets chosen so head/tail masks and the word middle
+    // are all exercised, like FrameMap::row_bit_base windows are.
+    const std::size_t pos = 18;
+    const std::size_t len = nbits - 40;
+
+    const double inplace_ns =
+        ns_per_call([&] { dst.copy_range(src, pos, len); });
+    const double reloc_co_ns = ns_per_call(
+        [&] { dst.copy_range(src, pos, pos + 64, len - 80); });
+    const double reloc_mis_ns = ns_per_call(
+        [&] { dst.copy_range(src, pos, pos + 13, len - 40); });
+    dst = other;  // equal ranges: diff scans the entire window
+    const double diff_ns = ns_per_call([&] {
+      benchmark::DoNotOptimize(dst.diff_in_range(other, pos, len));
+    });
+    const double pop_ns =
+        ns_per_call([&] { benchmark::DoNotOptimize(src.popcount()); });
+
+    struct Row {
+      const char* kernel;
+      const char* key;
+      double ns;
+    };
+    for (const Row& r :
+         {Row{"copy_range in-place", "copy_inplace_ns", inplace_ns},
+          Row{"copy_range reloc co-aligned", "copy_reloc_aligned_ns",
+              reloc_co_ns},
+          Row{"copy_range reloc misaligned", "copy_reloc_misaligned_ns",
+              reloc_mis_ns},
+          Row{"diff_in_range (equal)", "diff_ns", diff_ns},
+          Row{"popcount", "popcount_ns", pop_ns}}) {
+      t.row({part, std::to_string(nbits), r.kernel, fmt(r.ns, 0),
+             fmt(gb / r.ns, 2)});
+      report.set(part, r.key, r.ns);
+    }
+    report.set(part, "frame_bits", static_cast<double>(nbits));
+    report.set(part, "misaligned_penalty", reloc_mis_ns / reloc_co_ns);
+    report.set(part, "host_cpus",
+               static_cast<double>(benchutil::host_cpus()));
+  }
+  t.print("WORD KERNELS: BitVector bulk ops on frame geometries");
+  std::printf("co-aligned relocation and in-place blits ride the memcpy/"
+              "vector path; the misaligned\nfunnel-shift fallback is the "
+              "price of odd bit offsets (rare in frame composition).\n");
+  benchutil::add_telemetry_section(report);
+  report.write_file("BENCH_word_kernels.json");
+}
+
+}  // namespace
+}  // namespace jpg
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  jpg::bench_kernels();
+  return 0;
+}

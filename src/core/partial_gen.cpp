@@ -291,7 +291,7 @@ PartialGenResult PartialBitstreamGenerator::generate(
 }
 
 std::vector<PartialGenResult> PartialBitstreamGenerator::generate_batch(
-    std::span<const RegionUpdate> updates) const {
+    std::span<const RegionUpdate> updates, std::size_t num_threads) const {
   JPG_SPAN("pgen.generate_batch");
   JPG_COUNT("pgen.batches", 1);
   JPG_HIST("pgen.batch_fanout", updates.size());
@@ -312,11 +312,27 @@ std::vector<PartialGenResult> PartialBitstreamGenerator::generate_batch(
     }
   }
 
+  // Fan out over the requested pool. Everything per-update — content hash,
+  // cache probe, overlay composition, stream emission, cache insertion —
+  // runs inside the worker; the only cross-thread state is the mutex-guarded
+  // pbit cache, and results land in input order, so the batch is
+  // byte-identical to sequential generate() calls at any thread count.
+  ThreadPool& pool = ThreadPool::sized(num_threads);
   std::vector<PartialGenResult> out(updates.size());
-  parallel_for(updates.size(), [&](std::size_t i) {
-    out[i] = generate(*updates[i].module_config, updates[i].region,
-                      updates[i].opts);
-  });
+  ThreadPool::ParallelForStats pf_stats;
+  pool.parallel_for(
+      updates.size(),
+      [&](std::size_t i) {
+        out[i] = generate(*updates[i].module_config, updates[i].region,
+                          updates[i].opts);
+      },
+      &pf_stats);
+  for (PartialGenResult& r : out) {
+    r.pool_threads = pool.size();
+    r.workers_used = pf_stats.workers_used;
+  }
+  JPG_GAUGE_SET("pgen.batch_pool_threads", pool.size());
+  JPG_GAUGE_SET("pgen.batch_workers_used", pf_stats.workers_used);
   return out;
 }
 

@@ -50,6 +50,14 @@ struct PartialGenResult {
   Bitstream bitstream;
   std::vector<std::size_t> frames;  ///< linear frame indices written
   std::size_t far_blocks = 0;       ///< contiguous FAR/FDRI runs emitted
+  /// Execution-shape audit, filled by generate_batch (a plain generate()
+  /// leaves both at their single-threaded defaults): `pool_threads` is the
+  /// size of the pool the batch fanned out over, `workers_used` the number
+  /// of distinct threads that actually executed updates. Benches record
+  /// both so a batch can never claim parallelism while silently running on
+  /// one worker. Telemetry only — never part of the output bytes.
+  std::size_t pool_threads = 1;
+  std::size_t workers_used = 1;
   /// Wall time plus this call's own tallies (frames, far_blocks,
   /// cache_hit); filled by generate(), reset on every cache hit.
   telemetry::StageSnapshot telemetry;
@@ -111,13 +119,19 @@ class PartialBitstreamGenerator {
                                           const Region& region,
                                           const PartialGenOptions& opts = {}) const;
 
-  /// Fans independent region updates out over ThreadPool::global().
-  /// The regions must own pairwise-disjoint majors (their frame sets are
-  /// then disjoint, so the generations are embarrassingly parallel);
-  /// overlapping batches are rejected. Output order matches input order and
-  /// each element is byte-identical to a sequential generate() call.
+  /// Fans independent region updates out over a shared worker pool:
+  /// `num_threads == 0` uses ThreadPool::global() (hardware-sized), N > 0
+  /// uses ThreadPool::sized(N) — so callers on a small host can still
+  /// request a real fan-out. Each worker runs the whole per-update
+  /// pipeline off-thread: content hash, cache probe, overlay composition,
+  /// stream emission and cache insertion. The regions must own
+  /// pairwise-disjoint majors (their frame sets are then disjoint, so the
+  /// generations are embarrassingly parallel); overlapping batches are
+  /// rejected. Output order matches input order and each element is
+  /// byte-identical to a sequential generate() call at any thread count.
+  /// Every result carries pool_threads/workers_used for auditing.
   [[nodiscard]] std::vector<PartialGenResult> generate_batch(
-      std::span<const RegionUpdate> updates) const;
+      std::span<const RegionUpdate> updates, std::size_t num_threads = 0) const;
 
   /// Option 2 of the tool (paper §3.2.1): writes the partial update into the
   /// base configuration itself, overwriting it.

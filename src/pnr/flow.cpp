@@ -36,7 +36,8 @@ void accumulate(RouteStats& into, const RouteStats& pass) {
   into.iterations = std::max(into.iterations, pass.iterations);
   into.nodes_used += pass.nodes_used;
   into.total_pips += pass.total_pips;
-  into.batches += pass.batches;
+  into.spec_rounds += pass.spec_rounds;
+  into.spec_retries += pass.spec_retries;
   into.nets_rerouted += pass.nets_rerouted;
 }
 

@@ -130,7 +130,7 @@ namespace {
 
 /// Per-worker A* scratch: the stamp/cost/predecessor arrays, the reusable
 /// binary heap, and the routing-tree membership stamps. One instance per
-/// concurrent search; leased from a pool so batches of any width reuse the
+/// concurrent search; leased from a pool so rounds of any width reuse the
 /// same allocations.
 struct RouterScratch {
   std::vector<double> cost;
@@ -197,16 +197,11 @@ class ScratchPool {
   std::vector<RouterScratch*> free_;
 };
 
-/// Net bounding box over CLB tile coordinates, used for conflict-free
-/// batching. Nets touching position-free nodes (longs, pads, GCLK) get the
-/// whole device — conservative, so they never share a batch with anything
-/// they could contend with.
+/// Net bounding box over CLB tile coordinates, used to window the A*
+/// search. Nets touching position-free nodes (longs, pads, GCLK) get the
+/// whole device.
 struct NetBBox {
   int r0 = 0, c0 = 0, r1 = 0, c1 = 0;
-
-  [[nodiscard]] bool overlaps(const NetBBox& o) const {
-    return !(r1 < o.r0 || o.r1 < r0 || c1 < o.c0 || o.c1 < c0);
-  }
 };
 
 class PathFinder {
@@ -220,15 +215,14 @@ class PathFinder {
  private:
   void build_permissions();
   void compute_bboxes();
-  void make_batches(const std::vector<std::size_t>& work,
-                    std::vector<std::vector<std::size_t>>& batches) const;
   /// Routes one net against the frozen occupancy/history snapshot using the
   /// given scratch; fills result_[net_idx] but does NOT touch occupancy_
-  /// (merged at the batch barrier). Throws on unreachable.
+  /// (merged at the round barrier). Throws on unreachable.
   void route_net(std::size_t net_idx, RouterScratch& s);
   void rip_up(std::size_t net_idx);
   std::vector<RoutedNet> assemble(RouteStats* stats, int iterations,
-                                  std::size_t batches,
+                                  std::size_t spec_rounds,
+                                  std::size_t spec_retries,
                                   std::size_t reroutes) const;
 
   // Seed-algorithm reference implementation (RouterOptions::reference_impl):
@@ -334,11 +328,11 @@ void PathFinder::build_permissions() {
   }
 }
 
-/// Bounding-box margin (tiles) around a net's terminals. Searches may
-/// wander outside it (the box is a batching hint, not a search limit);
-/// the margin keeps most detours inside the claimed area so nets of the
-/// same batch rarely claim the same node.
-constexpr int kBatchMargin = kHexSpan;
+/// Bounding-box margin (tiles) around a net's terminals; the search window
+/// extends it further by kSearchMargin. Keeping a margin here means most
+/// detours stay inside the net's own neighbourhood, so speculative routes
+/// of spatially separate nets rarely claim the same node.
+constexpr int kBBoxMargin = kHexSpan;
 
 void PathFinder::compute_bboxes() {
   const Device& dev = g_.device();
@@ -364,43 +358,11 @@ void PathFinder::compute_bboxes() {
       bbox_[i] = full;
       continue;
     }
-    b.r0 = std::max(0, b.r0 - kBatchMargin);
-    b.c0 = std::max(0, b.c0 - kBatchMargin);
-    b.r1 = std::min(dev.rows() - 1, b.r1 + kBatchMargin);
-    b.c1 = std::min(dev.cols() - 1, b.c1 + kBatchMargin);
+    b.r0 = std::max(0, b.r0 - kBBoxMargin);
+    b.c0 = std::max(0, b.c0 - kBBoxMargin);
+    b.r1 = std::min(dev.rows() - 1, b.r1 + kBBoxMargin);
+    b.c1 = std::min(dev.cols() - 1, b.c1 + kBBoxMargin);
     bbox_[i] = b;
-  }
-}
-
-void PathFinder::make_batches(
-    const std::vector<std::size_t>& work,
-    std::vector<std::vector<std::size_t>>& batches) const {
-  // Greedy first-fit in net order: a net joins the earliest batch whose
-  // members' boxes it does not overlap. Purely a function of the work list
-  // and the terminal positions, hence identical at every thread count.
-  batches.clear();
-  std::vector<std::vector<const NetBBox*>> boxes;
-  for (const std::size_t i : work) {
-    const NetBBox& nb = bbox_[i];
-    bool placed = false;
-    for (std::size_t b = 0; b < batches.size() && !placed; ++b) {
-      bool clash = false;
-      for (const NetBBox* other : boxes[b]) {
-        if (nb.overlaps(*other)) {
-          clash = true;
-          break;
-        }
-      }
-      if (!clash) {
-        batches[b].push_back(i);
-        boxes[b].push_back(&nb);
-        placed = true;
-      }
-    }
-    if (!placed) {
-      batches.push_back({i});
-      boxes.push_back({&nb});
-    }
   }
 }
 
@@ -555,7 +517,8 @@ void PathFinder::route_net(std::size_t net_idx, RouterScratch& s) {
 }
 
 std::vector<RoutedNet> PathFinder::assemble(RouteStats* stats, int iterations,
-                                            std::size_t batches,
+                                            std::size_t spec_rounds,
+                                            std::size_t spec_retries,
                                             std::size_t reroutes) const {
   std::vector<RoutedNet> routed(nets_.size());
   std::size_t nodes_used = 0, pips = 0;
@@ -578,12 +541,13 @@ std::vector<RoutedNet> PathFinder::assemble(RouteStats* stats, int iterations,
     stats->iterations = iterations;
     stats->nodes_used = nodes_used;
     stats->total_pips = pips;
-    stats->batches = batches;
+    stats->spec_rounds = spec_rounds;
+    stats->spec_retries = spec_retries;
     stats->nets_rerouted = reroutes;
   }
   JPG_DEBUG("router: " << nets_.size() << " nets, " << pips << " pips, "
-                       << iterations << " iterations, " << batches
-                       << " batches");
+                       << iterations << " iterations, " << spec_rounds
+                       << " rounds, " << spec_retries << " retries");
   return routed;
 }
 
@@ -610,10 +574,14 @@ std::vector<RoutedNet> PathFinder::run(RouteStats* stats) {
   ScratchPool scratch(n);
 
   pres_fac_ = opt_.pres_fac_first;
-  std::vector<std::size_t> work;
+  const int max_spec_rounds = std::max(1, opt_.max_spec_rounds);
+  std::vector<std::size_t> work, pending, retry;
   std::vector<std::size_t> overused_nodes;
-  std::vector<std::vector<std::size_t>> batches;
-  std::size_t batch_count = 0, reroutes = 0;
+  /// Nodes claimed by merges of the current iteration (stamped, reset from
+  /// the claim list at iteration end so the cost stays O(claimed)).
+  std::vector<std::uint8_t> claimed(n, 0);
+  std::vector<std::size_t> claimed_nodes;
+  std::size_t round_count = 0, retry_count = 0, reroutes = 0;
   int iter = 0;
   for (iter = 1; iter <= opt_.max_iterations; ++iter) {
     // Nets that are unrouted or ride an overused node get rerouted.
@@ -629,35 +597,71 @@ std::vector<RoutedNet> PathFinder::run(RouteStats* stats) {
       if (needs) work.push_back(i);
     }
     for (const std::size_t i : work) rip_up(i);
-    make_batches(work, batches);
-    batch_count += batches.size();
     reroutes += work.size();
-    JPG_TELEM(for (const auto& b : batches) JPG_HIST("pnr.route.batch_size", b.size());)
 
+    // Speculative rounds: round 1 routes the whole wave concurrently
+    // against the frozen iteration-start snapshot; merge walks the wave in
+    // net order, and a net that lands on a node an earlier-merged net of
+    // this iteration claimed is discarded and rerouted next round against
+    // the updated snapshot (which now prices those claims). Conflicts with
+    // *surviving* routes from earlier iterations are not retried — a
+    // retry's snapshot would be unchanged there, so the search would just
+    // repeat; pres_fac/history negotiation resolves those, exactly as the
+    // batched scheduler left them. Every step is a pure function of the
+    // net order and the snapshots, so any thread count produces the same
+    // bytes.
     overused_nodes.clear();
-    for (const auto& batch : batches) {
-      // Route the batch against the frozen snapshot. occupancy_/history_
-      // are read-only until every search of the batch has finished.
-      if (pool == nullptr || batch.size() == 1) {
+    claimed_nodes.clear();
+    pending = work;
+    for (int round = 1; !pending.empty(); ++round) {
+      ++round_count;
+      JPG_TELEM(JPG_HIST("pnr.route.round_width", pending.size());)
+      // occupancy_/history_ are read-only until every search of the round
+      // has finished.
+      if (pool == nullptr || pending.size() == 1) {
         ScratchPool::Lease lease(scratch);
-        for (const std::size_t i : batch) route_net(i, *lease.s);
+        for (const std::size_t i : pending) route_net(i, *lease.s);
       } else {
-        pool->parallel_for(batch.size(), [&](std::size_t k) {
+        pool->parallel_for(pending.size(), [&](std::size_t k) {
           ScratchPool::Lease lease(scratch);
-          route_net(batch[k], *lease.s);
+          route_net(pending[k], *lease.s);
         });
       }
-      // Deterministic merge barrier: claims land in net order. Rip-up leaves
-      // every node at occupancy 0 or 1 (all riders of an overused node are
-      // rerouted together), so a node is overused this iteration iff some
-      // merge increment takes it to exactly 2 — record that transition and
-      // the congestion check below stays O(overused), not O(n).
-      for (const std::size_t i : batch) {
+      // Deterministic merge barrier: claims land in net order. Rip-up
+      // leaves every node at occupancy 0 or 1 (all riders of an overused
+      // node are rerouted together), so a node is overused this iteration
+      // iff some merge increment takes it to exactly 2 — record that
+      // transition and the congestion check below stays O(overused).
+      const bool accept_all = round >= max_spec_rounds;
+      retry.clear();
+      for (const std::size_t i : pending) {
+        bool conflict = false;
+        if (!accept_all) {
+          for (const std::size_t node : result_[i].nodes) {
+            if (claimed[node] != 0) {
+              conflict = true;
+              break;
+            }
+          }
+        }
+        if (conflict) {
+          result_[i].nodes.clear();
+          result_[i].edges.clear();
+          retry.push_back(i);
+          ++retry_count;
+          continue;
+        }
         for (const std::size_t node : result_[i].nodes) {
+          if (claimed[node] == 0) {
+            claimed[node] = 1;
+            claimed_nodes.push_back(node);
+          }
           if (++occupancy_[node] == 2) overused_nodes.push_back(node);
         }
       }
+      pending.swap(retry);
     }
+    for (const std::size_t node : claimed_nodes) claimed[node] = 0;
 
     // Check for congestion.
     JPG_HIST("pnr.route.overuse", overused_nodes.size());
@@ -673,17 +677,20 @@ std::vector<RoutedNet> PathFinder::run(RouteStats* stats) {
     }
   }
 
-  std::vector<RoutedNet> routed = assemble(stats, iter, batch_count, reroutes);
+  std::vector<RoutedNet> routed =
+      assemble(stats, iter, round_count, retry_count, reroutes);
   if (stats != nullptr) {
     stats->telemetry.duration_ns = telemetry::now_ns() - telem_t0;
     stats->telemetry.set("iterations", static_cast<std::uint64_t>(iter));
-    stats->telemetry.set("batches", batch_count);
+    stats->telemetry.set("spec_rounds", round_count);
+    stats->telemetry.set("spec_retries", retry_count);
     stats->telemetry.set("nets_rerouted", reroutes);
     JPG_TELEM(stats->telemetry.set(
         "astar_pops", astar_pops_.load(std::memory_order_relaxed));)
   }
   JPG_COUNT("pnr.route.runs", 1);
   JPG_COUNT("pnr.route.iterations", static_cast<std::uint64_t>(iter));
+  JPG_COUNT("pnr.route.spec_retries", retry_count);
   JPG_COUNT("pnr.route.nets_rerouted", reroutes);
   return routed;
 }
@@ -825,7 +832,7 @@ std::vector<RoutedNet> PathFinder::run_reference(RouteStats* stats) {
     }
   }
 
-  return assemble(stats, iter, 0, reroutes);
+  return assemble(stats, iter, 0, 0, reroutes);
 }
 
 }  // namespace

@@ -1,12 +1,19 @@
 // Router: PathFinder negotiated-congestion routing over the device fabric —
 // the PAR routing step of the Foundation flow.
 //
-// Each PathFinder iteration batches the nets that need (re)routing into
-// conflict-free groups by bounding-box overlap and routes a batch's nets
-// concurrently against a frozen occupancy/history snapshot; occupancy is
-// merged back in net order at a barrier between batches. Because every
-// net's search depends only on the snapshot, the result is byte-identical
-// for any RouterOptions::num_threads (see DESIGN.md §5c).
+// Each PathFinder iteration routes its whole rip-up wave *speculatively*:
+// every net that needs (re)routing searches concurrently against a frozen
+// occupancy/history snapshot, then claims are merged in net order at a
+// barrier. A net whose path lands on a node some earlier-merged net of the
+// same iteration already claimed is discarded and retried in the next
+// round against the updated snapshot (bounded by
+// RouterOptions::max_spec_rounds; leftovers are accepted as overuse for
+// the normal PathFinder negotiation to resolve). Because every search
+// depends only on the snapshot and the merge order is the net order, the
+// result is byte-identical for any RouterOptions::num_threads — and unlike
+// the earlier conflict-free bbox batches (whose mean width was a handful
+// of nets), the first round of every iteration exposes the entire wave as
+// parallel work (see DESIGN.md §5c).
 //
 // The router understands the partial-reconfiguration resource discipline
 // (DESIGN.md, pnr/flow.h): a *module* net may be restricted to its region's
@@ -103,10 +110,19 @@ struct RouterOptions {
   /// Worker threads for the per-iteration net fan-out: 0 sizes to the
   /// hardware (ThreadPool::global()), 1 routes in the caller's thread, N>1
   /// uses a shared pool of exactly N workers (ThreadPool::sized). The
-  /// routed output is byte-identical for every value — nets are batched
-  /// into conflict-free groups and merged at a deterministic barrier, so
-  /// the thread count only changes wall-clock, never the result.
+  /// routed output is byte-identical for every value — all speculative
+  /// searches of a round run against the same frozen snapshot and merge at
+  /// a deterministic net-order barrier, so the thread count only changes
+  /// wall-clock, never the result.
   int num_threads = 0;
+  /// Speculative conflict-retry rounds per iteration. Round 1 routes the
+  /// whole rip-up wave; each later round reroutes only the nets whose
+  /// claims collided with an earlier-merged net of the same iteration.
+  /// When the rounds are exhausted, remaining collisions merge as overuse
+  /// and the outer negotiation (pres_fac/history) resolves them — so any
+  /// value >= 1 is correct; more rounds trade extra searches for fewer
+  /// iterations. Must be >= 1.
+  int max_spec_rounds = 3;
   /// Bench-only reference: the seed's unbatched sequential algorithm
   /// (linear tree-membership scans, per-relax node_info lookups, a fresh
   /// heap per sink search, online occupancy updates). Kept so
@@ -119,9 +135,10 @@ struct RouteStats {
   int iterations = 0;
   std::size_t nodes_used = 0;
   std::size_t total_pips = 0;
-  std::size_t batches = 0;        ///< conflict-free batches executed
+  std::size_t spec_rounds = 0;    ///< speculative route+merge rounds executed
+  std::size_t spec_retries = 0;   ///< speculative routes discarded on conflict
   std::size_t nets_rerouted = 0;  ///< (re)route invocations over all iterations
-  /// Wall time plus this pass's own counters (iterations, batches,
+  /// Wall time plus this pass's own counters (iterations, rounds, retries,
   /// rerouted nets; A* heap pops when compiled with JPG_TELEMETRY).
   telemetry::StageSnapshot telemetry;
 };

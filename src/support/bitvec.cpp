@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "support/word_kernels.h"
+
 namespace jpg {
 
 std::uint32_t BitVector::get_field(std::size_t pos, unsigned width) const {
@@ -52,9 +54,8 @@ void BitVector::copy_range(const BitVector& src, std::size_t pos,
   }
   const std::uint32_t mf = bit_span_mask(head, 31);
   words_[first] = (words_[first] & ~mf) | (src.words_[first] & mf);
-  for (std::size_t w = first + 1; w < last; ++w) {
-    words_[w] = src.words_[w];
-  }
+  kernels::copy_words(words_.data() + first + 1, src.words_.data() + first + 1,
+                      last - first - 1);
   const std::uint32_t ml = bit_span_mask(0, tail);
   words_[last] = (words_[last] & ~ml) | (src.words_[last] & ml);
 }
@@ -68,8 +69,31 @@ void BitVector::copy_range(const BitVector& src, std::size_t src_pos,
   JPG_ASSERT_MSG(this != &src, "relocating self-copy is unsupported");
   JPG_ASSERT_MSG(src_pos + nbits <= src.nbits_ && dst_pos + nbits <= nbits_,
                  "copy_range out of range");
-  // Walk destination word by word; each chunk gathers up to 32 source bits
-  // with a funnel shift across the source word boundary.
+  if (nbits == 0) return;
+  if (((src_pos ^ dst_pos) & 31) == 0) {
+    // Co-aligned relocation (the common PARBIT case: frame-granular moves):
+    // masked head/tail words with a straight word copy between them, same
+    // shape as the in-place copy_range but with a source/dest word offset.
+    const unsigned head = dst_pos & 31;
+    const unsigned tail = (dst_pos + nbits - 1) & 31;
+    const std::size_t df = dst_pos >> 5;
+    const std::size_t dl = (dst_pos + nbits - 1) >> 5;
+    const std::size_t sf = src_pos >> 5;
+    if (df == dl) {
+      const std::uint32_t m = bit_span_mask(head, tail);
+      words_[df] = (words_[df] & ~m) | (src.words_[sf] & m);
+      return;
+    }
+    const std::uint32_t mf = bit_span_mask(head, 31);
+    words_[df] = (words_[df] & ~mf) | (src.words_[sf] & mf);
+    kernels::copy_words(words_.data() + df + 1, src.words_.data() + sf + 1,
+                        dl - df - 1);
+    const std::uint32_t ml = bit_span_mask(0, tail);
+    words_[dl] = (words_[dl] & ~ml) | (src.words_[sf + (dl - df)] & ml);
+    return;
+  }
+  // Misaligned fallback: walk destination word by word; each chunk gathers
+  // up to 32 source bits with a funnel shift across the source word boundary.
   std::size_t sp = src_pos, dp = dst_pos, remaining = nbits;
   while (remaining > 0) {
     const unsigned doff = dp & 31;
@@ -107,18 +131,16 @@ bool BitVector::diff_in_range(const BitVector& other, std::size_t pos,
   if ((words_[first] ^ other.words_[first]) & bit_span_mask(head, 31)) {
     return true;
   }
-  for (std::size_t w = first + 1; w < last; ++w) {
-    if (words_[w] != other.words_[w]) return true;
+  if (kernels::words_differ(words_.data() + first + 1,
+                            other.words_.data() + first + 1,
+                            last - first - 1)) {
+    return true;
   }
   return ((words_[last] ^ other.words_[last]) & bit_span_mask(0, tail)) != 0;
 }
 
 std::size_t BitVector::popcount() const noexcept {
-  std::size_t n = 0;
-  for (std::uint32_t w : words_) {
-    n += static_cast<std::size_t>(std::popcount(w));
-  }
-  return n;
+  return kernels::popcount_words(words_.data(), words_.size());
 }
 
 bool BitVector::differs_from(const BitVector& other) const {

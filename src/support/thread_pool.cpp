@@ -61,14 +61,20 @@ struct ParallelForContext {
   const std::function<void(std::size_t)>* body = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> participants{0};
   std::mutex mutex;
   std::condition_variable cv;
   std::exception_ptr first_error;
 
   void run() {
+    bool counted = false;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
+      if (!counted) {
+        counted = true;
+        participants.fetch_add(1, std::memory_order_relaxed);
+      }
       try {
         (*body)(i);
       } catch (...) {
@@ -86,12 +92,17 @@ struct ParallelForContext {
 }  // namespace
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& body) {
-  if (n == 0) return;
+                              const std::function<void(std::size_t)>& body,
+                              ParallelForStats* stats) {
+  if (n == 0) {
+    if (stats != nullptr) stats->workers_used = 0;
+    return;
+  }
   // On a single worker (or tiny n) run inline: no synchronization cost and
   // identical iteration order, which keeps seeded algorithms deterministic.
   if (workers_.size() <= 1 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
+    if (stats != nullptr) stats->workers_used = 1;
     return;
   }
 
@@ -124,6 +135,9 @@ void ThreadPool::parallel_for(std::size_t n,
   ctx->cv.wait(lock, [&] {
     return ctx->done.load(std::memory_order_acquire) >= n;
   });
+  if (stats != nullptr) {
+    stats->workers_used = ctx->participants.load(std::memory_order_relaxed);
+  }
   if (ctx->first_error) std::rethrow_exception(ctx->first_error);
 }
 

@@ -28,9 +28,20 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Observed execution shape of one parallel_for call. `workers_used` is
+  /// the number of distinct threads (pool workers plus the caller) that
+  /// claimed at least one iteration — the honest fan-out, as opposed to the
+  /// pool's nominal size. It depends on scheduling, so it is telemetry,
+  /// never an input to any deterministic computation.
+  struct ParallelForStats {
+    std::size_t workers_used = 0;
+  };
+
   /// Runs `body(i)` for i in [0, n). Blocks until all iterations finish.
   /// Exceptions from `body` are rethrown (first one wins) on the caller.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+  /// `stats`, when non-null, receives the observed execution shape.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                    ParallelForStats* stats = nullptr);
 
   /// Shared process-wide pool (lazily constructed).
   static ThreadPool& global();

@@ -1,7 +1,8 @@
-// Determinism tests for the batched router: the routed output must be
+// Determinism tests for the speculative router: the routed output must be
 // byte-identical for every RouterOptions::num_threads, because each
-// PathFinder iteration routes conflict-free batches against a frozen
-// occupancy/history snapshot and merges in net order (DESIGN.md §5c).
+// PathFinder round routes its wave against a frozen occupancy/history
+// snapshot and merges — with conflict detection and retry — in net order
+// (DESIGN.md §5c).
 #include <gtest/gtest.h>
 
 #include "netlib/generators.h"
@@ -48,7 +49,8 @@ TEST(RouterParallel, FullFlowByteIdenticalAcrossThreadCounts) {
 }
 
 /// Spatially spread nets: slice output at (r, c) to an F1 input mux a few
-/// columns east. Disjoint bounding boxes let batches hold many nets.
+/// columns east. Disjoint bounding boxes mean round 1 usually lands every
+/// net conflict-free.
 std::vector<NetToRoute> spread_nets(const Device& dev) {
   const RoutingFabric& fab = dev.fabric();
   std::vector<NetToRoute> nets;
@@ -95,15 +97,71 @@ TEST(RouterParallel, RouteNetsByteIdenticalAcrossThreadCounts) {
     opt.num_threads = 1;
     RouteStats base_stats;
     const auto baseline = route_nets(g, nets, {}, opt, &base_stats);
-    EXPECT_GT(base_stats.batches, 0u);
+    EXPECT_GT(base_stats.spec_rounds, 0u);
     for (const int threads : kThreadCounts) {
       opt.num_threads = threads;
       RouteStats stats;
       EXPECT_EQ(route_nets(g, nets, {}, opt, &stats), baseline)
           << "threads " << threads;
-      // Batching is a pure function of the work list, not the thread count.
-      EXPECT_EQ(stats.batches, base_stats.batches);
+      // Round structure is a pure function of the work list and the
+      // net-order merge, not of the thread count.
+      EXPECT_EQ(stats.spec_rounds, base_stats.spec_rounds);
+      EXPECT_EQ(stats.spec_retries, base_stats.spec_retries);
       EXPECT_EQ(stats.iterations, base_stats.iterations);
+    }
+  }
+}
+
+/// FNV-1a digest of a routed result, so large-device comparisons don't
+/// hold several full route vectors alive at once.
+std::uint64_t route_digest(const std::vector<RoutedNet>& routes) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const RoutedNet& rn : routes) {
+    mix(static_cast<std::uint64_t>(rn.net));
+    for (const RoutedPip& p : rn.pips) {
+      mix((static_cast<std::uint64_t>(static_cast<std::uint16_t>(p.tile.r)) << 48) ^
+          (static_cast<std::uint64_t>(static_cast<std::uint16_t>(p.tile.c)) << 32) ^
+          (static_cast<std::uint64_t>(static_cast<std::uint16_t>(p.dest_local)) << 16) ^
+          p.sel);
+    }
+    for (const IobRoute& p : rn.iob_pips) {
+      mix((static_cast<std::uint64_t>(p.site.side == Side::Left ? 1 : 2) << 40) ^
+          (static_cast<std::uint64_t>(static_cast<std::uint16_t>(p.site.row)) << 20) ^
+          (static_cast<std::uint64_t>(static_cast<std::uint16_t>(p.site.k)) << 4) ^
+          p.omux_sel);
+    }
+  }
+  return h;
+}
+
+TEST(RouterParallel, SpeculativeDigestsIdenticalAcrossThreadCountsOnXCV800) {
+  // XCV800-class work list: hundreds of speculative searches per round,
+  // with the congested band forcing real conflict retries. The digest must
+  // be bit-identical for threads {1, 2, 4, 8} and the round/retry counts
+  // must match, proving the speculative scheduler never lets thread
+  // scheduling leak into the merge.
+  const Device& dev = Device::get("XCV800");
+  const RoutingGraph& g = RoutingGraph::get(dev);
+  using NetMaker = std::vector<NetToRoute> (*)(const Device&);
+  for (const NetMaker maker : {NetMaker{&spread_nets}, NetMaker{&congested_nets}}) {
+    const std::vector<NetToRoute> nets = maker(dev);
+    ASSERT_GT(nets.size(), 50u);
+    RouterOptions opt;
+    opt.num_threads = 1;
+    RouteStats base_stats;
+    const std::uint64_t baseline =
+        route_digest(route_nets(g, nets, {}, opt, &base_stats));
+    for (const int threads : kThreadCounts) {
+      opt.num_threads = threads;
+      RouteStats stats;
+      EXPECT_EQ(route_digest(route_nets(g, nets, {}, opt, &stats)), baseline)
+          << "threads " << threads;
+      EXPECT_EQ(stats.spec_rounds, base_stats.spec_rounds);
+      EXPECT_EQ(stats.spec_retries, base_stats.spec_retries);
     }
   }
 }

@@ -162,6 +162,87 @@ TEST(BitVector, DiffInRangeExhaustiveBoundaries) {
   EXPECT_FALSE(a.diff_in_range(a, 10, 0));
 }
 
+// The short-range boundary sweeps above never reach the word kernels' block
+// paths (8-word XOR-OR reduction, memcpy middles, 64-bit popcount pairs);
+// these long-range tests do, at deliberately ragged offsets and tails.
+
+TEST(BitVector, CopyRangeLongMiddleUnalignedEdges) {
+  constexpr std::size_t kBits = 41 * 32 + 13;  // ragged final word
+  const BitVector src = noise_vector(kBits, 11);
+  const BitVector dst0 = noise_vector(kBits, 12);
+  for (const std::size_t pos : {0u, 1u, 13u, 31u, 32u, 45u}) {
+    for (const std::size_t len : {std::size_t{257}, std::size_t{512},
+                                  std::size_t{1024}, kBits - 64, kBits - pos}) {
+      if (pos + len > kBits) continue;
+      BitVector got = dst0;
+      got.copy_range(src, pos, len);
+      BitVector want = dst0;
+      for (std::size_t i = pos; i < pos + len; ++i) want.set(i, src.get(i));
+      ASSERT_EQ(got, want) << "pos " << pos << " len " << len;
+    }
+  }
+}
+
+TEST(BitVector, CopyRangeRelocatingLongCoAlignedAndMisaligned) {
+  constexpr std::size_t kBits = 64 * 32;
+  const BitVector src = noise_vector(kBits, 13);
+  const BitVector dst0 = noise_vector(kBits, 14);
+  // Co-aligned pairs (sp % 32 == dp % 32) ride the word-blit fast path even
+  // when both offsets are odd; misaligned pairs take the funnel-shift
+  // fallback. Both must match the bit-by-bit reference over many words.
+  struct Case {
+    std::size_t sp, dp;
+  };
+  for (const Case c : {Case{5, 5 + 3 * 32}, Case{29, 29 + 32}, Case{0, 64},
+                       Case{31, 31 + 17 * 32},  // co-aligned
+                       Case{5, 18}, Case{29, 32}, Case{0, 63},
+                       Case{31, 1}}) {  // misaligned
+    for (const std::size_t len :
+         {std::size_t{300}, std::size_t{1000}, kBits / 2}) {
+      if (c.sp + len > kBits || c.dp + len > kBits) continue;
+      BitVector got = dst0;
+      got.copy_range(src, c.sp, c.dp, len);
+      BitVector want = dst0;
+      for (std::size_t i = 0; i < len; ++i) {
+        want.set(c.dp + i, src.get(c.sp + i));
+      }
+      ASSERT_EQ(got, want)
+          << "sp " << c.sp << " dp " << c.dp << " len " << len;
+    }
+  }
+}
+
+TEST(BitVector, DiffInRangeLongBlocksFindEveryFlipPosition) {
+  // One flipped bit per word of a >8-word middle must always register —
+  // catches any lane dropped by the 8-wide reduction — and a flip just
+  // outside the ragged edges must not.
+  constexpr std::size_t kBits = 24 * 32 + 7;
+  const BitVector a = noise_vector(kBits, 15);
+  const std::size_t pos = 19;
+  const std::size_t len = kBits - 40;
+  BitVector b = a;
+  EXPECT_FALSE(a.diff_in_range(b, pos, len));
+  for (std::size_t at = pos; at < pos + len; at += 29) {  // every word, odd lanes
+    b.set(at, !a.get(at));
+    EXPECT_TRUE(a.diff_in_range(b, pos, len)) << "flip " << at;
+    b = a;
+  }
+  b.set(pos - 1, !a.get(pos - 1));
+  b.set(pos + len, !a.get(pos + len));
+  EXPECT_FALSE(a.diff_in_range(b, pos, len));
+}
+
+TEST(BitVector, PopcountMatchesBitLoopOnRaggedSizes) {
+  // Odd word counts exercise the 64-bit pair chunks plus the 32-bit tail.
+  for (const std::size_t nbits : {0u, 1u, 31u, 32u, 33u, 64u, 65u,
+                                  9u * 32u + 13u, 41u * 32u + 1u}) {
+    const BitVector v = noise_vector(nbits, 16 + nbits);
+    std::size_t want = 0;
+    for (std::size_t i = 0; i < nbits; ++i) want += v.get(i) ? 1 : 0;
+    EXPECT_EQ(v.popcount(), want) << "nbits " << nbits;
+  }
+}
+
 TEST(Rng, DeterministicFromSeed) {
   Rng a(42), b(42), c(43);
   for (int i = 0; i < 100; ++i) {

@@ -333,9 +333,11 @@ int cmd_pnr(int argc, char** argv) {
               pos[2].c_str(), dev.spec().name.c_str(),
               static_cast<unsigned long long>(seed));
   std::printf("packed        : %zu slices\n", res.pack_stats.slices);
-  std::printf("routed        : %zu nets, %zu pips, %d iterations, %zu batches\n",
+  std::printf("routed        : %zu nets, %zu pips, %d iterations, %zu rounds "
+              "(%zu retries)\n",
               res.design->routes.size(), res.route_stats.total_pips,
-              res.route_stats.iterations, res.route_stats.batches);
+              res.route_stats.iterations, res.route_stats.spec_rounds,
+              res.route_stats.spec_retries);
   std::printf("route digest  : %016llx\n", static_cast<unsigned long long>(h));
   return 0;
 }

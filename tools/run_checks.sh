@@ -6,10 +6,15 @@
 #   asan       JPG_SANITIZE=address, fast + fuzz      (memory bugs)
 #   tsan       JPG_SANITIZE=thread, tsan-labelled     (threaded router)
 #   telemoff   JPG_TELEMETRY=OFF, fast tier           (counters compile out)
+#   bench      release build, JPG_BENCH_SMOKE=1 run of the three parallel-
+#              core benches (router, partial gen, word kernels); on hosts
+#              with >= 4 cores it additionally fails if the router threads
+#              sweep or the batch fan-out stops scaling (speedup < 1.5x)
 #
 # Usage:
 #   tools/run_checks.sh            # the full matrix
 #   tools/run_checks.sh release    # one configuration
+#   tools/run_checks.sh bench      # bench smoke + scaling gate only
 #   NIGHTLY=1 tools/run_checks.sh release
 #                                  # additionally run the >=10k-design
 #                                  # property sweep (ctest -C nightly)
@@ -44,13 +49,72 @@ run_one() {
   fi
 }
 
+run_bench_smoke() {
+  local build_dir=build
+  echo "=== [bench] configure: -DCMAKE_BUILD_TYPE=Release ==="
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build "$build_dir" -j "$JOBS" --target \
+    bench_cl_pnr_time bench_ablation_partial_gen bench_word_kernels
+  local out
+  out=$(mktemp -d)
+  echo "=== [bench] smoke run (JPG_BENCH_SMOKE=1, reports in $out) ==="
+  (cd "$out" &&
+   JPG_BENCH_SMOKE=1 "$OLDPWD/$build_dir/bench/bench_cl_pnr_time" &&
+   JPG_BENCH_SMOKE=1 "$OLDPWD/$build_dir/bench/bench_ablation_partial_gen" &&
+   JPG_BENCH_SMOKE=1 "$OLDPWD/$build_dir/bench/bench_word_kernels")
+  echo "=== [bench] scaling gate ==="
+  python3 - "$out" <<'EOF'
+import json, os, sys
+
+out = sys.argv[1]
+cpus = os.cpu_count() or 1
+MIN_SPEEDUP = 1.5
+failures = []
+
+pnr = json.load(open(os.path.join(out, "BENCH_pnr.json")))
+for sec, kv in pnr.items():
+    if "route_speedup_t8" not in kv:
+        continue
+    ratio = kv["route_speedup_t8"] / kv["route_speedup_t1"]
+    print(f"  {sec}: route_speedup_t8/t1 = {ratio:.2f} "
+          f"(host_cpus={int(kv.get('host_cpus', cpus))})")
+    if cpus >= 4 and ratio < MIN_SPEEDUP:
+        failures.append(f"{sec}: router threads sweep scales {ratio:.2f}x "
+                        f"< {MIN_SPEEDUP}x on a {cpus}-core host")
+
+pgen = json.load(open(os.path.join(out, "BENCH_partial_gen.json")))
+for sec, kv in pgen.items():
+    if "batch_speedup_vs_sequential" not in kv:
+        continue
+    s = kv["batch_speedup_vs_sequential"]
+    print(f"  {sec}: batch_speedup_vs_sequential = {s:.2f} "
+          f"(pool_threads={int(kv['pool_threads'])}, "
+          f"workers_used={int(kv['workers_used'])})")
+    if cpus >= 4 and s < MIN_SPEEDUP:
+        failures.append(f"{sec}: batch fan-out speedup {s:.2f}x "
+                        f"< {MIN_SPEEDUP}x on a {cpus}-core host")
+
+# The kernels report has no thread axis; its presence is the smoke check.
+json.load(open(os.path.join(out, "BENCH_word_kernels.json")))
+
+if cpus < 4:
+    print(f"  scaling thresholds skipped: host has {cpus} core(s); "
+          "parallel speedup is not observable here")
+if failures:
+    print("\n".join("FAIL: " + f for f in failures), file=sys.stderr)
+    sys.exit(1)
+print("bench smoke OK")
+EOF
+}
+
 for cfg in "${CONFIGS[@]}"; do
   case "$cfg" in
     release)  run_one release  build       -DCMAKE_BUILD_TYPE=Release ;;
     asan)     run_one asan     build-asan  -DCMAKE_BUILD_TYPE=Release -DJPG_SANITIZE=address ;;
     tsan)     run_one tsan     build-tsan  -DCMAKE_BUILD_TYPE=Release -DJPG_SANITIZE=thread ;;
     telemoff) run_one telemoff build-off   -DCMAKE_BUILD_TYPE=Release -DJPG_TELEMETRY=OFF ;;
-    *) echo "unknown config '$cfg' (release|asan|tsan|telemoff)" >&2; exit 2 ;;
+    bench)    run_bench_smoke ;;
+    *) echo "unknown config '$cfg' (release|asan|tsan|telemoff|bench)" >&2; exit 2 ;;
   esac
 done
 echo "=== all checks passed: ${CONFIGS[*]} ==="
