@@ -7,7 +7,14 @@
 
 namespace jpg {
 
-ConfigPort::ConfigPort(ConfigMemory& mem) : mem_(&mem) { reset(); }
+ConfigPort::ConfigPort(ConfigMemory& mem) : mem_(&mem) {
+  // One up-front reservation sized for the largest legitimate payload (a
+  // whole-plane FDRI write plus its pad frame); every later clear() keeps
+  // the capacity, so legitimate streams never reallocate on the hot path.
+  const FrameMap& fm = mem.device().frames();
+  fdri_buffer_.reserve((fm.num_frames() + 1) * fm.frame_words());
+  reset();
+}
 
 void ConfigPort::reset() {
   synced_ = false;
@@ -103,8 +110,7 @@ void ConfigPort::load_word_impl(std::uint32_t word) {
       if (remaining_payload_ == 0) return;  // zero-length write: no-op
       if (cur_reg_ == ConfigReg::FDRI) {
         fdri_active_ = true;
-        fdri_buffer_.clear();
-        fdri_buffer_.reserve(remaining_payload_);
+        begin_fdri_payload();
       }
       expect_ = Expect::Payload;
       return;
@@ -121,8 +127,7 @@ void ConfigPort::load_word_impl(std::uint32_t word) {
         return;
       }
       fdri_active_ = true;
-      fdri_buffer_.clear();
-      fdri_buffer_.reserve(remaining_payload_);
+      begin_fdri_payload();
       expect_ = Expect::Payload;
       return;
     }
@@ -144,6 +149,18 @@ void ConfigPort::load_word_impl(std::uint32_t word) {
       return;
     }
   }
+}
+
+void ConfigPort::begin_fdri_payload() {
+  // clear-don't-shrink: the construction-time reservation covers every
+  // legitimate payload. Only a malformed header announcing more words than
+  // a whole plane can force growth, and that growth is counted — benches
+  // and tests gate cfg.buffer_reallocs == 0 after warm-up.
+  if (remaining_payload_ > fdri_buffer_.capacity()) {
+    JPG_COUNT("cfg.buffer_reallocs", 1);
+  }
+  fdri_buffer_.clear();
+  fdri_buffer_.reserve(remaining_payload_);
 }
 
 void ConfigPort::handle_reg_write(ConfigReg reg, std::uint32_t value) {
@@ -273,15 +290,21 @@ void ConfigPort::handle_cmd(Command cmd) {
 
 std::vector<std::uint32_t> ConfigPort::readback_frames(std::size_t first,
                                                        std::size_t count) const {
+  std::vector<std::uint32_t> out;
+  readback_frames_into(first, count, out);
+  return out;
+}
+
+void ConfigPort::readback_frames_into(std::size_t first, std::size_t count,
+                                      std::vector<std::uint32_t>& out) const {
   const FrameMap& fm = mem_->device().frames();
   JPG_REQUIRE(first + count <= fm.num_frames(), "readback range out of bounds");
   const std::size_t fw = fm.frame_words();
-  std::vector<std::uint32_t> out(count * fw);
+  out.resize(count * fw);
   JPG_COUNT("port.readback_words", out.size());
   for (std::size_t i = 0; i < count; ++i) {
     mem_->read_frame_words(first + i, out.data() + i * fw);
   }
-  return out;
 }
 
 }  // namespace jpg

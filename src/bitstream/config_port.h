@@ -74,8 +74,15 @@ class ConfigPort {
   [[nodiscard]] std::vector<std::uint32_t> readback_frames(
       std::size_t first, std::size_t count) const;
 
+  /// Same, into a caller-owned buffer (resized to count * frame_words).
+  /// The allocation-free readback path: a verifier that reads back frames
+  /// in a loop reuses one scratch vector instead of allocating per call.
+  void readback_frames_into(std::size_t first, std::size_t count,
+                            std::vector<std::uint32_t>& out) const;
+
  private:
   void load_word_impl(std::uint32_t word);
+  void begin_fdri_payload();
   void handle_reg_write(ConfigReg reg, std::uint32_t value);
   void handle_fdri_payload_complete();
   void handle_cmd(Command cmd);
@@ -94,6 +101,10 @@ class ConfigPort {
   ConfigReg cur_reg_ = ConfigReg::CRC;
   std::uint32_t remaining_payload_ = 0;
   bool fdri_active_ = false;
+  /// Reserved once at construction for a full-plane payload (every frame
+  /// plus the pad frame) and cleared — never shrunk — between packets, so
+  /// the download hot path performs no per-stream allocation after warm-up
+  /// (the cfg.buffer_reallocs counter proves it stays at 0).
   std::vector<std::uint32_t> fdri_buffer_;
 
   // Registers.

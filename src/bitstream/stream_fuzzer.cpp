@@ -7,6 +7,7 @@
 #include "bitstream/bitstream_reader.h"
 #include "bitstream/bitstream_writer.h"
 #include "bitstream/config_port.h"
+#include "hwif/stream_source.h"
 #include "support/rng.h"
 
 namespace jpg {
@@ -92,7 +93,8 @@ std::string FuzzReport::summary() const {
      << port_rejections << " rejected / " << port_accepts
      << " accepted, reader " << reader_rejections << " rejected / "
      << reader_accepts << " accepted, " << desync_violations
-     << " desync violations, " << recovery_failures << " recovery failures\n";
+     << " desync violations, " << recovery_failures << " recovery failures, "
+     << stream_equiv_failures << " stream-equivalence failures\n";
   os << "mutations:";
   for (int k = 0; k < kNumMutationKinds; ++k) {
     os << " " << mutation_kind_name(static_cast<MutationKind>(k)) << "="
@@ -158,6 +160,36 @@ FuzzReport fuzz_config_streams(const Device& dev, const Bitstream& full_base,
   ConfigPort port(mem);
   port.load(full_base);
 
+  // Differential twin: a second port consuming the identical word sequence
+  // through the scatter-gather path — random segment cuts (including
+  // zero-length segments) walked by a BurstCursor with a random burst
+  // bound. Chunking must be invisible to the word-level state machine, so
+  // any divergence in throw/accept, sync/started state, or the final plane
+  // is a finding. The cuts draw from their own Rng so the mutation
+  // campaign itself replays identically with or without this check.
+  Rng seg_rng(opts.seed ^ 0x5eedf00dd1ffc0deull);
+  ConfigMemory smem(dev);
+  ConfigPort sport(smem);
+  sport.load(full_base);
+  const auto load_segmented = [&seg_rng,
+                               &sport](std::span<const std::uint32_t> words) {
+    StreamSource src;
+    std::size_t off = 0;
+    while (off < words.size()) {
+      if (seg_rng.uniform(8) == 0) src.add({});
+      const std::size_t len =
+          1 + seg_rng.uniform(std::min<std::size_t>(97, words.size() - off));
+      src.add(words.subspan(off, len));
+      off += len;
+    }
+    if (seg_rng.uniform(8) == 0) src.add({});
+    const std::size_t burst = 1 + seg_rng.uniform(64);
+    BurstCursor cursor(src);
+    for (auto b = cursor.next(burst); !b.empty(); b = cursor.next(burst)) {
+      sport.load(b);
+    }
+  };
+
   for (int it = 0; it < opts.iterations; ++it) {
     ++rep.iterations;
     Bitstream mutated = corpus[rng.uniform(corpus.size())];
@@ -182,6 +214,17 @@ FuzzReport fuzz_config_streams(const Device& dev, const Bitstream& full_base,
     threw ? ++rep.port_rejections : ++rep.port_accepts;
     if (threw && port.synced()) ++rep.desync_violations;
 
+    bool stream_threw = false;
+    try {
+      load_segmented(mutated.words);
+    } catch (const BitstreamError&) {
+      stream_threw = true;
+    }
+    if (stream_threw != threw || sport.synced() != port.synced() ||
+        sport.started() != port.started()) {
+      ++rep.stream_equiv_failures;
+    }
+
     // Offline parser: same contract, plus far_blocks on accepted parses.
     try {
       const BitstreamReader reader(mutated);
@@ -203,6 +246,15 @@ FuzzReport fuzz_config_streams(const Device& dev, const Bitstream& full_base,
     } catch (const JpgError&) {
       ++rep.recovery_failures;
     }
+    try {
+      sport.abort();
+      load_segmented(recovery.words);
+    } catch (const JpgError&) {
+      ++rep.stream_equiv_failures;
+    }
+    // After identical traffic plus identical recovery, the twins' planes
+    // must agree word for word.
+    if (smem != mem) ++rep.stream_equiv_failures;
 
     if (opts.full_reload_every > 0 && (it + 1) % opts.full_reload_every == 0) {
       try {
@@ -211,6 +263,13 @@ FuzzReport fuzz_config_streams(const Device& dev, const Bitstream& full_base,
         if (mem != base_plane) ++rep.recovery_failures;
       } catch (const JpgError&) {
         ++rep.recovery_failures;
+      }
+      try {
+        sport.abort();
+        load_segmented(full_base.words);
+        if (smem != base_plane) ++rep.stream_equiv_failures;
+      } catch (const JpgError&) {
+        ++rep.stream_equiv_failures;
       }
     }
   }

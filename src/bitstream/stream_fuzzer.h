@@ -61,12 +61,17 @@ struct FuzzReport {
   /// ABORT + valid stream failed to restore the port/plane — contract
   /// violation.
   int recovery_failures = 0;
+  /// The scatter-gather burst path diverged from the word-by-word load on
+  /// the identical word sequence (throw/accept, sync/started state, or
+  /// final plane) — contract violation: chunking must be invisible.
+  int stream_equiv_failures = 0;
   std::array<int, kNumMutationKinds> mutation_counts{};
 
   /// True when every contract held. (Accept/reject counts are
   /// informational: many mutations are semantically harmless.)
   [[nodiscard]] bool clean() const {
-    return desync_violations == 0 && recovery_failures == 0;
+    return desync_violations == 0 && recovery_failures == 0 &&
+           stream_equiv_failures == 0;
   }
   [[nodiscard]] std::string summary() const;
 };

@@ -2,6 +2,7 @@
 
 #include "bitstream/bitgen.h"
 #include "bitstream/config_port.h"
+#include "hwif/burst_engine.h"
 #include "support/log.h"
 #include "support/telemetry/telemetry.h"
 
@@ -71,6 +72,20 @@ void Jpg::download(const Bitstream& bs) {
   board_->send_config(bs.words);
 }
 
+void Jpg::download(const StreamSource& source, const StreamOptions& opts) {
+  JPG_REQUIRE(connected(), "no XHWIF board connected");
+  stream_to_board(*board_, source, opts.burst_words);
+}
+
+DownloadReport Jpg::download_verified_stream(const StreamSource& source,
+                                             const DownloadPolicy& policy,
+                                             const StreamOptions& opts) {
+  JPG_REQUIRE(connected(), "no XHWIF board connected");
+  VerifiedDownloader dl(*board_, *device_, policy);
+  dl.assume_board_state(*base_);
+  return dl.download_stream(source, opts);
+}
+
 DownloadReport Jpg::download_verified(const PartialResult& update,
                                       const DownloadPolicy& policy) {
   JPG_REQUIRE(connected(), "no XHWIF board connected");
@@ -94,14 +109,17 @@ std::size_t Jpg::verify_via_readback(const PartialResult& update) {
   // Mask file: the capture bits (minors 16/17, window bits 0..1 of every
   // row) hold live FF state after a CAPTURE and must not participate in
   // configuration comparison — exactly what readback mask files were for.
+  // Both sides go through reusable scratch buffers and are masked in place.
+  std::vector<std::uint32_t> got;
   std::vector<std::uint32_t> buf(fw);
   std::size_t mismatches = 0;
   for (const std::size_t frame : update.frames) {
-    const auto words =
-        mask_capture_words(*device_, frame, board_->readback(frame, 1));
-    JPG_ASSERT(words.size() == fw);
+    board_->readback_into(frame, 1, got);
+    JPG_ASSERT(got.size() == fw);
+    mask_capture_words_inplace(*device_, frame, got);
     expected.read_frame_words(frame, buf.data());
-    if (words != mask_capture_words(*device_, frame, buf)) ++mismatches;
+    mask_capture_words_inplace(*device_, frame, buf);
+    if (got != buf) ++mismatches;
   }
   JPG_INFO("readback verification: " << update.frames.size() << " frames, "
                                      << mismatches << " mismatches");

@@ -241,7 +241,10 @@ PartialGenResult PartialBitstreamGenerator::generate(
       cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
       ++cache_hits_;
       JPG_COUNT("pgen.cache.hits", 1);
-      PartialGenResult result = it->second->second;
+      PartialGenResult result = it->second->result;
+      // The price of a buffered hit: the whole cached stream is copied out.
+      // generate_leased() is the zero-copy alternative for download paths.
+      JPG_COUNT("pgen.cache.copy_bytes", result.bitstream.size_bytes());
       result.telemetry = telemetry::StageSnapshot{};
       result.telemetry.duration_ns = telemetry::now_ns() - telem_t0;
       result.telemetry.set("cache_hit", 1);
@@ -277,14 +280,9 @@ PartialGenResult PartialBitstreamGenerator::generate(
       // deterministic, so just refresh recency.
       cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
     } else {
-      cache_lru_.emplace_front(key, result);
+      cache_lru_.push_front(CacheEntry{key, result, false});
       cache_index_.emplace(key, cache_lru_.begin());
-      while (cache_lru_.size() > cache_capacity_) {
-        cache_index_.erase(cache_lru_.back().first);
-        cache_lru_.pop_back();
-        ++cache_evictions_;
-        JPG_COUNT("pgen.cache.evictions", 1);
-      }
+      trim_cache_locked();
     }
   }
   return result;
@@ -377,21 +375,115 @@ void PartialBitstreamGenerator::apply_to_base(
   }
 }
 
-void PartialBitstreamGenerator::set_cache_capacity(std::size_t capacity) {
+PbitLease PartialBitstreamGenerator::generate_leased(
+    const ConfigMemory& module_config, const Region& region,
+    const PartialGenOptions& opts) const {
+  JPG_SPAN("pgen.generate_leased");
+  check_update(module_config, region);
+
+  bool use_cache;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    use_cache = cache_capacity_ > 0;
+  }
+  if (!use_cache) {
+    // Nothing to pin into: the lease owns a private copy. Slower, but the
+    // lease contract (words stay valid until release) still holds.
+    auto owned = std::make_shared<const PartialGenResult>(
+        generate_uncached(module_config, region, opts));
+    JPG_COUNT("pgen.generations", 1);
+    const PartialGenResult* result = owned.get();
+    return PbitLease(nullptr, nullptr, std::move(owned), result);
+  }
+
+  const CacheKey key{region, opts.diff_only, opts.include_crc,
+                     content_hash(module_config, region)};
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    ++cache_lookups_;
+    const auto it = cache_index_.find(key);
+    if (it != cache_index_.end()) {
+      CacheEntry& entry = *it->second;
+      JPG_REQUIRE(!entry.pinned,
+                  "pbit cache entry is already pinned (double pin)");
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+      ++cache_hits_;
+      JPG_COUNT("pgen.cache.hits", 1);
+      entry.pinned = true;
+      ++cache_pinned_;
+      JPG_COUNT("pgen.cache.pins", 1);
+      return PbitLease(this, &entry, nullptr, &entry.result);
+    }
+    ++cache_misses_;
+    JPG_COUNT("pgen.cache.misses", 1);
+  }
+
+  PartialGenResult result = generate_uncached(module_config, region, opts);
+  JPG_COUNT("pgen.generations", 1);
   const std::lock_guard<std::mutex> lock(cache_mutex_);
-  cache_capacity_ = capacity;
-  while (cache_lru_.size() > cache_capacity_) {
-    cache_index_.erase(cache_lru_.back().first);
-    cache_lru_.pop_back();
+  const auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    // A concurrent worker inserted the same key; outputs are deterministic,
+    // so pin its entry instead of inserting a duplicate.
+    CacheEntry& entry = *it->second;
+    JPG_REQUIRE(!entry.pinned,
+                "pbit cache entry is already pinned (double pin)");
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    entry.pinned = true;
+    ++cache_pinned_;
+    JPG_COUNT("pgen.cache.pins", 1);
+    return PbitLease(this, &entry, nullptr, &entry.result);
+  }
+  cache_lru_.push_front(CacheEntry{key, std::move(result), true});
+  cache_index_.emplace(key, cache_lru_.begin());
+  ++cache_pinned_;
+  JPG_COUNT("pgen.cache.pins", 1);
+  trim_cache_locked();
+  CacheEntry& entry = cache_lru_.front();
+  return PbitLease(this, &entry, nullptr, &entry.result);
+}
+
+void PartialBitstreamGenerator::unpin_internal(void* entry) const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto* e = static_cast<CacheEntry*>(entry);
+  JPG_REQUIRE(e != nullptr && e->pinned, "unpin without a pin");
+  e->pinned = false;
+  --cache_pinned_;
+  // Apply whatever eviction was deferred while the entry was pinned.
+  trim_cache_locked();
+}
+
+void PartialBitstreamGenerator::trim_cache_locked() const {
+  if (cache_lru_.size() <= cache_capacity_) return;
+  auto it = cache_lru_.end();
+  while (cache_lru_.size() > cache_capacity_ && it != cache_lru_.begin()) {
+    --it;
+    if (it->pinned) continue;  // eviction deferred until unpin
+    cache_index_.erase(it->key);
+    it = cache_lru_.erase(it);
     ++cache_evictions_;
     JPG_COUNT("pgen.cache.evictions", 1);
   }
 }
 
+void PartialBitstreamGenerator::set_cache_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_capacity_ = capacity;
+  trim_cache_locked();
+}
+
 void PartialBitstreamGenerator::clear_cache() {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
-  cache_lru_.clear();
-  cache_index_.clear();
+  // Pinned entries stay: a live lease's words must remain valid. They
+  // become evictable as usual once released.
+  for (auto it = cache_lru_.begin(); it != cache_lru_.end();) {
+    if (it->pinned) {
+      ++it;
+      continue;
+    }
+    cache_index_.erase(it->key);
+    it = cache_lru_.erase(it);
+  }
   cache_lookups_ = 0;
   cache_hits_ = 0;
   cache_misses_ = 0;
@@ -402,7 +494,56 @@ PbitCacheStats PartialBitstreamGenerator::cache_stats() const {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   return PbitCacheStats{cache_lookups_,    cache_hits_,
                         cache_misses_,     cache_evictions_,
-                        cache_lru_.size(), cache_capacity_};
+                        cache_lru_.size(), cache_capacity_,
+                        cache_pinned_};
+}
+
+// --- PbitLease ---------------------------------------------------------------
+
+PbitLease::PbitLease(PbitLease&& other) noexcept { *this = std::move(other); }
+
+PbitLease& PbitLease::operator=(PbitLease&& other) noexcept {
+  if (this == &other) return *this;
+  if (result_ != nullptr && gen_ != nullptr) gen_->unpin_internal(entry_);
+  gen_ = other.gen_;
+  entry_ = other.entry_;
+  owned_ = std::move(other.owned_);
+  result_ = other.result_;
+  other.gen_ = nullptr;
+  other.entry_ = nullptr;
+  other.result_ = nullptr;
+  return *this;
+}
+
+PbitLease::~PbitLease() {
+  // Unlike release(), silently tolerate an already-released lease: the
+  // destructor of a moved-from or explicitly released lease is a no-op.
+  if (result_ != nullptr && gen_ != nullptr) gen_->unpin_internal(entry_);
+}
+
+const PartialGenResult& PbitLease::result() const {
+  JPG_REQUIRE(valid(), "lease is not valid (released or default-constructed)");
+  return *result_;
+}
+
+const Bitstream& PbitLease::bitstream() const { return result().bitstream; }
+
+std::span<const std::uint32_t> PbitLease::words() const {
+  return bitstream().words;
+}
+
+const std::vector<std::size_t>& PbitLease::frames() const {
+  return result().frames;
+}
+
+void PbitLease::release() {
+  JPG_REQUIRE(result_ != nullptr,
+              "lease already released (unpin without a pin)");
+  if (gen_ != nullptr) gen_->unpin_internal(entry_);
+  gen_ = nullptr;
+  entry_ = nullptr;
+  owned_.reset();
+  result_ = nullptr;
 }
 
 }  // namespace jpg

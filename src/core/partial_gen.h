@@ -18,6 +18,7 @@
 #pragma once
 
 #include <list>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -81,11 +82,56 @@ struct PbitCacheStats {
   std::size_t evictions = 0;  ///< LRU entries dropped (capacity pressure)
   std::size_t entries = 0;
   std::size_t capacity = 0;
+  std::size_t pinned = 0;  ///< entries currently held by a PbitLease
 
   [[nodiscard]] double hit_rate() const {
     return lookups == 0 ? 0.0 : static_cast<double>(hits) /
                                     static_cast<double>(lookups);
   }
+};
+
+class PartialBitstreamGenerator;
+
+/// A pinned reference into the pbit cache. While the lease is held the
+/// entry cannot be evicted (eviction is deferred until unpin), so spans
+/// over the cached bitstream's words stay valid for as long as a streaming
+/// download needs them — the resident-pbit swap path sends the cache's own
+/// words with zero copies. Move-only; releases (unpins) on destruction.
+/// Errors by contract: pinning an already-pinned entry throws, and
+/// releasing a lease twice throws (unpin-without-pin). A lease must not
+/// outlive its generator.
+class PbitLease {
+ public:
+  PbitLease() = default;
+  PbitLease(PbitLease&& other) noexcept;
+  PbitLease& operator=(PbitLease&& other) noexcept;
+  ~PbitLease();
+  PbitLease(const PbitLease&) = delete;
+  PbitLease& operator=(const PbitLease&) = delete;
+
+  [[nodiscard]] bool valid() const { return result_ != nullptr; }
+  /// Requires valid().
+  [[nodiscard]] const PartialGenResult& result() const;
+  [[nodiscard]] const Bitstream& bitstream() const;
+  /// The resident words, spanning the cache entry directly.
+  [[nodiscard]] std::span<const std::uint32_t> words() const;
+  [[nodiscard]] const std::vector<std::size_t>& frames() const;
+
+  /// Unpins the entry now (making it evictable again) and invalidates the
+  /// lease. Throws JpgError if the lease was already released.
+  void release();
+
+ private:
+  friend class PartialBitstreamGenerator;
+  PbitLease(const PartialBitstreamGenerator* gen, void* entry,
+            std::shared_ptr<const PartialGenResult> owned,
+            const PartialGenResult* result)
+      : gen_(gen), entry_(entry), owned_(std::move(owned)), result_(result) {}
+
+  const PartialBitstreamGenerator* gen_ = nullptr;  ///< null: owning lease
+  void* entry_ = nullptr;  ///< opaque cache-entry handle (pinned node)
+  std::shared_ptr<const PartialGenResult> owned_;  ///< capacity-0 fallback
+  const PartialGenResult* result_ = nullptr;
 };
 
 class PartialBitstreamGenerator {
@@ -132,6 +178,16 @@ class PartialBitstreamGenerator {
   /// Every result carries pool_threads/workers_used for auditing.
   [[nodiscard]] std::vector<PartialGenResult> generate_batch(
       std::span<const RegionUpdate> updates, std::size_t num_threads = 0) const;
+
+  /// Like generate(), but pins the cache entry and returns a lease over it:
+  /// the resident words can be streamed to a board (StreamSource segments
+  /// span them directly) without the per-swap result copy — and without the
+  /// entry being evicted mid-download. Pinning an entry that is already
+  /// pinned throws. With caching disabled (capacity 0) the lease owns a
+  /// private copy instead, so it is always safe to hold.
+  [[nodiscard]] PbitLease generate_leased(
+      const ConfigMemory& module_config, const Region& region,
+      const PartialGenOptions& opts = {}) const;
 
   /// Option 2 of the tool (paper §3.2.1): writes the partial update into the
   /// base configuration itself, overwriting it.
@@ -201,7 +257,22 @@ class PartialBitstreamGenerator {
 
   // LRU pbit cache, keyed by (region, options, content hash); front of the
   // list is most recently used. Guarded for generate_batch's worker threads.
-  using CacheEntry = std::pair<CacheKey, PartialGenResult>;
+  // List nodes have stable addresses, which is what makes a PbitLease's
+  // span over a pinned entry safe across unrelated insertions/evictions.
+  struct CacheEntry {
+    CacheKey key;
+    PartialGenResult result;
+    bool pinned = false;
+  };
+
+  friend class PbitLease;
+  /// Unpins the entry behind a lease and applies any eviction that was
+  /// deferred while it was pinned. Throws on unpin-without-pin.
+  void unpin_internal(void* entry) const;
+  /// Evicts LRU entries past capacity, skipping pinned ones (their
+  /// eviction is deferred until unpin). Caller holds cache_mutex_.
+  void trim_cache_locked() const;
+
   mutable std::mutex cache_mutex_;
   mutable std::list<CacheEntry> cache_lru_;
   mutable std::unordered_map<CacheKey, std::list<CacheEntry>::iterator,
@@ -211,6 +282,7 @@ class PartialBitstreamGenerator {
   mutable std::size_t cache_hits_ = 0;
   mutable std::size_t cache_misses_ = 0;
   mutable std::size_t cache_evictions_ = 0;
+  mutable std::size_t cache_pinned_ = 0;
   std::size_t cache_capacity_ = kDefaultCacheCapacity;
 };
 

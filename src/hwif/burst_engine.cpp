@@ -1,0 +1,23 @@
+#include "hwif/burst_engine.h"
+
+#include "support/telemetry/telemetry.h"
+
+namespace jpg {
+
+BurstStats stream_to_board(Xhwif& board, const StreamSource& source,
+                           std::size_t burst_words) {
+  JPG_REQUIRE(burst_words > 0, "burst size must be positive");
+  BurstStats stats;
+  BurstCursor cursor(source);
+  for (auto burst = cursor.next(burst_words); !burst.empty();
+       burst = cursor.next(burst_words)) {
+    JPG_HIST("cfg.burst_words", burst.size());
+    board.send_config(burst);
+    ++stats.bursts;
+    stats.words += burst.size();
+  }
+  JPG_COUNT("cfg.words_streamed", stats.words);
+  return stats;
+}
+
+}  // namespace jpg

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "support/log.h"
+#include "support/telemetry/telemetry.h"
 
 namespace jpg {
 
@@ -46,9 +47,27 @@ void FaultyBoard::send_config(std::span<const std::uint32_t> words) {
     note(os.str());
   }
 
-  // The per-word faults mutate a copy of the wire traffic; the caller's
-  // stream is never touched (the tool would retry with the same buffer).
-  std::vector<std::uint32_t> wire;
+  // Zero-copy fast path: when no word-level fault can fire (none configured,
+  // or the budget is spent) the rolls below would consume no randomness and
+  // change nothing, so the caller's span — possibly truncated, still a
+  // subspan — goes straight through. Only actual injection pays for a copy.
+  const bool can_mutate =
+      budget_left_ != 0 && (profile_.word_flip > 0 || profile_.word_drop > 0 ||
+                            profile_.word_dup > 0);
+  if (!can_mutate) {
+    inner_->send_config(words.first(limit));
+    return;
+  }
+
+  // The per-word faults mutate a staged copy of the wire traffic; the
+  // caller's stream is never touched (the tool would retry with the same
+  // buffer). The stage alternates between two reusable buffers
+  // (clear-don't-shrink), so staging stays allocation-free after warm-up
+  // and a previous burst is never overwritten mid-consumption.
+  std::vector<std::uint32_t>& wire = stage_[stage_idx_];
+  stage_idx_ ^= 1;
+  const std::size_t cap_before = wire.capacity();
+  wire.clear();
   wire.reserve(limit);
   for (std::size_t i = 0; i < limit; ++i) {
     std::uint32_t w = words[i];
@@ -76,6 +95,8 @@ void FaultyBoard::send_config(std::span<const std::uint32_t> words) {
       wire.push_back(w);
     }
   }
+  if (wire.capacity() > cap_before) JPG_COUNT("cfg.buffer_reallocs", 1);
+  JPG_COUNT("cfg.bytes_copied", wire.size() * sizeof(std::uint32_t));
   inner_->send_config(wire);
 }
 
@@ -86,23 +107,29 @@ void FaultyBoard::abort_config() {
 
 std::vector<std::uint32_t> FaultyBoard::readback(std::size_t first,
                                                  std::size_t nframes) {
+  std::vector<std::uint32_t> words;
+  readback_into(first, nframes, words);
+  return words;
+}
+
+void FaultyBoard::readback_into(std::size_t first, std::size_t nframes,
+                                std::vector<std::uint32_t>& out) {
   if (roll(profile_.readback_failure)) {
     ++counters_.readback_failures;
     note("transient readback failure");
     throw HwifError("transient readback failure (injected)");
   }
-  std::vector<std::uint32_t> words = inner_->readback(first, nframes);
-  for (std::size_t i = 0; i < words.size(); ++i) {
+  inner_->readback_into(first, nframes, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
     if (roll(profile_.readback_flip)) {
       ++counters_.readback_flips;
       const auto bit = static_cast<std::uint32_t>(rng_.uniform(32));
-      words[i] ^= 1u << bit;
+      out[i] ^= 1u << bit;
       std::ostringstream os;
       os << "flipped bit " << bit << " of readback word " << i;
       note(os.str());
     }
   }
-  return words;
 }
 
 void FaultyBoard::capture_state() { inner_->capture_state(); }

@@ -62,6 +62,8 @@ class FaultyBoard final : public Xhwif {
   [[nodiscard]] bool config_done() override { return inner_->config_done(); }
   [[nodiscard]] std::vector<std::uint32_t> readback(
       std::size_t first, std::size_t nframes) override;
+  void readback_into(std::size_t first, std::size_t nframes,
+                     std::vector<std::uint32_t>& out) override;
   void capture_state() override;
   void step_clock(int cycles) override;
   void set_pin(int pad, bool value) override;
@@ -88,6 +90,13 @@ class FaultyBoard final : public Xhwif {
   int budget_left_;
   Counters counters_;
   std::vector<std::string> fault_log_;
+  /// Double-buffered staging ring for the word-mutating send path. Streams
+  /// that cannot be mutated (no word-level faults configured, or the budget
+  /// is spent) are forwarded as the caller's span — zero bytes copied; only
+  /// injection itself pays for a staging copy, alternating buffers so a
+  /// burst being consumed downstream is never overwritten by the next one.
+  std::vector<std::uint32_t> stage_[2];
+  std::size_t stage_idx_ = 0;
 };
 
 }  // namespace jpg

@@ -24,6 +24,11 @@ std::vector<std::uint32_t> SimBoard::readback(std::size_t first,
   return port_.readback_frames(first, nframes);
 }
 
+void SimBoard::readback_into(std::size_t first, std::size_t nframes,
+                             std::vector<std::uint32_t>& out) {
+  port_.readback_frames_into(first, nframes, out);
+}
+
 void SimBoard::capture_state() {
   rebuild_if_stale();
   CBits cb(memory_);

@@ -35,6 +35,8 @@ class SimBoard final : public Xhwif {
   [[nodiscard]] bool config_done() override { return port_.started(); }
   [[nodiscard]] std::vector<std::uint32_t> readback(
       std::size_t first, std::size_t nframes) override;
+  void readback_into(std::size_t first, std::size_t nframes,
+                     std::vector<std::uint32_t>& out) override;
   void capture_state() override;
   void step_clock(int cycles) override;
   void set_pin(int pad, bool value) override;

@@ -1,15 +1,16 @@
 #include "hwif/verified_downloader.h"
 
 #include <algorithm>
+#include <future>
 #include <numeric>
 #include <sstream>
 
 #include "bitstream/bitstream_reader.h"
 #include "bitstream/bitstream_writer.h"
 #include "bitstream/config_port.h"
-#include "support/bitvec.h"
 #include "support/log.h"
 #include "support/telemetry/telemetry.h"
+#include "support/thread_pool.h"
 
 namespace jpg {
 
@@ -46,20 +47,25 @@ std::string DownloadReport::summary() const {
   return os.str();
 }
 
+void mask_capture_words_inplace(const Device& device, std::size_t frame,
+                                std::span<std::uint32_t> words) {
+  const FrameMap& fm = device.frames();
+  if (!is_capture_frame(fm, frame)) return;
+  JPG_ASSERT(words.size() == fm.frame_words());
+  // Frame bits pack LSB-first (bit i lives in word i>>5 at position i&31),
+  // so the two capture bits of each row window clear with plain word masks —
+  // no BitVector round trip per compared frame.
+  for (int r = 0; r < device.rows(); ++r) {
+    const std::size_t base = fm.row_bit_base(r);
+    words[base >> 5] &= ~(1u << (base & 31));
+    words[(base + 1) >> 5] &= ~(1u << ((base + 1) & 31));
+  }
+}
+
 std::vector<std::uint32_t> mask_capture_words(const Device& device,
                                               std::size_t frame,
                                               std::vector<std::uint32_t> words) {
-  const FrameMap& fm = device.frames();
-  if (!is_capture_frame(fm, frame)) return words;
-  const std::size_t fw = fm.frame_words();
-  JPG_ASSERT(words.size() == fw);
-  BitVector bv(fm.frame_bits());
-  for (std::size_t w = 0; w < fw; ++w) bv.set_word(w, words[w]);
-  for (int r = 0; r < device.rows(); ++r) {
-    bv.set(fm.row_bit_base(r) + 0, false);
-    bv.set(fm.row_bit_base(r) + 1, false);
-  }
-  for (std::size_t w = 0; w < fw; ++w) words[w] = bv.word(w);
+  mask_capture_words_inplace(device, frame, words);
   return words;
 }
 
@@ -131,16 +137,17 @@ std::vector<std::size_t> VerifiedDownloader::verify_against(
   const FrameMap& fm = device_->frames();
   const std::size_t fw = fm.frame_words();
   std::vector<std::size_t> bad;
-  std::vector<std::uint32_t> expect(fw);
+  expect_scratch_.resize(fw);
+  std::vector<std::uint32_t>& expect = expect_scratch_;
+  std::vector<std::uint32_t>& got = readback_scratch_;
   std::size_t i = 0;
   while (i < frames.size()) {
     std::size_t j = i + 1;
     while (j < frames.size() && frames[j] == frames[j - 1] + 1) ++j;
     const std::size_t first = frames[i];
     const std::size_t count = j - i;
-    std::vector<std::uint32_t> got;
     try {
-      got = board_->readback(first, count);
+      board_->readback_into(first, count, got);
       readback_words_ += got.size();
       JPG_COUNT("dl.readback_words", got.size());
     } catch (const JpgError& e) {
@@ -159,13 +166,14 @@ std::vector<std::size_t> VerifiedDownloader::verify_against(
       const std::size_t frame = first + k;
       ++rep.frames_verified;
       target.read_frame_words(frame, expect.data());
-      const auto* rb = got.data() + k * fw;
+      const std::span<std::uint32_t> rb(got.data() + k * fw, fw);
       if (policy_.mask_capture_bits && is_capture_frame(fm, frame)) {
-        const auto masked_rb = mask_capture_words(
-            *device_, frame, std::vector<std::uint32_t>(rb, rb + fw));
-        const auto masked_ex = mask_capture_words(*device_, frame, expect);
-        if (masked_rb != masked_ex) bad.push_back(frame);
-      } else if (!std::equal(rb, rb + fw, expect.begin())) {
+        // Mask both sides in the scratch buffers; `got` is this run's
+        // working copy and `expect` refills next frame, so in-place is free.
+        mask_capture_words_inplace(*device_, frame, rb);
+        mask_capture_words_inplace(*device_, frame, expect);
+      }
+      if (!std::equal(rb.begin(), rb.end(), expect.begin())) {
         bad.push_back(frame);
       }
     }
@@ -307,6 +315,177 @@ DownloadReport VerifiedDownloader::download_partial(const Bitstream& partial) {
   if (policy_.rollback) {
     Bitstream rb = build_frames_stream(*mirror_, touched, false);
     if (converge(std::move(rb), *mirror_, touched,
+                 policy_.rollback_max_attempts, /*ensure_started=*/false,
+                 rep.rollback_attempts, rep)) {
+      rep.status = DownloadStatus::RolledBack;
+      rep.error = "update did not converge; device rolled back to the "
+                  "pre-update plane";
+      finish_report(rep, telem_t0);
+      JPG_INFO(rep.summary());
+      return rep;
+    }
+    rep.error = "update did not converge and neither did the rollback; "
+                "board state unknown";
+  } else {
+    rep.error = "update did not converge and rollback is disabled";
+  }
+  finish_report(rep, telem_t0);
+  JPG_INFO(rep.summary());
+  return rep;
+}
+
+DownloadReport VerifiedDownloader::download_stream(const StreamSource& source,
+                                                   const StreamOptions& opts) {
+  JPG_SPAN("dl.download_stream");
+  JPG_COUNT("dl.downloads", 1);
+  const std::uint64_t telem_t0 = telemetry::now_ns();
+  words_sent_ = readback_words_ = repair_rounds_ = aborts_ = 0;
+  JPG_REQUIRE(has_mirror(),
+              "no board mirror established; call download_full or "
+              "assume_board_state first");
+  JPG_REQUIRE(opts.burst_words > 0, "burst_words must be positive");
+  DownloadReport rep;
+  ConfigMemory target = *mirror_;
+  ConfigPort port(target);  // tool-side replay, one burst ahead of the wire
+
+  BurstCursor validate(source);
+  BurstCursor send(source);
+
+  // Burst 0 replays before a single word goes out: a stream malformed at
+  // the head is rejected with the same guarantee as download_partial.
+  {
+    const std::span<const std::uint32_t> head = validate.next(opts.burst_words);
+    if (!head.empty()) {
+      try {
+        port.load(head);
+      } catch (const JpgError& e) {
+        rep.error = std::string("stream rejected tool-side, nothing sent: ") +
+                    e.what();
+        finish_report(rep, telem_t0);
+        return rep;
+      }
+      // ABORT first, as in converge(): a previous stream cut off
+      // mid-payload must not swallow this one. The streamed send is one
+      // attempt against the policy budget.
+      board_->abort_config();
+      ++aborts_;
+      ++rep.attempts;
+    }
+  }
+
+  bool send_failed = false;
+  bool mid_stream_reject = false;
+  std::uint64_t overlap_ns = 0;
+  while (true) {
+    const std::span<const std::uint32_t> burst = send.next(opts.burst_words);
+    if (burst.empty()) break;
+    // Burst k's replay already succeeded; launch burst k+1's replay so it
+    // runs while burst k is on the wire. The validate cursor stays exactly
+    // one burst ahead of the send cursor — the two-state invariant holds
+    // burst-wise: nothing unvalidated is ever sent.
+    const std::span<const std::uint32_t> ahead = validate.next(opts.burst_words);
+    std::future<void> ahead_done;
+    if (!ahead.empty() && opts.overlap_verify) {
+      ahead_done =
+          ThreadPool::global().submit([&port, ahead] { port.load(ahead); });
+    }
+    const std::uint64_t send_t0 = telemetry::now_ns();
+    if (!send_failed) {
+      try {
+        JPG_HIST("cfg.burst_words", burst.size());
+        board_->send_config(burst);
+        words_sent_ += burst.size();
+        JPG_COUNT("dl.words_sent", burst.size());
+      } catch (const JpgError& e) {
+        ++rep.faults_seen;
+        rep.fault_log.push_back(std::string("send: ") + e.what());
+        // Stop pushing words after a link fault, but let the replay finish:
+        // readback verification needs the complete intended plane.
+        send_failed = true;
+      }
+    }
+    const std::uint64_t send_t1 = telemetry::now_ns();
+    try {
+      if (ahead_done.valid()) {
+        ahead_done.get();
+        // The replay was in flight across the whole send window (submitted
+        // before it, joined after): credit the send duration as validation
+        // time hidden behind the transfer.
+        overlap_ns += send_t1 - send_t0;
+      } else if (!ahead.empty()) {
+        port.load(ahead);
+      }
+    } catch (const JpgError& e) {
+      rep.error =
+          std::string("stream rejected tool-side mid-stream: ") + e.what();
+      mid_stream_reject = true;
+      break;
+    }
+  }
+  JPG_COUNT("cfg.stream_overlap_ns", overlap_ns);
+  rep.telemetry.set("stream_overlap_ns", overlap_ns);
+
+  // The replay port logged every frame it committed — a superset of what
+  // the board can have committed (the wire saw a validated prefix).
+  std::vector<std::size_t> touched(port.committed_frames().begin(),
+                                   port.committed_frames().end());
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  rep.frames_touched = touched.size();
+
+  if (mid_stream_reject) {
+    // Bursts already on the wire, but the stream's tail is malformed: there
+    // is no intended plane to converge to. Abandon the update and roll the
+    // committed superset back to the mirror.
+    if (policy_.rollback) {
+      Bitstream rb = build_frames_stream(*mirror_, touched, false);
+      if (converge(std::move(rb), *mirror_, std::move(touched),
+                   policy_.rollback_max_attempts, /*ensure_started=*/false,
+                   rep.rollback_attempts, rep)) {
+        rep.status = DownloadStatus::RolledBack;
+        rep.error += "; device rolled back to the pre-update plane";
+      } else {
+        rep.error += "; rollback did not converge; board state unknown";
+      }
+    } else {
+      rep.error += "; rollback disabled; board state unknown";
+    }
+    finish_report(rep, telem_t0);
+    JPG_INFO(rep.summary());
+    return rep;
+  }
+
+  // Fully replayed: `target` is the intended plane. Verify the touched
+  // frames (plus the sweep), then repair/rollback exactly as
+  // download_partial would with the remaining attempt budget.
+  std::vector<std::size_t> bad = verify_against(target, touched, rep);
+  if (bad.empty() && policy_.full_sweep) {
+    std::vector<std::size_t> sweep(device_->frames().num_frames());
+    std::iota(sweep.begin(), sweep.end(), 0);
+    bad = verify_against(target, sweep, rep);
+  }
+  bool converged;
+  if (bad.empty()) {
+    converged = true;
+  } else {
+    rep.frames_repaired += bad.size();
+    ++repair_rounds_;
+    JPG_COUNT("dl.repair_rounds", 1);
+    Bitstream repair = build_frames_stream(target, bad, false);
+    converged = converge(std::move(repair), target, std::move(bad),
+                         policy_.max_attempts - rep.attempts,
+                         /*ensure_started=*/false, rep.attempts, rep);
+  }
+  if (converged) {
+    rep.status = DownloadStatus::Success;
+    *mirror_ = target;
+    finish_report(rep, telem_t0);
+    JPG_INFO(rep.summary());
+    return rep;
+  }
+  if (policy_.rollback) {
+    Bitstream rb = build_frames_stream(*mirror_, touched, false);
+    if (converge(std::move(rb), *mirror_, std::move(touched),
                  policy_.rollback_max_attempts, /*ensure_started=*/false,
                  rep.rollback_attempts, rep)) {
       rep.status = DownloadStatus::RolledBack;

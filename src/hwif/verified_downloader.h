@@ -25,6 +25,7 @@
 
 #include "bitstream/config_memory.h"
 #include "bitstream/packet.h"
+#include "hwif/stream_source.h"
 #include "hwif/xhwif.h"
 #include "support/telemetry/telemetry.h"
 
@@ -80,6 +81,12 @@ struct DownloadReport {
 [[nodiscard]] std::vector<std::uint32_t> mask_capture_words(
     const Device& device, std::size_t frame, std::vector<std::uint32_t> words);
 
+/// In-place form of the same, for callers comparing through reusable
+/// scratch buffers (no per-frame vector round trip). `words` must be one
+/// frame's worth.
+void mask_capture_words_inplace(const Device& device, std::size_t frame,
+                                std::span<std::uint32_t> words);
+
 class VerifiedDownloader {
  public:
   /// `board` and `device` must outlive the downloader.
@@ -96,6 +103,20 @@ class VerifiedDownloader {
   /// and CRC check — nothing is sent if it is malformed), then sent,
   /// readback-verified, repaired, and on persistent failure rolled back.
   DownloadReport download_partial(const Bitstream& partial);
+
+  /// Streaming (ICAP-style) partial download: the scatter-gather source is
+  /// sent in bounded bursts straight from the caller's segments — no
+  /// concatenated staging copy — while the tool-side mirror replay runs one
+  /// burst *ahead* of the wire (on a pool thread when
+  /// `opts.overlap_verify`), so validation cost hides behind transfer time.
+  /// The two-state invariant is preserved burst-wise: burst k goes out only
+  /// after bursts 0..k replayed cleanly; a burst rejected before anything
+  /// was sent reports the usual "nothing sent" error, one rejected
+  /// mid-stream aborts the wire and rolls the frames committed so far back
+  /// to the mirror. After the last burst the touched frames are
+  /// readback-verified and repaired exactly like download_partial.
+  DownloadReport download_stream(const StreamSource& source,
+                                 const StreamOptions& opts = {});
 
   /// Declares that the board already holds `plane` (a tool that loaded the
   /// base design through other means seeds the mirror this way).
@@ -139,6 +160,12 @@ class VerifiedDownloader {
   const Device* device_;
   DownloadPolicy policy_;
   std::unique_ptr<ConfigMemory> mirror_;
+
+  // Readback-verification scratch (clear-don't-shrink): readback words land
+  // here via readback_into and are compared — and capture-masked — in
+  // place, so steady-state verification allocates nothing per run.
+  std::vector<std::uint32_t> readback_scratch_;
+  std::vector<std::uint32_t> expect_scratch_;
 
   // Per-download tallies (reset at the top of download_full/download_partial;
   // the downloader is single-threaded per instance, so plain integers do).

@@ -52,6 +52,15 @@ class Xhwif {
   [[nodiscard]] virtual std::vector<std::uint32_t> readback(
       std::size_t first, std::size_t nframes) = 0;
 
+  /// Same, into a caller-owned buffer (resized to nframes * frame_words).
+  /// The allocation-free path a verifying downloader drives in a loop with
+  /// one reusable scratch vector; the default forwards to readback() so
+  /// existing boards keep working unchanged.
+  virtual void readback_into(std::size_t first, std::size_t nframes,
+                             std::vector<std::uint32_t>& out) {
+    out = readback(first, nframes);
+  }
+
   /// Triggers the CAPTURE operation: latches every live flip-flop's value
   /// into its capture bit so a subsequent readback observes device state
   /// (the XAPP138 readback-capture flow).

@@ -141,6 +141,19 @@ void ThreadPool::parallel_for(std::size_t n,
   if (ctx->first_error) std::rethrow_exception(ctx->first_error);
 }
 
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.emplace([packaged] { (*packaged)(); });
+    JPG_GAUGE_SET("pool.queue_depth", tasks_.size());
+  }
+  cv_.notify_one();
+  return future;
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;

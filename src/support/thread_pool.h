@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -42,6 +43,13 @@ class ThreadPool {
   /// `stats`, when non-null, receives the observed execution shape.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                     ParallelForStats* stats = nullptr);
+
+  /// Enqueues one task for any worker; the future becomes ready when it
+  /// finishes (an exception thrown by the task is delivered through the
+  /// future). Unlike parallel_for the caller does not participate, which is
+  /// what lets it overlap its own work with the task — the streaming
+  /// download validates burst N+1 here while it sends burst N itself.
+  [[nodiscard]] std::future<void> submit(std::function<void()> task);
 
   /// Shared process-wide pool (lazily constructed).
   static ThreadPool& global();

@@ -11,6 +11,7 @@
 #include "core/jpg.h"
 #include "hwif/faulty_board.h"
 #include "hwif/sim_board.h"
+#include "hwif/stream_source.h"
 #include "hwif/verified_downloader.h"
 #include "netlib/generators.h"
 #include "pnr/flow.h"
@@ -286,6 +287,78 @@ TEST_F(VerifiedDownloadTest, TwoHundredSeededFaultScenariosConvergeOrRollBack) {
     rep.ok() ? ++successes : ++rollbacks;
   }
   // Both outcomes must actually be exercised by the campaign.
+  EXPECT_GT(successes, 0);
+  EXPECT_GT(rollbacks, 0);
+}
+
+// The same 200-scenario campaign through the streaming datapath: small
+// bursts (so faults land at burst granularity), segmented sources, and
+// verify/transfer overlap enabled. The invariant is identical — streaming
+// must not open a third state.
+TEST_F(VerifiedDownloadTest, StreamingSweepTwoHundredScenariosConvergeOrRollBack) {
+  int successes = 0;
+  int rollbacks = 0;
+  for (int s = 0; s < 200; ++s) {
+    Rng r(0xC0FFEEu + static_cast<std::uint64_t>(s));
+    FaultProfile profile;
+    switch (r.uniform(4)) {
+      case 0:
+        profile.word_flip = 0.02;
+        break;
+      case 1:
+        profile.truncate = 0.8;
+        break;
+      case 2:
+        profile.word_drop = 0.01;
+        profile.word_dup = 0.01;
+        break;
+      default:
+        profile.readback_failure = 0.4;
+        profile.readback_flip = 0.0005;
+        break;
+    }
+    if (r.uniform(3) == 0) profile.send_failure = 0.4;
+    const int budget = static_cast<int>(r.uniform(5));
+    profile.fault_budget = budget;
+
+    DownloadPolicy policy;
+    const bool squeezed = budget > 0 && r.uniform(2) == 0;
+    if (squeezed) {
+      policy.max_attempts = 1;
+      policy.rollback_max_attempts = budget + 1;
+    } else {
+      policy.max_attempts = budget + 1;
+      policy.rollback_max_attempts = budget + 1;
+    }
+
+    SimBoard board(*dev_);
+    board.send_config(base_bit_.words);
+    FaultyBoard faulty(board, profile, 1000u + static_cast<std::uint64_t>(s));
+    VerifiedDownloader dl(faulty, *dev_, policy);
+    dl.assume_board_state(*base_plane_);
+
+    // Scenario-seeded segmentation: a couple of cuts, one zero-length
+    // segment, and a small burst bound so streams span many bursts.
+    const std::span<const std::uint32_t> words(partial_.words);
+    StreamSource src;
+    const std::size_t cut1 = 1 + r.uniform(words.size() - 2);
+    const std::size_t cut2 = cut1 + r.uniform(words.size() - cut1);
+    src.add(words.first(cut1));
+    src.add({});
+    src.add(words.subspan(cut1, cut2 - cut1));
+    src.add(words.subspan(cut2));
+    StreamOptions opts;
+    opts.burst_words = 1 + r.uniform(48);
+    opts.overlap_verify = true;
+    const DownloadReport rep = dl.download_stream(src, opts);
+
+    ASSERT_NE(rep.status, DownloadStatus::Failed)
+        << "scenario " << s << ": " << rep.summary();
+    const ConfigMemory& want = rep.ok() ? *target_plane_ : *base_plane_;
+    ASSERT_EQ(board_plane(board), want)
+        << "scenario " << s << " landed in a third state: " << rep.summary();
+    rep.ok() ? ++successes : ++rollbacks;
+  }
   EXPECT_GT(successes, 0);
   EXPECT_GT(rollbacks, 0);
 }

@@ -6,10 +6,14 @@
 #   asan       JPG_SANITIZE=address, fast + fuzz      (memory bugs)
 #   tsan       JPG_SANITIZE=thread, tsan-labelled     (threaded router)
 #   telemoff   JPG_TELEMETRY=OFF, fast tier           (counters compile out)
-#   bench      release build, JPG_BENCH_SMOKE=1 run of the three parallel-
-#              core benches (router, partial gen, word kernels); on hosts
-#              with >= 4 cores it additionally fails if the router threads
-#              sweep or the batch fan-out stops scaling (speedup < 1.5x)
+#   bench      release build, JPG_BENCH_SMOKE=1 run of the parallel-core
+#              benches (router, partial gen, word kernels) plus the ICAP
+#              streaming bench; on hosts with >= 4 cores it additionally
+#              fails if the router threads sweep or the batch fan-out stops
+#              scaling (speedup < 1.5x), or if overlapped verify is slower
+#              than sequential. The streaming gates hold on any host:
+#              copy_bytes_per_resident_swap == 0, resident words/sec >=
+#              cold, resident ns/frame < warm-buffered ns/frame.
 #
 # Usage:
 #   tools/run_checks.sh            # the full matrix
@@ -54,14 +58,16 @@ run_bench_smoke() {
   echo "=== [bench] configure: -DCMAKE_BUILD_TYPE=Release ==="
   cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
   cmake --build "$build_dir" -j "$JOBS" --target \
-    bench_cl_pnr_time bench_ablation_partial_gen bench_word_kernels
+    bench_cl_pnr_time bench_ablation_partial_gen bench_word_kernels \
+    bench_icap_stream
   local out
   out=$(mktemp -d)
   echo "=== [bench] smoke run (JPG_BENCH_SMOKE=1, reports in $out) ==="
   (cd "$out" &&
    JPG_BENCH_SMOKE=1 "$OLDPWD/$build_dir/bench/bench_cl_pnr_time" &&
    JPG_BENCH_SMOKE=1 "$OLDPWD/$build_dir/bench/bench_ablation_partial_gen" &&
-   JPG_BENCH_SMOKE=1 "$OLDPWD/$build_dir/bench/bench_word_kernels")
+   JPG_BENCH_SMOKE=1 "$OLDPWD/$build_dir/bench/bench_word_kernels" &&
+   JPG_BENCH_SMOKE=1 "$OLDPWD/$build_dir/bench/bench_icap_stream")
   echo "=== [bench] scaling gate ==="
   python3 - "$out" <<'EOF'
 import json, os, sys
@@ -96,6 +102,33 @@ for sec, kv in pgen.items():
 
 # The kernels report has no thread axis; its presence is the smoke check.
 json.load(open(os.path.join(out, "BENCH_word_kernels.json")))
+
+# ICAP streaming: the zero-copy and resident-beats-buffered claims hold on
+# any host; the overlap speedup needs real cores to be observable.
+icap = json.load(open(os.path.join(out, "BENCH_icap_stream.json")))
+for sec, kv in icap.items():
+    if "copy_bytes_per_resident_swap" not in kv:
+        continue
+    print(f"  {sec}: copy B/resident swap = "
+          f"{kv['copy_bytes_per_resident_swap']:.0f}, resident/cold words/s "
+          f"= {kv['resident_words_per_sec'] / kv['cold_words_per_sec']:.2f}, "
+          f"resident/warm ns/frame = "
+          f"{kv['resident_ns_per_frame'] / kv['warm_buffered_ns_per_frame']:.2f}, "
+          f"overlap = {kv['overlap_speedup']:.2f}x "
+          f"(host_cpus={int(kv.get('host_cpus', cpus))})")
+    if kv["copy_bytes_per_resident_swap"] != 0:
+        failures.append(f"{sec}: resident swap copied "
+                        f"{kv['copy_bytes_per_resident_swap']:.0f} bytes "
+                        "(zero-copy datapath regressed)")
+    if kv["resident_words_per_sec"] < kv["cold_words_per_sec"]:
+        failures.append(f"{sec}: resident streaming slower than the cold "
+                        "regenerate+send path")
+    if kv["resident_ns_per_frame"] >= kv["warm_buffered_ns_per_frame"]:
+        failures.append(f"{sec}: resident swap not faster than the "
+                        "warm-buffered copy path")
+    if cpus >= 4 and kv["overlap_speedup"] < 1.0:
+        failures.append(f"{sec}: overlapped verify {kv['overlap_speedup']:.2f}x "
+                        f"slower than sequential on a {cpus}-core host")
 
 if cpus < 4:
     print(f"  scaling thresholds skipped: host has {cpus} core(s); "
