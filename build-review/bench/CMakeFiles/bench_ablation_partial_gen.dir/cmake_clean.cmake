@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_partial_gen.dir/bench_ablation_partial_gen.cpp.o"
+  "CMakeFiles/bench_ablation_partial_gen.dir/bench_ablation_partial_gen.cpp.o.d"
+  "bench_ablation_partial_gen"
+  "bench_ablation_partial_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_partial_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

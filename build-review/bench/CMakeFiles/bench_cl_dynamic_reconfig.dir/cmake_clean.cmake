@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cl_dynamic_reconfig.dir/bench_cl_dynamic_reconfig.cpp.o"
+  "CMakeFiles/bench_cl_dynamic_reconfig.dir/bench_cl_dynamic_reconfig.cpp.o.d"
+  "bench_cl_dynamic_reconfig"
+  "bench_cl_dynamic_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cl_dynamic_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

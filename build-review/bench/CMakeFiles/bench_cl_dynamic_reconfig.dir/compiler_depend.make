@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_cl_dynamic_reconfig.
+# This may be replaced when dependencies are built.

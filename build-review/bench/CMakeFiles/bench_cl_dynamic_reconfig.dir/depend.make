@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cl_dynamic_reconfig.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cl_pnr_time.dir/bench_cl_pnr_time.cpp.o"
+  "CMakeFiles/bench_cl_pnr_time.dir/bench_cl_pnr_time.cpp.o.d"
+  "bench_cl_pnr_time"
+  "bench_cl_pnr_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cl_pnr_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_cl_pnr_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cl_size_sweep.dir/bench_cl_size_sweep.cpp.o"
+  "CMakeFiles/bench_cl_size_sweep.dir/bench_cl_size_sweep.cpp.o.d"
+  "bench_cl_size_sweep"
+  "bench_cl_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cl_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

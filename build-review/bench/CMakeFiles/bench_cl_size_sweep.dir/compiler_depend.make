@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_cl_size_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cl_tool_comparison.dir/bench_cl_tool_comparison.cpp.o"
+  "CMakeFiles/bench_cl_tool_comparison.dir/bench_cl_tool_comparison.cpp.o.d"
+  "bench_cl_tool_comparison"
+  "bench_cl_tool_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cl_tool_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

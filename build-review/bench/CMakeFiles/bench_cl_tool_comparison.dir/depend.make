@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cl_tool_comparison.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cl_xdl_parse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bram_update.dir/bench_ext_bram_update.cpp.o"
+  "CMakeFiles/bench_ext_bram_update.dir/bench_ext_bram_update.cpp.o.d"
+  "bench_ext_bram_update"
+  "bench_ext_bram_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bram_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ext_bram_update.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ext_bram_update.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_rc_environment.dir/bench_fig1_rc_environment.cpp.o"
+  "CMakeFiles/bench_fig1_rc_environment.dir/bench_fig1_rc_environment.cpp.o.d"
+  "bench_fig1_rc_environment"
+  "bench_fig1_rc_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_rc_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1_rc_environment.
+# This may be replaced when dependencies are built.

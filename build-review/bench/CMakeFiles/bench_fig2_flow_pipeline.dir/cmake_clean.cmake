@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_flow_pipeline.dir/bench_fig2_flow_pipeline.cpp.o"
+  "CMakeFiles/bench_fig2_flow_pipeline.dir/bench_fig2_flow_pipeline.cpp.o.d"
+  "bench_fig2_flow_pipeline"
+  "bench_fig2_flow_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_flow_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

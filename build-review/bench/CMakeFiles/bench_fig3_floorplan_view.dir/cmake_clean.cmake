@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_floorplan_view.dir/bench_fig3_floorplan_view.cpp.o"
+  "CMakeFiles/bench_fig3_floorplan_view.dir/bench_fig3_floorplan_view.cpp.o.d"
+  "bench_fig3_floorplan_view"
+  "bench_fig3_floorplan_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_floorplan_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_combinations.dir/bench_fig4_combinations.cpp.o"
+  "CMakeFiles/bench_fig4_combinations.dir/bench_fig4_combinations.cpp.o.d"
+  "bench_fig4_combinations"
+  "bench_fig4_combinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

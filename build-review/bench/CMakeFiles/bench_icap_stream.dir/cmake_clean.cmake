@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_icap_stream.dir/bench_icap_stream.cpp.o"
+  "CMakeFiles/bench_icap_stream.dir/bench_icap_stream.cpp.o.d"
+  "bench_icap_stream"
+  "bench_icap_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_icap_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_word_kernels.dir/bench_word_kernels.cpp.o"
+  "CMakeFiles/bench_word_kernels.dir/bench_word_kernels.cpp.o.d"
+  "bench_word_kernels"
+  "bench_word_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_word_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

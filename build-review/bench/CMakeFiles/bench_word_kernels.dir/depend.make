@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_word_kernels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_scenarios.dir/scenarios.cpp.o"
+  "CMakeFiles/jpg_scenarios.dir/scenarios.cpp.o.d"
+  "libjpg_scenarios.a"
+  "libjpg_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for jpg_scenarios.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_region_upgrade.dir/multi_region_upgrade.cpp.o"
+  "CMakeFiles/multi_region_upgrade.dir/multi_region_upgrade.cpp.o.d"
+  "multi_region_upgrade"
+  "multi_region_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_region_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

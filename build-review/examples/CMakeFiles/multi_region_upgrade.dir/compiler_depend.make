@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multi_region_upgrade.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_region_upgrade.
+# This may be replaced when dependencies are built.

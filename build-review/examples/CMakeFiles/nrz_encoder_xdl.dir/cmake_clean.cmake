@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nrz_encoder_xdl.dir/nrz_encoder_xdl.cpp.o"
+  "CMakeFiles/nrz_encoder_xdl.dir/nrz_encoder_xdl.cpp.o.d"
+  "nrz_encoder_xdl"
+  "nrz_encoder_xdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nrz_encoder_xdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nrz_encoder_xdl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_context_switch.dir/rc_context_switch.cpp.o"
+  "CMakeFiles/rc_context_switch.dir/rc_context_switch.cpp.o.d"
+  "rc_context_switch"
+  "rc_context_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rc_context_switch.
+# This may be replaced when dependencies are built.

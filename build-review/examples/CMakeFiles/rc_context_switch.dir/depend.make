@@ -1,0 +1,2 @@
+# Empty dependencies file for rc_context_switch.
+# This may be replaced when dependencies are built.

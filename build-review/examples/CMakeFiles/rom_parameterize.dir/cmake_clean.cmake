@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rom_parameterize.dir/rom_parameterize.cpp.o"
+  "CMakeFiles/rom_parameterize.dir/rom_parameterize.cpp.o.d"
+  "rom_parameterize"
+  "rom_parameterize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rom_parameterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rom_parameterize.
+# This may be replaced when dependencies are built.

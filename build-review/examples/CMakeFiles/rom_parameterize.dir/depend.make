@@ -1,0 +1,2 @@
+# Empty dependencies file for rom_parameterize.
+# This may be replaced when dependencies are built.

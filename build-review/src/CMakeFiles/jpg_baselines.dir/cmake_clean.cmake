@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_baselines.dir/baselines/jbitsdiff.cpp.o"
+  "CMakeFiles/jpg_baselines.dir/baselines/jbitsdiff.cpp.o.d"
+  "CMakeFiles/jpg_baselines.dir/baselines/parbit.cpp.o"
+  "CMakeFiles/jpg_baselines.dir/baselines/parbit.cpp.o.d"
+  "libjpg_baselines.a"
+  "libjpg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitstream/bitgen.cpp" "src/CMakeFiles/jpg_bitstream.dir/bitstream/bitgen.cpp.o" "gcc" "src/CMakeFiles/jpg_bitstream.dir/bitstream/bitgen.cpp.o.d"
+  "/root/repo/src/bitstream/bitstream_reader.cpp" "src/CMakeFiles/jpg_bitstream.dir/bitstream/bitstream_reader.cpp.o" "gcc" "src/CMakeFiles/jpg_bitstream.dir/bitstream/bitstream_reader.cpp.o.d"
+  "/root/repo/src/bitstream/bitstream_writer.cpp" "src/CMakeFiles/jpg_bitstream.dir/bitstream/bitstream_writer.cpp.o" "gcc" "src/CMakeFiles/jpg_bitstream.dir/bitstream/bitstream_writer.cpp.o.d"
+  "/root/repo/src/bitstream/config_memory.cpp" "src/CMakeFiles/jpg_bitstream.dir/bitstream/config_memory.cpp.o" "gcc" "src/CMakeFiles/jpg_bitstream.dir/bitstream/config_memory.cpp.o.d"
+  "/root/repo/src/bitstream/config_port.cpp" "src/CMakeFiles/jpg_bitstream.dir/bitstream/config_port.cpp.o" "gcc" "src/CMakeFiles/jpg_bitstream.dir/bitstream/config_port.cpp.o.d"
+  "/root/repo/src/bitstream/crc16.cpp" "src/CMakeFiles/jpg_bitstream.dir/bitstream/crc16.cpp.o" "gcc" "src/CMakeFiles/jpg_bitstream.dir/bitstream/crc16.cpp.o.d"
+  "/root/repo/src/bitstream/frame_overlay.cpp" "src/CMakeFiles/jpg_bitstream.dir/bitstream/frame_overlay.cpp.o" "gcc" "src/CMakeFiles/jpg_bitstream.dir/bitstream/frame_overlay.cpp.o.d"
+  "/root/repo/src/bitstream/packet.cpp" "src/CMakeFiles/jpg_bitstream.dir/bitstream/packet.cpp.o" "gcc" "src/CMakeFiles/jpg_bitstream.dir/bitstream/packet.cpp.o.d"
+  "/root/repo/src/bitstream/stream_fuzzer.cpp" "src/CMakeFiles/jpg_bitstream.dir/bitstream/stream_fuzzer.cpp.o" "gcc" "src/CMakeFiles/jpg_bitstream.dir/bitstream/stream_fuzzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/jpg_device.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

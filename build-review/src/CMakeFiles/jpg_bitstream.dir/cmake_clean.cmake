@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_bitstream.dir/bitstream/bitgen.cpp.o"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/bitgen.cpp.o.d"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/bitstream_reader.cpp.o"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/bitstream_reader.cpp.o.d"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/bitstream_writer.cpp.o"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/bitstream_writer.cpp.o.d"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/config_memory.cpp.o"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/config_memory.cpp.o.d"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/config_port.cpp.o"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/config_port.cpp.o.d"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/crc16.cpp.o"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/crc16.cpp.o.d"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/frame_overlay.cpp.o"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/frame_overlay.cpp.o.d"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/packet.cpp.o"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/packet.cpp.o.d"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/stream_fuzzer.cpp.o"
+  "CMakeFiles/jpg_bitstream.dir/bitstream/stream_fuzzer.cpp.o.d"
+  "libjpg_bitstream.a"
+  "libjpg_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_cbits.dir/cbits/cbits.cpp.o"
+  "CMakeFiles/jpg_cbits.dir/cbits/cbits.cpp.o.d"
+  "libjpg_cbits.a"
+  "libjpg_cbits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_cbits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

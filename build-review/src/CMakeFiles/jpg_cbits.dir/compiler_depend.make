@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jpg_cbits.
+# This may be replaced when dependencies are built.

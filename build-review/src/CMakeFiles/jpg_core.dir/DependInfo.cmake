@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/floorplan_view.cpp" "src/CMakeFiles/jpg_core.dir/core/floorplan_view.cpp.o" "gcc" "src/CMakeFiles/jpg_core.dir/core/floorplan_view.cpp.o.d"
+  "/root/repo/src/core/jpg.cpp" "src/CMakeFiles/jpg_core.dir/core/jpg.cpp.o" "gcc" "src/CMakeFiles/jpg_core.dir/core/jpg.cpp.o.d"
+  "/root/repo/src/core/partial_gen.cpp" "src/CMakeFiles/jpg_core.dir/core/partial_gen.cpp.o" "gcc" "src/CMakeFiles/jpg_core.dir/core/partial_gen.cpp.o.d"
+  "/root/repo/src/core/project.cpp" "src/CMakeFiles/jpg_core.dir/core/project.cpp.o" "gcc" "src/CMakeFiles/jpg_core.dir/core/project.cpp.o.d"
+  "/root/repo/src/core/xdl_to_cbits.cpp" "src/CMakeFiles/jpg_core.dir/core/xdl_to_cbits.cpp.o" "gcc" "src/CMakeFiles/jpg_core.dir/core/xdl_to_cbits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/jpg_xdl.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_ucf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_cbits.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_hwif.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_pnr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_device.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

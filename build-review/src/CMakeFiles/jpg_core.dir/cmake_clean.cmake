@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_core.dir/core/floorplan_view.cpp.o"
+  "CMakeFiles/jpg_core.dir/core/floorplan_view.cpp.o.d"
+  "CMakeFiles/jpg_core.dir/core/jpg.cpp.o"
+  "CMakeFiles/jpg_core.dir/core/jpg.cpp.o.d"
+  "CMakeFiles/jpg_core.dir/core/partial_gen.cpp.o"
+  "CMakeFiles/jpg_core.dir/core/partial_gen.cpp.o.d"
+  "CMakeFiles/jpg_core.dir/core/project.cpp.o"
+  "CMakeFiles/jpg_core.dir/core/project.cpp.o.d"
+  "CMakeFiles/jpg_core.dir/core/xdl_to_cbits.cpp.o"
+  "CMakeFiles/jpg_core.dir/core/xdl_to_cbits.cpp.o.d"
+  "libjpg_core.a"
+  "libjpg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

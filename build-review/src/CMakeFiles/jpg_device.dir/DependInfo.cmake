@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/device.cpp" "src/CMakeFiles/jpg_device.dir/device/device.cpp.o" "gcc" "src/CMakeFiles/jpg_device.dir/device/device.cpp.o.d"
+  "/root/repo/src/device/device_spec.cpp" "src/CMakeFiles/jpg_device.dir/device/device_spec.cpp.o" "gcc" "src/CMakeFiles/jpg_device.dir/device/device_spec.cpp.o.d"
+  "/root/repo/src/device/frame_map.cpp" "src/CMakeFiles/jpg_device.dir/device/frame_map.cpp.o" "gcc" "src/CMakeFiles/jpg_device.dir/device/frame_map.cpp.o.d"
+  "/root/repo/src/device/routing_fabric.cpp" "src/CMakeFiles/jpg_device.dir/device/routing_fabric.cpp.o" "gcc" "src/CMakeFiles/jpg_device.dir/device/routing_fabric.cpp.o.d"
+  "/root/repo/src/device/slice_config.cpp" "src/CMakeFiles/jpg_device.dir/device/slice_config.cpp.o" "gcc" "src/CMakeFiles/jpg_device.dir/device/slice_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/jpg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

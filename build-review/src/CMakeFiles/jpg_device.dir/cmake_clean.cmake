@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_device.dir/device/device.cpp.o"
+  "CMakeFiles/jpg_device.dir/device/device.cpp.o.d"
+  "CMakeFiles/jpg_device.dir/device/device_spec.cpp.o"
+  "CMakeFiles/jpg_device.dir/device/device_spec.cpp.o.d"
+  "CMakeFiles/jpg_device.dir/device/frame_map.cpp.o"
+  "CMakeFiles/jpg_device.dir/device/frame_map.cpp.o.d"
+  "CMakeFiles/jpg_device.dir/device/routing_fabric.cpp.o"
+  "CMakeFiles/jpg_device.dir/device/routing_fabric.cpp.o.d"
+  "CMakeFiles/jpg_device.dir/device/slice_config.cpp.o"
+  "CMakeFiles/jpg_device.dir/device/slice_config.cpp.o.d"
+  "libjpg_device.a"
+  "libjpg_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwif/burst_engine.cpp" "src/CMakeFiles/jpg_hwif.dir/hwif/burst_engine.cpp.o" "gcc" "src/CMakeFiles/jpg_hwif.dir/hwif/burst_engine.cpp.o.d"
+  "/root/repo/src/hwif/faulty_board.cpp" "src/CMakeFiles/jpg_hwif.dir/hwif/faulty_board.cpp.o" "gcc" "src/CMakeFiles/jpg_hwif.dir/hwif/faulty_board.cpp.o.d"
+  "/root/repo/src/hwif/sim_board.cpp" "src/CMakeFiles/jpg_hwif.dir/hwif/sim_board.cpp.o" "gcc" "src/CMakeFiles/jpg_hwif.dir/hwif/sim_board.cpp.o.d"
+  "/root/repo/src/hwif/verified_downloader.cpp" "src/CMakeFiles/jpg_hwif.dir/hwif/verified_downloader.cpp.o" "gcc" "src/CMakeFiles/jpg_hwif.dir/hwif/verified_downloader.cpp.o.d"
+  "/root/repo/src/hwif/xhwif.cpp" "src/CMakeFiles/jpg_hwif.dir/hwif/xhwif.cpp.o" "gcc" "src/CMakeFiles/jpg_hwif.dir/hwif/xhwif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/jpg_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_cbits.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_device.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_hwif.dir/hwif/burst_engine.cpp.o"
+  "CMakeFiles/jpg_hwif.dir/hwif/burst_engine.cpp.o.d"
+  "CMakeFiles/jpg_hwif.dir/hwif/faulty_board.cpp.o"
+  "CMakeFiles/jpg_hwif.dir/hwif/faulty_board.cpp.o.d"
+  "CMakeFiles/jpg_hwif.dir/hwif/sim_board.cpp.o"
+  "CMakeFiles/jpg_hwif.dir/hwif/sim_board.cpp.o.d"
+  "CMakeFiles/jpg_hwif.dir/hwif/verified_downloader.cpp.o"
+  "CMakeFiles/jpg_hwif.dir/hwif/verified_downloader.cpp.o.d"
+  "CMakeFiles/jpg_hwif.dir/hwif/xhwif.cpp.o"
+  "CMakeFiles/jpg_hwif.dir/hwif/xhwif.cpp.o.d"
+  "libjpg_hwif.a"
+  "libjpg_hwif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_hwif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_netlib.dir/netlib/generators.cpp.o"
+  "CMakeFiles/jpg_netlib.dir/netlib/generators.cpp.o.d"
+  "libjpg_netlib.a"
+  "libjpg_netlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_netlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_netlist.dir/netlist/drc.cpp.o"
+  "CMakeFiles/jpg_netlist.dir/netlist/drc.cpp.o.d"
+  "CMakeFiles/jpg_netlist.dir/netlist/netlist.cpp.o"
+  "CMakeFiles/jpg_netlist.dir/netlist/netlist.cpp.o.d"
+  "libjpg_netlist.a"
+  "libjpg_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

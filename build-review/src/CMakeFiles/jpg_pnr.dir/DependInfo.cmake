@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pnr/flow.cpp" "src/CMakeFiles/jpg_pnr.dir/pnr/flow.cpp.o" "gcc" "src/CMakeFiles/jpg_pnr.dir/pnr/flow.cpp.o.d"
+  "/root/repo/src/pnr/packer.cpp" "src/CMakeFiles/jpg_pnr.dir/pnr/packer.cpp.o" "gcc" "src/CMakeFiles/jpg_pnr.dir/pnr/packer.cpp.o.d"
+  "/root/repo/src/pnr/placed_design.cpp" "src/CMakeFiles/jpg_pnr.dir/pnr/placed_design.cpp.o" "gcc" "src/CMakeFiles/jpg_pnr.dir/pnr/placed_design.cpp.o.d"
+  "/root/repo/src/pnr/placer.cpp" "src/CMakeFiles/jpg_pnr.dir/pnr/placer.cpp.o" "gcc" "src/CMakeFiles/jpg_pnr.dir/pnr/placer.cpp.o.d"
+  "/root/repo/src/pnr/router.cpp" "src/CMakeFiles/jpg_pnr.dir/pnr/router.cpp.o" "gcc" "src/CMakeFiles/jpg_pnr.dir/pnr/router.cpp.o.d"
+  "/root/repo/src/pnr/timing.cpp" "src/CMakeFiles/jpg_pnr.dir/pnr/timing.cpp.o" "gcc" "src/CMakeFiles/jpg_pnr.dir/pnr/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/jpg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_device.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_cbits.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_pnr.dir/pnr/flow.cpp.o"
+  "CMakeFiles/jpg_pnr.dir/pnr/flow.cpp.o.d"
+  "CMakeFiles/jpg_pnr.dir/pnr/packer.cpp.o"
+  "CMakeFiles/jpg_pnr.dir/pnr/packer.cpp.o.d"
+  "CMakeFiles/jpg_pnr.dir/pnr/placed_design.cpp.o"
+  "CMakeFiles/jpg_pnr.dir/pnr/placed_design.cpp.o.d"
+  "CMakeFiles/jpg_pnr.dir/pnr/placer.cpp.o"
+  "CMakeFiles/jpg_pnr.dir/pnr/placer.cpp.o.d"
+  "CMakeFiles/jpg_pnr.dir/pnr/router.cpp.o"
+  "CMakeFiles/jpg_pnr.dir/pnr/router.cpp.o.d"
+  "CMakeFiles/jpg_pnr.dir/pnr/timing.cpp.o"
+  "CMakeFiles/jpg_pnr.dir/pnr/timing.cpp.o.d"
+  "libjpg_pnr.a"
+  "libjpg_pnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_pnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

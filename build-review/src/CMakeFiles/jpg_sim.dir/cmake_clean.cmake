@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_sim.dir/sim/bitstream_sim.cpp.o"
+  "CMakeFiles/jpg_sim.dir/sim/bitstream_sim.cpp.o.d"
+  "CMakeFiles/jpg_sim.dir/sim/circuit_extractor.cpp.o"
+  "CMakeFiles/jpg_sim.dir/sim/circuit_extractor.cpp.o.d"
+  "CMakeFiles/jpg_sim.dir/sim/netlist_sim.cpp.o"
+  "CMakeFiles/jpg_sim.dir/sim/netlist_sim.cpp.o.d"
+  "libjpg_sim.a"
+  "libjpg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

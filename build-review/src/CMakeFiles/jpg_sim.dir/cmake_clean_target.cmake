@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjpg_sim.a"
+)

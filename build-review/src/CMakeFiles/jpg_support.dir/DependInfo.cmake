@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/bitvec.cpp" "src/CMakeFiles/jpg_support.dir/support/bitvec.cpp.o" "gcc" "src/CMakeFiles/jpg_support.dir/support/bitvec.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "src/CMakeFiles/jpg_support.dir/support/error.cpp.o" "gcc" "src/CMakeFiles/jpg_support.dir/support/error.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/CMakeFiles/jpg_support.dir/support/log.cpp.o" "gcc" "src/CMakeFiles/jpg_support.dir/support/log.cpp.o.d"
+  "/root/repo/src/support/string_util.cpp" "src/CMakeFiles/jpg_support.dir/support/string_util.cpp.o" "gcc" "src/CMakeFiles/jpg_support.dir/support/string_util.cpp.o.d"
+  "/root/repo/src/support/telemetry/metrics.cpp" "src/CMakeFiles/jpg_support.dir/support/telemetry/metrics.cpp.o" "gcc" "src/CMakeFiles/jpg_support.dir/support/telemetry/metrics.cpp.o.d"
+  "/root/repo/src/support/telemetry/trace.cpp" "src/CMakeFiles/jpg_support.dir/support/telemetry/trace.cpp.o" "gcc" "src/CMakeFiles/jpg_support.dir/support/telemetry/trace.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/jpg_support.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/jpg_support.dir/support/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

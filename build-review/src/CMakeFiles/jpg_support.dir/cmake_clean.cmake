@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_support.dir/support/bitvec.cpp.o"
+  "CMakeFiles/jpg_support.dir/support/bitvec.cpp.o.d"
+  "CMakeFiles/jpg_support.dir/support/error.cpp.o"
+  "CMakeFiles/jpg_support.dir/support/error.cpp.o.d"
+  "CMakeFiles/jpg_support.dir/support/log.cpp.o"
+  "CMakeFiles/jpg_support.dir/support/log.cpp.o.d"
+  "CMakeFiles/jpg_support.dir/support/string_util.cpp.o"
+  "CMakeFiles/jpg_support.dir/support/string_util.cpp.o.d"
+  "CMakeFiles/jpg_support.dir/support/telemetry/metrics.cpp.o"
+  "CMakeFiles/jpg_support.dir/support/telemetry/metrics.cpp.o.d"
+  "CMakeFiles/jpg_support.dir/support/telemetry/trace.cpp.o"
+  "CMakeFiles/jpg_support.dir/support/telemetry/trace.cpp.o.d"
+  "CMakeFiles/jpg_support.dir/support/thread_pool.cpp.o"
+  "CMakeFiles/jpg_support.dir/support/thread_pool.cpp.o.d"
+  "libjpg_support.a"
+  "libjpg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_testing.dir/testing/design_gen.cpp.o"
+  "CMakeFiles/jpg_testing.dir/testing/design_gen.cpp.o.d"
+  "CMakeFiles/jpg_testing.dir/testing/oracle.cpp.o"
+  "CMakeFiles/jpg_testing.dir/testing/oracle.cpp.o.d"
+  "CMakeFiles/jpg_testing.dir/testing/shrinker.cpp.o"
+  "CMakeFiles/jpg_testing.dir/testing/shrinker.cpp.o.d"
+  "libjpg_testing.a"
+  "libjpg_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_ucf.dir/ucf/ucf_parser.cpp.o"
+  "CMakeFiles/jpg_ucf.dir/ucf/ucf_parser.cpp.o.d"
+  "libjpg_ucf.a"
+  "libjpg_ucf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_ucf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

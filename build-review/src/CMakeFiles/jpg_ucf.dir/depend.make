@@ -1,0 +1,2 @@
+# Empty dependencies file for jpg_ucf.
+# This may be replaced when dependencies are built.

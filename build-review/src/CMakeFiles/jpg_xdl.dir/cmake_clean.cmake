@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_xdl.dir/xdl/lut_equation.cpp.o"
+  "CMakeFiles/jpg_xdl.dir/xdl/lut_equation.cpp.o.d"
+  "CMakeFiles/jpg_xdl.dir/xdl/xdl_lexer.cpp.o"
+  "CMakeFiles/jpg_xdl.dir/xdl/xdl_lexer.cpp.o.d"
+  "CMakeFiles/jpg_xdl.dir/xdl/xdl_parser.cpp.o"
+  "CMakeFiles/jpg_xdl.dir/xdl/xdl_parser.cpp.o.d"
+  "CMakeFiles/jpg_xdl.dir/xdl/xdl_writer.cpp.o"
+  "CMakeFiles/jpg_xdl.dir/xdl/xdl_writer.cpp.o.d"
+  "libjpg_xdl.a"
+  "libjpg_xdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_xdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jpg_xdl.
+# This may be replaced when dependencies are built.

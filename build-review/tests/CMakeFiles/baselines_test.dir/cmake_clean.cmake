@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_test.dir/baselines_test.cpp.o"
+  "CMakeFiles/baselines_test.dir/baselines_test.cpp.o.d"
+  "baselines_test"
+  "baselines_test.pdb"
+  "baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_parallel_test.dir/batch_parallel_test.cpp.o"
+  "CMakeFiles/batch_parallel_test.dir/batch_parallel_test.cpp.o.d"
+  "batch_parallel_test"
+  "batch_parallel_test.pdb"
+  "batch_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bitstream_test.cpp" "tests/CMakeFiles/bitstream_test.dir/bitstream_test.cpp.o" "gcc" "tests/CMakeFiles/bitstream_test.dir/bitstream_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/jpg_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_device.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/jpg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

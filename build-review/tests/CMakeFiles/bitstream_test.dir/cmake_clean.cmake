@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitstream_test.dir/bitstream_test.cpp.o"
+  "CMakeFiles/bitstream_test.dir/bitstream_test.cpp.o.d"
+  "bitstream_test"
+  "bitstream_test.pdb"
+  "bitstream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitstream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bram_capture_test.dir/bram_capture_test.cpp.o"
+  "CMakeFiles/bram_capture_test.dir/bram_capture_test.cpp.o.d"
+  "bram_capture_test"
+  "bram_capture_test.pdb"
+  "bram_capture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bram_capture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbits_test.dir/cbits_test.cpp.o"
+  "CMakeFiles/cbits_test.dir/cbits_test.cpp.o.d"
+  "cbits_test"
+  "cbits_test.pdb"
+  "cbits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_test.dir/cli_test.cpp.o"
+  "CMakeFiles/cli_test.dir/cli_test.cpp.o.d"
+  "cli_test"
+  "cli_test.pdb"
+  "cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_test.dir/device_test.cpp.o"
+  "CMakeFiles/device_test.dir/device_test.cpp.o.d"
+  "device_test"
+  "device_test.pdb"
+  "device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

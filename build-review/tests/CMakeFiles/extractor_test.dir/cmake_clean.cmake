@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extractor_test.dir/extractor_test.cpp.o"
+  "CMakeFiles/extractor_test.dir/extractor_test.cpp.o.d"
+  "extractor_test"
+  "extractor_test.pdb"
+  "extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_validation_test.dir/flow_validation_test.cpp.o"
+  "CMakeFiles/flow_validation_test.dir/flow_validation_test.cpp.o.d"
+  "flow_validation_test"
+  "flow_validation_test.pdb"
+  "flow_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for flow_validation_test.
+# This may be replaced when dependencies are built.

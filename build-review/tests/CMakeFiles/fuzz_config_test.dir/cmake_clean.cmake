@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_config_test.dir/fuzz_config_test.cpp.o"
+  "CMakeFiles/fuzz_config_test.dir/fuzz_config_test.cpp.o.d"
+  "fuzz_config_test"
+  "fuzz_config_test.pdb"
+  "fuzz_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_test.dir/golden_test.cpp.o"
+  "CMakeFiles/golden_test.dir/golden_test.cpp.o.d"
+  "golden_test"
+  "golden_test.pdb"
+  "golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwif_test.dir/hwif_test.cpp.o"
+  "CMakeFiles/hwif_test.dir/hwif_test.cpp.o.d"
+  "hwif_test"
+  "hwif_test.pdb"
+  "hwif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_core_test.dir/jpg_core_test.cpp.o"
+  "CMakeFiles/jpg_core_test.dir/jpg_core_test.cpp.o.d"
+  "jpg_core_test"
+  "jpg_core_test.pdb"
+  "jpg_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metamorphic_test.dir/metamorphic_test.cpp.o"
+  "CMakeFiles/metamorphic_test.dir/metamorphic_test.cpp.o.d"
+  "metamorphic_test"
+  "metamorphic_test.pdb"
+  "metamorphic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metamorphic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_sim_test.dir/netlist_sim_test.cpp.o"
+  "CMakeFiles/netlist_sim_test.dir/netlist_sim_test.cpp.o.d"
+  "netlist_sim_test"
+  "netlist_sim_test.pdb"
+  "netlist_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_test.dir/netlist_test.cpp.o"
+  "CMakeFiles/netlist_test.dir/netlist_test.cpp.o.d"
+  "netlist_test"
+  "netlist_test.pdb"
+  "netlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_gen_test.dir/partial_gen_test.cpp.o"
+  "CMakeFiles/partial_gen_test.dir/partial_gen_test.cpp.o.d"
+  "partial_gen_test"
+  "partial_gen_test.pdb"
+  "partial_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbit_lease_test.dir/pbit_lease_test.cpp.o"
+  "CMakeFiles/pbit_lease_test.dir/pbit_lease_test.cpp.o.d"
+  "pbit_lease_test"
+  "pbit_lease_test.pdb"
+  "pbit_lease_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbit_lease_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

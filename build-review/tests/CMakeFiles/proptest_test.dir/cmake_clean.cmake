@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proptest_test.dir/proptest_test.cpp.o"
+  "CMakeFiles/proptest_test.dir/proptest_test.cpp.o.d"
+  "proptest_test"
+  "proptest_test.pdb"
+  "proptest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proptest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

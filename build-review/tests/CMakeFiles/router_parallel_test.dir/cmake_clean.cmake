@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_parallel_test.dir/router_parallel_test.cpp.o"
+  "CMakeFiles/router_parallel_test.dir/router_parallel_test.cpp.o.d"
+  "router_parallel_test"
+  "router_parallel_test.pdb"
+  "router_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

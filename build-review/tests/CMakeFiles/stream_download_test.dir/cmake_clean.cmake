@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_download_test.dir/stream_download_test.cpp.o"
+  "CMakeFiles/stream_download_test.dir/stream_download_test.cpp.o.d"
+  "stream_download_test"
+  "stream_download_test.pdb"
+  "stream_download_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_download_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_test.dir/stress_test.cpp.o"
+  "CMakeFiles/stress_test.dir/stress_test.cpp.o.d"
+  "stress_test"
+  "stress_test.pdb"
+  "stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

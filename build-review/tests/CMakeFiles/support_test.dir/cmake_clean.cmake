@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test.dir/support_test.cpp.o"
+  "CMakeFiles/support_test.dir/support_test.cpp.o.d"
+  "support_test"
+  "support_test.pdb"
+  "support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_test.dir/telemetry_test.cpp.o"
+  "CMakeFiles/telemetry_test.dir/telemetry_test.cpp.o.d"
+  "telemetry_test"
+  "telemetry_test.pdb"
+  "telemetry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verified_download_test.dir/verified_download_test.cpp.o"
+  "CMakeFiles/verified_download_test.dir/verified_download_test.cpp.o.d"
+  "verified_download_test"
+  "verified_download_test.pdb"
+  "verified_download_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verified_download_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

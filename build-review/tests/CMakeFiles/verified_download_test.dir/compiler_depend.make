@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for verified_download_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdl_ucf_test.dir/xdl_ucf_test.cpp.o"
+  "CMakeFiles/xdl_ucf_test.dir/xdl_ucf_test.cpp.o.d"
+  "xdl_ucf_test"
+  "xdl_ucf_test.pdb"
+  "xdl_ucf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdl_ucf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

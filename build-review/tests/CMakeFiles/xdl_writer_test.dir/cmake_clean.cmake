@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdl_writer_test.dir/xdl_writer_test.cpp.o"
+  "CMakeFiles/xdl_writer_test.dir/xdl_writer_test.cpp.o.d"
+  "xdl_writer_test"
+  "xdl_writer_test.pdb"
+  "xdl_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdl_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

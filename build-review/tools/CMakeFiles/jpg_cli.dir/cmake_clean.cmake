@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpg_cli.dir/jpg_cli.cpp.o"
+  "CMakeFiles/jpg_cli.dir/jpg_cli.cpp.o.d"
+  "jpg_cli"
+  "jpg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
