@@ -315,10 +315,10 @@ std::vector<PartialGenResult> PartialBitstreamGenerator::generate_batch(
   // runs inside the worker; the only cross-thread state is the mutex-guarded
   // pbit cache, and results land in input order, so the batch is
   // byte-identical to sequential generate() calls at any thread count.
-  ThreadPool& pool = ThreadPool::sized(num_threads);
+  const std::shared_ptr<ThreadPool> pool = ThreadPool::sized(num_threads);
   std::vector<PartialGenResult> out(updates.size());
   ThreadPool::ParallelForStats pf_stats;
-  pool.parallel_for(
+  pool->parallel_for(
       updates.size(),
       [&](std::size_t i) {
         out[i] = generate(*updates[i].module_config, updates[i].region,
@@ -326,10 +326,10 @@ std::vector<PartialGenResult> PartialBitstreamGenerator::generate_batch(
       },
       &pf_stats);
   for (PartialGenResult& r : out) {
-    r.pool_threads = pool.size();
+    r.pool_threads = pool->size();
     r.workers_used = pf_stats.workers_used;
   }
-  JPG_GAUGE_SET("pgen.batch_pool_threads", pool.size());
+  JPG_GAUGE_SET("pgen.batch_pool_threads", pool->size());
   JPG_GAUGE_SET("pgen.batch_workers_used", pf_stats.workers_used);
   return out;
 }

@@ -390,12 +390,14 @@ DownloadReport VerifiedDownloader::download_stream(const StreamSource& source,
           ThreadPool::global().submit([&port, ahead] { port.load(ahead); });
     }
     const std::uint64_t send_t0 = telemetry::now_ns();
+    bool sent_clean = false;
     if (!send_failed) {
       try {
         JPG_HIST("cfg.burst_words", burst.size());
         board_->send_config(burst);
         words_sent_ += burst.size();
         JPG_COUNT("dl.words_sent", burst.size());
+        sent_clean = true;
       } catch (const JpgError& e) {
         ++rep.faults_seen;
         rep.fault_log.push_back(std::string("send: ") + e.what());
@@ -410,8 +412,11 @@ DownloadReport VerifiedDownloader::download_stream(const StreamSource& source,
         ahead_done.get();
         // The replay was in flight across the whole send window (submitted
         // before it, joined after): credit the send duration as validation
-        // time hidden behind the transfer.
-        overlap_ns += send_t1 - send_t0;
+        // time hidden behind the transfer — but only when the burst really
+        // went out. After a send fault the window measures a skipped no-op
+        // (or the throw itself), and crediting those near-zero windows
+        // would skew cfg.stream_overlap_ns toward nothing.
+        if (sent_clean) overlap_ns += send_t1 - send_t0;
       } else if (!ahead.empty()) {
         port.load(ahead);
       }

@@ -566,10 +566,11 @@ std::vector<RoutedNet> PathFinder::run(RouteStats* stats) {
   // Execution width: 1 routes in the caller's thread; 0/auto and N>1 lease
   // a shared pool. The result is identical either way (batch snapshots).
   ThreadPool* pool = nullptr;
+  std::shared_ptr<ThreadPool> pool_lease;  // keeps the sized pool alive
   if (opt_.num_threads != 1) {
-    ThreadPool& p = ThreadPool::sized(
+    pool_lease = ThreadPool::sized(
         opt_.num_threads <= 0 ? 0 : static_cast<std::size_t>(opt_.num_threads));
-    if (p.size() > 1) pool = &p;
+    if (pool_lease->size() > 1) pool = pool_lease.get();
   }
   ScratchPool scratch(n);
 

@@ -1,0 +1,126 @@
+#include "service/load_harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <future>
+#include <thread>
+
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/telemetry/telemetry.h"
+
+namespace jpg {
+namespace {
+
+ConfigMemory noise_plane(const Device& dev, std::uint64_t seed) {
+  ConfigMemory m(dev);
+  Rng rng(seed);
+  for (std::size_t f = 0; f < m.num_frames(); ++f) {
+    for (std::size_t w = 0; w < dev.frames().frame_words(); ++w) {
+      m.frame(f).set_word(w, static_cast<std::uint32_t>(rng.next()));
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+ServiceRequest LoadFixture::request(std::size_t slot, std::size_t variant,
+                                    std::string tenant,
+                                    RequestKind kind) const {
+  JPG_REQUIRE(slot < slots.size() && variant < variants.size(),
+              "load fixture request out of range");
+  ServiceRequest req;
+  req.tenant = std::move(tenant);
+  req.kind = kind;
+  req.module_config = &variants[variant];
+  req.region = slots[slot];
+  req.variant = "v" + std::to_string(variant);
+  return req;
+}
+
+LoadFixture make_load_fixture(const Device& device, std::uint64_t seed,
+                              std::size_t num_slots,
+                              std::size_t num_variants) {
+  JPG_REQUIRE(num_slots > 0 && num_variants > 0,
+              "load fixture needs slots and variants");
+  JPG_REQUIRE(static_cast<int>(num_slots) <= device.cols(),
+              "more slots than CLB columns");
+  LoadFixture fx{&device, noise_plane(device, seed), {}, {}};
+  // Equal-width full-height column bands; the remainder columns widen the
+  // last slot so every column belongs to exactly one slot.
+  const int band = device.cols() / static_cast<int>(num_slots);
+  for (std::size_t s = 0; s < num_slots; ++s) {
+    const int c0 = static_cast<int>(s) * band;
+    const int c1 = (s + 1 == num_slots) ? device.cols() - 1
+                                        : c0 + band - 1;
+    fx.slots.push_back(Region{0, c0, device.rows() - 1, c1});
+  }
+  fx.variants.reserve(num_variants);
+  for (std::size_t v = 0; v < num_variants; ++v) {
+    fx.variants.push_back(noise_plane(device, seed ^ (0x9e3779b9ull * (v + 1))));
+  }
+  return fx;
+}
+
+PoissonLoadResult run_poisson_load(ReconfigService& svc,
+                                   const LoadFixture& fixture,
+                                   const PoissonLoadOptions& opt) {
+  JPG_REQUIRE(opt.tenants > 0, "load needs at least one tenant");
+  Rng rng(opt.seed);
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(opt.requests);
+
+  const std::uint64_t t0 = telemetry::now_ns();
+  for (std::size_t i = 0; i < opt.requests; ++i) {
+    if (opt.rate_hz > 0) {
+      // Exponential inter-arrival gap: -ln(U) / lambda, U in (0, 1].
+      const double u = std::max(rng.unit(), 1e-12);
+      const double gap_s = -std::log(u) / opt.rate_hz;
+      std::this_thread::sleep_for(std::chrono::nanoseconds(
+          static_cast<std::uint64_t>(gap_s * 1e9)));
+    }
+    const std::size_t slot = rng.uniform(fixture.slots.size());
+    const std::size_t variant = rng.uniform(fixture.variants.size());
+    futures.push_back(svc.submit(fixture.request(
+        slot, variant, "t" + std::to_string(i % opt.tenants))));
+  }
+  const std::uint64_t t_submitted = telemetry::now_ns();
+
+  PoissonLoadResult out;
+  for (auto& f : futures) {
+    ServiceResponse resp = f.get();
+    switch (resp.error) {
+      case ServiceError::None:
+        ++out.completed;
+        out.latencies_ns.push_back(resp.latency_ns());
+        if (resp.resident_hit) ++out.resident_hits;
+        break;
+      case ServiceError::QueueFull:
+      case ServiceError::ShuttingDown:
+        ++out.rejected;
+        break;
+      default:
+        ++out.failed;
+        break;
+    }
+  }
+  const std::uint64_t t1 = telemetry::now_ns();
+  out.elapsed_sec = static_cast<double>(t1 - t0) / 1e9;
+  const double submit_sec = static_cast<double>(t_submitted - t0) / 1e9;
+  out.offered_rate_hz =
+      submit_sec > 0 ? static_cast<double>(opt.requests) / submit_sec : 0;
+  return out;
+}
+
+std::uint64_t percentile_ns(std::vector<std::uint64_t> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(rank + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+}  // namespace jpg

@@ -1,0 +1,79 @@
+// Load harness shared by bench_service, the `jpg serve` CLI subcommand and
+// the service tests: builds a multi-slot, multi-variant module-pool fixture
+// over one device, and replays an open-loop Poisson arrival process against
+// a ReconfigService.
+//
+// "Open loop" matters: arrivals are timed from an exponential inter-arrival
+// clock, not from response completions, so when the service falls behind the
+// queue genuinely fills and admission control (QueueFull) is exercised — the
+// regime a closed-loop driver can never produce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitstream/config_memory.h"
+#include "device/region.h"
+#include "service/reconfig_service.h"
+
+namespace jpg {
+
+/// A base design plus a pool of module variants over disjoint full-height
+/// column-band slots. Request (slot s, variant v) swaps variants[v]'s
+/// content into slots[s]; variant labels are "v<index>", so two requests
+/// naming the same (slot, variant) share one resident lease.
+struct LoadFixture {
+  const Device* device = nullptr;
+  ConfigMemory base;
+  std::vector<Region> slots;          ///< pairwise-disjoint column bands
+  std::vector<ConfigMemory> variants; ///< distinct-content module planes
+
+  [[nodiscard]] ServiceRequest request(std::size_t slot, std::size_t variant,
+                                       std::string tenant,
+                                       RequestKind kind = RequestKind::Swap) const;
+};
+
+/// Carves `num_slots` equal full-height column bands out of the device and
+/// fills `num_variants` noise planes (deterministic in `seed`). Requires the
+/// device to have at least `num_slots` CLB columns.
+[[nodiscard]] LoadFixture make_load_fixture(const Device& device,
+                                            std::uint64_t seed,
+                                            std::size_t num_slots,
+                                            std::size_t num_variants);
+
+struct PoissonLoadOptions {
+  std::size_t requests = 1000;
+  std::size_t tenants = 4;
+  /// Mean arrival rate in requests/second; 0 = back-to-back (no think time).
+  double rate_hz = 0;
+  std::uint64_t seed = 1;
+};
+
+struct PoissonLoadResult {
+  std::size_t completed = 0;       ///< served OK
+  std::size_t rejected = 0;        ///< QueueFull / ShuttingDown
+  std::size_t failed = 0;          ///< dispatched but errored
+  std::size_t resident_hits = 0;
+  double elapsed_sec = 0;          ///< first submit -> last completion
+  double offered_rate_hz = 0;      ///< measured submit rate
+  /// submit -> completion latency of every served request, unsorted.
+  std::vector<std::uint64_t> latencies_ns;
+
+  [[nodiscard]] double swaps_per_sec() const {
+    return elapsed_sec > 0 ? static_cast<double>(completed) / elapsed_sec : 0;
+  }
+};
+
+/// Submits `opt.requests` swap requests with exponential inter-arrival gaps,
+/// tenants round-robined as "t<k>", (slot, variant) drawn uniformly, then
+/// waits for every response. Thread-safe against the service's own workers.
+[[nodiscard]] PoissonLoadResult run_poisson_load(ReconfigService& svc,
+                                                 const LoadFixture& fixture,
+                                                 const PoissonLoadOptions& opt);
+
+/// p in [0,100]; sorts a copy. Returns 0 on empty input.
+[[nodiscard]] std::uint64_t percentile_ns(std::vector<std::uint64_t> samples,
+                                          double p);
+
+}  // namespace jpg

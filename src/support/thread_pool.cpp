@@ -1,14 +1,22 @@
 #include "support/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
-#include <map>
 #include <memory>
 
 #include "support/error.h"
 #include "support/telemetry/telemetry.h"
 
 namespace jpg {
+
+namespace {
+/// The pool whose worker_loop is running on this thread (null on any
+/// non-worker thread, including a parallel_for caller participating from
+/// outside the pool). submit() consults it to run nested submissions
+/// inline instead of risking a self-deadlock.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -33,6 +41,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  tl_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -145,6 +154,15 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   auto packaged =
       std::make_shared<std::packaged_task<void()>>(std::move(task));
   std::future<void> future = packaged->get_future();
+  if (on_worker_thread()) {
+    // A worker submitting to its own pool must not wait for a peer: with
+    // every peer busy (or none existing — a 1-wide pool) a later
+    // future.get() on this task would never return. Run it here; the
+    // packaged_task still routes exceptions through the future.
+    JPG_COUNT("pool.inline_submits", 1);
+    (*packaged)();
+    return future;
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     tasks_.emplace([packaged] { (*packaged)(); });
@@ -154,21 +172,97 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  return tl_worker_pool == this;
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
 }
 
-ThreadPool& ThreadPool::sized(std::size_t n) {
-  if (n == 0) return global();
-  static std::mutex mutex;
-  static std::map<std::size_t, std::unique_ptr<ThreadPool>> pools;
-  const std::lock_guard<std::mutex> lock(mutex);
-  auto it = pools.find(n);
-  if (it == pools.end()) {
-    it = pools.emplace(n, std::make_unique<ThreadPool>(n)).first;
+namespace {
+
+/// LRU cache behind ThreadPool::sized: front of `entries` is the most
+/// recently leased pool. Leases are shared_ptrs, so an entry is idle —
+/// evictable — exactly when its use_count() is 1 (only the cache holds it).
+struct SizedPoolCache {
+  struct Entry {
+    std::size_t width = 0;
+    std::shared_ptr<ThreadPool> pool;
+  };
+  std::mutex mutex;
+  std::vector<Entry> entries;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+};
+
+SizedPoolCache& sized_cache() {
+  // Function-local static (not leaked): destruction at exit joins every
+  // cached pool's workers, like the pre-cap per-width map did.
+  static SizedPoolCache cache;
+  return cache;
+}
+
+}  // namespace
+
+std::shared_ptr<ThreadPool> ThreadPool::sized(std::size_t n) {
+  if (n == 0) {
+    // Non-owning lease on the process-wide pool.
+    return {&global(), [](ThreadPool*) {}};
   }
-  return *it->second;
+  SizedPoolCache& cache = sized_cache();
+  std::shared_ptr<ThreadPool> evicted;  // destroyed (joined) outside the lock
+  std::shared_ptr<ThreadPool> lease;
+  {
+    const std::lock_guard<std::mutex> lock(cache.mutex);
+    auto it = std::find_if(cache.entries.begin(), cache.entries.end(),
+                           [n](const auto& e) { return e.width == n; });
+    if (it != cache.entries.end()) {
+      ++cache.hits;
+      JPG_COUNT("pool.sized.hits", 1);
+      lease = it->pool;
+      std::rotate(cache.entries.begin(), it, it + 1);  // move to front
+    } else {
+      ++cache.misses;
+      JPG_COUNT("pool.sized.misses", 1);
+      lease = std::make_shared<ThreadPool>(n);
+      cache.entries.insert(cache.entries.begin(), {n, lease});
+      // Over the cap, drop the least-recently-leased idle pool. When every
+      // cached pool is leased out the cache runs over the cap temporarily —
+      // bounded by the number of concurrent distinct-width users — and
+      // shrinks back as leases drop and later calls evict.
+      if (cache.entries.size() > kMaxSizedPools) {
+        for (auto rit = cache.entries.rbegin(); rit != cache.entries.rend();
+             ++rit) {
+          if (rit->pool.use_count() == 1) {
+            ++cache.evictions;
+            JPG_COUNT("pool.sized.evictions", 1);
+            evicted = std::move(rit->pool);
+            cache.entries.erase(std::next(rit).base());
+            break;
+          }
+        }
+      }
+    }
+  }
+  return lease;
+}
+
+ThreadPool::SizedCacheStats ThreadPool::sized_cache_stats() {
+  SizedPoolCache& cache = sized_cache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  SizedCacheStats stats;
+  stats.pools = cache.entries.size();
+  for (const auto& e : cache.entries) {
+    stats.total_workers += e.pool->size();
+    if (e.pool.use_count() > 1) ++stats.leased;
+  }
+  stats.hits = cache.hits;
+  stats.misses = cache.misses;
+  stats.evictions = cache.evictions;
+  return stats;
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -49,17 +50,49 @@ class ThreadPool {
   /// future). Unlike parallel_for the caller does not participate, which is
   /// what lets it overlap its own work with the task — the streaming
   /// download validates burst N+1 here while it sends burst N itself.
+  ///
+  /// Called from one of this pool's own workers the task runs *inline* on
+  /// the caller (future already ready on return). Enqueueing would invite a
+  /// deadlock: on a small pool every worker can end up blocked in
+  /// future.get() on a task that no free worker exists to run — e.g. a
+  /// streamed download with overlap_verify executing inside a
+  /// generate_batch/service worker. Inline execution trades the overlap for
+  /// progress; callers that need real overlap submit from a non-worker
+  /// thread (or a different pool).
   [[nodiscard]] std::future<void> submit(std::function<void()> task);
+
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
 
   /// Shared process-wide pool (lazily constructed).
   static ThreadPool& global();
 
-  /// Shared pool with exactly `n` workers (lazily constructed, cached per
-  /// size, never destroyed before exit). `n == 0` returns global(). Callers
-  /// that take a thread-count knob (RouterOptions::num_threads) use this so
-  /// repeated runs at the same width reuse the same workers instead of
-  /// spawning a pool per call.
-  static ThreadPool& sized(std::size_t n);
+  /// Shared pool with exactly `n` workers, leased from a small LRU cache.
+  /// `n == 0` returns global() (the lease is non-owning). Callers that take
+  /// a thread-count knob (RouterOptions::num_threads) use this so repeated
+  /// runs at the same width reuse the same workers instead of spawning a
+  /// pool per call. The cache keeps at most kMaxSizedPools pools: when a
+  /// new width would exceed the cap, the least-recently-leased *idle* pool
+  /// (no outstanding lease) is destroyed — its workers join — so a
+  /// long-running daemon that sizes pools per request cannot leak threads
+  /// without bound. Hold the returned lease for as long as the pool is in
+  /// use; a pool with a live lease is never evicted.
+  [[nodiscard]] static std::shared_ptr<ThreadPool> sized(std::size_t n);
+
+  /// Distinct sized pools cached at once (global() is separate).
+  static constexpr std::size_t kMaxSizedPools = 4;
+
+  /// Observability for the sized-pool cache (the leak-regression sweep test
+  /// asserts total_workers stays bounded over any width sequence).
+  struct SizedCacheStats {
+    std::size_t pools = 0;          ///< cached pools right now
+    std::size_t total_workers = 0;  ///< sum of their widths
+    std::size_t leased = 0;         ///< pools with an outstanding lease
+    std::size_t hits = 0;           ///< leases served from the cache
+    std::size_t misses = 0;         ///< leases that constructed a pool
+    std::size_t evictions = 0;      ///< idle pools destroyed at the cap
+  };
+  [[nodiscard]] static SizedCacheStats sized_cache_stats();
 
  private:
   void worker_loop();

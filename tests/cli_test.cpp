@@ -229,6 +229,19 @@ TEST_F(CliTest, StatsEmitsMetricsAndChromeTrace) {
 #endif
 }
 
+TEST_F(CliTest, ServeRunsPoissonLoadAndReportsQuotas) {
+  ASSERT_EQ(exit_code("serve --requests 30 --boards 2 --tenants 3 --quota 2 "
+                      "--seed 9"),
+            0);
+  const std::string out = output();
+  EXPECT_NE(out.find("2 boards, 3 tenants"), std::string::npos);
+  EXPECT_NE(out.find("completed"), std::string::npos);
+  EXPECT_NE(out.find("p99"), std::string::npos);
+  EXPECT_NE(out.find("swaps/s"), std::string::npos);
+  EXPECT_NE(out.find("failed 0"), std::string::npos);
+  EXPECT_NE(out.find("of quota 2"), std::string::npos);
+}
+
 TEST_F(CliTest, MetricsFlagWorksOnAnyCommand) {
   ASSERT_EQ(exit_code("info " + path("base.bit") + " --metrics " +
                       path("info_m.json")),

@@ -356,6 +356,33 @@ TEST_F(StreamDownloadTest, FaultyLinkStreamingConvergesWithRepairBudget) {
   EXPECT_EQ(board_plane(board), *target_plane_);
 }
 
+// Regression: once a send fault latched `send_failed`, the loop kept
+// crediting the (near-zero) window of every skipped send as hidden
+// validation time, deflating cfg.stream_overlap_ns. After the fix only
+// bursts that actually went out cleanly contribute overlap credit — with
+// the very first send faulted, the whole stream must report exactly zero.
+TEST_F(StreamDownloadTest, NoOverlapCreditAfterSendFault) {
+  SimBoard board(*dev_);
+  board.send_config(base_bit_.words);
+  FaultProfile profile;
+  profile.send_failure = 1.0;  // first send_config throws...
+  profile.fault_budget = 1;    // ...then the link is clean (for the repair)
+  FaultyBoard faulty(board, profile, 19);
+  VerifiedDownloader dl(faulty, *dev_, DownloadPolicy{});
+  dl.assume_board_state(*base_plane_);
+  StreamOptions opts;
+  opts.burst_words = 16;  // many bursts, all skipped after the fault
+  opts.overlap_verify = true;
+  const DownloadReport rep =
+      dl.download_stream(StreamSource::of(partial_.words), opts);
+  // Nothing reached the board in the streamed phase; the repair stream
+  // rewrites every touched frame over the now-clean link.
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_GE(rep.faults_seen, 1u);
+  EXPECT_EQ(rep.telemetry.counter("stream_overlap_ns"), 0u);
+  EXPECT_EQ(board_plane(board), *target_plane_);
+}
+
 TEST_F(StreamDownloadTest, JpgFacadeStreamsALeasedPbit) {
   Jpg tool(base_bit_);
   SimBoard board(*dev_);

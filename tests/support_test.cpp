@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <bit>
+#include <chrono>
+#include <memory>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "support/bitvec.h"
@@ -423,6 +426,92 @@ TEST(ThreadPool, PropagatesExceptions) {
 TEST(ThreadPool, ZeroIterationsIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+// Regression: before the inline-on-worker fix, a task submitting to its own
+// pool and waiting on the future deadlocked whenever no other worker was
+// free — guaranteed on this 1-worker pool (the streamed download's
+// overlap_verify submit running inside a service/batch worker).
+TEST(ThreadPool, NestedSubmitFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(1);
+  std::thread::id inner_tid;
+  std::future<void> outer = pool.submit([&] {
+    std::future<void> inner =
+        pool.submit([&] { inner_tid = std::this_thread::get_id(); });
+    inner.get();  // deadlocked here before the fix
+  });
+  ASSERT_EQ(outer.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  outer.get();
+  // The nested task ran inline on the submitting worker, not on the caller.
+  EXPECT_NE(inner_tid, std::this_thread::get_id());
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(ThreadPool, NestedSubmitRunsInlineAndPropagatesExceptions) {
+  ThreadPool pool(1);
+  std::thread::id outer_tid, inner_tid;
+  pool.submit([&] {
+        outer_tid = std::this_thread::get_id();
+        EXPECT_TRUE(pool.on_worker_thread());
+        std::future<void> inner =
+            pool.submit([&] { inner_tid = std::this_thread::get_id(); });
+        // Inline execution: ready before get(), on the same worker thread.
+        EXPECT_EQ(inner.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        std::future<void> boom = pool.submit([] { throw JpgError("boom"); });
+        EXPECT_THROW(boom.get(), JpgError);
+      })
+      .get();
+  EXPECT_EQ(outer_tid, inner_tid);
+  // A foreign pool's workers are not "this pool's" context: submitting
+  // there still enqueues (and must not be inlined onto the wrong pool).
+  ThreadPool other(1);
+  pool.submit([&] { EXPECT_FALSE(other.on_worker_thread()); }).get();
+}
+
+// Regression: sized() used to cache one pool per distinct width forever, so
+// a daemon sizing pools per request leaked threads without bound. The LRU
+// cap keeps the cached worker population bounded over any width sequence.
+TEST(ThreadPool, SizedCacheStaysBoundedOverWidthSweep) {
+  const auto before = ThreadPool::sized_cache_stats();
+  constexpr std::size_t kMaxWidth = 24;
+  for (std::size_t w = 1; w <= kMaxWidth; ++w) {
+    const std::shared_ptr<ThreadPool> lease = ThreadPool::sized(w);
+    ASSERT_EQ(lease->size(), w);
+    // Use the pool so eviction is exercised against live-then-idle pools.
+    std::atomic<int> n{0};
+    lease->parallel_for(8, [&](std::size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 8);
+  }
+  const auto after = ThreadPool::sized_cache_stats();
+  EXPECT_LE(after.pools, ThreadPool::kMaxSizedPools);
+  // The cached population is at most the cap's worth of the widest pools.
+  EXPECT_LE(after.total_workers, ThreadPool::kMaxSizedPools * kMaxWidth);
+  EXPECT_GE(after.evictions, before.evictions + kMaxWidth -
+                                 ThreadPool::kMaxSizedPools);
+}
+
+TEST(ThreadPool, SizedCacheReusesPoolsAndPinsLeased) {
+  // Same width twice -> the same pool object (a cache hit, not a respawn).
+  const auto s0 = ThreadPool::sized_cache_stats();
+  const std::shared_ptr<ThreadPool> a = ThreadPool::sized(3);
+  const std::shared_ptr<ThreadPool> b = ThreadPool::sized(3);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_GE(ThreadPool::sized_cache_stats().hits, s0.hits + 1);
+
+  // A leased pool survives any amount of width churn past the cap.
+  for (std::size_t w = 30; w < 30 + 3 * ThreadPool::kMaxSizedPools; ++w) {
+    (void)ThreadPool::sized(w);
+  }
+  std::atomic<int> n{0};
+  a->parallel_for(5, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 5);
+  EXPECT_EQ(a->size(), 3u);
+
+  // Width 0 leases the process-global pool without owning it.
+  const std::shared_ptr<ThreadPool> g = ThreadPool::sized(0);
+  EXPECT_EQ(g.get(), &ThreadPool::global());
 }
 
 TEST(Errors, ParseErrorCarriesLocation) {

@@ -27,6 +27,14 @@
 //                                                a cache hit, verified
 //                                                download) and print the
 //                                                metrics snapshot
+//   jpg_cli serve [--part PART] [--boards N] [--tenants N] [--requests N]
+//                 [--rate HZ] [--seed S] [--queue-depth N] [--quota N]
+//                 [--slots N] [--variants N]
+//                                                multi-tenant reconfiguration
+//                                                service loadgen: replay an
+//                                                open-loop Poisson swap
+//                                                workload and print latency
+//                                                percentiles + throughput
 //   jpg_cli proptest [--device PART] [--seed S] [--count N] [--raw-seed R]
 //                    [--cycles C] [--shrink] [--repro-dir DIR] [--fault-tier]
 //                                                property-based differential
@@ -57,6 +65,8 @@
 #include "hwif/sim_board.h"
 #include "hwif/verified_downloader.h"
 #include "netlib/generators.h"
+#include "service/load_harness.h"
+#include "service/reconfig_service.h"
 #include "support/telemetry/telemetry.h"
 #include "pnr/flow.h"
 #include "testing/design_gen.h"
@@ -507,6 +517,86 @@ int cmd_stats(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  std::string part = "XCV50";
+  std::size_t boards = 2, tenants = 4, slots = 2, variants = 4;
+  std::size_t requests = 200;
+  double rate_hz = 0;
+  std::uint64_t seed = 1;
+  ServiceConfig cfg;
+  for (int i = 0; i < argc; ++i) {
+    const auto num = [&](std::size_t& out) {
+      out = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    };
+    if (std::strcmp(argv[i], "--part") == 0 && i + 1 < argc) {
+      part = argv[++i];
+    } else if (std::strcmp(argv[i], "--boards") == 0 && i + 1 < argc) {
+      num(boards);
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      num(tenants);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      num(requests);
+    } else if (std::strcmp(argv[i], "--slots") == 0 && i + 1 < argc) {
+      num(slots);
+    } else if (std::strcmp(argv[i], "--variants") == 0 && i + 1 < argc) {
+      num(variants);
+    } else if (std::strcmp(argv[i], "--queue-depth") == 0 && i + 1 < argc) {
+      num(cfg.queue_depth);
+    } else if (std::strcmp(argv[i], "--quota") == 0 && i + 1 < argc) {
+      num(cfg.tenant_quota);
+    } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+      rate_hz = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      throw JpgError(
+          "usage: jpg_cli serve [--part PART] [--boards N] [--tenants N] "
+          "[--requests N] [--rate HZ] [--seed S] [--queue-depth N] "
+          "[--quota N] [--slots N] [--variants N]");
+    }
+  }
+  const Device& dev = Device::get(part);
+  const LoadFixture fx = make_load_fixture(dev, seed, slots, variants);
+  cfg.stream.overlap_verify = true;
+  ReconfigService svc(dev, fx.base, boards, cfg);
+  PoissonLoadOptions opt;
+  opt.requests = requests;
+  opt.tenants = tenants;
+  opt.rate_hz = rate_hz;
+  opt.seed = seed;
+  const PoissonLoadResult res = run_poisson_load(svc, fx, opt);
+  svc.shutdown();
+  const ServiceStats st = svc.stats();
+
+  std::printf("service       : %s, %zu boards, %zu tenants, %zu slots x %zu "
+              "variants\n",
+              part.c_str(), boards, tenants, slots, variants);
+  std::printf("load          : %zu requests, offered %.1f req/s (%s)\n",
+              requests, res.offered_rate_hz,
+              rate_hz > 0 ? "open-loop Poisson" : "back-to-back");
+  std::printf("completed     : %zu (%zu resident hits), rejected %zu, "
+              "failed %zu\n",
+              res.completed, res.resident_hits, res.rejected, res.failed);
+  std::printf("latency       : p50 %.2f ms, p99 %.2f ms\n",
+              static_cast<double>(percentile_ns(res.latencies_ns, 50)) / 1e6,
+              static_cast<double>(percentile_ns(res.latencies_ns, 99)) / 1e6);
+  std::printf("throughput    : %.1f swaps/s over %.2f s\n", res.swaps_per_sec(),
+              res.elapsed_sec);
+  std::printf("queue         : peak %zu of depth %zu; %llu DRR rounds\n",
+              st.queue_peak, cfg.queue_depth,
+              static_cast<unsigned long long>(st.drr_rounds));
+  for (const auto& [name, ts] : st.tenants) {
+    std::printf("tenant %-7s: %llu done, %llu rejected, %llu resident hits, "
+                "%llu quota evictions (peak %zu of quota %zu)\n",
+                name.c_str(), static_cast<unsigned long long>(ts.completed),
+                static_cast<unsigned long long>(ts.rejected),
+                static_cast<unsigned long long>(ts.resident_hits),
+                static_cast<unsigned long long>(ts.quota_evictions),
+                ts.resident_peak, cfg.tenant_quota);
+  }
+  return res.failed == 0 ? 0 : 1;
+}
+
 int cmd_proptest(int argc, char** argv) {
   std::string part = "XCV50";
   std::uint64_t seed = 1;
@@ -603,7 +693,7 @@ int usage() {
                "jpg_cli — partial bitstream generation (jpg-cpp)\n"
                "commands: info summarize partial apply floorplan verify\n"
                "          project-new project-add project-build pnr\n"
-               "          fuzzcfg download stats proptest\n"
+               "          fuzzcfg download stats serve proptest\n"
                "global flags: [--metrics <file>] [--trace <file>]\n");
   return 2;
 }
@@ -628,6 +718,7 @@ int dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "fuzzcfg") return cmd_fuzzcfg(argc, argv);
   if (cmd == "download") return cmd_download(argc, argv);
   if (cmd == "stats") return cmd_stats(argc, argv);
+  if (cmd == "serve") return cmd_serve(argc, argv);
   if (cmd == "proptest") return cmd_proptest(argc, argv);
   return usage();
 }

@@ -6,6 +6,11 @@
 #   asan       JPG_SANITIZE=address, fast + fuzz      (memory bugs)
 #   tsan       JPG_SANITIZE=thread, tsan-labelled     (threaded router)
 #   telemoff   JPG_TELEMETRY=OFF, fast tier           (counters compile out)
+#   service    TSan run of the service + concurrent-stream tests, then a
+#              release JPG_BENCH_SMOKE=1 run of bench_service gated on the
+#              BENCH_service.json sanity fields: p99 swap latency finite,
+#              swaps/sec > 0, zero admission-control violations and zero
+#              per-tenant quota violations.
 #   bench      release build, JPG_BENCH_SMOKE=1 run of the parallel-core
 #              benches (router, partial gen, word kernels) plus the ICAP
 #              streaming bench; on hosts with >= 4 cores it additionally
@@ -140,6 +145,53 @@ print("bench smoke OK")
 EOF
 }
 
+run_service_checks() {
+  echo "=== [service] TSan service + concurrent-stream tests ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Release -DJPG_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j "$JOBS" --target service_test concurrent_stream_test
+  (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
+     -R 'ServiceTest|ConcurrentStreamTest')
+  echo "=== [service] bench_service smoke + gate ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build build -j "$JOBS" --target bench_service
+  local out
+  out=$(mktemp -d)
+  (cd "$out" && JPG_BENCH_SMOKE=1 "$OLDPWD/build/bench/bench_service")
+  python3 - "$out" <<'EOF'
+import json, math, os, sys
+
+out = sys.argv[1]
+failures = []
+rep = json.load(open(os.path.join(out, "BENCH_service.json")))
+for sec, kv in rep.items():
+    if "p99_swap_ns" not in kv:
+        continue  # telemetry section
+    print(f"  {sec}: {kv['swaps_per_sec']:.0f} swaps/s, "
+          f"p50 {kv['p50_swap_ns'] / 1e6:.2f} ms, "
+          f"p99 {kv['p99_swap_ns'] / 1e6:.2f} ms, "
+          f"rejected {int(kv['rejected'])}, "
+          f"admission_violations {int(kv['admission_violations'])}, "
+          f"quota_violations {int(kv['quota_violations'])}")
+    if not math.isfinite(kv["p99_swap_ns"]) or kv["p99_swap_ns"] <= 0:
+        failures.append(f"{sec}: p99 swap latency not finite/positive")
+    if kv["swaps_per_sec"] <= 0:
+        failures.append(f"{sec}: sustained swap rate is zero")
+    if kv["admission_violations"] != 0:
+        failures.append(f"{sec}: queue exceeded its configured depth "
+                        f"({int(kv['admission_violations'])} over)")
+    if kv["quota_violations"] != 0:
+        failures.append(f"{sec}: a tenant exceeded its resident quota "
+                        f"({int(kv['quota_violations'])} over)")
+    if kv["failed"] != 0:
+        failures.append(f"{sec}: {int(kv['failed'])} dispatched requests "
+                        "failed")
+if failures:
+    print("\n".join("FAIL: " + f for f in failures), file=sys.stderr)
+    sys.exit(1)
+print("service gate OK")
+EOF
+}
+
 for cfg in "${CONFIGS[@]}"; do
   case "$cfg" in
     release)  run_one release  build       -DCMAKE_BUILD_TYPE=Release ;;
@@ -147,7 +199,8 @@ for cfg in "${CONFIGS[@]}"; do
     tsan)     run_one tsan     build-tsan  -DCMAKE_BUILD_TYPE=Release -DJPG_SANITIZE=thread ;;
     telemoff) run_one telemoff build-off   -DCMAKE_BUILD_TYPE=Release -DJPG_TELEMETRY=OFF ;;
     bench)    run_bench_smoke ;;
-    *) echo "unknown config '$cfg' (release|asan|tsan|telemoff|bench)" >&2; exit 2 ;;
+    service)  run_service_checks ;;
+    *) echo "unknown config '$cfg' (release|asan|tsan|telemoff|bench|service)" >&2; exit 2 ;;
   esac
 done
 echo "=== all checks passed: ${CONFIGS[*]} ==="
