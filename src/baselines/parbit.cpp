@@ -109,6 +109,15 @@ ParbitResult parbit_transform(const Bitstream& new_design,
   const Region dest{opts.source.r0 + dr, opts.source.c0 + dc,
                     opts.source.r1 + dr, opts.source.c1 + dc};
   JPG_REQUIRE(dest.in_bounds(dev), "target block out of bounds");
+  if (opts.mode == ParbitOptions::Mode::Column && dr != 0) {
+    // Column mode ships whole frames, and a frame is a full-height
+    // bit-column: there is no row to rewrite, so a vertical shift is a
+    // structural impossibility, not a routing concern. Reject it up front
+    // with the same typed error the PbitRelocator's checker uses.
+    throw RelocError(RelocError::Kind::VerticalColumnMode,
+                     "column mode cannot relocate vertically (dr=" +
+                         std::to_string(dr) + "); use block mode");
+  }
 
   // Load the new design's configuration plane.
   ConfigMemory fresh(dev);
@@ -158,8 +167,6 @@ ParbitResult parbit_transform(const Bitstream& new_design,
         // Column mode ships the full source frame rows as-is (relocation of
         // whole columns); out-of-block rows come from the new design too.
         frame = fresh.frame(sidx);
-        JPG_REQUIRE(dr == 0,
-                    "column mode cannot relocate vertically; use block mode");
       }
       staged.frame(tidx) = frame;
     }

@@ -59,6 +59,13 @@ class SimBoard final : public Xhwif {
   /// The live circuit simulator (forces a rebuild if stale).
   [[nodiscard]] BitstreamSim& sim();
 
+  /// Test hook: XORs `mask` into word `word` of frame `frame`, bypassing
+  /// the configuration port entirely — the model of a stray modification
+  /// (bitstream Trojan, SEU) that no download-time check saw. Readback and
+  /// the simulator observe the corruption; attestation must flag it.
+  void corrupt_frame_word(std::size_t frame, std::size_t word,
+                          std::uint32_t mask);
+
  private:
   void rebuild_if_stale();
 

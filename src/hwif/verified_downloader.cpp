@@ -69,6 +69,30 @@ std::vector<std::uint32_t> mask_capture_words(const Device& device,
   return words;
 }
 
+std::string AttestReport::summary() const {
+  std::ostringstream os;
+  os << "attestation: " << (attested ? "clean" : "FAILED") << "; "
+     << frames_audited << " frames audited, " << findings.size()
+     << " stray finding(s), " << frames_unreadable << " unreadable";
+  const std::size_t show = std::min<std::size_t>(findings.size(), 4);
+  for (std::size_t i = 0; i < show; ++i) {
+    const AttestFinding& f = findings[i];
+    os << "; " << f.address << " word " << f.word << ": expected 0x"
+       << std::hex << f.expected << " got 0x" << f.got << std::dec;
+  }
+  return os.str();
+}
+
+ConfigMemory reconstruct_expected_plane(const ConfigMemory& base,
+                                        std::span<const Bitstream> applied) {
+  ConfigMemory plane = base;
+  for (const Bitstream& pbit : applied) {
+    ConfigPort port(plane);
+    port.load(pbit);
+  }
+  return plane;
+}
+
 VerifiedDownloader::VerifiedDownloader(Xhwif& board, const Device& device,
                                        const DownloadPolicy& policy)
     : board_(&board), device_(&device), policy_(policy) {
@@ -246,6 +270,68 @@ void VerifiedDownloader::finish_report(DownloadReport& rep,
   rep.telemetry.set("readback_words", readback_words_);
   rep.telemetry.set("repair_rounds", repair_rounds_);
   rep.telemetry.set("aborts", aborts_);
+}
+
+AttestReport VerifiedDownloader::attest(const ConfigMemory& expected) {
+  JPG_SPAN("attest.audit");
+  JPG_COUNT("attest.audits", 1);
+  JPG_REQUIRE(&expected.device() == device_,
+              "attestation plane targets a different device");
+  const FrameMap& fm = device_->frames();
+  const std::size_t fw = fm.frame_words();
+  const std::size_t total = fm.num_frames();
+  // Bounded readback runs keep the scratch buffer small on big parts.
+  constexpr std::size_t kChunkFrames = 32;
+
+  AttestReport rep;
+  expect_scratch_.resize(fw);
+  std::vector<std::uint32_t>& expect = expect_scratch_;
+  std::vector<std::uint32_t>& got = readback_scratch_;
+  for (std::size_t first = 0; first < total; first += kChunkFrames) {
+    const std::size_t count = std::min(kChunkFrames, total - first);
+    try {
+      board_->readback_into(first, count, got);
+      JPG_COUNT("attest.readback_words", got.size());
+    } catch (const JpgError& e) {
+      // An unreadable frame proves nothing — but an audit that cannot see
+      // the whole plane must not attest it.
+      rep.frames_unreadable += count;
+      JPG_WARN(std::string("attest: readback failed: ") + e.what());
+      continue;
+    }
+    JPG_ASSERT(got.size() == count * fw);
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t frame = first + k;
+      ++rep.frames_audited;
+      expected.read_frame_words(frame, expect.data());
+      const std::span<std::uint32_t> rb(got.data() + k * fw, fw);
+      if (policy_.mask_capture_bits && is_capture_frame(fm, frame)) {
+        mask_capture_words_inplace(*device_, frame, rb);
+        mask_capture_words_inplace(*device_, frame, expect);
+      }
+      for (std::size_t w = 0; w < fw; ++w) {
+        if (rb[w] != expect[w]) {
+          rep.findings.push_back({frame, fm.describe_frame(frame), w,
+                                  expect[w], rb[w]});
+          break;  // one finding per frame; the address is what matters
+        }
+      }
+    }
+  }
+  rep.attested = rep.findings.empty() && rep.frames_unreadable == 0;
+  JPG_COUNT("attest.frames_audited", rep.frames_audited);
+  if (!rep.findings.empty()) {
+    JPG_COUNT("attest.findings", rep.findings.size());
+  }
+  JPG_INFO(rep.summary());
+  return rep;
+}
+
+AttestReport VerifiedDownloader::attest() {
+  JPG_REQUIRE(has_mirror(),
+              "no board mirror established; call download_full or "
+              "assume_board_state first");
+  return attest(*mirror_);
 }
 
 DownloadReport VerifiedDownloader::download_full(const Bitstream& full) {

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,36 @@ struct DownloadReport {
 
 [[nodiscard]] std::string_view download_status_name(DownloadStatus s);
 
+/// One configuration word that does not match the attested plane — the
+/// shape of a bitstream-Trojan detection (Ender et al.): a stray write
+/// that slipped past the per-download verification, or tampering that
+/// happened after the last download.
+struct AttestFinding {
+  std::size_t frame = 0;     ///< linear frame index
+  std::string address;       ///< human-readable "maj/min" frame address
+  std::size_t word = 0;      ///< first mismatching word within the frame
+  std::uint32_t expected = 0;
+  std::uint32_t got = 0;
+};
+
+/// Result of a full-plane readback audit.
+struct AttestReport {
+  bool attested = false;            ///< plane matches, all frames read back
+  std::size_t frames_audited = 0;   ///< frames compared
+  std::size_t frames_unreadable = 0;  ///< readback failures (not attested)
+  std::vector<AttestFinding> findings;  ///< stray words, frame-accurate
+
+  [[nodiscard]] bool ok() const { return attested; }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Replays `applied` partial bitstreams, in order, onto a copy of `base`:
+/// the plane a healthy device must hold after those downloads. Relocated
+/// pbits compose like any other — the expectation is wherever they were
+/// actually targeted. Throws BitstreamError on a malformed pbit.
+[[nodiscard]] ConfigMemory reconstruct_expected_plane(
+    const ConfigMemory& base, std::span<const Bitstream> applied);
+
 /// Zeroes the FF capture bits of one frame's readback words when `frame`
 /// is a capture minor (CLB minors 16/17) — the readback-mask-file rule.
 [[nodiscard]] std::vector<std::uint32_t> mask_capture_words(
@@ -117,6 +148,18 @@ class VerifiedDownloader {
   /// readback-verified and repaired exactly like download_partial.
   DownloadReport download_stream(const StreamSource& source,
                                  const StreamOptions& opts = {});
+
+  /// Full-plane readback audit: reads back every frame of the device and
+  /// compares it word-for-word against `expected`, masking FF capture bits
+  /// per policy. Unlike the per-download verification (which checks the
+  /// frames a stream touches, plus a sweep against the mirror), attest()
+  /// takes the *reconstructed* expectation — base + every applied pbit —
+  /// so it catches strays in any frame, including tampering that happened
+  /// between downloads. Read-only: never writes to the board.
+  [[nodiscard]] AttestReport attest(const ConfigMemory& expected);
+
+  /// Audits against the downloader's own mirror (the last verified plane).
+  [[nodiscard]] AttestReport attest();
 
   /// Declares that the board already holds `plane` (a tool that loaded the
   /// base design through other means seeds the mirror this way).

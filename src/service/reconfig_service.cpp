@@ -72,9 +72,10 @@ std::future<ServiceResponse> ReconfigService::submit(ServiceRequest req) {
   // Structural validation is synchronous: a malformed request never costs a
   // queue slot.
   std::string bad;
-  if (req.module_config == nullptr) {
+  if (req.module_config == nullptr && !cfg_.allow_relocation) {
     bad = "missing module_config";
-  } else if (&req.module_config->device() != device_) {
+  } else if (req.module_config != nullptr &&
+             &req.module_config->device() != device_) {
     bad = "module plane targets a different device";
   } else if (!req.region.in_bounds(*device_)) {
     bad = "region out of bounds: " + req.region.to_string();
@@ -343,6 +344,14 @@ void ReconfigService::execute(std::shared_ptr<Pending> p, int board_idx,
       BoardCtx& ctx = *boards_[static_cast<std::size_t>(board_idx)];
       ctx.busy = false;
       ctx.words_shipped += swap_words;
+      if (resp.ok() && p->req.kind == RequestKind::Swap && resident) {
+        // Record the applied pbit (relocated ones included) so attest()
+        // can reconstruct the board's expected plane and defragment()
+        // knows which slots are live. Same-region swaps replace.
+        ctx.applied[p->req.region.to_string()] =
+            AppliedPbit{p->req.region, p->req.variant,
+                        resident->lease.bitstream(), ++apply_seq_};
+      }
     }
     --inflight_;
     JPG_GAUGE_SET("svc.inflight", static_cast<std::int64_t>(inflight_));
@@ -374,17 +383,47 @@ std::shared_ptr<ReconfigService::Resident> ReconfigService::acquire_resident(
       entry = it->second;
     } else {
       entry = std::make_shared<Resident>();
+      entry->region = req.region;
+      entry->variant = req.variant;
+      entry->opts = req.gen_opts;
       residents_[key] = entry;
       creator = true;
     }
   }
 
+  bool relocated = false;
   if (creator) {
     // Generation runs outside every service lock: only requests for this
     // same key wait on it; everything else proceeds.
     try {
-      PbitLease lease = gen_.generate_leased(*req.module_config, req.region,
-                                             req.gen_opts);
+      PbitLease lease;
+      if (req.module_config != nullptr) {
+        lease = gen_.generate_leased(*req.module_config, req.region,
+                                     req.gen_opts);
+      } else {
+        // Relocation serve: no module plane was supplied, so the variant
+        // must already be resident somewhere shape-compatible — relocate
+        // that donor's stream to this request's slot.
+        std::shared_ptr<Resident> donor;
+        {
+          const std::lock_guard<std::mutex> lock(resident_lock_);
+          donor = find_donor_locked(req);
+        }
+        if (donor == nullptr) {
+          throw JpgError("no resident donor for variant '" + req.variant +
+                         "' compatible with " + req.region.to_string());
+        }
+        // The donor's lease is immutable once Ready and stays pinned while
+        // we hold the shared entry; copy its stream and relocate.
+        const Bitstream donor_pbit = donor->lease.bitstream();
+        const PbitRelocator reloc(gen_);
+        RelocOptions ropts;
+        ropts.gen = req.gen_opts;
+        lease = reloc.relocate_leased(donor_pbit, donor->region, req.region,
+                                      ropts);
+        relocated = true;
+        JPG_COUNT("reloc.served_relocated", 1);
+      }
       const std::lock_guard<std::mutex> lock(resident_lock_);
       entry->lease = std::move(lease);
       entry->state = Resident::State::Ready;
@@ -445,8 +484,145 @@ std::shared_ptr<ReconfigService::Resident> ReconfigService::acquire_resident(
     ts.quota_evictions += evictions;
     ts.resident_entries = entries_now;
     ts.resident_peak = std::max(ts.resident_peak, entries_now);
+    if (relocated) ++stats_.relocations_served;
   }
   return entry;
+}
+
+std::shared_ptr<ReconfigService::Resident> ReconfigService::find_donor_locked(
+    const ServiceRequest& req) const {
+  for (const auto& [key, entry] : residents_) {
+    if (entry->state != Resident::State::Ready) continue;
+    if (entry->variant != req.variant) continue;
+    if (entry->opts.diff_only != req.gen_opts.diff_only ||
+        entry->opts.include_crc != req.gen_opts.include_crc) {
+      continue;
+    }
+    if (entry->region == req.region) continue;
+    if (entry->region.width() != req.region.width() ||
+        entry->region.height() != req.region.height()) {
+      continue;
+    }
+    return entry;
+  }
+  return nullptr;
+}
+
+// --- Attestation and defragmentation -----------------------------------------
+
+void ReconfigService::claim_board(std::size_t i) {
+  std::unique_lock<std::mutex> lock(lock_);
+  cv_.wait(lock, [&] { return !boards_[i]->busy; });
+  boards_[i]->busy = true;
+}
+
+void ReconfigService::release_board(std::size_t i) {
+  {
+    const std::lock_guard<std::mutex> lock(lock_);
+    boards_[i]->busy = false;
+  }
+  cv_.notify_all();
+}
+
+AttestReport ReconfigService::attest(std::size_t board) {
+  JPG_REQUIRE(board < boards_.size(), "board index out of range");
+  BoardCtx& ctx = *boards_[board];
+  claim_board(board);
+  AttestReport rep;
+  try {
+    std::vector<AppliedPbit> applied;
+    {
+      const std::lock_guard<std::mutex> lock(lock_);
+      for (const auto& [key, ap] : ctx.applied) applied.push_back(ap);
+    }
+    std::sort(applied.begin(), applied.end(),
+              [](const AppliedPbit& a, const AppliedPbit& b) {
+                return a.seq < b.seq;
+              });
+    std::vector<Bitstream> streams;
+    streams.reserve(applied.size());
+    for (const AppliedPbit& ap : applied) streams.push_back(ap.pbit);
+    const ConfigMemory expected =
+        reconstruct_expected_plane(*base_, streams);
+    rep = ctx.downloader->attest(expected);
+  } catch (...) {
+    release_board(board);
+    throw;
+  }
+  release_board(board);
+  return rep;
+}
+
+std::vector<char> ReconfigService::base_free_columns() const {
+  const FrameMap& fm = device_->frames();
+  std::vector<char> usable(static_cast<std::size_t>(device_->cols()), 0);
+  for (int c = 0; c < device_->cols(); ++c) {
+    const int major = fm.major_of_clb_col(c);
+    bool empty = true;
+    for (int minor = 0; minor < fm.frames_in_major(major) && empty; ++minor) {
+      empty = base_->frame(fm.frame_index(major, minor)).popcount() == 0;
+    }
+    usable[static_cast<std::size_t>(c)] = empty ? 1 : 0;
+  }
+  return usable;
+}
+
+DefragReport ReconfigService::defragment(std::size_t board) {
+  JPG_REQUIRE(board < boards_.size(), "board index out of range");
+  BoardCtx& ctx = *boards_[board];
+  claim_board(board);
+  DefragReport rep;
+  try {
+    std::map<std::string, AppliedPbit> applied;
+    {
+      const std::lock_guard<std::mutex> lock(lock_);
+      applied = ctx.applied;
+    }
+    std::vector<DefragSlot> slots;
+    slots.reserve(applied.size());
+    for (const auto& [key, ap] : applied) slots.push_back({ap.region, key});
+    const std::vector<char> usable = base_free_columns();
+    rep.planned = plan_defrag(
+        *device_, std::move(slots),
+        [&usable](int c) { return usable[static_cast<std::size_t>(c)] != 0; });
+
+    const PbitRelocator reloc(gen_);
+    for (const DefragMove& mv : rep.planned) {
+      const AppliedPbit& ap = applied.at(mv.key);
+      // Move = relocate + verified download of the module at its new slot,
+      // then a verified restore of the base at the vacated slot. Each step
+      // is a download_partial, so the two-state invariant covers the whole
+      // sequence: any failure leaves the board in a known configuration.
+      const PartialGenResult moved = reloc.relocate(ap.pbit, mv.from, mv.to);
+      DownloadReport dl = ctx.downloader->download_partial(moved.bitstream);
+      if (!dl.ok()) {
+        rep.ok = false;
+        rep.error = "move to " + mv.to.to_string() + " failed: " + dl.error;
+        break;
+      }
+      const PartialGenResult scrub = gen_.generate(*base_, mv.from);
+      dl = ctx.downloader->download_partial(scrub.bitstream);
+      if (!dl.ok()) {
+        rep.ok = false;
+        rep.error = "scrub of " + mv.from.to_string() + " failed: " + dl.error;
+        break;
+      }
+      ++rep.executed;
+      JPG_COUNT("reloc.defrag_moves", 1);
+      {
+        const std::lock_guard<std::mutex> lock(lock_);
+        ctx.applied.erase(mv.from.to_string());
+        ctx.applied[mv.to.to_string()] =
+            AppliedPbit{mv.to, ap.variant, moved.bitstream, ++apply_seq_};
+        ++stats_.defrag_moves;
+      }
+    }
+  } catch (const JpgError& e) {
+    rep.ok = false;
+    rep.error = e.what();
+  }
+  release_board(board);
+  return rep;
 }
 
 void ReconfigService::reap_residents_locked() {

@@ -40,6 +40,7 @@
 
 #include "bitstream/config_memory.h"
 #include "core/partial_gen.h"
+#include "core/relocate.h"
 #include "device/region.h"
 #include "hwif/sim_board.h"
 #include "hwif/stream_source.h"
@@ -72,7 +73,10 @@ struct ServiceRequest {
   /// Target board for swaps; -1 lets the scheduler pick a free board
   /// (least configuration words shipped so far — cheap load balancing).
   int board = -1;
-  /// Module plane and slot; must outlive the request's completion.
+  /// Module plane and slot; must outlive the request's completion. May be
+  /// null when ServiceConfig::allow_relocation is set: the service then
+  /// serves the variant by relocating a resident donor pbit of the same
+  /// (variant, shape) to this request's region.
   const ConfigMemory* module_config = nullptr;
   Region region;
   /// Content label for the resident registry ("fir_v2"). Two requests with
@@ -116,6 +120,11 @@ struct ServiceConfig {
   /// Construct paused: requests queue but nothing dispatches until
   /// resume() — tests use this to stage a backlog deterministically.
   bool start_paused = false;
+  /// Serve a (variant) key at any compatible slot: a request with a null
+  /// module_config is satisfied by relocating a resident donor pbit of the
+  /// same variant and shape (PbitRelocator, containment enforced) — the
+  /// compile-once-place-anywhere placement freedom of docs/SERVICE.md.
+  bool allow_relocation = false;
   StreamOptions stream;    ///< burst size / overlap of the swap datapath
   DownloadPolicy policy;   ///< per-board verified-download policy
 };
@@ -144,7 +153,17 @@ struct ServiceStats {
   std::size_t queue_peak = 0;        ///< max pending ever observed
   std::size_t inflight = 0;
   std::size_t resident_entries = 0;  ///< live entries in the registry
+  std::uint64_t relocations_served = 0;  ///< requests served via a donor pbit
+  std::uint64_t defrag_moves = 0;        ///< slots moved by defragment()
   std::map<std::string, TenantStats> tenants;
+};
+
+/// Outcome of a defragmentation pass over one board.
+struct DefragReport {
+  std::vector<DefragMove> planned;  ///< compaction plan (may be empty)
+  std::size_t executed = 0;         ///< moves completed (move + scrub verified)
+  bool ok = true;                   ///< every planned move executed
+  std::string error;                ///< first failure (ok == false)
 };
 
 /// One service = one device, one base design, N simulated boards. Submit is
@@ -177,6 +196,18 @@ class ReconfigService {
   /// The simulated board itself (tests inspect final planes through it).
   [[nodiscard]] const SimBoard& board(std::size_t i) const;
 
+  /// Readback attestation of one board: reconstructs the expected plane
+  /// from the base design plus every pbit applied to that board (in apply
+  /// order, relocated ones included) and audits the device against it.
+  /// Blocks while the board has a swap in flight; read-only on the device.
+  [[nodiscard]] AttestReport attest(std::size_t board);
+
+  /// Compacts the board's applied slots toward the lowest base-free
+  /// columns: plans with plan_defrag(), then executes each move as a
+  /// verified relocate-download plus a verified base-restore scrub of the
+  /// vacated slot — the two-state invariant holds across every step.
+  DefragReport defragment(std::size_t board);
+
  private:
   struct Pending {
     ServiceRequest req;
@@ -191,12 +222,24 @@ class ReconfigService {
     TenantStats stats;
   };
 
+  /// One pbit currently applied to a board, keyed by its region. A later
+  /// swap at the same region replaces the entry (full-column pbits are
+  /// state-independent); `seq` preserves apply order so attestation can
+  /// replay the set deterministically.
+  struct AppliedPbit {
+    Region region;
+    std::string variant;
+    Bitstream pbit;
+    std::uint64_t seq = 0;
+  };
+
   struct BoardCtx {
     explicit BoardCtx(const Device& dev) : board(dev) {}
     SimBoard board;
     std::unique_ptr<VerifiedDownloader> downloader;
     bool busy = false;
     std::uint64_t words_shipped = 0;  ///< balance metric for board pick
+    std::map<std::string, AppliedPbit> applied;  ///< live slots (lock_)
   };
 
   /// A pinned pbit shared by every tenant currently attached to its
@@ -211,6 +254,12 @@ class ReconfigService {
     State state = State::Generating;
     PbitLease lease;
     std::size_t attached = 0;  ///< tenants holding it in their LRU
+    // Identity of the pbit, for the relocation donor search: another
+    // request for the same variant at a shape-compatible region can be
+    // served by relocating this entry's stream.
+    Region region;
+    std::string variant;
+    PartialGenOptions opts;
   };
 
   void dispatcher_loop();
@@ -229,6 +278,16 @@ class ReconfigService {
                                              bool& resident_hit);
   /// Drops registry entries no tenant holds once in-flight users are done.
   void reap_residents_locked();
+  /// Ready resident with the same (variant, options) and a shape-compatible
+  /// region, or null. Caller holds resident_lock_.
+  [[nodiscard]] std::shared_ptr<Resident> find_donor_locked(
+      const ServiceRequest& req) const;
+  /// Columns carrying no base-design configuration (defrag move targets).
+  [[nodiscard]] std::vector<char> base_free_columns() const;
+  /// Waits until board `i` is idle and marks it busy / releases it again
+  /// (attest and defragment exclude the swap datapath this way).
+  void claim_board(std::size_t i);
+  void release_board(std::size_t i);
 
   const Device* device_;
   const ConfigMemory* base_;
@@ -246,6 +305,7 @@ class ReconfigService {
   std::size_t total_pending_ = 0;
   std::size_t inflight_ = 0;
   std::uint64_t dispatch_seq_ = 0;
+  std::uint64_t apply_seq_ = 0;  ///< apply-order stamp for BoardCtx::applied
   bool paused_ = false;
   bool accepting_ = true;
   bool stop_dispatcher_ = false;

@@ -18,6 +18,22 @@ ParseError::ParseError(const std::string& file, int line,
                        const std::string& what)
     : JpgError(format_parse_error(file, line, what)), file_(file), line_(line) {}
 
+std::string_view reloc_error_kind_name(RelocError::Kind k) {
+  switch (k) {
+    case RelocError::Kind::ShapeMismatch: return "shape-mismatch";
+    case RelocError::Kind::OutOfBounds: return "out-of-bounds";
+    case RelocError::Kind::CoverageMismatch: return "coverage-mismatch";
+    case RelocError::Kind::FootprintEscape: return "footprint-escape";
+    case RelocError::Kind::VerticalColumnMode: return "vertical-column-mode";
+  }
+  return "?";
+}
+
+RelocError::RelocError(Kind kind, const std::string& what)
+    : JpgError("relocation rejected [" +
+               std::string(reloc_error_kind_name(kind)) + "]: " + what),
+      kind_(kind) {}
+
 namespace detail {
 
 void assert_fail(const char* expr, const char* file, int line,

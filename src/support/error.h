@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace jpg {
 
@@ -44,6 +45,32 @@ class DeviceError : public JpgError {
  public:
   explicit DeviceError(const std::string& what) : JpgError(what) {}
 };
+
+/// A bitstream relocation that cannot be performed soundly. Raised by the
+/// PbitRelocator's compatibility checker and by the PARBIT baseline's column
+/// mode, so every relocation path rejects with the same typed error. The
+/// kind() distinguishes geometric misfits from routing-footprint escapes —
+/// callers that want to *force* a mechanically valid but functionally
+/// escaping relocation key off FootprintEscape specifically.
+class RelocError : public JpgError {
+ public:
+  enum class Kind {
+    ShapeMismatch,       ///< source/target regions disagree in shape
+    OutOfBounds,         ///< target region does not fit the device
+    CoverageMismatch,    ///< pbit writes frames outside the source region
+    FootprintEscape,     ///< routing crosses the region boundary
+    VerticalColumnMode,  ///< PARBIT column mode cannot shift rows
+  };
+
+  RelocError(Kind kind, const std::string& what);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+[[nodiscard]] std::string_view reloc_error_kind_name(RelocError::Kind k);
 
 namespace detail {
 [[noreturn]] void assert_fail(const char* expr, const char* file, int line,

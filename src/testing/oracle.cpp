@@ -9,6 +9,7 @@
 #include "bitstream/config_port.h"
 #include "cbits/cbits.h"
 #include "core/jpg.h"
+#include "core/relocate.h"
 #include "hwif/faulty_board.h"
 #include "hwif/sim_board.h"
 #include "netlist/drc.h"
@@ -104,6 +105,32 @@ ConfigMemory plane_of(const Device& dev, const PlacedDesign& design) {
   CBits cb(mem);
   design.apply(cb);
   return mem;
+}
+
+/// Same-shape region disjoint from `a` (the leftmost one), if the device
+/// has room for a second copy.
+std::optional<Region> disjoint_band(const Device& dev, const Region& a) {
+  const int w = a.width();
+  for (int c0 = 0; c0 + w <= dev.cols(); ++c0) {
+    const Region b{a.r0, c0, a.r1, c0 + w - 1};
+    if (!b.overlaps(a)) return b;
+  }
+  return std::nullopt;
+}
+
+/// CLB columns carrying no configuration at all in `plane`.
+std::vector<int> empty_columns(const Device& dev, const ConfigMemory& plane) {
+  const FrameMap& fm = dev.frames();
+  std::vector<int> cols;
+  for (int c = 0; c < dev.cols(); ++c) {
+    const int major = fm.major_of_clb_col(c);
+    bool empty = true;
+    for (int minor = 0; minor < fm.frames_in_major(major) && empty; ++minor) {
+      empty = plane.frame(fm.frame_index(major, minor)).popcount() == 0;
+    }
+    if (empty) cols.push_back(c);
+  }
+  return cols;
 }
 
 void oracle_impl(const GeneratedDesign& design, const OracleOptions& opt,
@@ -410,6 +437,183 @@ void oracle_impl(const GeneratedDesign& design, const OracleOptions& opt,
       throw;
     } catch (const JpgError& e) {
       throw PropFail{"fault_download", e.what()};
+    }
+  }
+
+  // --- relocation property family --------------------------------------------
+  // Four properties over the PbitRelocator (DESIGN.md §5i):
+  //   reloc_reject_shape  a geometry-incompatible target is rejected with the
+  //                       typed RelocError, never silently mis-relocated;
+  //   reloc_reject        a routed module always escapes its region through
+  //                       its interface nets, so containment must report
+  //                       crossings and relocate() must throw FootprintEscape;
+  //   reloc_equivalence   force-relocating to a compatible band B yields a
+  //                       stream that port-loads to exactly compose-at-B, and
+  //                       every resource (LUTs, muxes) reads back at B what it
+  //                       read at A — the resource map agrees with the blit;
+  //   reloc_swap_sim      a *contained* (local-logic) module relocated into a
+  //                       base-free column leaves the running base design's
+  //                       traces untouched — the soundness claim behind the
+  //                       containment gate.
+  if (opt.check_relocation && swap_art[0]) {
+    const PbitRelocator reloc(tool.generator());
+    const Region a = design.partitions[0].region;
+    const Bitstream& pbit = swap_art[0]->partial.partial;
+
+    ++checked;  // reloc_reject_shape
+    {
+      // One column wider (or, when flush against the edge, out of bounds):
+      // incompatible either way, and both must reject with the typed error.
+      Region bad = a;
+      ++bad.c1;
+      bool typed = false;
+      try {
+        (void)reloc.relocate(pbit, a, bad);
+      } catch (const RelocError&) {
+        typed = true;
+      } catch (const JpgError& e) {
+        throw PropFail{"reloc_reject_shape",
+                       std::string("untyped rejection: ") + e.what()};
+      }
+      if (!typed) {
+        throw PropFail{"reloc_reject_shape",
+                       "incompatible target accepted: " + bad.to_string()};
+      }
+      if (reloc.check_shape(a, bad).shape_ok) {
+        throw PropFail{"reloc_reject_shape",
+                       "check_shape accepts an incompatible target"};
+      }
+    }
+
+    const std::optional<Region> band = disjoint_band(dev, a);
+    if (band) {
+      const ConfigMemory decoded = reloc.decode(pbit, a);
+
+      ++checked;  // reloc_reject
+      {
+        const RelocCompat compat = reloc.check(decoded, a, *band);
+        if (compat.contained()) {
+          throw PropFail{"reloc_reject",
+                         "module with interface routing reported contained"};
+        }
+        bool typed = false;
+        try {
+          (void)reloc.relocate(pbit, a, *band);
+        } catch (const RelocError& e) {
+          if (e.kind() != RelocError::Kind::FootprintEscape) {
+            throw PropFail{"reloc_reject",
+                           std::string("wrong rejection kind: ") + e.what()};
+          }
+          typed = true;
+        } catch (const JpgError& e) {
+          throw PropFail{"reloc_reject",
+                         std::string("untyped rejection: ") + e.what()};
+        }
+        if (!typed) {
+          throw PropFail{"reloc_reject",
+                         "escaping module relocated without FootprintEscape"};
+        }
+      }
+
+      ++checked;  // reloc_equivalence
+      try {
+        RelocOptions force;
+        force.require_containment = false;
+        const PartialGenResult moved = reloc.relocate(pbit, a, *band, force);
+        const ConfigMemory translated = reloc.translate(decoded, a, *band,
+                                                        force);
+        const ConfigMemory composed_b =
+            tool.generator().compose(translated, *band);
+        ConfigMemory p1(dev);
+        ConfigPort port(p1);
+        port.load(base_bit);
+        port.load(moved.bitstream);
+        if (!(p1 == composed_b)) {
+          throw PropFail{"reloc_equivalence",
+                         "port-loaded relocated stream differs from "
+                         "compose-at-" + band->to_string()};
+        }
+        // Resource-level invariance: what CBits read at A it must read at
+        // the translated tile of B — the deterministic resource->bit map
+        // agrees with the frame-window blit.
+        const CBits at_a(swap_art[0]->composed);
+        const CBits at_b(p1);
+        const int dr = band->r0 - a.r0;
+        const int dc = band->c0 - a.c0;
+        const auto& muxes = dev.fabric().tile_muxes();
+        for (int r = a.r0; r <= a.r1; ++r) {
+          for (int c = a.c0; c <= a.c1; ++c) {
+            const TileCoord t{r, c};
+            const TileCoord t2{r + dr, c + dc};
+            for (int slice = 0; slice < 2; ++slice) {
+              const SliceSite s{r, c, slice};
+              const SliceSite s2{r + dr, c + dc, slice};
+              if (at_a.get_lut(s, LutSel::F) != at_b.get_lut(s2, LutSel::F) ||
+                  at_a.get_lut(s, LutSel::G) != at_b.get_lut(s2, LutSel::G)) {
+                throw PropFail{"reloc_equivalence",
+                               "LUT content moved wrong at tile (" +
+                                   std::to_string(r) + "," +
+                                   std::to_string(c) + ")"};
+              }
+            }
+            for (const MuxDef& def : muxes) {
+              if (at_a.get_mux(t, def.dest_local) !=
+                  at_b.get_mux(t2, def.dest_local)) {
+                throw PropFail{"reloc_equivalence",
+                               "mux " + local_wire_name(def.dest_local) +
+                                   " moved wrong at tile (" +
+                                   std::to_string(r) + "," +
+                                   std::to_string(c) + ")"};
+              }
+            }
+          }
+        }
+      } catch (const PropFail&) {
+        throw;
+      } catch (const JpgError& e) {
+        throw PropFail{"reloc_equivalence", e.what()};
+      }
+    }
+
+    // reloc_swap_sim: needs two base-free columns (module home + target).
+    const std::vector<int> free_cols = empty_columns(dev, mem);
+    if (free_cols.size() >= 2) {
+      ++checked;
+      try {
+        const Region home{0, free_cols[0], dev.rows() - 1, free_cols[0]};
+        const Region target{0, free_cols[1], dev.rows() - 1, free_cols[1]};
+        // Local-logic module: LUT contents only, no routing — contained by
+        // construction, so the containment gate must let it through.
+        ConfigMemory modplane(dev);
+        CBits mcb(modplane);
+        for (int r = 0; r < dev.rows(); ++r) {
+          mcb.set_lut(SliceSite{r, home.c0, 0}, LutSel::F,
+                      static_cast<std::uint16_t>(0xA5A5u ^ (r * 257)));
+        }
+        const PartialGenResult at_home =
+            tool.generator().generate(modplane, home);
+        const PartialGenResult moved =
+            reloc.relocate(at_home.bitstream, home, target);
+
+        SimBoard board(dev);
+        board.send_config(base_bit.words);
+        board.send_config(moved.bitstream.words);
+        const ConfigMemory expected = tool.generator().compose(
+            reloc.translate(reloc.decode(at_home.bitstream, home), home,
+                            target),
+            target);
+        if (!(board.config() == expected)) {
+          throw PropFail{"reloc_swap_sim",
+                         "board plane differs from composed relocation"};
+        }
+        NetlistSim golden(base_at.top);
+        compare_traces("reloc_swap_sim", board.sim(), golden, pads, opt.cycles,
+                       Rng(opt.stimulus_seed).split(4));
+      } catch (const PropFail&) {
+        throw;
+      } catch (const JpgError& e) {
+        throw PropFail{"reloc_swap_sim", e.what()};
+      }
     }
   }
 }

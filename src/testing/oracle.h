@@ -52,6 +52,11 @@ struct OracleOptions {
   /// FaultyBoard + VerifiedDownloader and requires convergence.
   bool fault_tier = false;
   std::uint64_t fault_seed = 7;
+  /// Relocation property family: typed rejection of incompatible targets,
+  /// compose-at-B == generate-at-B plane equality with resource-level
+  /// translation invariance, and trace neutrality of a relocated contained
+  /// module (see oracle.cpp for the family's exact properties).
+  bool check_relocation = true;
 };
 
 struct OracleResult {

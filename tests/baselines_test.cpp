@@ -29,6 +29,31 @@ TEST(ParbitOptions, FileRoundtrip) {
   EXPECT_TRUE(back.relocated());
 }
 
+TEST(ParbitOptions, ExplicitCornerTargetSurvivesDefaulting) {
+  // "target R1C1" is indistinguishable from the all-zero default only by
+  // relocated(): the default-corner rule must fire solely when the parsed
+  // target is the source corner. An explicit move *to* the device corner
+  // stays a relocation...
+  const ParbitOptions to_corner =
+      ParbitOptions::parse("mode block\nsource R3C7:R10C9\ntarget R1C1\n");
+  EXPECT_EQ(to_corner.target_r0, 0);
+  EXPECT_EQ(to_corner.target_c0, 0);
+  EXPECT_TRUE(to_corner.relocated());
+  // ...and survives a text round-trip as one.
+  const ParbitOptions back = ParbitOptions::parse(to_corner.to_text());
+  EXPECT_EQ(back.target_r0, 0);
+  EXPECT_EQ(back.target_c0, 0);
+  EXPECT_TRUE(back.relocated());
+
+  // A target-less file whose source already sits at the corner defaults to
+  // in-place (no relocation).
+  const ParbitOptions in_place =
+      ParbitOptions::parse("mode block\nsource R1C1:R8C3\n");
+  EXPECT_EQ(in_place.target_r0, 0);
+  EXPECT_EQ(in_place.target_c0, 0);
+  EXPECT_FALSE(in_place.relocated());
+}
+
 TEST(ParbitOptions, RejectsMalformed) {
   EXPECT_THROW(ParbitOptions::parse("mode sideways\nsource R1C1:R2C2\n"),
                ParseError);
@@ -168,7 +193,15 @@ TEST_F(BaselineFixture, ParbitRejectsVerticalRelocationInColumnMode) {
   opts.source = Region{2, 6, 10, 9};
   opts.target_r0 = 4;
   opts.target_c0 = 6;
-  EXPECT_THROW(parbit_transform(new_full, base_bit_, opts), JpgError);
+  // The rejection is the same typed error the PbitRelocator's checker uses,
+  // so callers can branch on the kind rather than parse a message.
+  try {
+    (void)parbit_transform(new_full, base_bit_, opts);
+    FAIL() << "vertical column-mode relocation was accepted";
+  } catch (const RelocError& e) {
+    EXPECT_EQ(e.kind(), RelocError::Kind::VerticalColumnMode);
+    EXPECT_NE(std::string(e.what()).find("column mode"), std::string::npos);
+  }
 }
 
 TEST_F(BaselineFixture, JBitsDiffCoreReplayMatchesFrameDiff) {

@@ -161,6 +161,48 @@ TEST_F(CliTest, VerifyPassesOnHonestPartial) {
   EXPECT_NE(output().find("0 mismatches"), std::string::npos);
 }
 
+TEST_F(CliTest, RelocateRejectsEscapingModuleThenForces) {
+  ASSERT_EQ(run("partial " + path("base.bit") + " " + path("mod.xdl") + " " +
+                path("mod.ucf") + " -o " + path("update.pbit")),
+            0);
+  // The fixture module has interface routing that escapes its region, so a
+  // containment-checked relocation must be rejected with the typed error...
+  EXPECT_NE(exit_code("relocate " + path("base.bit") + " " +
+                      path("update.pbit") +
+                      " --from R1C7:R16C10 --to R1C12 -o " +
+                      path("moved.pbit")),
+            0);
+  EXPECT_NE(output().find("relocation rejected"), std::string::npos);
+  EXPECT_FALSE(fs::exists(path("moved.pbit")));
+  // ...and --force must override it and emit a loadable pbit.
+  ASSERT_EQ(exit_code("relocate " + path("base.bit") + " " +
+                      path("update.pbit") +
+                      " --from R1C7:R16C10 --to R1C12 -o " +
+                      path("moved.pbit") + " --force"),
+            0);
+  EXPECT_NE(output().find("crossing"), std::string::npos);
+  ASSERT_TRUE(fs::exists(path("moved.pbit")));
+  ASSERT_EQ(run("info " + path("moved.pbit")), 0);
+  EXPECT_NE(output().find("partial bitstream"), std::string::npos);
+}
+
+TEST_F(CliTest, AttestCleanBoardAndSeededStray) {
+  ASSERT_EQ(run("partial " + path("base.bit") + " " + path("mod.xdl") + " " +
+                path("mod.ucf") + " -o " + path("update.pbit")),
+            0);
+  ASSERT_EQ(exit_code("attest " + path("base.bit") + " " +
+                      path("update.pbit")),
+            0);
+  EXPECT_NE(output().find("attestation: clean"), std::string::npos);
+  // A planted one-bit stray must flip the verdict and be named exactly.
+  EXPECT_EQ(exit_code("attest " + path("base.bit") + " " +
+                      path("update.pbit") + " --corrupt 100:3:0x40"),
+            1);
+  const std::string out = output();
+  EXPECT_NE(out.find("attestation: FAILED"), std::string::npos);
+  EXPECT_NE(out.find("frame 100"), std::string::npos);
+}
+
 TEST_F(CliTest, FloorplanShowsRegion) {
   ASSERT_EQ(run("floorplan " + path("base.bit") + " " + path("mod.ucf")), 0);
   EXPECT_NE(output().find("#"), std::string::npos);

@@ -1,0 +1,433 @@
+// Tests for the PbitRelocator (compile-once-place-anywhere for partial
+// bitstreams), the defragmentation planner, and the service-level placement
+// freedom built on both: typed rejection of every incompatible relocation,
+// byte-identity of a relocated pbit with generate-at-target, verified
+// defragmentation under a fragmentation storm, and a (variant) key served
+// at a relocated slot from a resident donor.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bitstream/bitgen.h"
+#include "bitstream/config_port.h"
+#include "cbits/cbits.h"
+#include "core/relocate.h"
+#include "service/reconfig_service.h"
+
+namespace jpg {
+namespace {
+
+class RelocateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = &Device::get("XCV50");
+    base_ = std::make_unique<ConfigMemory>(*dev_);
+    // Base design content in the two leftmost columns; everything to the
+    // right is base-free (legal relocation / defrag target space).
+    CBits cb(*base_);
+    for (int r = 0; r < dev_->rows(); ++r) {
+      cb.set_lut(SliceSite{r, 0, 0}, LutSel::F, 0x8001);
+      cb.set_lut(SliceSite{r, 1, 1}, LutSel::G, 0x7EFF);
+    }
+    gen_ = std::make_unique<PartialBitstreamGenerator>(*base_);
+  }
+
+  /// A LUT-only module plane (routing-contained by construction) whose
+  /// content depends on position, so distinct slots never hold equal bits.
+  ConfigMemory lut_module(const Region& at, std::uint16_t tag) const {
+    ConfigMemory plane(*dev_);
+    CBits cb(plane);
+    for (int r = at.r0; r <= at.r1; ++r) {
+      for (int c = at.c0; c <= at.c1; ++c) {
+        cb.set_lut(SliceSite{r, c, 0}, LutSel::F,
+                   static_cast<std::uint16_t>(tag ^ (r * 257) ^ c));
+      }
+    }
+    return plane;
+  }
+
+  /// The plane a board holds after loading `pbit` over the base design.
+  ConfigMemory applied_plane(const Bitstream& pbit) const {
+    ConfigMemory plane(*base_);
+    ConfigPort port(plane);
+    port.load(pbit);
+    return plane;
+  }
+
+  const Device* dev_ = nullptr;
+  std::unique_ptr<ConfigMemory> base_;
+  std::unique_ptr<PartialBitstreamGenerator> gen_;
+};
+
+TEST_F(RelocateTest, ShapeAndBoundsRejectionsAreTyped) {
+  const Region a{2, 3, 9, 4};
+  const auto at_a = gen_->generate(lut_module(a, 0x1111), a);
+  const PbitRelocator reloc(*gen_);
+
+  try {
+    (void)reloc.relocate(at_a.bitstream, a, Region{2, 6, 9, 8});
+    FAIL() << "shape mismatch accepted";
+  } catch (const RelocError& e) {
+    EXPECT_EQ(e.kind(), RelocError::Kind::ShapeMismatch);
+    EXPECT_NE(std::string(e.what()).find("shape mismatch"),
+              std::string::npos);
+  }
+  try {
+    (void)reloc.relocate(at_a.bitstream, a,
+                         Region{dev_->rows() - 4, 10, dev_->rows() + 3, 11});
+    FAIL() << "out-of-bounds target accepted";
+  } catch (const RelocError& e) {
+    EXPECT_EQ(e.kind(), RelocError::Kind::OutOfBounds);
+  }
+
+  // The no-throw probe agrees with the throwing path.
+  EXPECT_FALSE(reloc.check_shape(a, Region{2, 6, 9, 8}).shape_ok);
+  EXPECT_TRUE(reloc.check_shape(a, Region{0, 10, 7, 11}).shape_ok);
+}
+
+TEST_F(RelocateTest, RelocatedPbitIsByteIdenticalToGenerateAtTarget) {
+  const Region a{2, 3, 9, 4};
+  const Region b{5, 10, 12, 11};  // shifted both down and right
+  const ConfigMemory mod_a = lut_module(a, 0x2222);
+  const auto at_a = gen_->generate(mod_a, a);
+  const PbitRelocator reloc(*gen_);
+  const auto moved = reloc.relocate(at_a.bitstream, a, b);
+
+  // Reference: the identical module content authored directly at b.
+  ConfigMemory mod_b(*dev_);
+  {
+    CBits dst(mod_b);
+    const CBits src(mod_a);
+    for (int r = a.r0; r <= a.r1; ++r) {
+      for (int c = a.c0; c <= a.c1; ++c) {
+        dst.set_lut(
+            SliceSite{r + (b.r0 - a.r0), c + (b.c0 - a.c0), 0}, LutSel::F,
+            src.get_lut(SliceSite{r, c, 0}, LutSel::F));
+      }
+    }
+  }
+  const auto at_b = gen_->generate(mod_b, b);
+  EXPECT_EQ(moved.bitstream.words, at_b.bitstream.words);
+  EXPECT_EQ(moved.frames, at_b.frames);
+  // Board-level: applying the relocated pbit lands the compose() reference.
+  EXPECT_EQ(applied_plane(moved.bitstream), gen_->compose(mod_b, b));
+}
+
+TEST_F(RelocateTest, DecodeRejectsPbitOutsideClaimedSource) {
+  const Region a{2, 3, 9, 4};
+  const Region wrong{2, 8, 9, 9};  // same shape, different columns
+  const auto at_a = gen_->generate(lut_module(a, 0x3333), a);
+  const PbitRelocator reloc(*gen_);
+  try {
+    (void)reloc.decode(at_a.bitstream, wrong);
+    FAIL() << "coverage mismatch accepted";
+  } catch (const RelocError& e) {
+    EXPECT_EQ(e.kind(), RelocError::Kind::CoverageMismatch);
+    EXPECT_NE(std::string(e.what()).find("outside source region"),
+              std::string::npos);
+  }
+}
+
+TEST_F(RelocateTest, DiffOnlyPbitRelocatesThroughSubsetCoverage) {
+  // Three-column region whose module touches only the middle column: the
+  // diff_only pbit ships a strict subset of the region's frames, which the
+  // coverage rule must accept.
+  const Region a{0, 3, 7, 5};
+  ConfigMemory mod(*dev_);
+  {
+    CBits cb(mod);
+    for (int r = a.r0; r <= a.r1; ++r) {
+      cb.set_lut(SliceSite{r, 4, 0}, LutSel::G,
+                 static_cast<std::uint16_t>(0x00FF ^ r));
+    }
+  }
+  PartialGenOptions diff;
+  diff.diff_only = true;
+  const auto at_a = gen_->generate(mod, a, diff);
+  ASSERT_LT(at_a.frames.size(),
+            static_cast<std::size_t>(3 * FrameMap::kClbFrames));
+
+  const PbitRelocator reloc(*gen_);
+  const Region b{8, 10, 15, 12};
+  RelocOptions opts;
+  opts.gen = diff;
+  const auto moved = reloc.relocate(at_a.bitstream, a, b, opts);
+  const ConfigMemory translated =
+      reloc.translate(reloc.decode(at_a.bitstream, a), a, b, opts);
+  EXPECT_EQ(applied_plane(moved.bitstream), gen_->compose(translated, b));
+}
+
+TEST_F(RelocateTest, RoutingEscapeIsDetectedAndRejected) {
+  const Region a{2, 3, 9, 4};
+  ConfigMemory mod = lut_module(a, 0x4444);
+  // Drive an east single from the region's right edge: its reader tile sits
+  // one column outside, so the footprint escapes.
+  int escaping_mux = -1;
+  for (const MuxDef& def : dev_->fabric().tile_muxes()) {
+    if (def.dest_local >= kSingleBase &&
+        def.dest_local < kSingleBase + kSinglesPerDir) {
+      escaping_mux = def.dest_local;  // an east single (first direction)
+      break;
+    }
+  }
+  ASSERT_GE(escaping_mux, 0) << "fabric has no east-single driver mux";
+  {
+    CBits cb(mod);
+    cb.set_mux(TileCoord{a.r0, a.c1}, escaping_mux, 1);
+  }
+
+  const auto at_a = gen_->generate(mod, a);
+  const PbitRelocator reloc(*gen_);
+  const Region b{2, 10, 9, 11};
+  const RelocCompat compat =
+      reloc.check(reloc.decode(at_a.bitstream, a), a, b);
+  EXPECT_TRUE(compat.shape_ok);
+  ASSERT_FALSE(compat.contained());
+  EXPECT_FALSE(compat.drives_long_lines());
+  EXPECT_NE(compat.crossings[0].detail.find("readable outside the region"),
+            std::string::npos);
+
+  try {
+    (void)reloc.relocate(at_a.bitstream, a, b);
+    FAIL() << "escaping footprint accepted";
+  } catch (const RelocError& e) {
+    EXPECT_EQ(e.kind(), RelocError::Kind::FootprintEscape);
+  }
+
+  // Forcing past containment still relocates soundly at the byte level.
+  RelocOptions force;
+  force.require_containment = false;
+  const auto moved = reloc.relocate(at_a.bitstream, a, b, force);
+  const ConfigMemory translated =
+      reloc.translate(reloc.decode(at_a.bitstream, a), a, b, force);
+  EXPECT_EQ(moved.bitstream.words,
+            gen_->generate(translated, b).bitstream.words);
+}
+
+TEST_F(RelocateTest, LongLineUseIsTheContentionDangerousCrossing) {
+  const Region a{2, 3, 9, 4};
+  ConfigMemory mod = lut_module(a, 0x5555);
+  int long_driver = -1;
+  for (const MuxDef& def : dev_->fabric().tile_muxes()) {
+    if (def.dest_local >= kLongDriverBase) {
+      long_driver = def.dest_local;
+      break;
+    }
+  }
+  ASSERT_GE(long_driver, 0) << "fabric has no long-driver mux";
+  {
+    CBits cb(mod);
+    cb.set_mux(TileCoord{a.r0 + 1, a.c0}, long_driver, 1);
+  }
+  const PbitRelocator reloc(*gen_);
+  const auto at_a = gen_->generate(mod, a);
+  const RelocCompat compat =
+      reloc.check(reloc.decode(at_a.bitstream, a), a, Region{2, 10, 9, 11});
+  ASSERT_FALSE(compat.contained());
+  EXPECT_TRUE(compat.drives_long_lines());
+  EXPECT_NE(compat.crossings[0].detail.find("long line"), std::string::npos);
+}
+
+TEST_F(RelocateTest, RelocateLeasedPinsTheRetargetedEntry) {
+  const Region a{2, 3, 9, 4};
+  const Region b{2, 10, 9, 11};
+  const auto at_a = gen_->generate(lut_module(a, 0x6666), a);
+  const PbitRelocator reloc(*gen_);
+  PbitLease lease = reloc.relocate_leased(at_a.bitstream, a, b);
+  ASSERT_TRUE(lease.valid());
+  EXPECT_GE(gen_->cache_stats().pinned, 1u);
+  // The leased stream is byte-identical to the unleased path (both are the
+  // same cache entry).
+  const auto moved = reloc.relocate(at_a.bitstream, a, b);
+  EXPECT_EQ(lease.bitstream().words, moved.bitstream.words);
+  lease.release();
+  EXPECT_EQ(gen_->cache_stats().pinned, 0u);
+}
+
+// --- plan_defrag --------------------------------------------------------------
+
+TEST(PlanDefrag, CompactsExclusiveSlotsLeftwardInOrder) {
+  const Device& dev = Device::get("XCV50");
+  const int r1 = dev.rows() - 1;
+  const std::vector<DefragSlot> slots = {
+      {Region{0, 14, r1, 14}, "s2"},
+      {Region{0, 8, r1, 9}, "s1"},
+  };
+  const auto moves =
+      plan_defrag(dev, slots, [](int c) { return c >= 2; });
+  ASSERT_EQ(moves.size(), 2u);
+  // Planned lowest-column-first regardless of input order.
+  EXPECT_EQ(moves[0].key, "s1");
+  EXPECT_EQ(moves[0].to, (Region{0, 2, r1, 3}));
+  EXPECT_EQ(moves[1].key, "s2");
+  EXPECT_EQ(moves[1].to, (Region{0, 4, r1, 4}));
+  for (const auto& m : moves) {
+    EXPECT_LT(m.to.c1, m.from.c0);  // strictly leftward and disjoint
+    EXPECT_EQ(m.to.width(), m.from.width());
+    EXPECT_EQ(m.to.height(), m.from.height());
+  }
+}
+
+TEST(PlanDefrag, SharedColumnsAndOccupiedTargetsAreRespected) {
+  const Device& dev = Device::get("XCV50");
+  // s1/s2 share column 8, so neither is movable; s3 is exclusive but every
+  // usable column to its left stays reserved by the unmovable pair.
+  const std::vector<DefragSlot> slots = {
+      {Region{0, 7, 7, 8}, "s1"},
+      {Region{8, 8, 15, 9}, "s2"},
+      {Region{0, 10, 15, 10}, "s3"},
+  };
+  EXPECT_TRUE(plan_defrag(dev, slots, [](int c) { return c >= 7; }).empty());
+  // A slot already at the leftmost usable columns stays put.
+  EXPECT_TRUE(plan_defrag(dev, {{Region{0, 2, 15, 3}, "s"}},
+                          [](int c) { return c >= 2; })
+                  .empty());
+  // A slot out of bounds is a caller bug, not a silent skip.
+  EXPECT_THROW(plan_defrag(dev, {{Region{0, 0, 99, 0}, "s"}},
+                           [](int) { return true; }),
+               JpgError);
+}
+
+// --- Service-level placement freedom ------------------------------------------
+
+/// Base plane with content only in column 0 (columns >= 2 base-free).
+ConfigMemory service_base(const Device& dev) {
+  ConfigMemory base(dev);
+  CBits cb(base);
+  for (int r = 0; r < dev.rows(); ++r) {
+    cb.set_lut(SliceSite{r, 0, 0}, LutSel::F, 0x8001);
+  }
+  return base;
+}
+
+TEST(RelocationService, ServesCachedVariantAtRelocatedSlot) {
+  const Device& dev = Device::get("XCV50");
+  const ConfigMemory base = service_base(dev);
+  ServiceConfig cfg;
+  cfg.allow_relocation = true;
+  ReconfigService svc(dev, base, 1, cfg);
+
+  const Region a{0, 4, dev.rows() - 1, 5};
+  const Region b{0, 10, dev.rows() - 1, 11};
+  ConfigMemory mod(dev);
+  {
+    CBits cb(mod);
+    for (int r = 0; r < dev.rows(); ++r) {
+      cb.set_lut(SliceSite{r, 4, 0}, LutSel::F,
+                 static_cast<std::uint16_t>(0xBEEF ^ r));
+    }
+  }
+
+  ServiceRequest first;
+  first.tenant = "t0";
+  first.kind = RequestKind::Swap;
+  first.board = 0;
+  first.module_config = &mod;
+  first.region = a;
+  first.variant = "fir_v1";
+  const ServiceResponse r1 = svc.submit(first).get();
+  ASSERT_TRUE(r1.ok()) << r1.message;
+
+  // Same variant, no module plane, shape-compatible free slot: the service
+  // must serve it by relocating the resident donor pbit.
+  ServiceRequest second = first;
+  second.module_config = nullptr;
+  second.region = b;
+  const ServiceResponse r2 = svc.submit(second).get();
+  ASSERT_TRUE(r2.ok()) << r2.message;
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.relocations_served, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.rejected_queue_full, 0u);
+  // The board's plane matches base + both applied pbits exactly.
+  EXPECT_TRUE(svc.attest(0).attested);
+  svc.shutdown();
+}
+
+TEST(RelocationService, RelocationServeNeedsOptInAndADonor) {
+  const Device& dev = Device::get("XCV50");
+  const ConfigMemory base = service_base(dev);
+
+  ServiceRequest req;
+  req.tenant = "t0";
+  req.board = 0;
+  req.module_config = nullptr;
+  req.region = Region{0, 4, dev.rows() - 1, 5};
+  req.variant = "ghost";
+
+  {
+    // Without the opt-in a null module plane is a malformed request.
+    ReconfigService svc(dev, base, 1, {});
+    const ServiceResponse resp = svc.submit(req).get();
+    EXPECT_EQ(resp.error, ServiceError::BadRequest);
+    svc.shutdown();
+  }
+  {
+    // With the opt-in but no resident donor the request fails cleanly.
+    ServiceConfig cfg;
+    cfg.allow_relocation = true;
+    ReconfigService svc(dev, base, 1, cfg);
+    const ServiceResponse resp = svc.submit(req).get();
+    EXPECT_FALSE(resp.ok());
+    EXPECT_NE(resp.message.find("no resident donor"), std::string::npos);
+    EXPECT_EQ(svc.stats().relocations_served, 0u);
+    svc.shutdown();
+  }
+}
+
+TEST(RelocationService, DefragmentationStormCompactsAndAttestsClean) {
+  const Device& dev = Device::get("XCV50");
+  const ConfigMemory base = service_base(dev);
+  ReconfigService svc(dev, base, 1, {});
+  const int r1 = dev.rows() - 1;
+
+  // Fragmentation storm: variants scattered across right-side slots with
+  // holes between them.
+  const std::vector<Region> slots = {
+      {0, 8, r1, 8}, {0, 12, r1, 12}, {0, 16, r1, 17}, {0, 21, r1, 21}};
+  std::vector<std::unique_ptr<ConfigMemory>> mods;
+  int vi = 0;
+  for (const Region& s : slots) {
+    auto mod = std::make_unique<ConfigMemory>(dev);
+    CBits cb(*mod);
+    for (int r = s.r0; r <= s.r1; ++r) {
+      for (int c = s.c0; c <= s.c1; ++c) {
+        cb.set_lut(SliceSite{r, c, 1}, LutSel::G,
+                   static_cast<std::uint16_t>(0x1000 + vi * 64 + r));
+      }
+    }
+    ServiceRequest req;
+    req.tenant = "t0";
+    req.board = 0;
+    req.module_config = mod.get();
+    req.region = s;
+    req.variant = "v" + std::to_string(vi++);
+    ASSERT_TRUE(svc.submit(req).get().ok());
+    mods.push_back(std::move(mod));
+  }
+  ASSERT_TRUE(svc.attest(0).attested);
+
+  const DefragReport rep = svc.defragment(0);
+  EXPECT_TRUE(rep.ok) << rep.error;
+  ASSERT_EQ(rep.planned.size(), slots.size());
+  EXPECT_EQ(rep.executed, slots.size());
+  for (const auto& mv : rep.planned) {
+    EXPECT_LT(mv.to.c1, mv.from.c0);  // strictly leftward
+    EXPECT_GE(mv.to.c0, 1);           // never into the base-design column
+  }
+  // The moves executed as verified swaps: the device attests clean against
+  // the post-defrag expectation (modules at their new slots, old slots
+  // scrubbed back to base — no stale content anywhere).
+  EXPECT_TRUE(svc.attest(0).attested);
+  EXPECT_EQ(svc.stats().defrag_moves, slots.size());
+  // Running again is a no-op: everything already sits leftmost.
+  const DefragReport again = svc.defragment(0);
+  EXPECT_TRUE(again.ok);
+  EXPECT_TRUE(again.planned.empty());
+  svc.shutdown();
+}
+
+}  // namespace
+}  // namespace jpg

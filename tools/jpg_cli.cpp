@@ -9,6 +9,17 @@
 //   jpg_cli floorplan <base.bit> <mod.ucf>       Figure-3 view of the target
 //   jpg_cli verify <base.bit> <partial.pbit>     load on a simulated board,
 //                                                read back, compare
+//   jpg_cli relocate <base.bit> <partial.pbit> --from R..C..:R..C..
+//                    --to R..C.. -o <out.pbit> [--force]
+//                                                retarget a pbit at a
+//                                                geometry-compatible region
+//                                                (containment-checked; the
+//                                                result equals generate-at-B)
+//   jpg_cli attest <base.bit> [partial.pbit ...] [--corrupt F:W:MASK]
+//                                                readback audit of a
+//                                                simulated board against the
+//                                                plane reconstructed from
+//                                                base + applied pbits
 //   jpg_cli project-new <dir> <base.bit> <name>
 //   jpg_cli project-add <dir> <name> <mod.xdl> <mod.ucf>
 //   jpg_cli project-build <dir> <outdir>         partial for every module
@@ -49,6 +60,7 @@
 //   --trace <file>     record trace spans, write Chrome trace JSON on exit
 // An unwritable --metrics/--trace path exits with status 3 (the command's
 // own work has already happened at that point and is reported first).
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -59,14 +71,17 @@
 #include "bitstream/bitstream_reader.h"
 #include "bitstream/bitstream_writer.h"
 #include "bitstream/stream_fuzzer.h"
+#include "cbits/cbits.h"
 #include "core/jpg.h"
 #include "core/project.h"
+#include "core/relocate.h"
 #include "hwif/faulty_board.h"
 #include "hwif/sim_board.h"
 #include "hwif/verified_downloader.h"
 #include "netlib/generators.h"
 #include "service/load_harness.h"
 #include "service/reconfig_service.h"
+#include "support/string_util.h"
 #include "support/telemetry/telemetry.h"
 #include "pnr/flow.h"
 #include "testing/design_gen.h"
@@ -230,6 +245,131 @@ int cmd_verify(int argc, char** argv) {
   std::printf("readback verification: %zu frames checked, %zu mismatches\n",
               frames, bad);
   return bad == 0 ? 0 : 1;
+}
+
+/// Parses a 1-based "R<r>C<c>" coordinate (the PARBIT options dialect).
+void parse_rc(const std::string& s, int& r, int& c) {
+  const std::size_t cpos = s.find('C', 1);
+  if (s.empty() || s[0] != 'R' || cpos == std::string::npos) {
+    throw JpgError("bad coordinate '" + s + "' (want R<row>C<col>, 1-based)");
+  }
+  const auto rr = parse_uint(std::string_view(s).substr(1, cpos - 1));
+  const auto cc = parse_uint(std::string_view(s).substr(cpos + 1));
+  if (!rr || !cc || *rr < 1 || *cc < 1) {
+    throw JpgError("bad coordinate '" + s + "' (want R<row>C<col>, 1-based)");
+  }
+  r = static_cast<int>(*rr) - 1;
+  c = static_cast<int>(*cc) - 1;
+}
+
+int cmd_relocate(int argc, char** argv) {
+  std::string out, from, to;
+  bool force = false;
+  std::vector<std::string> pos;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) out = argv[++i];
+    else if (std::strcmp(argv[i], "--from") == 0 && i + 1 < argc)
+      from = argv[++i];
+    else if (std::strcmp(argv[i], "--to") == 0 && i + 1 < argc) to = argv[++i];
+    else if (std::strcmp(argv[i], "--force") == 0) force = true;
+    else pos.emplace_back(argv[i]);
+  }
+  if (pos.size() != 2 || out.empty() || from.empty() || to.empty()) {
+    throw JpgError(
+        "usage: jpg_cli relocate <base.bit> <partial.pbit> "
+        "--from R..C..:R..C.. --to R..C.. -o <out.pbit> [--force]");
+  }
+  const Bitstream base = Bitstream::load(pos[0]);
+  const Bitstream partial = Bitstream::load(pos[1]);
+  const Device& dev = device_for_bitstream(base);
+
+  const auto parts = split(from, ':');
+  if (parts.size() != 2) throw JpgError("--from wants R..C..:R..C..");
+  Region src;
+  parse_rc(parts[0], src.r0, src.c0);
+  parse_rc(parts[1], src.r1, src.c1);
+  int tr = 0, tc = 0;
+  parse_rc(to, tr, tc);
+  const Region dst{tr, tc, tr + src.height() - 1, tc + src.width() - 1};
+
+  ConfigMemory plane(dev);
+  {
+    ConfigPort port(plane);
+    port.load(base);
+    if (!port.started()) throw JpgError("base bitstream did not start up");
+  }
+  const PartialBitstreamGenerator gen(plane);
+  const PbitRelocator reloc(gen);
+  const ConfigMemory decoded = reloc.decode(partial, src);
+  const RelocCompat compat = reloc.check(decoded, src, dst);
+  std::printf("shape         : %s\n",
+              compat.shape_ok ? "compatible" : compat.shape_detail.c_str());
+  std::printf("containment   : %zu crossing(s)%s\n", compat.crossings.size(),
+              compat.drives_long_lines() ? " (drives long lines)" : "");
+  for (std::size_t i = 0; i < compat.crossings.size() && i < 8; ++i) {
+    std::printf("  crossing    : %s\n", compat.crossings[i].detail.c_str());
+  }
+  RelocOptions ropts;
+  ropts.require_containment = !force;
+  const PartialGenResult res = reloc.relocate(partial, src, dst, ropts);
+  res.bitstream.save(out);
+  std::printf("wrote %s (%s -> %s, %zu frames in %zu FAR blocks)\n",
+              out.c_str(), src.to_string().c_str(), dst.to_string().c_str(),
+              res.frames.size(), res.far_blocks);
+  return 0;
+}
+
+int cmd_attest(int argc, char** argv) {
+  std::vector<std::string> pos;
+  std::vector<std::array<std::uint64_t, 3>> corruptions;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--corrupt") == 0 && i + 1 < argc) {
+      const auto fields = split(argv[++i], ':');
+      if (fields.size() != 3) throw JpgError("--corrupt wants FRAME:WORD:MASK");
+      corruptions.push_back({std::strtoull(fields[0].c_str(), nullptr, 0),
+                             std::strtoull(fields[1].c_str(), nullptr, 0),
+                             std::strtoull(fields[2].c_str(), nullptr, 0)});
+    } else {
+      pos.emplace_back(argv[i]);
+    }
+  }
+  if (pos.empty()) {
+    throw JpgError(
+        "usage: jpg_cli attest <base.bit> [partial.pbit ...] "
+        "[--corrupt FRAME:WORD:MASK]");
+  }
+  const Bitstream base = Bitstream::load(pos[0]);
+  const Device& dev = device_for_bitstream(base);
+  std::vector<Bitstream> applied;
+  for (std::size_t i = 1; i < pos.size(); ++i) {
+    applied.push_back(Bitstream::load(pos[i]));
+  }
+
+  // Board bring-up with base + every partial, then (optionally) plant
+  // strays the audit must flag.
+  SimBoard board(dev);
+  board.send_config(base.words);
+  for (const Bitstream& p : applied) board.send_config(p.words);
+  for (const auto& [frame, word, mask] : corruptions) {
+    board.corrupt_frame_word(frame, word, static_cast<std::uint32_t>(mask));
+  }
+
+  ConfigMemory base_plane(dev);
+  {
+    ConfigPort port(base_plane);
+    port.load(base);
+    if (!port.started()) throw JpgError("base bitstream did not start up");
+  }
+  const ConfigMemory expected =
+      reconstruct_expected_plane(base_plane, applied);
+  VerifiedDownloader dl(board, dev);
+  const AttestReport rep = dl.attest(expected);
+  std::printf("%s\n", rep.summary().c_str());
+  for (const AttestFinding& f : rep.findings) {
+    std::printf("  stray       : %s word %zu expected %08x got %08x\n",
+                f.address.c_str(), f.word, f.expected, f.got);
+  }
+  return rep.attested ? 0 : 1;
 }
 
 int cmd_project_new(int argc, char** argv) {
@@ -400,8 +540,31 @@ int cmd_fuzzcfg(int argc, char** argv) {
     partial = w.finish();
   }
 
-  const FuzzReport rep =
-      fuzz_config_streams(dev, full, std::span(&partial, 1), opts);
+  // Relocated-stream corpus: a LUT-patterned module pbit generated at one
+  // column plus its PbitRelocator retarget near the right edge. Mutants of
+  // relocated streams replay through the same differential segment-cut
+  // harness as the rest of the corpus, so a FAR-rewrite bug that only
+  // manifests after chunked delivery still counts as a finding.
+  const ConfigMemory empty_base(dev);
+  const PartialBitstreamGenerator gen(empty_base);
+  ConfigMemory modplane(dev);
+  {
+    CBits cb(modplane);
+    for (int r = 0; r < dev.spec().clb_rows; ++r) {
+      cb.set_lut(SliceSite{r, 1, 0}, LutSel::F,
+                 static_cast<std::uint16_t>(0x5A5Au ^ (r * 131)));
+    }
+  }
+  const Region reloc_src{0, 1, dev.spec().clb_rows - 1, 1};
+  const Region reloc_dst{0, dev.spec().clb_cols - 2, dev.spec().clb_rows - 1,
+                         dev.spec().clb_cols - 2};
+  const PbitRelocator reloc(gen);
+  const Bitstream at_src = gen.generate(modplane, reloc_src).bitstream;
+  const Bitstream relocated =
+      reloc.relocate(at_src, reloc_src, reloc_dst).bitstream;
+
+  const std::array<Bitstream, 3> extra{partial, at_src, relocated};
+  const FuzzReport rep = fuzz_config_streams(dev, full, extra, opts);
   std::printf("%s\n", rep.summary().c_str());
   std::printf("verdict       : %s\n", rep.clean() ? "clean" : "FINDINGS");
   return rep.clean() ? 0 : 1;
@@ -692,8 +855,9 @@ int usage() {
   std::fprintf(stderr,
                "jpg_cli — partial bitstream generation (jpg-cpp)\n"
                "commands: info summarize partial apply floorplan verify\n"
-               "          project-new project-add project-build pnr\n"
-               "          fuzzcfg download stats serve proptest\n"
+               "          relocate attest project-new project-add\n"
+               "          project-build pnr fuzzcfg download stats serve\n"
+               "          proptest\n"
                "global flags: [--metrics <file>] [--trace <file>]\n");
   return 2;
 }
@@ -711,6 +875,8 @@ int dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "apply") return cmd_apply(argc, argv);
   if (cmd == "floorplan") return cmd_floorplan(argc, argv);
   if (cmd == "verify") return cmd_verify(argc, argv);
+  if (cmd == "relocate") return cmd_relocate(argc, argv);
+  if (cmd == "attest") return cmd_attest(argc, argv);
   if (cmd == "project-new") return cmd_project_new(argc, argv);
   if (cmd == "project-add") return cmd_project_add(argc, argv);
   if (cmd == "project-build") return cmd_project_build(argc, argv);

@@ -11,6 +11,10 @@
 #              BENCH_service.json sanity fields: p99 swap latency finite,
 #              swaps/sec > 0, zero admission-control violations and zero
 #              per-tenant quota violations.
+#   reloc      ASan build of the relocation stack: the fast relocation and
+#              defragmentation tests, the attestation suite (incl. the
+#              200-scenario fault sweep), the relocate/attest CLI tests and
+#              the fuzz smoke whose corpus includes relocated streams.
 #   bench      release build, JPG_BENCH_SMOKE=1 run of the parallel-core
 #              benches (router, partial gen, word kernels) plus the ICAP
 #              streaming bench; on hosts with >= 4 cores it additionally
@@ -145,6 +149,15 @@ print("bench smoke OK")
 EOF
 }
 
+run_reloc_checks() {
+  echo "=== [reloc] ASan relocation + attestation + fuzz smoke ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Release -DJPG_SANITIZE=address > /dev/null
+  cmake --build build-asan -j "$JOBS" --target \
+    relocate_test attest_test cli_test jpg_cli
+  (cd build-asan && ctest --output-on-failure -j "$JOBS" \
+     -R 'RelocateTest|PlanDefrag|RelocationService|AttestTest|CliTest\.(Relocate|Attest)|fuzzcfg_fast')
+}
+
 run_service_checks() {
   echo "=== [service] TSan service + concurrent-stream tests ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Release -DJPG_SANITIZE=thread > /dev/null
@@ -200,7 +213,8 @@ for cfg in "${CONFIGS[@]}"; do
     telemoff) run_one telemoff build-off   -DCMAKE_BUILD_TYPE=Release -DJPG_TELEMETRY=OFF ;;
     bench)    run_bench_smoke ;;
     service)  run_service_checks ;;
-    *) echo "unknown config '$cfg' (release|asan|tsan|telemoff|bench|service)" >&2; exit 2 ;;
+    reloc)    run_reloc_checks ;;
+    *) echo "unknown config '$cfg' (release|asan|tsan|telemoff|bench|service|reloc)" >&2; exit 2 ;;
   esac
 done
 echo "=== all checks passed: ${CONFIGS[*]} ==="
