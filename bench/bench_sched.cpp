@@ -1,0 +1,178 @@
+// RUNTIME ACCELERATOR SCHEDULER — task-graph workloads dispatched through
+// the AcceleratorScheduler over the uniform-socket fixture. Two phases per
+// device:
+//
+//   locality   a hot workload (one kernel, single-variant pools) where the
+//              placement ladder should land on rung 1 almost always after
+//              the cold start — measures the swap-avoidance hit rate
+//   mixed      seeded random task graphs across the full kernel library —
+//              measures sustained node throughput and queue-wait percentiles
+//
+// Emits BENCH_sched.json with node throughput, swap-avoidance hit rate,
+// queue-wait p50/p99 and the gate fields the `sched` CI configuration
+// asserts on: locality_reuse_rate (> 0.5), dep_violations (must be 0) and
+// admission_violations (queue growth beyond the configured depth — 0).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sched/accel_scheduler.h"
+#include "sched/task_graph.h"
+#include "support/rng.h"
+
+namespace jpg::sched {
+namespace {
+
+struct PhaseResult {
+  SchedStats stats;
+  ServiceStats svc;
+  std::vector<std::uint64_t> queue_waits_ns;
+  double nodes_per_sec = 0;
+  std::size_t nodes = 0;
+};
+
+std::uint64_t percentile(std::vector<std::uint64_t> v, int p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx =
+      std::min(v.size() - 1, (v.size() * static_cast<std::size_t>(p)) / 100);
+  return v[idx];
+}
+
+PhaseResult run_phase(const SchedFixture& fixture,
+                      const std::vector<TaskGraph>& graphs) {
+  SchedConfig cfg;
+  cfg.workers = 3;
+  AcceleratorScheduler sched(fixture, cfg);
+  PhaseResult out;
+  benchutil::Stopwatch sw;
+  std::vector<AppTicket> tickets;
+  tickets.reserve(graphs.size());
+  for (const TaskGraph& g : graphs) tickets.push_back(sched.submit(g));
+  for (AppTicket& t : tickets) {
+    const AppReport rep = t.report.get();
+    for (const NodeResult& nr : rep.nodes) {
+      out.queue_waits_ns.push_back(nr.queue_wait_ns);
+      ++out.nodes;
+    }
+  }
+  const double secs = sw.seconds();
+  sched.shutdown(true);
+  out.stats = sched.stats();
+  out.svc = sched.service().stats();
+  out.nodes_per_sec = secs > 0 ? static_cast<double>(out.nodes) / secs : 0;
+  return out;
+}
+
+/// The locality workload: every node wants the same kernel with a
+/// single-variant pool, chained so slots are revisited steadily.
+std::vector<TaskGraph> locality_workload(std::size_t apps,
+                                         std::size_t nodes_per_app) {
+  std::vector<TaskGraph> graphs;
+  for (std::size_t a = 0; a < apps; ++a) {
+    TaskGraph g;
+    g.app = "hot" + std::to_string(a);
+    for (std::size_t i = 0; i < nodes_per_app; ++i) {
+      TaskNode n;
+      n.name = "n" + std::to_string(i);
+      n.kernel = "nrzi";
+      n.pool = {0};
+      n.stimulus_seed = a * 1000 + i + 1;
+      if (i > 0) n.preds = {i - 1};
+      g.nodes.push_back(std::move(n));
+    }
+    graphs.push_back(std::move(g));
+  }
+  return graphs;
+}
+
+std::vector<TaskGraph> mixed_workload(const SchedFixture& fixture,
+                                      std::size_t apps, std::uint64_t seed) {
+  TaskGraphOptions opt;
+  opt.num_impls = fixture.impls_per_kernel();
+  Rng rng(seed);
+  std::vector<TaskGraph> graphs;
+  for (std::size_t a = 0; a < apps; ++a) {
+    graphs.push_back(random_task_graph(rng, fixture.kernels(), opt,
+                                       "app" + std::to_string(a)));
+  }
+  return graphs;
+}
+
+void bench_device(const char* part, benchutil::JsonReport& report,
+                  benchutil::Table& t) {
+  using benchutil::fmt;
+  const bool smoke = benchutil::smoke_mode();
+  const SchedFixture& fixture = SchedFixture::shared(part);
+
+  const PhaseResult hot = run_phase(
+      fixture, locality_workload(smoke ? 3 : 8, smoke ? 8 : 24));
+  const PhaseResult mixed = run_phase(
+      fixture, mixed_workload(fixture, smoke ? 6 : 24, 29));
+
+  const double reuse_rate = hot.stats.reuse_rate();
+  const std::uint64_t dep_violations =
+      hot.stats.dep_violations + mixed.stats.dep_violations;
+  const std::uint64_t admission_violations =
+      (hot.svc.queue_peak > hot.svc.submitted ? 1 : 0) +
+      (mixed.svc.queue_peak > mixed.svc.submitted ? 1 : 0);
+
+  report.set(part, "host_cpus", static_cast<double>(benchutil::host_cpus()));
+  report.set(part, "locality_nodes", static_cast<double>(hot.nodes));
+  report.set(part, "locality_nodes_per_sec", hot.nodes_per_sec);
+  report.set(part, "locality_reuse_rate", reuse_rate);
+  report.set(part, "locality_reuse",
+             static_cast<double>(hot.stats.placements_reuse));
+  report.set(part, "locality_relocated",
+             static_cast<double>(hot.stats.placements_relocated));
+  report.set(part, "locality_cold",
+             static_cast<double>(hot.stats.placements_cold));
+  report.set(part, "mixed_nodes", static_cast<double>(mixed.nodes));
+  report.set(part, "mixed_nodes_per_sec", mixed.nodes_per_sec);
+  report.set(part, "mixed_reuse_rate", mixed.stats.reuse_rate());
+  report.set(part, "mixed_queue_wait_p50_ns",
+             static_cast<double>(percentile(mixed.queue_waits_ns, 50)));
+  report.set(part, "mixed_queue_wait_p99_ns",
+             static_cast<double>(percentile(mixed.queue_waits_ns, 99)));
+  report.set(part, "swap_retries",
+             static_cast<double>(hot.stats.swap_retries +
+                                 mixed.stats.swap_retries));
+  report.set(part, "dep_violations", static_cast<double>(dep_violations));
+  report.set(part, "admission_violations",
+             static_cast<double>(admission_violations));
+
+  t.row({part, "locality", fmt(hot.nodes_per_sec, 0), fmt(reuse_rate, 3),
+         std::to_string(hot.stats.placements_cold)});
+  t.row({part, "mixed", fmt(mixed.nodes_per_sec, 0),
+         fmt(mixed.stats.reuse_rate(), 3),
+         std::to_string(mixed.stats.placements_cold)});
+}
+
+void bench_sched() {
+  const std::vector<const char*> parts =
+      benchutil::smoke_mode() ? std::vector<const char*>{"XCV50"}
+                              : std::vector<const char*>{"XCV50", "XCV300"};
+  benchutil::JsonReport report;
+  benchutil::Table t({"device", "phase", "nodes/s", "reuse", "cold"});
+  for (const char* part : parts) bench_device(part, report, t);
+  t.print("ACCELERATOR SCHEDULER: task throughput and swap avoidance");
+  std::printf(
+      "locality = one hot kernel, chained nodes (swap avoidance after the "
+      "cold start);\nmixed = random task graphs over the full kernel "
+      "library; queue wait is ready->dispatch.\n");
+  benchutil::add_telemetry_section(report);
+  report.write_file("BENCH_sched.json");
+}
+
+}  // namespace
+}  // namespace jpg::sched
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  jpg::sched::bench_sched();
+  return 0;
+}

@@ -285,6 +285,77 @@ Netlist make_johnson(int width, const std::string& name) {
   return nl;
 }
 
+Netlist make_fir(int taps, const std::string& name) {
+  JPG_REQUIRE(taps >= 1 && taps <= 32, "FIR tap count out of range");
+  Netlist nl(name);
+  const NetId d = nl.add_net("d");
+  nl.add_ibuf("ib_d", "d", d);
+  // Delay line d -> z1 -> z2 -> ... -> z<taps>.
+  std::vector<NetId> terms = {d};
+  NetId prev = d;
+  for (int i = 1; i <= taps; ++i) {
+    const NetId z = nl.add_net(idx_name("z", i));
+    nl.add_dff(idx_name("ff", i), prev, z);
+    terms.push_back(z);
+    prev = z;
+  }
+  const NetId sum = xor_tree(nl, terms, "s");
+  const NetId y = nl.add_net("y");
+  nl.add_dff("y_reg", sum, y);
+  nl.add_obuf("ob_y", "y", y);
+  return nl;
+}
+
+Netlist make_accumulator(int width, const std::string& name) {
+  JPG_REQUIRE(width >= 1 && width <= 64, "accumulator width out of range");
+  Netlist nl(name);
+  const NetId d = nl.add_net("d");
+  nl.add_ibuf("ib_d", "d", d);
+  // q += d: ripple increment gated by the input bit (carry0 = d).
+  NetId carry = d;
+  for (int i = 0; i < width; ++i) {
+    const NetId q = nl.add_net(idx_name("q", i));
+    const NetId nx = nl.add_net(idx_name("d", i));
+    nl.add_lut(idx_name("sum", i), lut_xor2(),
+               {q, carry, kNullNet, kNullNet}, nx);
+    if (i + 1 < width) {
+      const NetId nc = nl.add_net(idx_name("c", i));
+      nl.add_lut(idx_name("cl", i), lut_and2(),
+                 {q, carry, kNullNet, kNullNet}, nc);
+      carry = nc;
+    }
+    nl.add_dff(idx_name("ff", i), nx, q);
+    nl.add_obuf(idx_name("ob", i), idx_name("q", i), q);
+  }
+  return nl;
+}
+
+Netlist make_scrambler(int width, const std::string& name) {
+  JPG_REQUIRE(width >= 2 && width <= 64, "scrambler width out of range");
+  Netlist nl(name);
+  const NetId d = nl.add_net("d");
+  nl.add_ibuf("ib_d", "d", d);
+  std::vector<NetId> q(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    q[static_cast<std::size_t>(i)] = nl.add_net(idx_name("q", i));
+  }
+  // fb = d ^ q[last] ^ q[last-1]; same tap choice as make_lfsr's default.
+  const std::uint16_t xor3 = lut_init_from(
+      [](bool a, bool b, bool c, bool) { return a ^ b ^ c; });
+  const NetId fb = nl.add_net("fb");
+  nl.add_lut("fbl", xor3,
+             {d, q[static_cast<std::size_t>(width - 1)],
+              q[static_cast<std::size_t>(width - 2)], kNullNet},
+             fb);
+  for (int i = 0; i < width; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    nl.add_dff(idx_name("ff", i), i == 0 ? fb : q[ui - 1], q[ui],
+               /*init=*/i == 0);
+  }
+  nl.add_obuf("ob_y", "y", q[static_cast<std::size_t>(width - 1)]);
+  return nl;
+}
+
 Netlist make_adder(int width, const std::string& name) {
   JPG_REQUIRE(width >= 1 && width <= 64, "adder width out of range");
   Netlist nl(name);
@@ -431,6 +502,9 @@ const std::vector<GeneratorInfo>& registry() {
       {"johnson", [](int p) { return make_johnson(p); }},
       {"lfsr", [](int p) { return make_lfsr(p); }},
       {"shreg", [](int p) { return make_shift_register(p); }},
+      {"fir", [](int p) { return make_fir(p); }},
+      {"accum", [](int p) { return make_accumulator(p); }},
+      {"scrambler", [](int p) { return make_scrambler(p); }},
       {"adder", [](int p) { return make_adder(p); }},
       {"cmp", [](int p) { return make_comparator(p); }},
       {"parity", [](int p) { return make_parity(p); }},

@@ -64,6 +64,23 @@ namespace jpg::netlib {
 [[nodiscard]] Netlist make_johnson(int width,
                                    const std::string& name = "johnson");
 
+/// Bit-serial GF(2) FIR (moving parity): a `taps`-deep delay line on the
+/// input plus a registered XOR over the input and every delayed copy.
+/// Input "d", output "y" — y[t] = d[t-1] ^ d[t-2] ^ ... ^ d[t-taps-1].
+[[nodiscard]] Netlist make_fir(int taps, const std::string& name = "fir");
+
+/// Serial accumulator: a binary register that increments whenever the input
+/// bit is 1 (a population counter). Input "d", outputs q0..q<width-1>.
+[[nodiscard]] Netlist make_accumulator(int width,
+                                       const std::string& name = "accum");
+
+/// Additive scrambler: an LFSR whose feedback also XORs in the input bit
+/// (taps fixed at the last two stages, stage 0 seeded to 1 like make_lfsr).
+/// With the input held at 0 it free-runs as the plain LFSR. Input "d",
+/// output "y" (the last stage).
+[[nodiscard]] Netlist make_scrambler(int width,
+                                     const std::string& name = "scrambler");
+
 // --- Combinational modules -----------------------------------------------------
 
 /// Ripple-carry adder: inputs a0.., b0..; outputs s0.., "cout".

@@ -1,0 +1,249 @@
+// AcceleratorScheduler: the runtime workload layer over ReconfigService.
+//
+// Applications register task graphs (task_graph.h) whose nodes name socket
+// kernels with per-node variant pools; the scheduler owns a ReconfigService
+// fleet sharing the SchedFixture base design and dispatches ready nodes with
+// locality-aware placement, climbing a three-rung ladder per node:
+//
+//   1. Reuse     — a free slot already holds a pool variant: swap avoidance,
+//                  the service serves the lease from its resident registry.
+//   2. Relocated — a resident donor pbit of a pool variant exists anywhere:
+//                  submit with module_config = nullptr and let the service
+//                  relocate the donor (PR 9 allow_relocation, containment
+//                  relaxed — sound on the uniform-socket fixture).
+//   3. Cold      — flow output is generated from the fixture's module plane.
+//
+// Dependencies flow through a completion bus: the service's on_complete hook
+// plus the scheduler's own completion path mark successors ready and hand
+// each node the XOR of its predecessors' BitstreamSim output traces as its
+// input stream, so any schedule that respects the DAG must reproduce the
+// sequential reference traces exactly (reference_traces) — the invariant the
+// scheduler oracle family proves per random graph.
+//
+// Everything is instrumented as `sched.*` telemetry (docs/OBSERVABILITY.md)
+// next to the service's `svc.*` catalogue.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sched/sched_fixture.h"
+#include "sched/task_graph.h"
+#include "service/reconfig_service.h"
+#include "support/thread_pool.h"
+
+namespace jpg::sched {
+
+/// Which rung of the placement ladder served a node.
+enum class Placement {
+  Reuse,      ///< pool variant already resident at the chosen slot
+  Relocated,  ///< served by relocating a donor pbit of a pool variant
+  Cold,       ///< generated from the fixture's flowed module plane
+};
+
+[[nodiscard]] std::string_view placement_name(Placement p);
+
+struct SchedConfig {
+  std::size_t num_boards = 1;
+  /// Scheduler-owned execution pool width. The scheduler must NOT share the
+  /// service's pool: node tasks block on service futures, so sharing would
+  /// deadlock once every worker waits on a swap only that pool could run.
+  std::size_t workers = 2;
+  int sim_cycles = 24;     ///< per-node simulation length (bits of trace)
+  bool locality = true;    ///< rung 1: prefer slots already holding a variant
+  bool allow_relocation = true;  ///< rung 2: donor relocation before cold
+  int max_retries = 2;     ///< cold retries after a reuse/relocation failure
+  /// Service configuration; the ctor forces allow_relocation /
+  /// reloc_require_containment to match the rungs enabled above and chains
+  /// any caller-provided on_complete hook behind the scheduler's own.
+  ServiceConfig service;
+};
+
+struct NodeResult {
+  std::size_t node = 0;
+  std::string kernel;
+  std::string variant;     ///< registry label actually served ("fir#1")
+  int board = -1;
+  int slot = -1;
+  Placement placement = Placement::Cold;
+  bool ok = false;
+  std::string error;
+  std::vector<bool> trace;       ///< simulated output, sim_cycles bits
+  std::uint64_t start_event = 0;  ///< dispatch order (global event clock)
+  std::uint64_t end_event = 0;    ///< completion order (same clock)
+  std::uint64_t queue_wait_ns = 0;  ///< ready -> dispatch
+  std::uint64_t service_ns = 0;     ///< service-side dispatch -> completion
+};
+
+struct AppReport {
+  std::uint64_t app = 0;
+  bool completed = false;  ///< every node ran and succeeded
+  bool cancelled = false;
+  std::vector<NodeResult> nodes;  ///< indexed like TaskGraph::nodes
+};
+
+struct AppTicket {
+  std::uint64_t id = 0;
+  std::shared_future<AppReport> report;
+};
+
+struct SchedStats {
+  std::uint64_t apps_submitted = 0;
+  std::uint64_t apps_completed = 0;
+  std::uint64_t apps_cancelled = 0;
+  std::uint64_t apps_failed = 0;
+  std::uint64_t nodes_dispatched = 0;
+  std::uint64_t nodes_completed = 0;
+  std::uint64_t nodes_failed = 0;
+  std::uint64_t nodes_cancelled = 0;
+  std::uint64_t placements_reuse = 0;
+  std::uint64_t placements_relocated = 0;
+  std::uint64_t placements_cold = 0;
+  std::uint64_t swap_retries = 0;     ///< ladder fallbacks to a cold retry
+  std::uint64_t dep_violations = 0;   ///< dispatches with an unfinished pred
+  std::uint64_t completion_events = 0;  ///< service on_complete deliveries
+  std::uint64_t boards_revoked = 0;
+
+  /// Swap-avoidance hit rate: reuse placements over completed nodes.
+  [[nodiscard]] double reuse_rate() const {
+    return nodes_completed == 0
+               ? 0.0
+               : static_cast<double>(placements_reuse) /
+                     static_cast<double>(nodes_completed);
+  }
+};
+
+/// Sequential reference execution: every node in index order, pool variant 0
+/// at slot 0, no service involved. The oracle family compares scheduled
+/// traces against these — placement must never change results.
+[[nodiscard]] std::vector<std::vector<bool>> reference_traces(
+    const SchedFixture& fixture, const TaskGraph& graph, int sim_cycles);
+
+/// The input stream a node sees: XOR of its predecessors' output traces, or
+/// a stream seeded from stimulus_seed for source nodes.
+[[nodiscard]] std::vector<bool> node_input(
+    const TaskGraph& graph, std::size_t node,
+    const std::vector<std::vector<bool>>& traces, int sim_cycles);
+
+class AcceleratorScheduler {
+ public:
+  /// `fixture` must outlive the scheduler.
+  explicit AcceleratorScheduler(const SchedFixture& fixture,
+                                SchedConfig cfg = {});
+  ~AcceleratorScheduler();
+
+  AcceleratorScheduler(const AcceleratorScheduler&) = delete;
+  AcceleratorScheduler& operator=(const AcceleratorScheduler&) = delete;
+
+  /// Registers a task graph; throws JpgError on invalid graphs (unknown
+  /// kernel, impl outside the fixture pool) and after shutdown().
+  [[nodiscard]] AppTicket submit(TaskGraph graph);
+
+  /// Cancels an app: waiting/ready nodes become Cancelled, running nodes
+  /// finish. The app's report resolves with cancelled = true. Unknown or
+  /// already-finished ids are a no-op.
+  void cancel(std::uint64_t app_id);
+
+  /// Takes board `i` out of dispatch; running nodes on it finish. When no
+  /// boards remain, every unstarted node fails (nothing can ever place).
+  void revoke_board(std::size_t i);
+  /// Returns a revoked board to dispatch.
+  void restore_board(std::size_t i);
+
+  /// Forwards to the service, then resyncs the slot registry from
+  /// applied_pbits (defrag moves resident variants between slots).
+  DefragReport defragment(std::size_t board);
+
+  /// Stops admitting apps. drain=true waits for every registered app to
+  /// resolve; drain=false cancels unstarted work first. Idempotent.
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] SchedStats stats() const;
+  [[nodiscard]] ReconfigService& service() { return *svc_; }
+  [[nodiscard]] const SchedFixture& fixture() const { return *fixture_; }
+
+ private:
+  enum class NodeState { Waiting, Ready, Running, Done, Failed, Cancelled };
+
+  struct AppCtx {
+    std::uint64_t id = 0;
+    TaskGraph graph;
+    std::vector<NodeState> state;
+    std::vector<std::vector<bool>> traces;
+    std::vector<NodeResult> results;
+    std::vector<std::uint64_t> ready_ns;  ///< steady clock at Ready
+    std::size_t unfinished = 0;
+    bool cancelled = false;
+    bool finalized = false;
+    std::promise<AppReport> promise;
+  };
+
+  struct SlotState {
+    bool busy = false;
+    std::string variant;  ///< registry label resident here ("" = base v0)
+  };
+
+  struct BoardState {
+    std::vector<SlotState> slots;
+    bool revoked = false;
+  };
+
+  struct Dispatch {
+    std::shared_ptr<AppCtx> app;
+    std::size_t node = 0;
+    int board = -1;
+    int slot = -1;
+    Placement placement = Placement::Cold;
+    std::string variant;
+    int impl = 0;
+  };
+
+  void dispatcher_loop();
+  /// One scan for a dispatchable (ready node, free slot) pair under lock_;
+  /// fills `out` and marks the node Running. Returns false when nothing is
+  /// dispatchable right now.
+  bool pick_dispatch_locked(Dispatch& out);
+  void execute_node(Dispatch d);
+  /// Completion bus: marks the node Done/Failed, frees the slot, readies
+  /// successors, finalizes the app when its last node resolves.
+  void complete_node_locked(std::unique_lock<std::mutex>& lock,
+                            const Dispatch& d, NodeResult result);
+  void finalize_app_locked(AppCtx& app);
+  /// Fails every not-yet-running node of every app (no boards left).
+  void fail_unstarted_locked(const std::string& why);
+  [[nodiscard]] bool all_boards_revoked_locked() const;
+
+  const SchedFixture* fixture_;
+  SchedConfig cfg_;
+  std::unique_ptr<ReconfigService> svc_;
+  /// Private pool — see SchedConfig::workers. ThreadPool::sized() caches by
+  /// width and must not be used here (aliasing with the service's pool).
+  std::shared_ptr<ThreadPool> pool_;
+
+  mutable std::mutex lock_;
+  std::condition_variable cv_;
+  std::vector<std::shared_ptr<AppCtx>> apps_;
+  std::vector<BoardState> boards_;
+  /// variant label -> region keys a lease was created at. Advisory donor
+  /// index for rung 2: stale entries are harmless (the service rejects a
+  /// donorless relocation and the cold retry covers it).
+  std::map<std::string, std::set<std::string>> lease_regions_;
+  std::uint64_t next_app_ = 1;
+  std::uint64_t event_clock_ = 0;
+  std::size_t inflight_ = 0;
+  bool accepting_ = true;
+  bool stop_dispatcher_ = false;
+  SchedStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace jpg::sched

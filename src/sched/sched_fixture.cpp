@@ -1,0 +1,278 @@
+#include "sched/sched_fixture.h"
+
+#include <mutex>
+#include <utility>
+
+#include "cbits/cbits.h"
+#include "netlib/generators.h"
+#include "pnr/flow.h"
+#include "support/error.h"
+
+namespace jpg::sched {
+
+Netlist socket_wrap(const Netlist& kernel, int impl, const std::string& name) {
+  JPG_REQUIRE(impl >= 0 && impl <= 8, "socket impl variant out of range");
+  Netlist nl(name);
+  std::vector<NetId> map(kernel.num_nets());
+  for (std::size_t i = 0; i < kernel.num_nets(); ++i) {
+    map[i] = nl.add_net(kernel.net(static_cast<NetId>(i)).name);
+  }
+  const auto mn = [&map](NetId id) {
+    return id == kNullNet ? kNullNet : map[id];
+  };
+  std::size_t n_in = 0;
+  std::size_t n_out = 0;
+  for (const Cell& c : kernel.cells()) {
+    switch (c.kind) {
+      case CellKind::Lut4:
+        nl.add_lut(c.name, c.lut_init,
+                   {mn(c.in[0]), mn(c.in[1]), mn(c.in[2]), mn(c.in[3])},
+                   mn(c.out));
+        break;
+      case CellKind::Dff:
+        nl.add_dff(c.name, mn(c.in[0]), mn(c.out), c.ff_init);
+        break;
+      case CellKind::Ibuf: {
+        ++n_in;
+        JPG_REQUIRE(n_in == 1,
+                    "socket kernel '" + kernel.name() +
+                        "' must have exactly one input port");
+        // The pad drives a chain of 2*impl inverters ending at the kernel's
+        // own input net: a double negation is transparent to the function
+        // but not to the placer, so each impl yields a distinct pbit.
+        NetId head = mn(c.out);
+        if (impl > 0) {
+          const std::uint16_t inv = netlib::lut_not1();
+          std::vector<NetId> chain;
+          for (int i = 0; i < 2 * impl; ++i) {
+            chain.push_back(nl.add_net("sock_p" + std::to_string(i)));
+          }
+          for (int i = 0; i < 2 * impl; ++i) {
+            const NetId dst =
+                i + 1 < 2 * impl ? chain[static_cast<std::size_t>(i) + 1]
+                                 : head;
+            nl.add_lut("sock_inv" + std::to_string(i), inv,
+                       {chain[static_cast<std::size_t>(i)], kNullNet, kNullNet,
+                        kNullNet},
+                       dst);
+          }
+          head = chain[0];
+        }
+        nl.add_ibuf(c.name, "in", head);
+        break;
+      }
+      case CellKind::Obuf:
+        ++n_out;
+        JPG_REQUIRE(n_out == 1,
+                    "socket kernel '" + kernel.name() +
+                        "' must have exactly one output port");
+        nl.add_obuf(c.name, "out", mn(c.in[0]));
+        break;
+      case CellKind::Gnd:
+      case CellKind::Vcc:
+        nl.add_const(c.name, c.kind == CellKind::Vcc, mn(c.out));
+        break;
+    }
+  }
+  JPG_REQUIRE(n_in == 1 && n_out == 1,
+              "socket kernel '" + kernel.name() +
+                  "' must have exactly one input and one output port");
+  return nl;
+}
+
+namespace {
+
+/// The socket kernel library: every entry is single-input single-output so
+/// socket_wrap applies. "scrambler" is the LFSR with its input folded into
+/// the feedback (zero input = the free-running LFSR); "fir" and "accum" are
+/// the new pipeline generators of this PR.
+Netlist make_kernel(const std::string& name) {
+  if (name == "nrzi") return netlib::make_nrz_encoder("nrzi");
+  if (name == "scrambler") return netlib::make_scrambler(4, "scrambler");
+  if (name == "fir") return netlib::make_fir(3, "fir");
+  if (name == "accum") return netlib::make_accumulator(1, "accum");
+  throw JpgError("unknown socket kernel '" + name + "'");
+}
+
+/// Clones `module` into `top` under `prefix`, wiring its ports to pads named
+/// "<prefix>_<port>", and records the partition spec (scenarios.cpp idiom).
+void add_slot(Netlist& top, const Netlist& module, const std::string& prefix,
+              const Region& region, std::vector<PartitionSpec>& specs) {
+  const auto merged = top.merge_module(module, prefix);
+  PartitionSpec spec;
+  spec.name = prefix;
+  spec.region = region;
+  for (const auto& [port, net] : merged.inputs) {
+    top.add_ibuf(prefix + "_ib_" + port, prefix + "_" + port, net);
+    spec.input_ports.emplace_back(port, net);
+  }
+  for (const auto& [port, net] : merged.outputs) {
+    top.add_obuf(prefix + "_ob_" + port, prefix + "_" + port, net);
+    spec.output_ports.emplace_back(port, net);
+  }
+  specs.push_back(std::move(spec));
+}
+
+}  // namespace
+
+SchedFixture::SchedFixture(const std::string& device_name,
+                           SchedFixtureOptions opt)
+    : device_(&Device::get(device_name)), opt_(opt) {
+  JPG_REQUIRE(opt_.num_slots >= 1, "fixture needs at least one slot");
+  JPG_REQUIRE(opt_.impls_per_kernel >= 1, "fixture needs at least one impl");
+  // Uniform 3-wide full-height slots with 2-column static margins:
+  // cols [4..6], [9..11], [14..16], ... — margin columns carry the boundary
+  // crossings, the edge columns stay fully static.
+  const int r1 = device_->rows() - 1;
+  for (std::size_t s = 0; s < opt_.num_slots; ++s) {
+    const int c0 = 4 + 5 * static_cast<int>(s);
+    const Region region{0, c0, r1, c0 + 2};
+    JPG_REQUIRE(region.in_bounds(*device_) && region.c1 < device_->cols() - 1,
+                "device " + device_name + " is too narrow for " +
+                    std::to_string(opt_.num_slots) + " scheduler slots");
+    slots_.push_back(region);
+  }
+
+  kernel_names_ = {"nrzi", "scrambler", "fir", "accum"};
+
+  // Base design: a static heartbeat (so the static plane is not empty) plus
+  // socket scrambler impl 0 as every slot's initial variant.
+  Netlist top("sched_base");
+  std::vector<PartitionSpec> specs;
+  {
+    const Netlist hb = netlib::make_counter(2, "hb");
+    std::vector<NetId> map(hb.num_nets());
+    for (std::size_t i = 0; i < hb.num_nets(); ++i) {
+      map[i] = top.add_net("hb/" + hb.net(static_cast<NetId>(i)).name);
+    }
+    const auto mn = [&map](NetId id) {
+      return id == kNullNet ? kNullNet : map[id];
+    };
+    for (const Cell& c : hb.cells()) {
+      switch (c.kind) {
+        case CellKind::Lut4:
+          top.add_lut("hb/" + c.name, c.lut_init,
+                      {mn(c.in[0]), mn(c.in[1]), mn(c.in[2]), mn(c.in[3])},
+                      mn(c.out));
+          break;
+        case CellKind::Dff:
+          top.add_dff("hb/" + c.name, mn(c.in[0]), mn(c.out), c.ff_init);
+          break;
+        case CellKind::Obuf:
+          top.add_obuf("hb/" + c.name, "hb_" + c.port, mn(c.in[0]));
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  const Netlist v0 = socket_wrap(make_kernel("scrambler"), 0, "v0");
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    add_slot(top, v0, "u" + std::to_string(s), slots_[s], specs);
+  }
+
+  FlowOptions fopt;
+  fopt.seed = opt_.flow_seed;
+  const BaseFlowResult base = run_base_flow(*device_, top, specs, fopt);
+
+  // All slot interfaces must bind identically (same ports at the same
+  // relative crossings) — the precondition for cross-slot relocation.
+  for (std::size_t s = 1; s < slots_.size(); ++s) {
+    JPG_REQUIRE(base.interfaces[s].bindings == base.interfaces[0].bindings,
+                "slot interfaces are not uniform; relocation between slots "
+                "would be unsound");
+  }
+
+  base_ = std::make_unique<ConfigMemory>(*device_);
+  {
+    CBits cb(*base_);
+    base.design->apply(cb);
+  }
+
+  const auto pad_of = [&](const std::string& port) {
+    for (std::size_t i = 0; i < base.design->iob_cells.size(); ++i) {
+      if (base.design->netlist().cell(base.design->iob_cells[i]).port ==
+          port) {
+        return device_->pad_number(base.design->iob_sites[i]);
+      }
+    }
+    throw JpgError("sched fixture: no pad for port " + port);
+  };
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    in_pads_.push_back(pad_of("u" + std::to_string(s) + "_in"));
+    out_pads_.push_back(pad_of("u" + std::to_string(s) + "_out"));
+  }
+
+  // The variant pools: every (kernel, impl) flowed at every slot.
+  for (const std::string& kname : kernel_names_) {
+    const Netlist knl = make_kernel(kname);
+    std::vector<std::vector<ConfigMemory>> per_impl;
+    for (std::size_t impl = 0; impl < opt_.impls_per_kernel; ++impl) {
+      const Netlist wrapped =
+          socket_wrap(knl, static_cast<int>(impl),
+                      kname + "#" + std::to_string(impl));
+      std::vector<ConfigMemory> per_slot;
+      for (std::size_t s = 0; s < slots_.size(); ++s) {
+        FlowOptions mo;
+        mo.seed = opt_.flow_seed + impl + 1;
+        const ModuleFlowResult mod = run_module_flow(
+            *device_, wrapped, base.interfaces[s], mo);
+        ConfigMemory plane(*device_);
+        CBits mcb(plane);
+        mod.design->apply(mcb);
+        per_slot.push_back(std::move(plane));
+      }
+      per_impl.push_back(std::move(per_slot));
+    }
+    planes_.emplace(kname, std::move(per_impl));
+  }
+}
+
+const SchedFixture& SchedFixture::shared(const std::string& device_name) {
+  static std::mutex lock;
+  static std::map<std::string, std::unique_ptr<SchedFixture>> cache;
+  const std::lock_guard<std::mutex> guard(lock);
+  auto it = cache.find(device_name);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(device_name,
+                      std::make_unique<SchedFixture>(device_name))
+             .first;
+  }
+  return *it->second;
+}
+
+int SchedFixture::slot_of(const Region& region) const {
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s] == region) return static_cast<int>(s);
+  }
+  return -1;
+}
+
+const ConfigMemory& SchedFixture::plane(const std::string& kernel, int impl,
+                                        std::size_t slot) const {
+  const auto it = planes_.find(kernel);
+  JPG_REQUIRE(it != planes_.end(), "unknown kernel '" + kernel + "'");
+  JPG_REQUIRE(impl >= 0 &&
+                  static_cast<std::size_t>(impl) < it->second.size(),
+              "impl variant out of range for kernel '" + kernel + "'");
+  const auto& per_slot = it->second[static_cast<std::size_t>(impl)];
+  JPG_REQUIRE(slot < per_slot.size(), "slot index out of range");
+  return per_slot[slot];
+}
+
+std::string SchedFixture::variant_label(const std::string& kernel, int impl) {
+  return kernel + "#" + std::to_string(impl);
+}
+
+int SchedFixture::in_pad(std::size_t slot) const {
+  JPG_REQUIRE(slot < in_pads_.size(), "slot index out of range");
+  return in_pads_[slot];
+}
+
+int SchedFixture::out_pad(std::size_t slot) const {
+  JPG_REQUIRE(slot < out_pads_.size(), "slot index out of range");
+  return out_pads_[slot];
+}
+
+}  // namespace jpg::sched

@@ -1,0 +1,95 @@
+// SchedFixture: the uniform-socket accelerator board the scheduler runs on.
+//
+// The paper's runtime story needs a base design with interchangeable slots:
+// every reconfigurable region exposes the *same* one-bit-in / one-bit-out
+// interface ("socket"), so any kernel variant fits any slot and a pbit
+// generated for one slot can be relocated to any other (the interfaces bind
+// identically, which is what makes containment-relaxed relocation sound —
+// the oracle family re-proves it by trace equality per placement).
+//
+// Kernels come from src/netlib; socket_wrap() rewrites a single-input
+// single-output generator netlist to the socket port names and derives
+// *implementation variants* by inserting inverter pairs on the input path:
+// function-preserving (a double negation is transparent in the zero-delay
+// LUT sim) but structure-changing, so each impl places differently and
+// produces a distinct pbit — a pool of genuinely different bitstreams that
+// must all behave identically, exactly the paper's pool of pre-synthesised
+// module implementations.
+//
+// Building a fixture runs one base flow plus kernels x impls x slots module
+// flows (~tens of ms on XCV50); shared() memoises one instance per device
+// for test/bench/CLI reuse.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitstream/config_memory.h"
+#include "device/device.h"
+#include "device/region.h"
+#include "netlist/netlist.h"
+
+namespace jpg::sched {
+
+/// Rewrites a kernel netlist with exactly one Ibuf and one Obuf to the
+/// socket interface (ports "in"/"out") and inserts `impl` inverter *pairs*
+/// between the input pad and the kernel's input net.
+[[nodiscard]] Netlist socket_wrap(const Netlist& kernel, int impl,
+                                  const std::string& name);
+
+struct SchedFixtureOptions {
+  std::size_t num_slots = 3;
+  std::size_t impls_per_kernel = 2;
+  std::uint64_t flow_seed = 11;
+};
+
+class SchedFixture {
+ public:
+  SchedFixture(const std::string& device_name, SchedFixtureOptions opt = {});
+
+  /// One memoised fixture per (device, default options); immutable after
+  /// construction, safe to share across threads.
+  [[nodiscard]] static const SchedFixture& shared(
+      const std::string& device_name);
+
+  [[nodiscard]] const Device& device() const { return *device_; }
+  [[nodiscard]] const ConfigMemory& base() const { return *base_; }
+  [[nodiscard]] const std::vector<Region>& slots() const { return slots_; }
+  /// Slot index of `region`, or -1 when it is not a slot region.
+  [[nodiscard]] int slot_of(const Region& region) const;
+
+  /// Socket kernel names, stable order ("nrzi", "scrambler", "fir", "accum").
+  [[nodiscard]] const std::vector<std::string>& kernels() const {
+    return kernel_names_;
+  }
+  [[nodiscard]] std::size_t impls_per_kernel() const {
+    return opt_.impls_per_kernel;
+  }
+
+  /// Module plane of (kernel, impl) flowed for slot `slot`.
+  [[nodiscard]] const ConfigMemory& plane(const std::string& kernel, int impl,
+                                          std::size_t slot) const;
+
+  /// Registry label for (kernel, impl) — what the service's resident
+  /// registry and the relocation donor search key on ("fir#1").
+  [[nodiscard]] static std::string variant_label(const std::string& kernel,
+                                                 int impl);
+
+  [[nodiscard]] int in_pad(std::size_t slot) const;
+  [[nodiscard]] int out_pad(std::size_t slot) const;
+
+ private:
+  const Device* device_;
+  SchedFixtureOptions opt_;
+  std::unique_ptr<ConfigMemory> base_;
+  std::vector<Region> slots_;
+  std::vector<int> in_pads_;
+  std::vector<int> out_pads_;
+  std::vector<std::string> kernel_names_;
+  /// kernel -> [impl][slot] module planes.
+  std::map<std::string, std::vector<std::vector<ConfigMemory>>> planes_;
+};
+
+}  // namespace jpg::sched

@@ -1,0 +1,87 @@
+#include "sched/task_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.h"
+
+namespace jpg::sched {
+
+std::size_t TaskGraph::num_edges() const {
+  std::size_t n = 0;
+  for (const TaskNode& node : nodes) n += node.preds.size();
+  return n;
+}
+
+void TaskGraph::validate() const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const TaskNode& node = nodes[i];
+    JPG_REQUIRE(!node.kernel.empty(),
+                "task graph node " + node.name + " has no kernel");
+    JPG_REQUIRE(!node.pool.empty(),
+                "task graph node " + node.name + " has an empty variant pool");
+    std::set<std::size_t> seen;
+    for (const std::size_t p : node.preds) {
+      JPG_REQUIRE(p < i, "task graph edge " + std::to_string(p) + " -> " +
+                             std::to_string(i) +
+                             " is not back-to-front (graph must be a DAG in "
+                             "index order)");
+      JPG_REQUIRE(seen.insert(p).second,
+                  "duplicate predecessor in node " + node.name);
+    }
+  }
+}
+
+TaskGraph random_task_graph(Rng& rng, const std::vector<std::string>& kernels,
+                            const TaskGraphOptions& opt,
+                            const std::string& app) {
+  JPG_REQUIRE(!kernels.empty(), "task graph generator needs kernels");
+  JPG_REQUIRE(opt.min_nodes >= 1 && opt.max_nodes >= opt.min_nodes,
+              "bad task graph node bounds");
+  JPG_REQUIRE(opt.pool_min >= 1 && opt.pool_max >= opt.pool_min &&
+                  opt.pool_max <= opt.num_impls,
+              "bad task graph pool bounds");
+  TaskGraph g;
+  g.app = app;
+  const std::size_t n =
+      opt.min_nodes + rng.uniform(opt.max_nodes - opt.min_nodes + 1);
+  g.nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TaskNode node;
+    node.name = "n" + std::to_string(i);
+    node.kernel = kernels[rng.uniform(kernels.size())];
+    node.stimulus_seed = rng.next();
+    // Pool: a random nonempty subset of the implementation variants.
+    const std::size_t pool_size =
+        opt.pool_min + rng.uniform(opt.pool_max - opt.pool_min + 1);
+    std::vector<int> impls(opt.num_impls);
+    for (std::size_t k = 0; k < impls.size(); ++k) {
+      impls[k] = static_cast<int>(k);
+    }
+    for (std::size_t k = 0; k < pool_size; ++k) {
+      // Partial Fisher-Yates: the first pool_size entries become the pool.
+      const std::size_t j = k + rng.uniform(impls.size() - k);
+      std::swap(impls[k], impls[j]);
+    }
+    impls.resize(pool_size);
+    std::sort(impls.begin(), impls.end());
+    node.pool = std::move(impls);
+    // Edges only from earlier nodes: acyclic by construction.
+    if (i > 0) {
+      std::vector<std::size_t> cands(i);
+      for (std::size_t k = 0; k < i; ++k) cands[k] = k;
+      for (std::size_t k = 0;
+           k < cands.size() && node.preds.size() < opt.max_preds; ++k) {
+        const std::size_t j = k + rng.uniform(cands.size() - k);
+        std::swap(cands[k], cands[j]);
+        if (rng.chance(opt.edge_prob)) node.preds.push_back(cands[k]);
+      }
+      std::sort(node.preds.begin(), node.preds.end());
+    }
+    g.nodes.push_back(std::move(node));
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace jpg::sched

@@ -1,0 +1,58 @@
+// Task graphs: the workload model of the accelerator scheduler.
+//
+// An application is a DAG whose nodes each name a netlib kernel plus a
+// *pool* of interchangeable implementation variants (same function,
+// different placement — see SchedFixture::socket_wrap). Edges carry data:
+// a node's input bit-stream is the XOR of its predecessors' output traces,
+// so every schedule that respects the dependencies must reproduce exactly
+// the sequential reference traces — the property the scheduler oracle
+// family checks per graph.
+//
+// The random generator mirrors the PR 5 design generator's discipline:
+// nodes may only depend on earlier indices, so every generated graph is
+// acyclic by construction and a topological order is the index order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace jpg::sched {
+
+struct TaskNode {
+  std::string name;            ///< "n3" — stable within the graph
+  std::string kernel;          ///< SchedFixture kernel name ("nrzi", "fir"...)
+  std::vector<int> pool;       ///< candidate implementation variants
+  std::vector<std::size_t> preds;  ///< predecessor node indices (all < own)
+  /// Source nodes (no preds) are driven by a stream seeded from this.
+  std::uint64_t stimulus_seed = 0;
+};
+
+struct TaskGraph {
+  std::string app;
+  std::vector<TaskNode> nodes;
+
+  [[nodiscard]] std::size_t num_edges() const;
+  /// Throws JpgError on structural problems (forward/self deps, empty
+  /// pools, duplicate preds). Kernel-name validity is the fixture's check.
+  void validate() const;
+};
+
+struct TaskGraphOptions {
+  std::size_t min_nodes = 2;
+  std::size_t max_nodes = 8;
+  std::size_t max_preds = 2;   ///< fan-in cap per node
+  double edge_prob = 0.6;      ///< chance of taking each candidate pred
+  std::size_t pool_min = 1;    ///< variants per node pool
+  std::size_t pool_max = 2;
+  std::size_t num_impls = 2;   ///< implementation variants available
+};
+
+/// Seeded random DAG over `kernels`. Deterministic in (rng state, options).
+[[nodiscard]] TaskGraph random_task_graph(
+    Rng& rng, const std::vector<std::string>& kernels,
+    const TaskGraphOptions& opt = {}, const std::string& app = "app");
+
+}  // namespace jpg::sched

@@ -35,9 +35,17 @@ ReconfigService::ReconfigService(const Device& device, const ConfigMemory& base,
   boards_.reserve(num_boards);
   for (std::size_t i = 0; i < num_boards; ++i) {
     auto ctx = std::make_unique<BoardCtx>(device);
+    // Bring-up is a clean power-on: the base always loads unfaulted. Only
+    // runtime traffic goes through the adversarial link below.
     ctx->board.send_config(base_bit.words);
+    Xhwif* link = &ctx->board;
+    if (cfg_.inject_faults) {
+      ctx->faulty = std::make_unique<FaultyBoard>(
+          ctx->board, cfg_.fault_profile, cfg_.fault_seed + i);
+      link = ctx->faulty.get();
+    }
     ctx->downloader =
-        std::make_unique<VerifiedDownloader>(ctx->board, device, cfg_.policy);
+        std::make_unique<VerifiedDownloader>(*link, device, cfg_.policy);
     ctx->downloader->assume_board_state(base);
     boards_.push_back(std::move(ctx));
   }
@@ -58,6 +66,22 @@ const SimBoard& ReconfigService::board(std::size_t i) const {
   return boards_[i]->board;
 }
 
+std::vector<AppliedSlot> ReconfigService::applied_pbits(std::size_t i) const {
+  JPG_REQUIRE(i < boards_.size(), "board index out of range");
+  std::vector<AppliedSlot> out;
+  {
+    const std::lock_guard<std::mutex> lock(lock_);
+    for (const auto& [key, ap] : boards_[i]->applied) {
+      out.push_back({ap.region, ap.variant, ap.seq, ap.pbit});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AppliedSlot& a, const AppliedSlot& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
 std::uint64_t ReconfigService::estimate_cost_words(const Region& region) const {
   const FrameMap& fm = device_->frames();
   return static_cast<std::uint64_t>(region.clb_majors(*device_).size()) *
@@ -69,8 +93,12 @@ std::future<ServiceResponse> ReconfigService::submit(ServiceRequest req) {
   std::future<ServiceResponse> future = promise.get_future();
   JPG_COUNT("svc.submitted", 1);
 
+  const std::uint64_t cookie = req.cookie;
+
   // Structural validation is synchronous: a malformed request never costs a
-  // queue slot.
+  // queue slot — but it is still *accounted* (submitted +
+  // rejected_bad_request, per tenant too), so the ServiceStats conservation
+  // invariant `submitted == accounted()` covers every outcome.
   std::string bad;
   if (req.module_config == nullptr && !cfg_.allow_relocation) {
     bad = "missing module_config";
@@ -87,10 +115,20 @@ std::future<ServiceResponse> ReconfigService::submit(ServiceRequest req) {
   }
   if (!bad.empty()) {
     JPG_COUNT("svc.rejected.bad_request", 1);
+    {
+      const std::lock_guard<std::mutex> lock(lock_);
+      Tenant& tenant = tenants_[req.tenant];
+      if (tenants_.size() != rr_order_.size()) rr_order_.push_back(req.tenant);
+      ++stats_.submitted;
+      ++stats_.rejected_bad_request;
+      ++tenant.stats.submitted;
+      ++tenant.stats.rejected;
+    }
     ServiceResponse r;
     r.error = ServiceError::BadRequest;
     r.message = std::move(bad);
-    promise.set_value(std::move(r));
+    r.cookie = cookie;
+    complete(promise, std::move(r));
     return future;
   }
 
@@ -130,11 +168,18 @@ std::future<ServiceResponse> ReconfigService::submit(ServiceRequest req) {
     ServiceResponse r;
     r.error = reject;
     r.message = std::string(service_error_name(reject));
-    promise.set_value(std::move(r));
+    r.cookie = cookie;
+    complete(promise, std::move(r));
     return future;
   }
   cv_.notify_all();
   return future;
+}
+
+void ReconfigService::complete(std::promise<ServiceResponse>& promise,
+                               ServiceResponse resp) {
+  if (cfg_.on_complete) cfg_.on_complete(resp);
+  promise.set_value(std::move(resp));
 }
 
 void ReconfigService::resume() {
@@ -146,7 +191,7 @@ void ReconfigService::resume() {
 }
 
 void ReconfigService::shutdown(bool drain) {
-  std::vector<std::promise<ServiceResponse>> rejected;
+  std::vector<std::pair<std::promise<ServiceResponse>, std::uint64_t>> rejected;
   {
     std::unique_lock<std::mutex> lock(lock_);
     accepting_ = false;
@@ -154,7 +199,7 @@ void ReconfigService::shutdown(bool drain) {
     if (!drain) {
       for (auto& [name, tenant] : tenants_) {
         for (Pending& p : tenant.queue) {
-          rejected.push_back(std::move(p.promise));
+          rejected.emplace_back(std::move(p.promise), p.req.cookie);
           ++stats_.rejected_shutdown;
           ++tenant.stats.rejected;
         }
@@ -165,11 +210,12 @@ void ReconfigService::shutdown(bool drain) {
     }
   }
   cv_.notify_all();
-  for (auto& p : rejected) {
+  for (auto& [p, cookie] : rejected) {
     ServiceResponse r;
     r.error = ServiceError::ShuttingDown;
     r.message = "service shutting down";
-    p.set_value(std::move(r));
+    r.cookie = cookie;
+    complete(p, std::move(r));
   }
   {
     std::unique_lock<std::mutex> lock(lock_);
@@ -289,6 +335,7 @@ void ReconfigService::execute(std::shared_ptr<Pending> p, int board_idx,
   ServiceResponse resp;
   resp.dispatch_seq = dispatch_seq;
   resp.board = board_idx;
+  resp.cookie = p->req.cookie;
   const std::uint64_t t0 = telemetry::now_ns();
   resp.queue_wait_ns = t0 - p->enqueue_ns;
   JPG_HIST("svc.queue_wait_ns", resp.queue_wait_ns);
@@ -364,7 +411,7 @@ void ReconfigService::execute(std::shared_ptr<Pending> p, int board_idx,
     reap_residents_locked();
   }
   cv_.notify_all();
-  p->promise.set_value(std::move(resp));
+  complete(p->promise, std::move(resp));
 }
 
 // --- Resident registry -------------------------------------------------------
@@ -419,6 +466,7 @@ std::shared_ptr<ReconfigService::Resident> ReconfigService::acquire_resident(
         const PbitRelocator reloc(gen_);
         RelocOptions ropts;
         ropts.gen = req.gen_opts;
+        ropts.require_containment = cfg_.reloc_require_containment;
         lease = reloc.relocate_leased(donor_pbit, donor->region, req.region,
                                       ropts);
         relocated = true;

@@ -29,6 +29,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <list>
 #include <map>
@@ -42,6 +43,7 @@
 #include "core/partial_gen.h"
 #include "core/relocate.h"
 #include "device/region.h"
+#include "hwif/faulty_board.h"
 #include "hwif/sim_board.h"
 #include "hwif/stream_source.h"
 #include "hwif/verified_downloader.h"
@@ -84,11 +86,16 @@ struct ServiceRequest {
   /// identify the module content the way a real pool's variant name does.
   std::string variant;
   PartialGenOptions gen_opts;
+  /// Opaque caller tag echoed in the response — lets a completion hook
+  /// correlate responses with whatever the caller was tracking (the
+  /// scheduler uses it for its node ids) without a side table.
+  std::uint64_t cookie = 0;
 };
 
 struct ServiceResponse {
   ServiceError error = ServiceError::None;
   std::string message;         ///< detail when error != None
+  std::uint64_t cookie = 0;    ///< ServiceRequest::cookie, echoed
   int board = -1;              ///< board served (swaps)
   bool resident_hit = false;   ///< lease served from the resident registry
   std::uint64_t queue_wait_ns = 0;  ///< submit -> dispatch
@@ -125,6 +132,26 @@ struct ServiceConfig {
   /// same variant and shape (PbitRelocator, containment enforced) — the
   /// compile-once-place-anywhere placement freedom of docs/SERVICE.md.
   bool allow_relocation = false;
+  /// Containment requirement for relocation-served requests. Flowed modules
+  /// with I/O always carry boundary crossings (their interface wires escape
+  /// the region by construction), so serving them via relocation needs this
+  /// off — sound exactly when every compatible slot exposes an identical
+  /// interface (the scheduler's uniform-socket fixture guarantees it; its
+  /// oracle family re-proves trace equality per placement).
+  bool reloc_require_containment = true;
+  /// Wrap every board link in a FaultyBoard(fault_profile, fault_seed + i):
+  /// the scheduler's fault tier. Bring-up of the base design bypasses the
+  /// wrapper (a clean power-on); only runtime swap/readback traffic is
+  /// subject to injection, and DownloadPolicy retries must ride it out.
+  bool inject_faults = false;
+  FaultProfile fault_profile;
+  std::uint64_t fault_seed = 1;
+  /// Fired once per request on every completion path — asynchronous
+  /// completions (pool workers) and synchronous rejections (the submit
+  /// caller's thread) alike — just before the future becomes ready. Must
+  /// not call back into the service (it may run under no lock but inside
+  /// submit()); keep it cheap, it is on the datapath.
+  std::function<void(const ServiceResponse&)> on_complete;
   StreamOptions stream;    ///< burst size / overlap of the swap datapath
   DownloadPolicy policy;   ///< per-board verified-download policy
 };
@@ -145,6 +172,7 @@ struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_shutdown = 0;
+  std::uint64_t rejected_bad_request = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;          ///< completed with error set
   std::uint64_t dispatched = 0;
@@ -156,6 +184,24 @@ struct ServiceStats {
   std::uint64_t relocations_served = 0;  ///< requests served via a donor pbit
   std::uint64_t defrag_moves = 0;        ///< slots moved by defragment()
   std::map<std::string, TenantStats> tenants;
+
+  /// Conservation invariant: every submitted request ends in exactly one of
+  /// completed / failed / rejected_*. Holds at quiescence (no queued or
+  /// in-flight work) — the stats-coherence test pins it under churn.
+  [[nodiscard]] std::uint64_t accounted() const {
+    return completed + failed + rejected_queue_full + rejected_shutdown +
+           rejected_bad_request;
+  }
+};
+
+/// One pbit currently applied to a board, as reported by applied_pbits():
+/// the scheduler's resident-reuse registry and its per-node simulations are
+/// built from these snapshots (decode the pbit over the base at `region`).
+struct AppliedSlot {
+  Region region;
+  std::string variant;
+  std::uint64_t seq = 0;  ///< apply order (ascending)
+  Bitstream pbit;
 };
 
 /// Outcome of a defragmentation pass over one board.
@@ -195,6 +241,10 @@ class ReconfigService {
   [[nodiscard]] std::size_t num_boards() const { return boards_.size(); }
   /// The simulated board itself (tests inspect final planes through it).
   [[nodiscard]] const SimBoard& board(std::size_t i) const;
+
+  /// Snapshot of the pbits currently applied to board `i`, in apply order.
+  /// Copies the streams: the snapshot stays valid after later swaps.
+  [[nodiscard]] std::vector<AppliedSlot> applied_pbits(std::size_t i) const;
 
   /// Readback attestation of one board: reconstructs the expected plane
   /// from the base design plus every pbit applied to that board (in apply
@@ -236,6 +286,9 @@ class ReconfigService {
   struct BoardCtx {
     explicit BoardCtx(const Device& dev) : board(dev) {}
     SimBoard board;
+    /// Present when ServiceConfig::inject_faults: the downloader talks to
+    /// the board only through this adversarial link decorator.
+    std::unique_ptr<FaultyBoard> faulty;
     std::unique_ptr<VerifiedDownloader> downloader;
     bool busy = false;
     std::uint64_t words_shipped = 0;  ///< balance metric for board pick
@@ -261,6 +314,10 @@ class ReconfigService {
     std::string variant;
     PartialGenOptions opts;
   };
+
+  /// Fires cfg_.on_complete (if set), then fulfils the promise. The single
+  /// funnel for every completion path, so the hook can never be missed.
+  void complete(std::promise<ServiceResponse>& promise, ServiceResponse resp);
 
   void dispatcher_loop();
   /// One DRR pass under lock_; returns true when something dispatched.

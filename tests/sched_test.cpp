@@ -1,0 +1,398 @@
+// Accelerator-scheduler tests: task-graph generator invariants, the uniform
+// socket fixture, the oracle property family (including the fault and
+// defrag-mid-run tiers), the chaos tier (concurrent registration /
+// cancellation / board revocation / shutdown-with-inflight), and the service
+// stats-coherence invariant under submit churn.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/accel_scheduler.h"
+#include "sched/sched_fixture.h"
+#include "sched/task_graph.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "testing/sched_oracle.h"
+
+namespace jpg::sched {
+namespace {
+
+const SchedFixture& fixture() { return SchedFixture::shared("XCV50"); }
+
+TaskGraph graph_for(std::uint64_t seed, const std::string& app = "app") {
+  Rng rng(seed);
+  TaskGraphOptions opt;
+  opt.num_impls = fixture().impls_per_kernel();
+  return random_task_graph(rng, fixture().kernels(), opt, app);
+}
+
+TEST(TaskGraphTest, GeneratorIsDeterministic) {
+  Rng a(7);
+  Rng b(7);
+  TaskGraphOptions opt;
+  const TaskGraph ga = random_task_graph(a, fixture().kernels(), opt);
+  const TaskGraph gb = random_task_graph(b, fixture().kernels(), opt);
+  ASSERT_EQ(ga.nodes.size(), gb.nodes.size());
+  for (std::size_t i = 0; i < ga.nodes.size(); ++i) {
+    EXPECT_EQ(ga.nodes[i].kernel, gb.nodes[i].kernel);
+    EXPECT_EQ(ga.nodes[i].pool, gb.nodes[i].pool);
+    EXPECT_EQ(ga.nodes[i].preds, gb.nodes[i].preds);
+    EXPECT_EQ(ga.nodes[i].stimulus_seed, gb.nodes[i].stimulus_seed);
+  }
+}
+
+TEST(TaskGraphTest, GeneratorRespectsBounds) {
+  Rng rng(11);
+  TaskGraphOptions opt;
+  opt.min_nodes = 3;
+  opt.max_nodes = 5;
+  opt.max_preds = 1;
+  for (int i = 0; i < 50; ++i) {
+    const TaskGraph g = random_task_graph(rng, fixture().kernels(), opt);
+    EXPECT_GE(g.nodes.size(), 3u);
+    EXPECT_LE(g.nodes.size(), 5u);
+    for (const TaskNode& n : g.nodes) {
+      EXPECT_LE(n.preds.size(), 1u);
+      EXPECT_FALSE(n.pool.empty());
+    }
+  }
+}
+
+TEST(TaskGraphTest, ValidateRejectsForwardEdge) {
+  TaskGraph g;
+  g.nodes.resize(2);
+  g.nodes[0].name = "n0";
+  g.nodes[0].kernel = "nrzi";
+  g.nodes[0].pool = {0};
+  g.nodes[0].preds = {1};  // forward edge: not a DAG in index order
+  g.nodes[1].name = "n1";
+  g.nodes[1].kernel = "nrzi";
+  g.nodes[1].pool = {0};
+  EXPECT_THROW(g.validate(), JpgError);
+}
+
+TEST(SchedFixtureTest, UniformSocketsAndDistinctImplPlanes) {
+  const SchedFixture& fx = fixture();
+  EXPECT_EQ(fx.slots().size(), 3u);
+  EXPECT_EQ(fx.kernels().size(), 4u);
+  EXPECT_EQ(fx.slot_of(fx.slots()[1]), 1);
+  EXPECT_EQ(fx.slot_of(Region{0, 0, 1, 1}), -1);
+  EXPECT_EQ(SchedFixture::variant_label("fir", 1), "fir#1");
+  // Implementation variants must be genuinely different bitstreams — the
+  // whole point of the inverter-pair construction.
+  for (const std::string& k : fx.kernels()) {
+    EXPECT_FALSE(fx.plane(k, 0, 0) == fx.plane(k, 1, 0))
+        << k << " impl planes are identical";
+  }
+  // Pads are distinct per slot (each socket has its own pin pair).
+  EXPECT_NE(fx.in_pad(0), fx.in_pad(1));
+  EXPECT_NE(fx.out_pad(0), fx.out_pad(1));
+}
+
+TEST(SchedulerTest, SingleGraphMatchesSequentialReference) {
+  const TaskGraph g = graph_for(21);
+  const auto refs = reference_traces(fixture(), g, 24);
+
+  AcceleratorScheduler sched(fixture());
+  AppTicket t = sched.submit(g);
+  const AppReport rep = t.report.get();
+  ASSERT_TRUE(rep.completed);
+  ASSERT_EQ(rep.nodes.size(), g.nodes.size());
+  for (const NodeResult& nr : rep.nodes) {
+    EXPECT_TRUE(nr.ok);
+    EXPECT_EQ(nr.trace, refs[nr.node]) << "node " << nr.node;
+    for (const std::size_t p : g.nodes[nr.node].preds) {
+      EXPECT_LT(rep.nodes[p].end_event, nr.start_event);
+    }
+  }
+  const SchedStats st = sched.stats();
+  EXPECT_EQ(st.dep_violations, 0u);
+  EXPECT_EQ(st.nodes_completed, g.nodes.size());
+  EXPECT_EQ(st.placements_reuse + st.placements_relocated + st.placements_cold,
+            st.nodes_completed);
+}
+
+TEST(SchedulerTest, LocalityNeverChangesResults) {
+  const TaskGraph g = graph_for(33);
+  const auto refs = reference_traces(fixture(), g, 24);
+  for (const bool locality : {true, false}) {
+    SchedConfig cfg;
+    cfg.locality = locality;
+    AcceleratorScheduler sched(fixture(), cfg);
+    const AppReport rep = sched.submit(g).report.get();
+    ASSERT_TRUE(rep.completed) << "locality=" << locality;
+    for (const NodeResult& nr : rep.nodes) {
+      EXPECT_EQ(nr.trace, refs[nr.node])
+          << "locality=" << locality << " node " << nr.node;
+    }
+  }
+}
+
+TEST(SchedulerTest, RepeatedKernelsHitResidentReuse) {
+  // Same kernel + single-variant pools across many nodes: after the cold
+  // start, the ladder must keep landing on rung 1.
+  TaskGraph g;
+  g.app = "hot";
+  for (int i = 0; i < 8; ++i) {
+    TaskNode n;
+    n.name = "n" + std::to_string(i);
+    n.kernel = "nrzi";
+    n.pool = {0};
+    n.stimulus_seed = 100 + static_cast<std::uint64_t>(i);
+    if (i > 0) n.preds = {static_cast<std::size_t>(i - 1)};
+    g.nodes.push_back(std::move(n));
+  }
+  AcceleratorScheduler sched(fixture());
+  const AppReport rep = sched.submit(g).report.get();
+  ASSERT_TRUE(rep.completed);
+  const SchedStats st = sched.stats();
+  EXPECT_GT(st.placements_reuse, 0u);
+  EXPECT_GT(st.reuse_rate(), 0.5);
+}
+
+TEST(SchedulerTest, OracleFamilySmoke) {
+  const Rng root(91);
+  for (int batch = 0; batch < 3; ++batch) {
+    Rng rng(root.split(static_cast<std::uint64_t>(batch)).next());
+    TaskGraphOptions opt;
+    opt.num_impls = fixture().impls_per_kernel();
+    std::vector<TaskGraph> graphs;
+    for (int gi = 0; gi < 3; ++gi) {
+      graphs.push_back(random_task_graph(rng, fixture().kernels(), opt,
+                                         "app" + std::to_string(gi)));
+    }
+    const auto res = testing::run_sched_oracle(fixture(), graphs);
+    EXPECT_TRUE(res.ok()) << res.property << ": " << res.detail;
+  }
+}
+
+TEST(SchedulerTest, FaultTierStillConverges) {
+  testing::SchedOracleOptions opt;
+  opt.fault_tier = true;
+  const std::vector<TaskGraph> graphs = {graph_for(55, "app0"),
+                                         graph_for(56, "app1")};
+  const auto res = testing::run_sched_oracle(fixture(), graphs, opt);
+  EXPECT_TRUE(res.ok()) << res.property << ": " << res.detail;
+}
+
+// Satellite: plan_defrag interacting with the scheduler — defragmentation
+// passes run concurrently with the graphs, and every trace must still equal
+// the sequential reference (resident reuse must not regress correctness).
+TEST(SchedulerTest, DefragMidRunIsTraceNeutral) {
+  testing::SchedOracleOptions opt;
+  opt.defrag_mid_run = true;
+  const std::vector<TaskGraph> graphs = {graph_for(71, "app0"),
+                                         graph_for(72, "app1"),
+                                         graph_for(73, "app2")};
+  const auto res = testing::run_sched_oracle(fixture(), graphs, opt);
+  EXPECT_TRUE(res.ok()) << res.property << ": " << res.detail;
+}
+
+TEST(SchedulerTest, CancelResolvesEveryNode) {
+  AcceleratorScheduler sched(fixture());
+  const TaskGraph g = graph_for(44);
+  AppTicket t = sched.submit(g);
+  sched.cancel(t.id);
+  const AppReport rep = t.report.get();  // must not hang
+  EXPECT_TRUE(rep.cancelled || rep.completed);
+  ASSERT_EQ(rep.nodes.size(), g.nodes.size());
+  for (const NodeResult& nr : rep.nodes) {
+    // Every node resolved one way: ran to completion or was cancelled.
+    EXPECT_TRUE(nr.ok || !nr.error.empty()) << "node " << nr.node;
+  }
+}
+
+TEST(SchedulerTest, RevokingAllBoardsFailsPendingWork) {
+  SchedConfig cfg;
+  AcceleratorScheduler sched(fixture(), cfg);
+  sched.revoke_board(0);
+  AppTicket t = sched.submit(graph_for(61));
+  const AppReport rep = t.report.get();  // must resolve, not hang
+  EXPECT_FALSE(rep.completed);
+  sched.restore_board(0);
+  const AppReport rep2 = sched.submit(graph_for(62)).report.get();
+  EXPECT_TRUE(rep2.completed);
+}
+
+// Chaos tier: concurrent app registration and cancellation mid-graph, board
+// revocation/restoration, then shutdown with graphs still in flight. The
+// assertions are liveness (every future resolves) and lease hygiene (no
+// pinned cache entry outside the resident registry).
+TEST(SchedulerChaosTest, ConcurrentSubmitCancelRevokeShutdown) {
+  SchedConfig cfg;
+  cfg.workers = 3;
+  AcceleratorScheduler sched(fixture(), cfg);
+
+  constexpr int kThreads = 4;
+  constexpr int kAppsPerThread = 6;
+  std::vector<AppTicket> tickets(kThreads * kAppsPerThread);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int th = 0; th < kThreads; ++th) {
+    submitters.emplace_back([&, th] {
+      for (int a = 0; a < kAppsPerThread; ++a) {
+        const int idx = th * kAppsPerThread + a;
+        const TaskGraph g = graph_for(
+            1000 + static_cast<std::uint64_t>(idx), "t" + std::to_string(idx));
+        tickets[idx] = sched.submit(g);
+        if (a % 3 == 1) sched.cancel(tickets[idx].id);  // cancel mid-graph
+      }
+    });
+  }
+  std::thread chaos([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      sched.revoke_board(0);
+      std::this_thread::yield();
+      sched.restore_board(0);
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : submitters) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  chaos.join();
+  sched.restore_board(0);
+
+  // Every future must resolve — completed, failed, or cancelled.
+  std::size_t completed = 0, other = 0;
+  for (AppTicket& t : tickets) {
+    const AppReport rep = t.report.get();
+    (rep.completed ? completed : other) += 1;
+  }
+  EXPECT_EQ(completed + other, tickets.size());
+
+  sched.shutdown(true);
+  const SchedStats st = sched.stats();
+  EXPECT_EQ(st.apps_submitted,
+            st.apps_completed + st.apps_cancelled + st.apps_failed);
+  EXPECT_EQ(st.dep_violations, 0u);
+
+  // No leaked leases: every pinned cache entry is owned by a live registry
+  // entry (PbitCacheStats.pinned is the ground truth on the cache side).
+  const ServiceStats svc = sched.service().stats();
+  EXPECT_EQ(sched.service().cache_stats().pinned, svc.resident_entries);
+  EXPECT_EQ(svc.submitted, svc.accounted());
+}
+
+TEST(SchedulerChaosTest, ShutdownWithInflightGraphsDrains) {
+  std::vector<AppTicket> tickets;
+  {
+    AcceleratorScheduler sched(fixture());
+    for (int i = 0; i < 6; ++i) {
+      tickets.push_back(
+          sched.submit(graph_for(2000 + static_cast<std::uint64_t>(i))));
+    }
+    sched.shutdown(true);  // drain: everything already registered completes
+    for (AppTicket& t : tickets) {
+      EXPECT_TRUE(t.report.get().completed);
+    }
+    EXPECT_THROW((void)sched.submit(graph_for(1)), JpgError);
+  }
+  tickets.clear();
+  {
+    AcceleratorScheduler sched(fixture());
+    for (int i = 0; i < 6; ++i) {
+      tickets.push_back(
+          sched.submit(graph_for(3000 + static_cast<std::uint64_t>(i))));
+    }
+    sched.shutdown(false);  // cancel unstarted work, finish running nodes
+  }
+  for (AppTicket& t : tickets) {
+    const AppReport rep = t.report.get();  // resolved either way, no hang
+    EXPECT_TRUE(rep.completed || rep.cancelled);
+  }
+}
+
+// Satellite: ServiceStats / TenantStats snapshot coherence under submit
+// churn. Eight threads fire mixed valid / malformed / queue-pressure
+// requests; at quiescence the conservation invariant must hold exactly,
+// globally and per tenant.
+TEST(ServiceStatsTest, SnapshotCoherenceUnderSubmitChurn) {
+  const SchedFixture& fx = fixture();
+  ServiceConfig cfg;
+  cfg.queue_depth = 12;  // small: force QueueFull rejections into the mix
+  ReconfigService svc(fx.device(), fx.base(), 2, cfg);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 24;
+  std::vector<std::thread> workers;
+  std::vector<std::vector<std::future<ServiceResponse>>> futures(kThreads);
+  workers.reserve(kThreads);
+  for (int th = 0; th < kThreads; ++th) {
+    workers.emplace_back([&, th] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ServiceRequest req;
+        req.tenant = "tenant" + std::to_string(th % 3);
+        req.kind = RequestKind::Swap;
+        req.region = fx.slots()[static_cast<std::size_t>(i) % 3];
+        req.variant = SchedFixture::variant_label(
+            fx.kernels()[static_cast<std::size_t>(i) % 4], 0);
+        req.module_config = &fx.plane(
+            fx.kernels()[static_cast<std::size_t>(i) % 4], 0,
+            static_cast<std::size_t>(i) % 3);
+        if (i % 7 == 3) req.board = 99;  // BadRequest: unknown board
+        futures[th].push_back(svc.submit(req));
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (auto& fs : futures) {
+    for (auto& f : fs) (void)f.get();  // quiescence: every response resolved
+  }
+  svc.shutdown(true);
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.submitted,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(st.submitted, st.accounted())
+      << "completed " << st.completed << " failed " << st.failed
+      << " rejected_queue_full " << st.rejected_queue_full
+      << " rejected_shutdown " << st.rejected_shutdown
+      << " rejected_bad_request " << st.rejected_bad_request;
+  EXPECT_GT(st.rejected_bad_request, 0u);
+  std::uint64_t tenant_submitted = 0, tenant_done = 0;
+  for (const auto& [name, ts] : st.tenants) {
+    tenant_submitted += ts.submitted;
+    tenant_done += ts.completed + ts.failed + ts.rejected;
+  }
+  EXPECT_EQ(tenant_submitted, st.submitted);
+  EXPECT_EQ(tenant_done, st.accounted());
+}
+
+TEST(ServiceStatsTest, CompletionHookSeesEveryCookie) {
+  const SchedFixture& fx = fixture();
+  std::mutex lock;
+  std::vector<std::uint64_t> seen;
+  ServiceConfig cfg;
+  cfg.on_complete = [&](const ServiceResponse& resp) {
+    const std::lock_guard<std::mutex> guard(lock);
+    seen.push_back(resp.cookie);
+  };
+  ReconfigService svc(fx.device(), fx.base(), 1, cfg);
+  std::vector<std::future<ServiceResponse>> futures;
+  for (std::uint64_t c = 1; c <= 5; ++c) {
+    ServiceRequest req;
+    req.tenant = "t";
+    req.region = fx.slots()[c % 3];
+    req.variant = "nrzi#0";
+    req.module_config = &fx.plane("nrzi", 0, c % 3);
+    req.cookie = c;
+    if (c == 4) req.board = 42;  // rejected paths must fire the hook too
+    futures.push_back(svc.submit(req));
+  }
+  for (auto& f : futures) (void)f.get();
+  svc.shutdown(true);
+  const std::lock_guard<std::mutex> guard(lock);
+  std::vector<std::uint64_t> sorted = seen;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace jpg::sched

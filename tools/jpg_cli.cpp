@@ -84,8 +84,10 @@
 #include "support/string_util.h"
 #include "support/telemetry/telemetry.h"
 #include "pnr/flow.h"
+#include "sched/task_graph.h"
 #include "testing/design_gen.h"
 #include "testing/oracle.h"
+#include "testing/sched_oracle.h"
 #include "testing/shrinker.h"
 #include "ucf/ucf_parser.h"
 
@@ -851,13 +853,106 @@ int cmd_proptest(int argc, char** argv) {
   return failed == 0 ? 0 : 1;
 }
 
+// `sched` — the scheduler oracle sweep (docs/SCHEDULER.md): random task
+// graphs run as concurrent apps on an AcceleratorScheduler over the shared
+// uniform-socket fixture, each batch checked against the property chain of
+// testing/sched_oracle.h. Any failure replays standalone from its printed
+// raw seed.
+int cmd_sched(int argc, char** argv) {
+  std::string part = "XCV50";
+  std::uint64_t seed = 1;
+  std::uint64_t raw_seed = 0;
+  bool have_raw = false;
+  int count = 20;
+  int batch = 4;
+  testing::SchedOracleOptions sopt;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--device") == 0 && i + 1 < argc) {
+      part = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--raw-seed") == 0 && i + 1 < argc) {
+      raw_seed = std::strtoull(argv[++i], nullptr, 10);
+      have_raw = true;
+    } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
+      count = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
+      sopt.sim_cycles = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--boards") == 0 && i + 1 < argc) {
+      sopt.num_boards = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--fault-tier") == 0) {
+      sopt.fault_tier = true;
+    } else if (std::strcmp(argv[i], "--defrag") == 0) {
+      sopt.defrag_mid_run = true;
+    } else {
+      throw JpgError(
+          "usage: jpg_cli sched [--device PART] [--seed S] [--count N] "
+          "[--batch B] [--raw-seed R] [--cycles C] [--boards N] "
+          "[--fault-tier] [--defrag]");
+    }
+  }
+  JPG_REQUIRE(count >= 1 && batch >= 1, "count and batch must be positive");
+
+  const sched::SchedFixture& fixture = sched::SchedFixture::shared(part);
+  sched::TaskGraphOptions gopt;
+  gopt.num_impls = fixture.impls_per_kernel();
+
+  std::size_t passed = 0, failed = 0, properties = 0;
+  std::uint64_t dep_violations = 0;
+  // One raw seed = one batch of graphs run as concurrent apps, so a failure
+  // replays standalone with --raw-seed regardless of count/order.
+  const auto run_one = [&](std::uint64_t rs, int graphs_in_batch) {
+    Rng rng(rs);
+    std::vector<sched::TaskGraph> graphs;
+    for (int g = 0; g < graphs_in_batch; ++g) {
+      graphs.push_back(sched::random_task_graph(
+          rng, fixture.kernels(), gopt, "app" + std::to_string(g)));
+    }
+    const testing::SchedOracleResult res =
+        testing::run_sched_oracle(fixture, graphs, sopt);
+    properties += res.properties_checked;
+    dep_violations += res.sched_stats.dep_violations;
+    if (res.ok()) {
+      passed += graphs.size();
+      return;
+    }
+    failed += graphs.size();
+    std::printf("FAIL          : property %s — %s\n", res.property.c_str(),
+                res.detail.c_str());
+    std::printf("  repro       : jpg_cli sched --device %s --raw-seed %llu "
+                "--batch %d --cycles %d%s%s\n",
+                part.c_str(), static_cast<unsigned long long>(rs),
+                graphs_in_batch, sopt.sim_cycles,
+                sopt.fault_tier ? " --fault-tier" : "",
+                sopt.defrag_mid_run ? " --defrag" : "");
+  };
+
+  if (have_raw) {
+    run_one(raw_seed, batch);
+  } else {
+    const Rng root(seed);
+    std::uint64_t batch_idx = 0;
+    for (int done = 0; done < count; done += batch) {
+      const int n = std::min(batch, count - done);
+      run_one(root.split(batch_idx++).next(), n);
+    }
+  }
+  std::printf("sched         : %s — %zu graphs: %zu pass, %zu fail "
+              "(%zu properties checked, %llu dependency violations)\n",
+              part.c_str(), passed + failed, passed, failed, properties,
+              static_cast<unsigned long long>(dep_violations));
+  return failed == 0 && dep_violations == 0 ? 0 : 1;
+}
+
 int usage() {
   std::fprintf(stderr,
                "jpg_cli — partial bitstream generation (jpg-cpp)\n"
                "commands: info summarize partial apply floorplan verify\n"
                "          relocate attest project-new project-add\n"
                "          project-build pnr fuzzcfg download stats serve\n"
-               "          proptest\n"
+               "          proptest sched\n"
                "global flags: [--metrics <file>] [--trace <file>]\n");
   return 2;
 }
@@ -886,6 +981,7 @@ int dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "stats") return cmd_stats(argc, argv);
   if (cmd == "serve") return cmd_serve(argc, argv);
   if (cmd == "proptest") return cmd_proptest(argc, argv);
+  if (cmd == "sched") return cmd_sched(argc, argv);
   return usage();
 }
 

@@ -15,6 +15,13 @@
 #              defragmentation tests, the attestation suite (incl. the
 #              200-scenario fault sweep), the relocate/attest CLI tests and
 #              the fuzz smoke whose corpus includes relocated streams.
+#   sched      ASan build + run of the scheduler test suite (oracle family,
+#              chaos tier, stats coherence), the sched CLI smoke sweep, then
+#              a release JPG_BENCH_SMOKE=1 run of bench_sched gated on
+#              BENCH_sched.json: swap-avoidance hit rate > 0.5 on the
+#              locality workload, zero dependency-order violations, zero
+#              admission violations, node throughput > 0. NIGHTLY=1 adds
+#              the >=500-graph-per-device scheduler oracle shards.
 #   bench      release build, JPG_BENCH_SMOKE=1 run of the parallel-core
 #              benches (router, partial gen, word kernels) plus the ICAP
 #              streaming bench; on hosts with >= 4 cores it additionally
@@ -205,6 +212,55 @@ print("service gate OK")
 EOF
 }
 
+run_sched_checks() {
+  echo "=== [sched] ASan scheduler tests + CLI sweep ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Release -DJPG_SANITIZE=address > /dev/null
+  cmake --build build-asan -j "$JOBS" --target sched_test jpg_cli
+  (cd build-asan && ctest --output-on-failure -j "$JOBS" \
+     -R 'TaskGraphTest|SchedFixtureTest|SchedulerTest|SchedulerChaosTest|ServiceStatsTest|sched_smoke')
+  if [[ "${NIGHTLY:-0}" == "1" ]]; then
+    echo "=== [sched] nightly scheduler oracle shards (>=500 graphs/device) ==="
+    (cd build-asan && ctest --output-on-failure -j "$JOBS" -C nightly -L sched)
+  fi
+  echo "=== [sched] bench_sched smoke + gate ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build build -j "$JOBS" --target bench_sched
+  local out
+  out=$(mktemp -d)
+  (cd "$out" && JPG_BENCH_SMOKE=1 "$OLDPWD/build/bench/bench_sched")
+  python3 - "$out" <<'EOF'
+import json, os, sys
+
+out = sys.argv[1]
+failures = []
+rep = json.load(open(os.path.join(out, "BENCH_sched.json")))
+for sec, kv in rep.items():
+    if "locality_reuse_rate" not in kv:
+        continue  # telemetry section
+    print(f"  {sec}: locality {kv['locality_nodes_per_sec']:.0f} nodes/s "
+          f"reuse {kv['locality_reuse_rate']:.3f}, "
+          f"mixed {kv['mixed_nodes_per_sec']:.0f} nodes/s "
+          f"(queue wait p99 {kv['mixed_queue_wait_p99_ns'] / 1e6:.2f} ms), "
+          f"dep_violations {int(kv['dep_violations'])}, "
+          f"admission_violations {int(kv['admission_violations'])}")
+    if kv["locality_reuse_rate"] <= 0.5:
+        failures.append(f"{sec}: swap-avoidance hit rate "
+                        f"{kv['locality_reuse_rate']:.3f} <= 0.5 on the "
+                        "locality workload")
+    if kv["dep_violations"] != 0:
+        failures.append(f"{sec}: {int(kv['dep_violations'])} dependency-order "
+                        "violations")
+    if kv["admission_violations"] != 0:
+        failures.append(f"{sec}: admission violations under scheduler load")
+    if kv["locality_nodes_per_sec"] <= 0 or kv["mixed_nodes_per_sec"] <= 0:
+        failures.append(f"{sec}: node throughput is zero")
+if failures:
+    print("\n".join("FAIL: " + f for f in failures), file=sys.stderr)
+    sys.exit(1)
+print("sched gate OK")
+EOF
+}
+
 for cfg in "${CONFIGS[@]}"; do
   case "$cfg" in
     release)  run_one release  build       -DCMAKE_BUILD_TYPE=Release ;;
@@ -214,7 +270,8 @@ for cfg in "${CONFIGS[@]}"; do
     bench)    run_bench_smoke ;;
     service)  run_service_checks ;;
     reloc)    run_reloc_checks ;;
-    *) echo "unknown config '$cfg' (release|asan|tsan|telemoff|bench|service|reloc)" >&2; exit 2 ;;
+    sched)    run_sched_checks ;;
+    *) echo "unknown config '$cfg' (release|asan|tsan|telemoff|bench|service|reloc|sched)" >&2; exit 2 ;;
   esac
 done
 echo "=== all checks passed: ${CONFIGS[*]} ==="
